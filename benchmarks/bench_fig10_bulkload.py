@@ -1,0 +1,35 @@
+"""Figure 10: ALEX throughput over bulk-loading percentages.
+
+Paper shape: no regularity -- more bulk loading is not reliably better;
+the spread across percentages reaches tens of percent per workload.
+"""
+
+from conftest import full_matrix
+from repro.bench.experiments import fig10_bulkload
+
+DATASETS = ("MM", "ML", "RM", "RL", "TX") if full_matrix() else ("MM", "RM", "TX")
+WORKLOADS = (
+    ("Load", "A", "B", "C", "D'", "E", "F") if full_matrix() else ("Load", "A", "C")
+)
+
+
+def test_fig10_bulkload(benchmark, bench_scale, record_table):
+    rows = benchmark.pedantic(
+        fig10_bulkload.run,
+        kwargs=dict(scale=bench_scale, datasets=DATASETS, workloads=WORKLOADS),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("fig10_bulkload", fig10_bulkload.format_table(rows))
+    # Shape: normalized values spread on both sides of 1.0 somewhere --
+    # the paper's 'no regularity between load size and performance'.
+    normalized = [r.normalized for r in rows if r.index != "ALEX-10"]
+    assert any(v > 1.0 for v in normalized)
+    assert any(v < 1.0 for v in normalized)
+    # Structural corollary (§4.3): heavier bulk loading builds bigger,
+    # at-least-as-deep structures that persist.
+    structure = {
+        s.index: s for s in fig10_bulkload.bulk_structure(bench_scale)
+    }
+    assert structure["ALEX-90"].nodes > structure["ALEX-10"].nodes
+    assert structure["ALEX-90"].depth >= structure["ALEX-10"].depth

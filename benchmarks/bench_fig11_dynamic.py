@@ -1,0 +1,46 @@
+"""Figure 11: influence of KDD and skewness on the indexes.
+
+Paper shapes: (a) inserts benefit from the spatial locality of the
+original (high-KDD) streams -- TX shows the largest gain; B+-tree search
+is KDD-insensitive.  (b) B+-tree is skewness-insensitive; DyTIS degrades
+with high skewness (RM/RL) but stays robust at low skewness (MM/ML).
+"""
+
+from conftest import full_matrix
+from repro.bench.experiments import fig11_dynamic
+
+DATASETS = ("MM", "ML", "RM", "RL", "TX") if full_matrix() else ("MM", "RM", "TX")
+
+
+def test_fig11_dynamic(benchmark, bench_scale, record_table):
+    rows = benchmark.pedantic(
+        fig11_dynamic.run,
+        kwargs=dict(scale=bench_scale, datasets=DATASETS),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("fig11_dynamic", fig11_dynamic.format_table(rows))
+    cell = {(r.panel, r.dataset, r.index, r.operation): r.ratio for r in rows}
+    # (b) B+-tree is insensitive to skewness (ratio ≈ 1, paper's point 1);
+    # wide band because single-round Python timings jitter.
+    for ds in DATASETS:
+        assert 0.35 < cell[("skewness", ds, "B+-tree", "insert")] < 2.5
+    # (b) DyTIS is robust to low skewness (MM) but pays for high (RM/RL).
+    if "MM" in DATASETS and "RM" in DATASETS:
+        assert (
+            cell[("skewness", "MM", "DyTIS", "insert")]
+            > cell[("skewness", "RM", "DyTIS", "insert")]
+        )
+    # (a) The paper's KDD insert benefit (339% for TX) comes from CPU
+    # cache locality, which pure Python cannot exhibit; we assert only
+    # that search is not strongly KDD-sensitive for the B+-tree.
+    for ds in DATASETS:
+        assert 0.4 < cell[("kdd", ds, "B+-tree", "search")] < 2.5
+    # (b) point 3 in its substrate-independent form: under skew ALEX
+    # multiplies *nodes* far faster than DyTIS multiplies segments
+    # (paper: 1341x vs 17x vs the Uniform baseline).
+    growth = {
+        (g.dataset, g.index): g.growth
+        for g in fig11_dynamic.structure_growth(bench_scale, datasets=("RM",))
+    }
+    assert growth[("RM", "ALEX-10")] > 2 * growth[("RM", "DyTIS")]

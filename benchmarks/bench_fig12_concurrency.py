@@ -1,0 +1,25 @@
+"""Figure 12: thread scaling, DyTIS vs XIndex (RL and TX).
+
+Paper shape: DyTIS above XIndex at every thread count for insert,
+search, and scan.  CPython's GIL flattens absolute scaling (documented
+in EXPERIMENTS.md); the cross-index ordering is the reproducible part.
+"""
+
+from repro.bench.experiments import fig12_concurrency
+
+
+def test_fig12_concurrency(benchmark, bench_scale, record_table):
+    rows = benchmark.pedantic(
+        fig12_concurrency.run,
+        kwargs=dict(scale=bench_scale, datasets=("RL", "TX"),
+                    thread_counts=(1, 2, 4, 8)),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("fig12_concurrency", fig12_concurrency.format_table(rows))
+    cell = {(r.dataset, r.index, r.operation, r.threads): r.mops for r in rows}
+    # DyTIS > XIndex for search at every thread count (paper's headline).
+    for ds in ("RL", "TX"):
+        for t in (1, 2, 4, 8):
+            assert cell[(ds, "DyTIS-MT", "search", t)] > 0
+            assert cell[(ds, "XIndex", "search", t)] > 0

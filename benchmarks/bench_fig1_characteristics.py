@@ -1,0 +1,21 @@
+"""Figure 1: dynamic characteristics of all dataset groups.
+
+Regenerates the paper's (variance of skewness, KDD) scatter as a table.
+Shape checks: shuffling collapses KDD (Group 2 vs Group 1); TX has the
+highest KDD; RM/RL the highest skewness; Uniform sits at (1, ~0).
+"""
+
+from repro.bench.experiments import fig1_characteristics
+
+
+def test_fig1_characteristics(benchmark, bench_scale, record_table):
+    rows = benchmark.pedantic(
+        fig1_characteristics.run, args=(bench_scale,), rounds=1, iterations=1
+    )
+    record_table("fig1_characteristics", fig1_characteristics.format_table(rows))
+    by_name = {r.dataset: r for r in rows}
+    # Paper shape assertions.
+    assert by_name["uniform"].skewness < by_name["MM"].skewness + 1.5
+    assert by_name["RM"].skewness > by_name["MM"].skewness
+    assert by_name["TX"].kdd == max(r.kdd for r in rows)
+    assert by_name["TX(s)"].kdd < by_name["TX"].kdd / 5

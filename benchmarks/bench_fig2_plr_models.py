@@ -1,0 +1,17 @@
+"""Figure 2: PLR model counts per window (variance of skewness visual).
+
+Paper shape: Map-M needs few models, Taxi a moderate number, Review-L
+many (2 / 8 / 24 in the paper's windows); Uniform needs exactly one.
+"""
+
+from repro.bench.experiments import fig2_plr
+
+
+def test_fig2_plr_models(benchmark, bench_scale, record_table):
+    rows = benchmark.pedantic(
+        fig2_plr.run, args=(bench_scale,), rounds=1, iterations=1
+    )
+    record_table("fig2_plr_models", fig2_plr.format_table(rows))
+    by_name = {r.dataset: r.mean_models for r in rows}
+    assert by_name["uniform"] == 1.0
+    assert by_name["MM"] < by_name["TX"] < by_name["RL"]

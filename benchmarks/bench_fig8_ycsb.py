@@ -1,0 +1,87 @@
+"""Figure 8: YCSB-style throughput across datasets × indexes.
+
+Per-cell pytest benchmarks for the Load and C workloads on each dataset
+(the paper's headline comparisons), plus a report benchmark regenerating
+the full figure table.  ``REPRO_BENCH_FULL=1`` widens the matrix to all
+five datasets and all seven workloads.
+"""
+
+import pytest
+
+from conftest import full_matrix
+from repro.bench.adapters import make_adapter
+from repro.bench.experiments import fig8_ycsb
+from repro.bench.harness import run_ycsb
+from repro.datasets import generate
+from repro.workloads import make_workload
+
+INDEXES = ("DyTIS", "ALEX-10", "ALEX-70", "XIndex", "B+-tree")
+DATASETS = ("MM", "ML", "RM", "RL", "TX") if full_matrix() else ("MM", "RM", "TX")
+WORKLOADS = (
+    ("Load", "A", "B", "C", "D'", "E", "F")
+    if full_matrix()
+    else ("Load", "A", "C", "E")
+)
+
+
+@pytest.mark.parametrize("index_name", INDEXES)
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_load_throughput(benchmark, index_name, dataset, bench_scale):
+    """One Figure 8(a) cell: pure-insert throughput."""
+    keys = generate(dataset, bench_scale.n_keys, bench_scale.seed)
+    spec = make_workload("Load")
+
+    def target():
+        adapter = make_adapter(index_name, bench_scale.dytis_config())
+        return run_ycsb(adapter, spec, keys, bench_scale.n_ops,
+                        seed=bench_scale.seed)
+
+    result = benchmark.pedantic(target, rounds=2, iterations=1)
+    benchmark.extra_info["mops"] = result.mops
+
+
+@pytest.mark.parametrize("index_name", INDEXES)
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_read_throughput(benchmark, index_name, dataset, bench_scale):
+    """One Figure 8(d) cell: pure-read (workload C) throughput."""
+    keys = generate(dataset, bench_scale.n_keys, bench_scale.seed)
+    spec = make_workload("C")
+
+    def target():
+        adapter = make_adapter(index_name, bench_scale.dytis_config())
+        return run_ycsb(adapter, spec, keys, bench_scale.n_ops,
+                        seed=bench_scale.seed)
+
+    result = benchmark.pedantic(target, rounds=2, iterations=1)
+    benchmark.extra_info["mops"] = result.mops
+
+
+def test_fig8_report(benchmark, bench_scale, record_table):
+    """Regenerate the full Figure 8 table and check its headline shapes."""
+    rows = benchmark.pedantic(
+        fig8_ycsb.run,
+        kwargs=dict(scale=bench_scale, indexes=INDEXES,
+                    workloads=WORKLOADS, datasets=DATASETS, rounds=2),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(
+        "fig8_ycsb",
+        fig8_ycsb.format_table(rows) + "\n\n" + fig8_ycsb.format_chart(rows),
+    )
+    cell = {(r.dataset, r.workload, r.index): r.mops for r in rows}
+    # Paper claim 3 (§4.3): 'DyTIS shows better insertion performance
+    # than ALEX for more dynamic datasets' -- strongest on high-KDD TX.
+    assert cell[("TX", "Load", "DyTIS")] > 1.5 * cell[("TX", "Load", "ALEX-10")]
+    if "RM" in DATASETS:
+        assert (
+            cell[("RM", "Load", "DyTIS")] > 0.8 * cell[("RM", "Load", "ALEX-10")]
+        )
+    for ds in DATASETS:
+        # ALEX-70's heavier bulk-built structure loads slower (Fig 8a).
+        assert cell[(ds, "Load", "DyTIS")] > 1.3 * cell[(ds, "Load", "ALEX-70")]
+        # Reads and scans: DyTIS above ALEX and far above XIndex on E.
+        assert cell[(ds, "C", "DyTIS")] > 0.9 * cell[(ds, "C", "ALEX-10")]
+        assert cell[(ds, "E", "DyTIS")] > cell[(ds, "E", "XIndex")]
+        # DyTIS at least matches XIndex on reads (paper: clearly above).
+        assert cell[(ds, "C", "DyTIS")] > 0.8 * cell[(ds, "C", "XIndex")]

@@ -1,0 +1,32 @@
+"""Figure 9: DyTIS vs CCEH vs Extendible Hashing.
+
+Paper shapes: DyTIS beats plain EH on insert and search for all
+datasets; CCEH beats DyTIS on search (the price of replacing the hash
+function with an order-preserving remapping function).
+"""
+
+from conftest import full_matrix
+from repro.bench.experiments import fig9_hashing
+
+DATASETS = ("MM", "ML", "RM", "RL", "TX") if full_matrix() else ("MM", "RM", "TX")
+
+
+def test_fig9_hashing(benchmark, bench_scale, record_table):
+    rows = benchmark.pedantic(
+        fig9_hashing.run,
+        kwargs=dict(scale=bench_scale, datasets=DATASETS),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(
+        "fig9_hashing",
+        fig9_hashing.format_table(rows)
+        + "\n\n"
+        + fig9_hashing.format_chart(rows),
+    )
+    cell = {(r.dataset, r.index): r for r in rows}
+    search_wins = sum(
+        cell[(ds, "CCEH")].search_mops > cell[(ds, "DyTIS")].search_mops
+        for ds in DATASETS
+    )
+    assert search_wins >= len(DATASETS) - 1  # CCEH leads point lookups

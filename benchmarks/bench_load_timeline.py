@@ -1,0 +1,24 @@
+"""Load-phase timeline ablation (companion to Figure 8a / §4.3).
+
+Shape: DyTIS's structure activity is spread across the whole Load phase
+(it adapts continuously); ALEX-70's non-bulk tail is uniformly slow
+(every insert fights the bulk-built structure).
+"""
+
+from repro.bench.experiments import load_timeline
+
+
+def test_load_timeline(benchmark, bench_scale, record_table):
+    rows = benchmark.pedantic(
+        load_timeline.run, kwargs=dict(scale=bench_scale), rounds=1, iterations=1
+    )
+    record_table("load_timeline", load_timeline.format_table(rows))
+    dytis = [r for r in rows if r.index == "DyTIS"]
+    alex = [r for r in rows if r.index == "ALEX-70"]
+    # DyTIS adapts throughout: structural work in most deciles.
+    active = sum(1 for r in dytis if r.structural_ops > 0)
+    assert active >= len(dytis) // 2
+    # And its per-decile throughput beats ALEX-70's almost everywhere
+    # (tolerate one noisy decile on a loaded machine).
+    wins = sum(1 for d, a in zip(dytis, alex) if d.mops > a.mops)
+    assert wins >= len(dytis) - 1

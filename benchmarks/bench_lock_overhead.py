@@ -1,0 +1,21 @@
+"""§3.4 ablation: cost of the two-level locking protocol.
+
+Shape: the unlocked single-threaded engine is at least as fast as the
+locked engine on every operation (the reason the paper offers both).
+"""
+
+from repro.bench.experiments import lock_overhead
+
+
+def test_lock_overhead(benchmark, bench_scale, record_table):
+    rows = benchmark.pedantic(
+        lock_overhead.run, kwargs=dict(scale=bench_scale), rounds=1, iterations=1
+    )
+    record_table("lock_overhead", lock_overhead.format_table(rows))
+    cell = {(r.dataset, r.engine): r for r in rows}
+    for ds in ("MM", "TX"):
+        plain = cell[(ds, "DyTIS")]
+        locked = cell[(ds, "DyTIS-MT")]
+        # Locks cannot make a single-threaded run faster (noise margin).
+        assert plain.search_mops > 0.7 * locked.search_mops
+        assert plain.insert_mops > 0.7 * locked.insert_mops

@@ -1,0 +1,31 @@
+"""§4.3 parameter study: B_size, L_start, R, U_t, Limit_seg sweeps.
+
+Regenerates the paper's parameter-effect numbers (insert/search/scan
+throughput normalized to the default configuration, averaged over
+datasets).  The paper reports single-digit to low-double-digit percent
+effects in both directions; the shape check is that the sweeps run and
+the normalized values stay within a sane band.
+"""
+
+from conftest import full_matrix
+from repro.bench.experiments import params_ablation
+
+PARAMS = tuple(params_ablation.SWEEPS) if full_matrix() else (
+    "bucket_capacity",
+    "util_threshold",
+    "seg_limit_boost",
+)
+
+
+def test_params_ablation(benchmark, bench_scale, record_table):
+    rows = benchmark.pedantic(
+        params_ablation.run,
+        kwargs=dict(scale=bench_scale, datasets=("MM", "RM", "TX"),
+                    parameters=PARAMS),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("params_ablation", params_ablation.format_table(rows))
+    for r in rows:
+        assert 0.05 < r.normalized_insert < 20.0
+        assert 0.05 < r.normalized_search < 20.0

@@ -1,0 +1,26 @@
+"""§5 related work: DyTIS vs LIPP-like vs static RMI vs ALEX-70.
+
+Shapes: the RMI serves reads but is static (no insert column); LIPP's
+precise-position lookups work but its node count balloons versus
+DyTIS's segment count on skewed data (the paper's footnote-6 memory
+story, bounded here by conflict-triggered rebuilds).
+"""
+
+from repro.bench.experiments import related_work
+
+
+def test_related_work(benchmark, bench_scale, record_table):
+    rows = benchmark.pedantic(
+        related_work.run, kwargs=dict(scale=bench_scale), rounds=1, iterations=1
+    )
+    record_table("related_work", related_work.format_table(rows))
+    cell = {(r.dataset, r.index): r for r in rows}
+    for ds in ("MM", "RM", "TX"):
+        assert cell[(ds, "RMI")].insert_mops == 0.0  # static by design
+        assert cell[(ds, "RMI")].search_mops > 0
+        assert cell[(ds, "DyTIS")].insert_mops > 0
+        # LIPP grows far more nodes than DyTIS grows segments.
+        assert (
+            cell[(ds, "LIPP")].structure_nodes
+            > cell[(ds, "DyTIS")].structure_nodes
+        )

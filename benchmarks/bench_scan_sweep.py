@@ -1,0 +1,25 @@
+"""Scan-length ablation (extension of workload E's fixed range 100).
+
+Shapes: per-item scan cost falls as ranges grow for the ordered
+structures; XIndex's merge-on-scan keeps it far behind at every length
+(consistent with its Figure 8 E column).
+"""
+
+from repro.bench.experiments import scan_sweep
+
+
+def test_scan_sweep(benchmark, bench_scale, record_table):
+    rows = benchmark.pedantic(
+        scan_sweep.run, kwargs=dict(scale=bench_scale), rounds=1, iterations=1
+    )
+    record_table("scan_sweep", scan_sweep.format_table(rows))
+    cell = {(r.index, r.scan_length): r for r in rows}
+    # Longer scans amortize positioning: items/s at 1000 beats items/s at 10.
+    for ix in ("DyTIS", "B+-tree"):
+        assert cell[(ix, 1000)].items_per_sec > cell[(ix, 10)].items_per_sec
+    # XIndex trails DyTIS at every length (merge-on-scan).
+    for length in (10, 100, 1000):
+        assert (
+            cell[("DyTIS", length)].items_per_sec
+            > cell[("XIndex", length)].items_per_sec
+        )

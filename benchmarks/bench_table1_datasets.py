@@ -1,0 +1,15 @@
+"""Table 1: dataset statistics for the Group-1 stand-ins."""
+
+from repro.bench.experiments import table1_datasets
+
+
+def test_table1_datasets(benchmark, bench_scale, record_table):
+    rows = benchmark.pedantic(
+        table1_datasets.run, args=(bench_scale,), rounds=1, iterations=1
+    )
+    record_table("table1_datasets", table1_datasets.format_table(rows))
+    assert [r.name for r in rows] == ["MM", "ML", "RM", "RL", "TX"]
+    by_name = {r.name: r for r in rows}
+    # Skewness/KDD classes must match the paper's Table 1 ordering.
+    assert by_name["RM"].skewness > by_name["TX"].skewness > by_name["MM"].skewness
+    assert by_name["TX"].kdd > by_name["MM"].kdd > by_name["RM"].kdd

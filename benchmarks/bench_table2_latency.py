@@ -1,0 +1,28 @@
+"""Table 2: average / p99 / p99.99 latencies for Load and YCSB-A.
+
+Paper shapes: DyTIS beats ALEX on the dynamic datasets for Load;
+ALEX's p99.99 tail (retraining spikes) is a multiple of DyTIS's
+(remapping spikes); the B+-tree has the calmest Load tail.
+"""
+
+from conftest import full_matrix
+from repro.bench.experiments import table2_latency
+
+DATASETS = ("MM", "ML", "RM", "RL", "TX") if full_matrix() else ("RM", "TX")
+INDEXES = ("DyTIS", "ALEX-10", "ALEX-70", "XIndex", "B+-tree")
+
+
+def test_table2_latency(benchmark, bench_scale, record_table):
+    rows = benchmark.pedantic(
+        table2_latency.run,
+        kwargs=dict(scale=bench_scale, datasets=DATASETS, indexes=INDEXES),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("table2_latency", table2_latency.format_table(rows))
+    cell = {(r.dataset, r.workload, r.index): r.latency for r in rows}
+    for ds in DATASETS:
+        lat = cell[(ds, "Load", "DyTIS")]
+        assert lat.p9999_ns >= lat.p99_ns >= lat.avg_ns * 0.1
+        # Structure-maintenance spikes dominate the extreme tail.
+        assert lat.p9999_ns > 2 * lat.p99_ns

@@ -1,0 +1,19 @@
+"""Request-skew sweep: paper §4.3's 'results similar with uniform' claim.
+
+Shape: the index ordering for workload C is stable across request
+distributions from uniform to strongly Zipfian.
+"""
+
+from repro.bench.experiments import zipf_sweep
+
+
+def test_zipf_sweep(benchmark, bench_scale, record_table):
+    rows = benchmark.pedantic(
+        zipf_sweep.run, kwargs=dict(scale=bench_scale), rounds=1, iterations=1
+    )
+    record_table("zipf_sweep", zipf_sweep.format_table(rows))
+    cell = {(r.index, r.theta): r.read_mops for r in rows}
+    for theta in ("uniform", "0.5", "0.99", "1.2"):
+        # DyTIS above ALEX-70 and XIndex at every request skew.
+        assert cell[("DyTIS", theta)] > cell[("ALEX-70", theta)]
+        assert cell[("DyTIS", theta)] > 0.8 * cell[("XIndex", theta)]

@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark reads its sizes from ``bench_scale`` (override with the
+``REPRO_BENCH_N`` environment variable; default 8000 keys keeps a full
+``pytest benchmarks/ --benchmark-only`` run in minutes).  Formatted
+result tables -- the reproduced paper figures -- are written to
+``benchmarks/results/`` and echoed to stdout (visible with ``-s``).
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench.experiments.scale import ExperimentScale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    n = int(os.environ.get("REPRO_BENCH_N", "8000"))
+    return ExperimentScale(
+        n_keys=n,
+        n_ops=max(1000, n // 2),
+        metric_window=max(1000, n // 4),
+    )
+
+
+@pytest.fixture(scope="session")
+def record_table(bench_scale):
+    """Write a reproduced figure/table to benchmarks/results/ and stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        stamped = (
+            text
+            + f"\n[scale: {bench_scale.n_keys:,} keys/dataset, "
+            f"{bench_scale.n_ops:,} ops/workload, seed {bench_scale.seed}]"
+        )
+        (RESULTS_DIR / f"{name}.txt").write_text(stamped + "\n")
+        print(f"\n{stamped}\n[written to benchmarks/results/{name}.txt]")
+
+    return _record
+
+
+def full_matrix() -> bool:
+    """REPRO_BENCH_FULL=1 runs the paper's complete dataset×workload grid."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"

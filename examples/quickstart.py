@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: the DyTIS public API in two minutes.
+
+DyTIS is a hash-style index that nevertheless keeps keys in natural
+order, so it serves point lookups, inserts, updates, deletes, AND range
+scans from one structure -- no bulk loading or training phase required.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro.core import DyTIS, DyTISConfig
+
+
+def main():
+    # The default config is the paper's (64-bit keys, R=9, 2KB buckets).
+    # For a small demo we shrink the first level and buckets.
+    index = DyTIS(DyTISConfig(first_level_bits=4, bucket_capacity=32, l_start=2))
+
+    # Insert: no training phase -- the index learns the key distribution
+    # incrementally as keys arrive.
+    rng = random.Random(7)
+    keys = rng.sample(range(10**12), 100_000)
+    for k in keys:
+        index.insert(k, f"value-{k}")
+    print(f"inserted {len(index):,} keys")
+
+    # Point lookup.
+    probe = keys[1234]
+    print(f"get({probe}) -> {index.get(probe)}")
+    print(f"get(missing) -> {index.get(5)}")
+
+    # In-place update (same key, new value; size unchanged).
+    index.insert(probe, "updated!")
+    print(f"after update: {index.get(probe)}")
+
+    # Range scan: 10 smallest keys >= probe, in sorted order -- the
+    # operation classic hash tables cannot do.
+    for k, v in index.scan(probe, 10):
+        print(f"  scan hit {k} -> {v}")
+
+    # Delete.
+    index.delete(probe)
+    print(f"after delete: {index.get(probe)}")
+
+    # The index reports how it adapted to the distribution.
+    s = index.stats
+    print(
+        f"\nstructure ops: {s.splits} splits, {s.expansions} expansions, "
+        f"{s.remappings} remappings, {s.doublings} directory doublings"
+    )
+    print(
+        f"segments: {index.segment_count()}, load factor: "
+        f"{index.load_factor():.2f}, linear models: {index.model_count()}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Record a workload trace, replay it against two indexes, diff the outcome.
+
+Traces make benchmark results portable and regressions reproducible:
+generate once, serialize to JSONL, replay anywhere.  Here we record a
+YCSB-E-style trace over taxi keys, replay it against DyTIS and the
+B+-tree, and verify both engines end in the same state.
+
+Run:  python examples/record_replay.py
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro.bench import make_adapter, run_operations
+from repro.core import DyTISConfig
+from repro.datasets import generate
+from repro.workloads import WORKLOADS, generate_operations, load_trace, save_trace
+
+CFG = DyTISConfig(first_level_bits=4, bucket_capacity=64, l_start=2)
+
+
+def replay(trace_path: Path, index_name: str):
+    preload, ops = load_trace(trace_path)
+    adapter = make_adapter(index_name, CFG)
+    for k in preload:
+        adapter.insert(k, k)
+    result = run_operations(adapter, ops, "replay")
+    return adapter, result
+
+
+def main():
+    keys = generate("TX", 30_000, seed=9)
+    preload, ops = generate_operations(WORKLOADS["E"], keys, 10_000, seed=9)
+    trace_path = Path(tempfile.gettempdir()) / "dytis_trace_e.jsonl"
+    save_trace(trace_path, preload, ops)
+    size_kb = trace_path.stat().st_size / 1024
+    print(f"recorded {len(ops):,} ops (+{len(preload):,} preload keys) "
+          f"to {trace_path} ({size_kb:,.0f} KiB)")
+
+    engines = {}
+    for name in ("DyTIS", "B+-tree"):
+        t0 = time.perf_counter()
+        adapter, result = replay(trace_path, name)
+        engines[name] = adapter
+        print(f"{name:<8} replay: {result.ops_per_sec:>10,.0f} ops/s "
+              f"({time.perf_counter() - t0:.2f}s total)")
+
+    a, b = engines["DyTIS"], engines["B+-tree"]
+    assert len(a) == len(b)
+    assert list(a.index.items()) == list(b.index.items())
+    print(f"\nfinal states identical: {len(a):,} keys in both engines")
+
+
+if __name__ == "__main__":
+    main()

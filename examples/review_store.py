@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Product-review store: highly skewed composite keys.
+
+Review keys concatenate (item ID | user ID | time) as in the paper's
+Amazon datasets, producing a key space of dense clusters separated by
+huge gaps -- the high-variance-of-skewness regime that breaks
+one-model-per-node learned indexes.  Because DyTIS keys stay in natural
+order, *all reviews of one item* are a single range scan over the item's
+key prefix.
+
+Run:  python examples/review_store.py
+"""
+
+import random
+import time
+
+from repro.core import DyTIS, DyTISConfig
+
+ITEM_BITS = 25  # key = item_id << 39 | user_id << 16 | seq
+USER_SHIFT = 16
+ITEM_SHIFT = 39
+
+
+def review_key(item_id: int, user_id: int, seq: int) -> int:
+    return (item_id << ITEM_SHIFT) | (user_id << USER_SHIFT) | seq
+
+
+def main():
+    rng = random.Random(3)
+    index = DyTIS(DyTISConfig(first_level_bits=4, bucket_capacity=64, l_start=2))
+
+    # Zipf-ish popularity: a few blockbuster items, a long tail.
+    items = rng.sample(range(1 << ITEM_BITS), 2000)
+    weights = [1.0 / (r + 1) ** 1.2 for r in range(len(items))]
+
+    print("ingesting 80,000 reviews (skewed item popularity)...")
+    t0 = time.perf_counter()
+    n = 0
+    seq_per_item = {}
+    while n < 80_000:
+        item = rng.choices(items, weights)[0]
+        user = rng.randrange(1 << 23)
+        seq = seq_per_item.get(item, 0)
+        seq_per_item[item] = seq + 1
+        index.insert(review_key(item, user, seq & 0xFFFF),
+                     {"item": item, "user": user, "stars": rng.randint(1, 5)})
+        n += 1
+    print(f"  {n / (time.perf_counter() - t0):,.0f} reviews/s, "
+          f"{index.segment_count()} segments, "
+          f"load factor {index.load_factor():.2f}")
+
+    # 'All reviews for item X' = prefix range scan from item_id << 39.
+    hot_item = items[0]
+    expected = seq_per_item.get(hot_item, 0)
+    t0 = time.perf_counter()
+    out = []
+    cursor = hot_item << ITEM_SHIFT
+    end = (hot_item + 1) << ITEM_SHIFT
+    while True:
+        batch = index.scan(cursor, 256)
+        in_range = [(k, v) for k, v in batch if k < end]
+        out.extend(in_range)
+        if len(in_range) < len(batch) or not batch:
+            break
+        cursor = batch[-1][0] + 1
+    ms = (time.perf_counter() - t0) * 1e3
+    stars = [v["stars"] for _, v in out]
+    print(f"\nitem {hot_item}: {len(out)} reviews via prefix scan "
+          f"in {ms:.2f} ms (expected {expected})")
+    assert len(out) == expected
+    if stars:
+        print(f"  average rating {sum(stars) / len(stars):.2f}")
+
+    # Update a review in place; the store never duplicates keys.
+    k0 = out[0][0]
+    record = dict(index.get(k0))
+    record["stars"] = 1
+    index.insert(k0, record)
+    print(f"  updated review {k0}: now {index.get(k0)['stars']} star(s)")
+
+    s = index.stats
+    print(
+        f"\nskew handling: {s.remappings} remappings vs {s.expansions} "
+        f"expansions -- remapping dominates on skewed keys (paper §4.3)"
+    )
+
+
+if __name__ == "__main__":
+    main()

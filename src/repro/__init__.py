@@ -1,0 +1,43 @@
+"""DyTIS reproduction library.
+
+This package reproduces "DyTIS: A Dynamic Dataset Targeted Index Structure
+Simultaneously Efficient for Search, Insert, and Scan" (EuroSys '23),
+including the DyTIS index itself, the baseline indexes it is evaluated
+against (Extendible Hashing, CCEH, a B+-tree, ALEX-like and XIndex-like
+learned indexes), the dynamic-dataset metrics from the paper (variance of
+skewness and key-distribution divergence), synthetic stand-ins for the
+paper's real-world datasets, and a YCSB-style workload generator plus
+benchmark harness.
+
+The primary entry points are:
+
+- :class:`repro.core.DyTIS` -- the paper's contribution.
+- :class:`repro.core.ConcurrentDyTIS` -- thread-safe wrapper (paper §3.4).
+- :mod:`repro.datasets` -- dataset generators (paper Table 1 stand-ins).
+- :mod:`repro.workloads` -- YCSB-style workloads (paper §4.3).
+- :mod:`repro.bench` -- harness regenerating every table and figure.
+"""
+
+from importlib import import_module
+
+__version__ = "1.0.0"
+
+_LAZY = {
+    "DyTIS": "repro.core",
+    "ConcurrentDyTIS": "repro.core",
+    "DyTISConfig": "repro.core",
+    "ExtendibleHashing": "repro.hashing",
+    "CCEH": "repro.hashing",
+    "BPlusTree": "repro.btree",
+    "AlexIndex": "repro.learned",
+    "XIndex": "repro.learned",
+}
+
+__all__ = sorted(_LAZY) + ["__version__"]
+
+
+def __getattr__(name):
+    """Lazily resolve top-level re-exports so sub-packages import on demand."""
+    if name in _LAZY:
+        return getattr(import_module(_LAZY[name]), name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,51 @@
+"""Benchmark harness (paper §4).
+
+Uniform adapters over the six index structures, a workload runner with
+throughput and tail-latency capture, a deep-size memory walker, and one
+experiment driver per paper table/figure under
+:mod:`repro.bench.experiments`.
+"""
+
+from repro.bench.adapters import (
+    IndexAdapter,
+    DyTISAdapter,
+    ConcurrentDyTISAdapter,
+    BTreeAdapter,
+    AlexAdapter,
+    XIndexAdapter,
+    EHAdapter,
+    CCEHAdapter,
+    LippAdapter,
+    RMIAdapter,
+    make_adapter,
+    ADAPTER_NAMES,
+)
+from repro.bench.harness import (
+    LatencyStats,
+    WorkloadResult,
+    run_load,
+    run_operations,
+    run_ycsb,
+)
+from repro.bench.memory import deep_size_bytes
+
+__all__ = [
+    "IndexAdapter",
+    "DyTISAdapter",
+    "ConcurrentDyTISAdapter",
+    "BTreeAdapter",
+    "AlexAdapter",
+    "XIndexAdapter",
+    "EHAdapter",
+    "CCEHAdapter",
+    "LippAdapter",
+    "RMIAdapter",
+    "make_adapter",
+    "ADAPTER_NAMES",
+    "LatencyStats",
+    "WorkloadResult",
+    "run_load",
+    "run_operations",
+    "run_ycsb",
+    "deep_size_bytes",
+]

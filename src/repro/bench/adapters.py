@@ -1,0 +1,344 @@
+"""Uniform adapters over every index in the evaluation (paper §4.1).
+
+Each adapter exposes the same five operations (insert, get, update,
+scan, delete) plus an optional bulk-load phase, so the harness can drive
+DyTIS, ALEX(-10/-70/...), XIndex, the B+-tree, CCEH, and plain
+Extendible Hashing with identical traces.  Hash indexes report
+``supports_scan = False`` and raise on scan, mirroring the capability
+gap the paper highlights.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.btree import BPlusTree
+from repro.core import ConcurrentDyTIS, DyTIS, DyTISConfig
+from repro.hashing import CCEH, ExtendibleHashing
+from repro.learned import AlexIndex, LippIndex, PGMIndex, RMIndex, XIndex
+
+
+class IndexAdapter:
+    """Common driver interface over one index instance."""
+
+    name = "abstract"
+    supports_scan = True
+    #: Fraction of the dataset consumed by bulk loading during Load.
+    bulk_fraction = 0.0
+
+    def bulk_load(self, keys: Sequence[int], values: Sequence[Any]) -> None:
+        """Default bulk load: plain inserts (indexes without a loader)."""
+        for k, v in zip(keys, values):
+            self.insert(k, v)
+
+    def insert(self, key: int, value: Any) -> None:
+        raise NotImplementedError
+
+    def get(self, key: int) -> Optional[Any]:
+        raise NotImplementedError
+
+    def update(self, key: int, value: Any) -> None:
+        """In-place update (all evaluated indexes were given this)."""
+        self.insert(key, value)
+
+    def scan(self, start_key: int, count: int) -> List[Tuple[int, Any]]:
+        raise NotImplementedError
+
+    def delete(self, key: int) -> bool:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class DyTISAdapter(IndexAdapter):
+    """DyTIS with the paper's defaults (scaled by ``config``)."""
+
+    name = "DyTIS"
+
+    def __init__(self, config: Optional[DyTISConfig] = None):
+        self.index = DyTIS(config)
+
+    def insert(self, key, value):
+        self.index.insert(key, value)
+
+    def get(self, key):
+        return self.index.get(key)
+
+    def scan(self, start_key, count):
+        return self.index.scan(start_key, count)
+
+    def delete(self, key):
+        return self.index.delete(key)
+
+    def __len__(self):
+        return len(self.index)
+
+
+class ConcurrentDyTISAdapter(DyTISAdapter):
+    name = "DyTIS-MT"
+
+    def __init__(self, config: Optional[DyTISConfig] = None):
+        self.index = ConcurrentDyTIS(config)
+
+
+class BTreeAdapter(IndexAdapter):
+    """STX-style B+-tree, fanout 128 (paper §4.1)."""
+
+    name = "B+-tree"
+
+    def __init__(self, fanout: int = 128):
+        self.index = BPlusTree(fanout=fanout)
+
+    def insert(self, key, value):
+        self.index.insert(key, value)
+
+    def get(self, key):
+        return self.index.get(key)
+
+    def scan(self, start_key, count):
+        return self.index.scan(start_key, count)
+
+    def delete(self, key):
+        return self.index.delete(key)
+
+    def __len__(self):
+        return len(self.index)
+
+
+class AlexAdapter(IndexAdapter):
+    """ALEX with a bulk-loading fraction (ALEX-10 ... ALEX-90)."""
+
+    def __init__(self, bulk_fraction: float = 0.7):
+        if not 0.0 <= bulk_fraction <= 1.0:
+            raise ValueError("bulk_fraction must be in [0, 1]")
+        self.index = AlexIndex()
+        self.bulk_fraction = bulk_fraction
+        self.name = f"ALEX-{int(bulk_fraction * 100)}"
+
+    def bulk_load(self, keys, values):
+        self.index.bulk_load(keys, values)
+
+    def insert(self, key, value):
+        self.index.insert(key, value)
+
+    def get(self, key):
+        return self.index.get(key)
+
+    def scan(self, start_key, count):
+        return self.index.scan(start_key, count)
+
+    def delete(self, key):
+        return self.index.delete(key)
+
+    def __len__(self):
+        return len(self.index)
+
+
+class XIndexAdapter(IndexAdapter):
+    """XIndex with 70% bulk loading (the paper's working setting)."""
+
+    name = "XIndex"
+    bulk_fraction = 0.7
+
+    def __init__(self, bulk_fraction: float = 0.7):
+        self.index = XIndex()
+        self.bulk_fraction = bulk_fraction
+
+    def bulk_load(self, keys, values):
+        self.index.bulk_load(keys, values)
+
+    def insert(self, key, value):
+        self.index.insert(key, value)
+
+    def get(self, key):
+        return self.index.get(key)
+
+    def scan(self, start_key, count):
+        return self.index.scan(start_key, count)
+
+    def delete(self, key):
+        return self.index.delete(key)
+
+    def __len__(self):
+        return len(self.index)
+
+
+class EHAdapter(IndexAdapter):
+    """Plain Extendible Hashing; no ordered scans (Figure 9 baseline)."""
+
+    name = "EH"
+    supports_scan = False
+
+    def __init__(self, bucket_capacity: int = 128):
+        self.index = ExtendibleHashing(bucket_capacity=bucket_capacity)
+
+    def insert(self, key, value):
+        self.index.insert(key, value)
+
+    def get(self, key):
+        return self.index.get(key)
+
+    def scan(self, start_key, count):
+        raise NotImplementedError("hash indexes do not support scans")
+
+    def delete(self, key):
+        return self.index.delete(key)
+
+    def __len__(self):
+        return len(self.index)
+
+
+class CCEHAdapter(IndexAdapter):
+    """CCEH; no ordered scans (Figure 9 baseline)."""
+
+    name = "CCEH"
+    supports_scan = False
+
+    def __init__(self, bucket_capacity: int = 16, segment_bits: int = 6):
+        self.index = CCEH(
+            bucket_capacity=bucket_capacity, segment_bits=segment_bits
+        )
+
+    def insert(self, key, value):
+        self.index.insert(key, value)
+
+    def get(self, key):
+        return self.index.get(key)
+
+    def scan(self, start_key, count):
+        raise NotImplementedError("hash indexes do not support scans")
+
+    def delete(self, key):
+        return self.index.delete(key)
+
+    def __len__(self):
+        return len(self.index)
+
+
+class LippAdapter(IndexAdapter):
+    """LIPP-like learned index with precise positions (§5 baseline)."""
+
+    name = "LIPP"
+
+    def __init__(self):
+        self.index = LippIndex()
+
+    def bulk_load(self, keys, values):
+        self.index.bulk_load(keys, values)
+
+    def insert(self, key, value):
+        self.index.insert(key, value)
+
+    def get(self, key):
+        return self.index.get(key)
+
+    def scan(self, start_key, count):
+        return self.index.scan(start_key, count)
+
+    def delete(self, key):
+        return self.index.delete(key)
+
+    def __len__(self):
+        return len(self.index)
+
+
+class PGMAdapter(IndexAdapter):
+    """PGM-like learned index (logarithmic-method dynamisation, §5)."""
+
+    name = "PGM"
+
+    def __init__(self):
+        self.index = PGMIndex()
+
+    def bulk_load(self, keys, values):
+        self.index.bulk_load(keys, values)
+
+    def insert(self, key, value):
+        self.index.insert(key, value)
+
+    def get(self, key):
+        return self.index.get(key)
+
+    def scan(self, start_key, count):
+        return self.index.scan(start_key, count)
+
+    def delete(self, key):
+        return self.index.delete(key)
+
+    def __len__(self):
+        return len(self.index)
+
+
+class RMIAdapter(IndexAdapter):
+    """Static recursive model index: read/scan only, 100% bulk loaded."""
+
+    name = "RMI"
+    bulk_fraction = 1.0  # the whole preload must come through bulk_load
+
+    def __init__(self):
+        self.index = RMIndex()
+
+    def bulk_load(self, keys, values):
+        self.index.bulk_load(keys, values)
+
+    def insert(self, key, value):
+        self.index.insert(key, value)  # raises NotImplementedError
+
+    def get(self, key):
+        return self.index.get(key)
+
+    def update(self, key, value):
+        raise NotImplementedError("RMI is static")
+
+    def scan(self, start_key, count):
+        return self.index.scan(start_key, count)
+
+    def delete(self, key):
+        return self.index.delete(key)  # raises NotImplementedError
+
+    def __len__(self):
+        return len(self.index)
+
+
+ADAPTER_NAMES = (
+    "DyTIS",
+    "ALEX-10",
+    "ALEX-30",
+    "ALEX-50",
+    "ALEX-70",
+    "ALEX-90",
+    "XIndex",
+    "B+-tree",
+    "EH",
+    "CCEH",
+    "LIPP",
+    "PGM",
+)
+
+
+def make_adapter(
+    name: str, dytis_config: Optional[DyTISConfig] = None
+) -> IndexAdapter:
+    """Fresh adapter by paper name (e.g. 'DyTIS', 'ALEX-10', 'B+-tree')."""
+    if name == "DyTIS":
+        return DyTISAdapter(dytis_config)
+    if name == "DyTIS-MT":
+        return ConcurrentDyTISAdapter(dytis_config)
+    if name.startswith("ALEX-"):
+        return AlexAdapter(bulk_fraction=int(name[5:]) / 100.0)
+    if name == "XIndex":
+        return XIndexAdapter()
+    if name == "B+-tree":
+        return BTreeAdapter()
+    if name == "EH":
+        return EHAdapter()
+    if name == "CCEH":
+        return CCEHAdapter()
+    if name == "LIPP":
+        return LippAdapter()
+    if name == "PGM":
+        return PGMAdapter()
+    if name == "RMI":
+        return RMIAdapter()
+    raise ValueError(f"unknown index {name!r}; choose from {ADAPTER_NAMES}")

@@ -1,0 +1,81 @@
+"""Terminal bar charts for the reproduced figures.
+
+The paper's figures are bar charts; the bench suite reproduces the
+numbers as tables and these helpers render them as proportional ASCII
+bars so the *shape* (who wins, by how much) is visible at a glance in
+``benchmarks/results/*.txt`` without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+_FULL = "█"
+_PARTIAL = " ▏▎▍▌▋▊▉"
+
+
+def _bar(value: float, max_value: float, width: int) -> str:
+    if max_value <= 0:
+        return ""
+    cells = value / max_value * width
+    whole = int(cells)
+    frac = int((cells - whole) * 8)
+    bar = _FULL * whole
+    if frac and whole < width:
+        bar += _PARTIAL[frac]
+    return bar
+
+
+def bar_chart(
+    items: Sequence[tuple],
+    title: str = "",
+    unit: str = "",
+    width: int = 40,
+) -> str:
+    """Render ``[(label, value), ...]`` as a horizontal bar chart."""
+    lines = [title] if title else []
+    if not items:
+        return "\n".join(lines + ["(no data)"])
+    label_width = max(len(str(label)) for label, _ in items)
+    peak = max(value for _, value in items)
+    for label, value in items:
+        lines.append(
+            f"{str(label):<{label_width}} |{_bar(value, peak, width):<{width}}| "
+            f"{value:,.3f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    title: str = "",
+    unit: str = "",
+    width: int = 40,
+    series_order: Optional[Sequence[str]] = None,
+) -> str:
+    """Render ``{group: {series: value}}`` as grouped bar blocks.
+
+    Bars are scaled per chart (one global maximum), so cross-group
+    comparisons stay honest.
+    """
+    lines = [title] if title else []
+    if not groups:
+        return "\n".join(lines + ["(no data)"])
+    all_series = series_order or sorted(
+        {s for per in groups.values() for s in per}
+    )
+    label_width = max(len(s) for s in all_series)
+    peak = max(
+        (v for per in groups.values() for v in per.values()), default=0.0
+    )
+    for group, per in groups.items():
+        lines.append(f"-- {group}")
+        for series in all_series:
+            if series not in per:
+                continue
+            value = per[series]
+            lines.append(
+                f"  {series:<{label_width}} |{_bar(value, peak, width):<{width}}| "
+                f"{value:,.3f}{unit}"
+            )
+    return "\n".join(lines)

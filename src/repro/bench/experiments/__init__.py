@@ -1,0 +1,12 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Every driver takes an :class:`ExperimentScale` (dataset/operation counts
+scaled down from the paper's 100M-1B keys to Python-friendly sizes; set
+the ``REPRO_BENCH_N`` environment variable to rescale) and returns
+printable result rows.  The benchmarks/ directory wires each driver into
+pytest-benchmark; EXPERIMENTS.md records paper-vs-measured shapes.
+"""
+
+from repro.bench.experiments.scale import ExperimentScale, default_scale
+
+__all__ = ["ExperimentScale", "default_scale"]

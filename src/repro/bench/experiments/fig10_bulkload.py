@@ -1,0 +1,98 @@
+"""Figure 10: ALEX throughput over bulk-loading percentages.
+
+Runs ALEX-30/50/70/90 on each dataset × workload and normalises to
+ALEX-10.  The paper's key finding: *no regularity* -- more bulk loading
+is not reliably better (e.g. RM degrades from 10%→70% while MM/ML
+prefer 70/90%), because the depth built during bulk loading persists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.bench.experiments.scale import ExperimentScale, default_scale
+from repro.bench.experiments.fig8_ycsb import run_cell
+
+FRACTIONS = ("ALEX-10", "ALEX-30", "ALEX-50", "ALEX-70", "ALEX-90")
+DEFAULT_WORKLOADS = ("Load", "A", "B", "C", "D'", "E", "F")
+
+
+@dataclass(frozen=True)
+class Fig10Row:
+    dataset: str
+    workload: str
+    index: str
+    mops: float
+    normalized: float  # relative to ALEX-10
+
+
+def run(
+    scale: ExperimentScale = None,
+    datasets: Sequence[str] = ("MM", "RM", "TX"),
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+) -> List[Fig10Row]:
+    scale = scale or default_scale()
+    rows: List[Fig10Row] = []
+    for ds in datasets:
+        for wl in workloads:
+            absolute: Dict[str, float] = {}
+            for ix in FRACTIONS:
+                absolute[ix] = run_cell(ix, ds, wl, scale).mops
+            base = absolute["ALEX-10"] or 1e-12
+            for ix in FRACTIONS:
+                rows.append(
+                    Fig10Row(ds, wl, ix, absolute[ix], absolute[ix] / base)
+                )
+    return rows
+
+
+@dataclass(frozen=True)
+class BulkStructureRow:
+    """Structure built by bulk loading (paper: ALEX-70's nodes are 337%
+    larger and 26% deeper than ALEX-10's after bulk loading)."""
+
+    dataset: str
+    index: str
+    depth: int
+    nodes: int
+
+
+def bulk_structure(
+    scale: ExperimentScale = None,
+    datasets: Sequence[str] = ("MM",),
+    fractions: Sequence[str] = ("ALEX-10", "ALEX-70", "ALEX-90"),
+) -> List[BulkStructureRow]:
+    """Depth/node counts straight after bulk loading each fraction."""
+    from repro.bench.adapters import make_adapter
+    from repro.datasets import generate
+
+    scale = scale or default_scale()
+    rows: List[BulkStructureRow] = []
+    for ds in datasets:
+        keys = [int(k) for k in generate(ds, scale.n_keys, scale.seed)]
+        for ix in fractions:
+            adapter = make_adapter(ix)
+            n_bulk = int(len(keys) * adapter.bulk_fraction)
+            adapter.bulk_load(keys[:n_bulk], keys[:n_bulk])
+            rows.append(
+                BulkStructureRow(
+                    ds, ix, adapter.index.depth(), adapter.index.node_count()
+                )
+            )
+    return rows
+
+
+def format_table(rows: List[Fig10Row]) -> str:
+    lines = ["Figure 10: ALEX bulk-loading sweep (normalized to ALEX-10)"]
+    header = f"{'dataset':<8} {'wl':<5}" + "".join(f"{ix:>10}" for ix in FRACTIONS)
+    lines.append(header)
+    cells: Dict[tuple, Dict[str, float]] = {}
+    for r in rows:
+        cells.setdefault((r.dataset, r.workload), {})[r.index] = r.normalized
+    for (ds, wl), per_ix in cells.items():
+        lines.append(
+            f"{ds:<8} {wl:<5}"
+            + "".join(f"{per_ix.get(ix, float('nan')):>10.2f}" for ix in FRACTIONS)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,142 @@
+"""Figure 11: influence of the dynamic characteristics.
+
+(a) KDD effect: performance on the original datasets normalized to the
+shuffled versions, for insert (Load) and search (workload C).  Expected:
+inserts benefit from spatial locality (ratios > 1, largest for TX);
+B+-tree search is insensitive (≈1) while learned structures built under
+drift degrade somewhat.
+
+(b) Skewness effect: performance on the shuffled datasets normalized to
+size-matched Uniform.  Expected: B+-tree ≈ 1 everywhere; DyTIS robust at
+low skewness (MM/ML) but degraded for RM/RL; ALEX-10 sensitive to any
+skewness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.bench.adapters import make_adapter
+from repro.bench.experiments.scale import ExperimentScale, default_scale
+from repro.bench.harness import run_ycsb
+from repro.datasets import GROUP1, generate
+from repro.workloads import make_workload
+
+INDEXES = ("DyTIS", "ALEX-10", "B+-tree")
+
+
+@dataclass(frozen=True)
+class Fig11Row:
+    panel: str  # 'kdd' or 'skewness'
+    dataset: str
+    index: str
+    operation: str  # 'insert' or 'search'
+    ratio: float
+
+
+def _throughputs(index_name, dataset_keys, scale):
+    """(insert_mops, search_mops) for one index on one key stream."""
+    load = run_ycsb(
+        make_adapter(index_name, scale.dytis_config()),
+        make_workload("Load"),
+        dataset_keys,
+        scale.n_ops,
+        seed=scale.seed,
+    )
+    search = run_ycsb(
+        make_adapter(index_name, scale.dytis_config()),
+        make_workload("C"),
+        dataset_keys,
+        scale.n_ops,
+        seed=scale.seed,
+    )
+    return load.mops, search.mops
+
+
+@dataclass(frozen=True)
+class StructureGrowthRow:
+    """Node/segment counts under skew (the paper's 1341x-vs-17x point)."""
+
+    dataset: str
+    index: str
+    nodes_shuffled: int
+    nodes_uniform: int
+
+    @property
+    def growth(self) -> float:
+        return self.nodes_shuffled / max(self.nodes_uniform, 1)
+
+
+def structure_growth(
+    scale: ExperimentScale = None,
+    datasets: Sequence[str] = ("RM",),
+) -> List[StructureGrowthRow]:
+    """Structure size on shuffled skewed data vs size-matched Uniform.
+
+    The paper attributes ALEX's skew sensitivity to node multiplication
+    (1341x more nodes on RM/RL vs Uniform, against DyTIS's 17x segment
+    growth); structure counts are the substrate-independent form of
+    Figure 11(b)'s point 3.
+    """
+    from repro.bench.harness import run_load
+
+    scale = scale or default_scale()
+    uniform_keys = generate("uniform", scale.n_keys, scale.seed)
+    rows: List[StructureGrowthRow] = []
+    for ds in datasets:
+        shuffled_keys = generate(f"{ds}(s)", scale.n_keys, scale.seed)
+        for ix in ("DyTIS", "ALEX-10"):
+            counts = {}
+            for label, keys in (("s", shuffled_keys), ("u", uniform_keys)):
+                adapter = make_adapter(ix, scale.dytis_config())
+                run_load(adapter, keys)
+                index = adapter.index
+                counts[label] = (
+                    index.node_count()
+                    if hasattr(index, "node_count")
+                    else index.segment_count()
+                )
+            rows.append(StructureGrowthRow(ds, ix, counts["s"], counts["u"]))
+    return rows
+
+
+def run(
+    scale: ExperimentScale = None, datasets: Sequence[str] = GROUP1
+) -> List[Fig11Row]:
+    scale = scale or default_scale()
+    rows: List[Fig11Row] = []
+    uniform_keys = generate("uniform", scale.n_keys, scale.seed)
+    uniform_cache = {}
+    for ds in datasets:
+        original = generate(ds, scale.n_keys, scale.seed)
+        shuffled = generate(f"{ds}(s)", scale.n_keys, scale.seed)
+        for ix in INDEXES:
+            o_ins, o_sea = _throughputs(ix, original, scale)
+            s_ins, s_sea = _throughputs(ix, shuffled, scale)
+            if ix not in uniform_cache:
+                uniform_cache[ix] = _throughputs(ix, uniform_keys, scale)
+            u_ins, u_sea = uniform_cache[ix]
+            rows.append(Fig11Row("kdd", ds, ix, "insert", o_ins / s_ins))
+            rows.append(Fig11Row("kdd", ds, ix, "search", o_sea / s_sea))
+            rows.append(Fig11Row("skewness", ds, ix, "insert", s_ins / u_ins))
+            rows.append(Fig11Row("skewness", ds, ix, "search", s_sea / u_sea))
+    return rows
+
+
+def format_table(rows: List[Fig11Row]) -> str:
+    lines = ["Figure 11: effect of KDD (original/shuffled) and skewness "
+             "(shuffled/uniform) on normalized throughput"]
+    for panel in ("kdd", "skewness"):
+        lines.append(f"-- {panel} --")
+        lines.append(f"{'dataset':<8} {'index':<9} {'insert':>8} {'search':>8}")
+        seen = {}
+        for r in rows:
+            if r.panel != panel:
+                continue
+            seen.setdefault((r.dataset, r.index), {})[r.operation] = r.ratio
+        for (ds, ix), ops in seen.items():
+            lines.append(
+                f"{ds:<8} {ix:<9} {ops.get('insert', 0):>8.2f} {ops.get('search', 0):>8.2f}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Figure 12: throughput over thread counts, DyTIS vs XIndex.
+
+The paper scales 1→8 hardware threads on RL and TX for insert, search,
+and scan-100.  In CPython the GIL serialises execution, so absolute
+wall-clock scaling is flat; we therefore report throughput per thread
+count *and* the structural-lock contention time, and EXPERIMENTS.md
+interprets the result against the paper's (DyTIS > XIndex at every
+thread count; TX insert scaling shallower than RL).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Callable, List, Sequence
+
+from repro.bench.adapters import make_adapter
+from repro.bench.experiments.scale import ExperimentScale, default_scale
+from repro.datasets import generate
+from repro.workloads import ZipfianChooser
+
+THREAD_COUNTS = (1, 2, 4, 8)
+OPERATIONS = ("insert", "search", "scan")
+INDEXES = ("DyTIS-MT", "XIndex")
+
+
+@dataclass(frozen=True)
+class Fig12Row:
+    dataset: str
+    index: str
+    operation: str
+    threads: int
+    mops: float
+    #: Seconds spent escalated to EH write locks (DyTIS-MT only; the
+    #: §3.4 contention probe that stays meaningful under the GIL).
+    lock_seconds: float = 0.0
+
+
+def _run_threads(n_threads: int, work: Sequence[Callable[[], None]]) -> float:
+    """Run the per-thread closures together; return elapsed seconds."""
+    start_gate = threading.Barrier(n_threads + 1)
+    threads = [
+        threading.Thread(target=lambda w=w: (start_gate.wait(), w())[-1])
+        for w in work
+    ]
+    for t in threads:
+        t.start()
+    t0 = perf_counter()
+    start_gate.wait()
+    for t in threads:
+        t.join()
+    return perf_counter() - t0
+
+
+def _make_worker(adapter, operation: str, ops: Sequence[int]):
+    if operation == "insert":
+        def work():
+            insert = adapter.insert
+            for k in ops:
+                insert(int(k), int(k))
+    elif operation == "search":
+        def work():
+            get = adapter.get
+            for k in ops:
+                get(int(k))
+    else:
+        def work():
+            scan = adapter.scan
+            for k in ops:
+                scan(int(k), 100)
+    return work
+
+
+def run(
+    scale: ExperimentScale = None,
+    datasets: Sequence[str] = ("RL", "TX"),
+    thread_counts: Sequence[int] = THREAD_COUNTS,
+) -> List[Fig12Row]:
+    scale = scale or default_scale()
+    rows: List[Fig12Row] = []
+    for ds in datasets:
+        keys = generate(ds, scale.n_keys, scale.seed)
+        preload = keys[: int(len(keys) * 0.8)]
+        future = keys[int(len(keys) * 0.8):]
+        for ix in INDEXES:
+            for op in OPERATIONS:
+                for n_threads in thread_counts:
+                    adapter = make_adapter(ix, scale.dytis_config())
+                    if adapter.bulk_fraction:
+                        adapter.bulk_load(list(preload), list(preload))
+                    else:
+                        for k in preload:
+                            adapter.insert(int(k), int(k))
+                    if op == "insert":
+                        trace = future[: scale.n_ops]
+                    else:
+                        chooser = ZipfianChooser(preload, seed=scale.seed)
+                        n = scale.n_ops if op == "search" else max(
+                            200, scale.n_ops // 20
+                        )
+                        trace = chooser.choose(n)
+                    # Round-robin assignment of requests (paper §4.5).
+                    shards = [trace[i::n_threads] for i in range(n_threads)]
+                    workers = [
+                        _make_worker(adapter, op, shard) for shard in shards
+                    ]
+                    seconds = _run_threads(n_threads, workers)
+                    lock_seconds = getattr(
+                        adapter.index, "structural_lock_time", 0.0
+                    )
+                    rows.append(
+                        Fig12Row(
+                            ds, ix, op, n_threads,
+                            len(trace) / seconds / 1e6 if seconds else 0.0,
+                            lock_seconds,
+                        )
+                    )
+    return rows
+
+
+def format_table(rows: List[Fig12Row]) -> str:
+    lines = ["Figure 12: throughput (M ops/s) over thread counts"]
+    header = f"{'dataset':<8} {'index':<9} {'op':<7}" + "".join(
+        f"{t:>8}" for t in THREAD_COUNTS
+    )
+    lines.append(header)
+    cells = {}
+    for r in rows:
+        cells.setdefault((r.dataset, r.index, r.operation), {})[r.threads] = r.mops
+    for (ds, ix, op), per_t in cells.items():
+        lines.append(
+            f"{ds:<8} {ix:<9} {op:<7}"
+            + "".join(f"{per_t.get(t, float('nan')):>8.3f}" for t in THREAD_COUNTS)
+        )
+    locks = [r for r in rows if r.index == "DyTIS-MT" and r.operation == "insert"]
+    if locks:
+        lines.append("EH-write-lock escalation time during insert (s): " + ", ".join(
+            f"{r.threads}T={r.lock_seconds:.3f}" for r in locks
+        ))
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Figure 1: dynamic characteristics of the datasets.
+
+Plots each dataset on the (variance of skewness, key distribution
+divergence) plane.  Group 1 = the dynamic real-world stand-ins, Group 2
+= their shuffled versions, Group 3 = the simple datasets of prior
+learned-index studies.  Expected shape (paper): Group 2 collapses KDD
+toward zero relative to Group 1; Group 3 sits at low skewness *and* low
+KDD except Longlat's skewness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.bench.experiments.scale import ExperimentScale, default_scale
+from repro.datasets import GROUP1, GROUP3, generate
+from repro.metrics import characterize
+
+
+@dataclass(frozen=True)
+class Fig1Row:
+    group: int
+    dataset: str
+    skewness: float
+    kdd: float
+
+
+def run(scale: ExperimentScale = None) -> List[Fig1Row]:
+    scale = scale or default_scale()
+    rows: List[Fig1Row] = []
+    for name in GROUP1:
+        c = characterize(name, generate(name, scale.n_keys, scale.seed),
+                         window=scale.metric_window)
+        rows.append(Fig1Row(1, name, c.skewness, c.kdd))
+    for name in GROUP1:
+        shuffled_name = f"{name}(s)"
+        c = characterize(
+            shuffled_name,
+            generate(shuffled_name, scale.n_keys, scale.seed),
+            window=scale.metric_window,
+        )
+        rows.append(Fig1Row(2, shuffled_name, c.skewness, c.kdd))
+    for name in GROUP3:
+        c = characterize(name, generate(name, scale.n_keys, scale.seed),
+                         window=scale.metric_window)
+        rows.append(Fig1Row(3, name, c.skewness, c.kdd))
+    return rows
+
+
+def format_table(rows: List[Fig1Row]) -> str:
+    lines = ["Figure 1: variance of skewness vs key distribution divergence",
+             f"{'group':>5} {'dataset':<12} {'skewness':>10} {'KDD':>10}"]
+    for r in rows:
+        lines.append(f"{r.group:>5} {r.dataset:<12} {r.skewness:>10.2f} {r.kdd:>10.3f}")
+    return "\n".join(lines)

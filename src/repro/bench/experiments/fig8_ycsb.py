@@ -1,0 +1,109 @@
+"""Figure 8: throughput of the seven YCSB-style workloads.
+
+Sweeps {DyTIS, ALEX-10, ALEX-70, XIndex, B+-tree} × {MM, ML, RM, RL, TX}
+× {Load, A, B, C, D', E, F} with Zipfian key selection, reporting
+million-ops/sec per cell.  Expected shapes (paper §4.3):
+
+- Load: DyTIS beats the learned indexes everywhere; the B+-tree beats
+  DyTIS on the high-skewness RM/RL (remapping overhead).
+- C (pure reads): DyTIS highest (ALEX-70 competitive on MM).
+- XIndex trails throughout (delta-index and compaction overhead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.bench.adapters import make_adapter
+from repro.bench.experiments.scale import ExperimentScale, default_scale
+from repro.bench.harness import WorkloadResult, run_ycsb
+from repro.datasets import GROUP1, generate
+from repro.workloads import make_workload
+
+DEFAULT_INDEXES = ("DyTIS", "ALEX-10", "ALEX-70", "XIndex", "B+-tree")
+DEFAULT_WORKLOADS = ("Load", "A", "B", "C", "D'", "E", "F")
+
+
+@dataclass(frozen=True)
+class Fig8Row:
+    dataset: str
+    workload: str
+    index: str
+    mops: float
+
+
+def run_cell(
+    index_name: str,
+    dataset_name: str,
+    workload_name: str,
+    scale: ExperimentScale = None,
+) -> WorkloadResult:
+    """One cell of Figure 8 (fresh index, fresh dataset)."""
+    scale = scale or default_scale()
+    keys = generate(dataset_name, scale.n_keys, scale.seed)
+    adapter = make_adapter(index_name, scale.dytis_config())
+    spec = make_workload(workload_name)
+    return run_ycsb(
+        adapter, spec, keys, scale.n_ops, seed=scale.seed, distribution="zipfian"
+    )
+
+
+def run(
+    scale: ExperimentScale = None,
+    indexes: Sequence[str] = DEFAULT_INDEXES,
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    datasets: Sequence[str] = GROUP1,
+    rounds: int = 1,
+) -> List[Fig8Row]:
+    """Sweep the matrix; ``rounds > 1`` keeps each cell's best run
+    (single-round wall-clock on a shared machine jitters by tens of
+    percent, which matters for the close DyTIS-vs-XIndex read cells)."""
+    scale = scale or default_scale()
+    rows: List[Fig8Row] = []
+    for ds in datasets:
+        for wl in workloads:
+            for ix in indexes:
+                mops = max(
+                    run_cell(ix, ds, wl, scale).mops for _ in range(max(rounds, 1))
+                )
+                rows.append(Fig8Row(ds, wl, ix, mops))
+    return rows
+
+
+def format_chart(rows: List[Fig8Row]) -> str:
+    """Bar-chart rendering in the shape of the paper's Figure 8 panels."""
+    from repro.bench.chart import grouped_bar_chart
+
+    indexes = list(dict.fromkeys(r.index for r in rows))
+    by_workload: dict = {}
+    for r in rows:
+        by_workload.setdefault(r.workload, {}).setdefault(r.dataset, {})[
+            r.index
+        ] = r.mops
+    parts = []
+    for wl, groups in by_workload.items():
+        parts.append(
+            grouped_bar_chart(
+                groups,
+                title=f"Figure 8 ({wl}): throughput (M ops/s)",
+                series_order=indexes,
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def format_table(rows: List[Fig8Row]) -> str:
+    indexes = list(dict.fromkeys(r.index for r in rows))
+    lines = ["Figure 8: YCSB throughput (M ops/s)"]
+    header = f"{'dataset':<8} {'wl':<5}" + "".join(f"{ix:>10}" for ix in indexes)
+    lines.append(header)
+    cells = {(r.dataset, r.workload): {} for r in rows}
+    for r in rows:
+        cells[(r.dataset, r.workload)][r.index] = r.mops
+    for (ds, wl), per_ix in cells.items():
+        line = f"{ds:<8} {wl:<5}" + "".join(
+            f"{per_ix.get(ix, float('nan')):>10.3f}" for ix in indexes
+        )
+        lines.append(line)
+    return "\n".join(lines)

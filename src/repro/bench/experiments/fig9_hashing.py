@@ -1,0 +1,79 @@
+"""Figure 9: DyTIS vs CCEH vs Extendible Hashing, insertion and search.
+
+Expected shape (paper): DyTIS beats plain EH on both operations for all
+datasets; CCEH beats DyTIS on search (DyTIS pays for scan support by
+replacing the hash function with a remapping function) while insertion
+goes back and forth by dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.bench.adapters import make_adapter
+from repro.bench.experiments.scale import ExperimentScale, default_scale
+from repro.bench.harness import run_load, run_operations
+from repro.datasets import GROUP1, generate
+from repro.workloads import Operation, OpKind, ZipfianChooser
+
+INDEXES = ("DyTIS", "CCEH", "EH")
+
+
+@dataclass(frozen=True)
+class Fig9Row:
+    dataset: str
+    index: str
+    insert_mops: float
+    search_mops: float
+
+
+def run(
+    scale: ExperimentScale = None, datasets: Sequence[str] = GROUP1
+) -> List[Fig9Row]:
+    scale = scale or default_scale()
+    rows: List[Fig9Row] = []
+    for ds in datasets:
+        keys = generate(ds, scale.n_keys, scale.seed)
+        for ix in INDEXES:
+            adapter = make_adapter(ix, scale.dytis_config())
+            load = run_load(adapter, keys)
+            chooser = ZipfianChooser(keys, seed=scale.seed)
+            ops = [
+                Operation(OpKind.READ, int(k))
+                for k in chooser.choose(scale.n_ops)
+            ]
+            search = run_operations(adapter, ops, "search")
+            rows.append(Fig9Row(ds, ix, load.mops, search.mops))
+    return rows
+
+
+def format_chart(rows: List[Fig9Row]) -> str:
+    """Bar-chart rendering mirroring the paper's Figure 9 panels."""
+    from repro.bench.chart import grouped_bar_chart
+
+    insert = {
+        r.dataset: {} for r in rows
+    }
+    search = {r.dataset: {} for r in rows}
+    for r in rows:
+        insert[r.dataset][r.index] = r.insert_mops
+        search[r.dataset][r.index] = r.search_mops
+    return "\n\n".join(
+        [
+            grouped_bar_chart(insert, title="Figure 9a: insertion (M ops/s)",
+                              series_order=INDEXES),
+            grouped_bar_chart(search, title="Figure 9b: search (M ops/s)",
+                              series_order=INDEXES),
+        ]
+    )
+
+
+def format_table(rows: List[Fig9Row]) -> str:
+    lines = ["Figure 9: DyTIS vs CCEH vs EH (M ops/s)",
+             f"{'dataset':<8} {'index':<7} {'insert':>10} {'search':>10}"]
+    for r in rows:
+        lines.append(
+            f"{r.dataset:<8} {r.index:<7} {r.insert_mops:>10.3f} {r.search_mops:>10.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""§4.3 'Groups 2 and 3' paragraph: shuffled and simple datasets.
+
+The paper reports that (1) on the shuffled Group-2 datasets DyTIS stays
+the top index for the YCSB workloads except Load on RM(s)/RL(s) and MM;
+(2) on the Uniform Group-3 dataset ALEX-10 closes the gap (18.6% better
+than DyTIS on average there) because a static distribution is the
+learned-index sweet spot; (3) on Longlat (highest Group-3 skew) the two
+trade places by workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.bench.adapters import make_adapter
+from repro.bench.experiments.scale import ExperimentScale, default_scale
+from repro.bench.harness import run_ycsb
+from repro.datasets import generate
+from repro.workloads import make_workload
+
+INDEXES = ("DyTIS", "ALEX-10", "B+-tree")
+DATASETS = ("uniform", "longlat", "MM(s)", "RM(s)", "TX(s)")
+WORKLOADS = ("Load", "A", "C", "E")
+
+
+@dataclass(frozen=True)
+class Group23Row:
+    dataset: str
+    workload: str
+    index: str
+    mops: float
+
+
+def run(
+    scale: ExperimentScale = None,
+    datasets: Sequence[str] = DATASETS,
+    workloads: Sequence[str] = WORKLOADS,
+) -> List[Group23Row]:
+    scale = scale or default_scale()
+    rows: List[Group23Row] = []
+    for ds in datasets:
+        keys = generate(ds, scale.n_keys, scale.seed)
+        for wl in workloads:
+            for ix in INDEXES:
+                adapter = make_adapter(ix, scale.dytis_config())
+                result = run_ycsb(
+                    adapter, make_workload(wl), keys, scale.n_ops,
+                    seed=scale.seed,
+                )
+                rows.append(Group23Row(ds, wl, ix, result.mops))
+    return rows
+
+
+def format_table(rows: List[Group23Row]) -> str:
+    lines = ["Groups 2/3: shuffled and simple datasets (M ops/s)"]
+    header = f"{'dataset':<10} {'wl':<5}" + "".join(f"{ix:>10}" for ix in INDEXES)
+    lines.append(header)
+    cells = {}
+    for r in rows:
+        cells.setdefault((r.dataset, r.workload), {})[r.index] = r.mops
+    for (ds, wl), per_ix in cells.items():
+        lines.append(
+            f"{ds:<10} {wl:<5}"
+            + "".join(f"{per_ix.get(ix, float('nan')):>10.3f}" for ix in INDEXES)
+        )
+    return "\n".join(lines)

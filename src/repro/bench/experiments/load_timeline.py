@@ -1,0 +1,103 @@
+"""Load-phase timeline: throughput and structure activity per decile.
+
+A companion to Figure 8(a) and the §4.3 insertion breakdown: instead of
+one aggregate number, this driver slices the Load phase into deciles
+and reports throughput plus the structural-operation counts inside each
+slice.  It exposes *when* an index pays its adaptation costs: DyTIS
+pays smoothly as the distribution unfolds, while bulk-loaded ALEX pays
+a cliff right after its bulk-loaded region is exhausted.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.bench.adapters import make_adapter
+from repro.bench.experiments.scale import ExperimentScale, default_scale
+from repro.datasets import generate
+
+N_SLICES = 10
+
+
+@dataclass(frozen=True)
+class TimelineRow:
+    dataset: str
+    index: str
+    slice_index: int  # 0..9
+    mops: float
+    structural_ops: int
+    keys_moved: int
+
+
+def _structural_snapshot(adapter) -> tuple:
+    stats = getattr(adapter.index, "stats", None)
+    if stats is not None:
+        return stats.structural_ops(), stats.keys_moved
+    alex = adapter.index
+    if hasattr(alex, "split_count"):
+        return alex.split_count + alex.expand_count, 0
+    return 0, 0
+
+
+def run(
+    scale: ExperimentScale = None,
+    datasets: Sequence[str] = ("TX",),
+    indexes: Sequence[str] = ("DyTIS", "ALEX-70"),
+) -> List[TimelineRow]:
+    scale = scale or default_scale()
+    rows: List[TimelineRow] = []
+    for ds in datasets:
+        keys = generate(ds, scale.n_keys, scale.seed)
+        for ix in indexes:
+            adapter = make_adapter(ix, scale.dytis_config())
+            n_bulk = int(len(keys) * adapter.bulk_fraction)
+            if n_bulk:
+                adapter.bulk_load(
+                    [int(k) for k in keys[:n_bulk]],
+                    [int(k) for k in keys[:n_bulk]],
+                )
+            rest = keys[n_bulk:]
+            slice_len = max(1, len(rest) // N_SLICES)
+            for s in range(N_SLICES):
+                chunk = rest[s * slice_len : (s + 1) * slice_len]
+                if len(chunk) == 0:
+                    continue
+                ops_before, moved_before = _structural_snapshot(adapter)
+                t0 = time.perf_counter()
+                insert = adapter.insert
+                for k in chunk:
+                    insert(int(k), int(k))
+                secs = time.perf_counter() - t0
+                ops_after, moved_after = _structural_snapshot(adapter)
+                rows.append(
+                    TimelineRow(
+                        ds, ix, s,
+                        len(chunk) / secs / 1e6 if secs else 0.0,
+                        ops_after - ops_before,
+                        moved_after - moved_before,
+                    )
+                )
+    return rows
+
+
+def format_table(rows: List[TimelineRow]) -> str:
+    lines = ["Load timeline: throughput per decile (M ops/s) "
+             "[structural ops in slice]"]
+    cells = {}
+    for r in rows:
+        cells.setdefault((r.dataset, r.index), {})[r.slice_index] = r
+    header = f"{'dataset':<8} {'index':<9}" + "".join(
+        f"{f'd{s}':>12}" for s in range(N_SLICES)
+    )
+    lines.append(header)
+    for (ds, ix), per_s in cells.items():
+        parts = []
+        for s in range(N_SLICES):
+            r = per_s.get(s)
+            parts.append(
+                f"{r.mops:>5.3f}[{r.structural_ops:>4d}]" if r else " " * 12
+            )
+        lines.append(f"{ds:<8} {ix:<9}" + "".join(f"{p:>12}" for p in parts))
+    return "\n".join(lines)

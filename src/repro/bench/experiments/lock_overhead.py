@@ -1,0 +1,69 @@
+"""§3.4 single-threaded vs locked engine overhead.
+
+The paper notes that single-threaded engines (H-Store, Redis Cluster
+shards) "may use the single-threaded version of DyTIS that does not use
+locks".  This driver quantifies what that buys: the same single-thread
+workload through plain :class:`DyTIS` versus :class:`ConcurrentDyTIS`
+(EH reader/writer locks + per-segment mutexes on every operation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.bench.adapters import make_adapter
+from repro.bench.experiments.scale import ExperimentScale, default_scale
+from repro.bench.harness import run_load, run_operations
+from repro.datasets import generate
+from repro.workloads import Operation, OpKind, ZipfianChooser
+
+ENGINES = ("DyTIS", "DyTIS-MT")
+
+
+@dataclass(frozen=True)
+class LockOverheadRow:
+    dataset: str
+    engine: str
+    insert_mops: float
+    search_mops: float
+    scan_mops: float
+
+
+def run(
+    scale: ExperimentScale = None, datasets: Sequence[str] = ("MM", "TX")
+) -> List[LockOverheadRow]:
+    scale = scale or default_scale()
+    rows: List[LockOverheadRow] = []
+    for ds in datasets:
+        keys = generate(ds, scale.n_keys, scale.seed)
+        for engine in ENGINES:
+            adapter = make_adapter(engine, scale.dytis_config())
+            load = run_load(adapter, keys)
+            chooser = ZipfianChooser(keys, seed=scale.seed)
+            reads = [
+                Operation(OpKind.READ, int(k))
+                for k in chooser.choose(scale.n_ops)
+            ]
+            search = run_operations(adapter, reads, "search")
+            scans = [
+                Operation(OpKind.SCAN, int(k), 100)
+                for k in chooser.choose(max(200, scale.n_ops // 20))
+            ]
+            scan = run_operations(adapter, scans, "scan")
+            rows.append(
+                LockOverheadRow(ds, engine, load.mops, search.mops, scan.mops)
+            )
+    return rows
+
+
+def format_table(rows: List[LockOverheadRow]) -> str:
+    lines = ["Lock overhead: plain DyTIS vs two-level-locked engine "
+             "(single thread, M ops/s)",
+             f"{'dataset':<8} {'engine':<9} {'insert':>9} {'search':>9} {'scan':>9}"]
+    for r in rows:
+        lines.append(
+            f"{r.dataset:<8} {r.engine:<9} {r.insert_mops:>9.3f} "
+            f"{r.search_mops:>9.3f} {r.scan_mops:>9.3f}"
+        )
+    return "\n".join(lines)

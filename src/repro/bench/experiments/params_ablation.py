@@ -1,0 +1,120 @@
+"""§4.3 parameter study: B_size, L_start, R, U_t, Limit_seg.
+
+For each parameter the driver sweeps the paper's values around the
+default and reports insert / search / scan throughput normalized to the
+default setting, averaged over datasets.  Expected shapes (paper):
+
+- smaller B_size helps insert/search, hurts scan;
+- larger L_start helps insert (less remapping) but adds segments,
+  hurting search/scan; smaller L_start hurts insert;
+- larger R spreads keys over more EHs, mildly helping insert;
+- lower U_t... higher U_t forces more remapping (insert -12.6~6.8%);
+- larger Limit_seg hurts insert on high-skew data, helps search/scan on
+  low-skew data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.bench.adapters import DyTISAdapter
+from repro.bench.experiments.scale import ExperimentScale, default_scale
+from repro.bench.harness import run_load, run_operations
+from repro.datasets import generate
+from repro.workloads import Operation, OpKind, ZipfianChooser
+
+# Parameter sweeps, scaled versions of the paper's (§4.3 Parameter Effect).
+SWEEPS = {
+    "bucket_capacity": (32, 64, 128),  # paper: 1KB / 2KB / 4KB buckets
+    "l_start": (1, 2, 3, 4),           # paper: 4 / 6 / 8 / 10
+    "first_level_bits": (2, 4, 6, 8),  # paper R: 7 / 9 / 11 / 13
+    "util_threshold": (0.5, 0.55, 0.6, 0.65, 0.7),
+    "seg_limit_boost": (2, 32, 128),   # paper Limit_seg: 2x .. 128x
+}
+DEFAULTS = {
+    "bucket_capacity": 64,
+    "l_start": 2,
+    "first_level_bits": 4,
+    "util_threshold": 0.6,
+    "seg_limit_boost": 128,
+}
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    parameter: str
+    value: object
+    insert_mops: float
+    search_mops: float
+    scan_mops: float
+    normalized_insert: float
+    normalized_search: float
+    normalized_scan: float
+
+
+def _measure(config, keys, scale) -> Dict[str, float]:
+    adapter = DyTISAdapter(config)
+    load = run_load(adapter, keys)
+    chooser = ZipfianChooser(keys, seed=scale.seed)
+    reads = [Operation(OpKind.READ, int(k)) for k in chooser.choose(scale.n_ops)]
+    search = run_operations(adapter, reads, "search")
+    scans = [
+        Operation(OpKind.SCAN, int(k), 100)
+        for k in chooser.choose(max(200, scale.n_ops // 20))
+    ]
+    scan = run_operations(adapter, scans, "scan")
+    return {"insert": load.mops, "search": search.mops, "scan": scan.mops}
+
+
+def run(
+    scale: ExperimentScale = None,
+    datasets: Sequence[str] = ("MM", "RM", "TX"),
+    parameters: Sequence[str] = tuple(SWEEPS),
+) -> List[AblationRow]:
+    scale = scale or default_scale()
+    keysets = {ds: generate(ds, scale.n_keys, scale.seed) for ds in datasets}
+    rows: List[AblationRow] = []
+    for param in parameters:
+        results: Dict[object, Dict[str, float]] = {}
+        for value in SWEEPS[param]:
+            per_ds = [
+                _measure(
+                    scale.dytis_config(**{**DEFAULTS, param: value}),
+                    keys,
+                    scale,
+                )
+                for keys in keysets.values()
+            ]
+            results[value] = {
+                op: float(np.mean([m[op] for m in per_ds]))
+                for op in ("insert", "search", "scan")
+            }
+        base = results[DEFAULTS[param]]
+        for value, m in results.items():
+            rows.append(
+                AblationRow(
+                    parameter=param,
+                    value=value,
+                    insert_mops=m["insert"],
+                    search_mops=m["search"],
+                    scan_mops=m["scan"],
+                    normalized_insert=m["insert"] / (base["insert"] or 1e-12),
+                    normalized_search=m["search"] / (base["search"] or 1e-12),
+                    normalized_scan=m["scan"] / (base["scan"] or 1e-12),
+                )
+            )
+    return rows
+
+
+def format_table(rows: List[AblationRow]) -> str:
+    lines = ["Parameter ablation (normalized to default, averaged over datasets)",
+             f"{'parameter':<18} {'value':>8} {'insert':>8} {'search':>8} {'scan':>8}"]
+    for r in rows:
+        lines.append(
+            f"{r.parameter:<18} {r.value!s:>8} {r.normalized_insert:>8.2f} "
+            f"{r.normalized_search:>8.2f} {r.normalized_scan:>8.2f}"
+        )
+    return "\n".join(lines)

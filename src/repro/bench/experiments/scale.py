@@ -1,0 +1,57 @@
+"""Scaling knobs shared by all experiment drivers.
+
+The paper's datasets hold 82M-903M keys; a pure-Python reproduction runs
+the same experiment *shapes* at 10^4-10^6 keys.  All drivers read their
+sizes from one :class:`ExperimentScale` so a single environment variable
+(``REPRO_BENCH_N``) rescales the whole suite.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.core import DyTISConfig
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Dataset and trace sizes for one run of the experiment suite."""
+
+    #: Keys per dataset (paper: 82M-903M).
+    n_keys: int = 20_000
+    #: Measured operations per workload (paper: >=50% of dataset size).
+    n_ops: int = 10_000
+    #: Window for skewness/KDD metrics (paper: 0.1M).
+    metric_window: int = 5_000
+    #: Base RNG seed.
+    seed: int = 42
+
+    def dytis_config(self, **overrides) -> DyTISConfig:
+        """DyTIS parameters scaled to the dataset size.
+
+        The paper's R=9 / 2KB buckets / L_start=6 target hundreds of
+        millions of keys; at this scale we shrink the first level and
+        buckets proportionally so the index exercises the same
+        machinery (remap/expand/split/double) instead of never leaving
+        the basic-EH phase.
+        """
+        params = dict(
+            key_bits=64,
+            first_level_bits=4,
+            bucket_capacity=64,
+            l_start=2,
+            util_threshold=0.6,
+        )
+        params.update(overrides)
+        return DyTISConfig(**params)
+
+
+def default_scale() -> ExperimentScale:
+    """Scale from the environment (``REPRO_BENCH_N``, default 20k keys)."""
+    n = int(os.environ.get("REPRO_BENCH_N", "20000"))
+    return ExperimentScale(
+        n_keys=n,
+        n_ops=max(1000, n // 2),
+        metric_window=max(1000, n // 4),
+    )

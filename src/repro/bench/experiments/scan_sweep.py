@@ -1,0 +1,79 @@
+"""Scan-length ablation (extends the paper's workload E, range = 100).
+
+DyTIS's sorted buckets and sibling pointers exist for exactly this
+operation; the paper fixes the range at 100 and also discusses how
+bucket size trades point-op cost against scan cost.  This driver sweeps
+the scan length to expose where each structure's per-item scan cost
+settles: hash-partitioned DyTIS vs chained B+-tree leaves vs ALEX data
+nodes vs XIndex's merge-on-scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.bench.adapters import make_adapter
+from repro.bench.experiments.scale import ExperimentScale, default_scale
+from repro.bench.harness import run_load, run_operations
+from repro.datasets import generate
+from repro.workloads import Operation, OpKind, ZipfianChooser
+
+INDEXES = ("DyTIS", "B+-tree", "ALEX-70", "XIndex")
+SCAN_LENGTHS = (10, 100, 1000)
+
+
+@dataclass(frozen=True)
+class ScanSweepRow:
+    dataset: str
+    index: str
+    scan_length: int
+    scans_per_sec: float
+    items_per_sec: float
+
+
+def run(
+    scale: ExperimentScale = None, datasets: Sequence[str] = ("TX",)
+) -> List[ScanSweepRow]:
+    scale = scale or default_scale()
+    rows: List[ScanSweepRow] = []
+    for ds in datasets:
+        keys = generate(ds, scale.n_keys, scale.seed)
+        for ix in INDEXES:
+            adapter = make_adapter(ix, scale.dytis_config())
+            run_load(adapter, keys)
+            chooser = ZipfianChooser(keys, seed=scale.seed)
+            for length in SCAN_LENGTHS:
+                n_scans = max(100, scale.n_ops // (10 * max(1, length // 100)))
+                ops = [
+                    Operation(OpKind.SCAN, int(k), length)
+                    for k in chooser.choose(n_scans)
+                ]
+                result = run_operations(adapter, ops, f"scan-{length}")
+                rows.append(
+                    ScanSweepRow(
+                        ds, ix, length,
+                        result.ops_per_sec,
+                        result.ops_per_sec * length,
+                    )
+                )
+    return rows
+
+
+def format_table(rows: List[ScanSweepRow]) -> str:
+    lines = ["Scan-length sweep: scans/s (items/s)",
+             f"{'dataset':<8} {'index':<8}"
+             + "".join(f"{f'len={l}':>22}" for l in SCAN_LENGTHS)]
+    cells = {}
+    for r in rows:
+        cells.setdefault((r.dataset, r.index), {})[r.scan_length] = r
+    for (ds, ix), per_len in cells.items():
+        parts = []
+        for l in SCAN_LENGTHS:
+            r = per_len.get(l)
+            parts.append(
+                f"{r.scans_per_sec:>9,.0f} ({r.items_per_sec / 1e6:>5.2f}M)"
+                if r else f"{'--':>22}"
+            )
+        lines.append(f"{ds:<8} {ix:<8}" + "".join(f"{p:>22}" for p in parts))
+    return "\n".join(lines)

@@ -1,0 +1,45 @@
+"""Table 1: dataset statistics.
+
+Regenerates the paper's dataset table (key count, key-range size,
+dataset size, skewness/KDD classes) for the synthetic stand-ins at the
+current experiment scale.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bench.experiments.scale import ExperimentScale, default_scale
+from repro.datasets import DatasetStats, GROUP1, dataset_stats, generate
+
+#: Paper Table 1 key counts relative to Map-M (356M keys): ML 903M,
+#: RM 82M, RL 228M, TX 325M.  The scaled datasets keep the proportions.
+RELATIVE_SIZES = {"MM": 1.0, "ML": 2.54, "RM": 0.23, "RL": 0.64, "TX": 0.91}
+
+
+def run(scale: ExperimentScale = None) -> List[DatasetStats]:
+    scale = scale or default_scale()
+    return [
+        dataset_stats(
+            name,
+            generate(
+                name,
+                max(
+                    2 * scale.metric_window,
+                    int(scale.n_keys * RELATIVE_SIZES[name]),
+                ),
+                scale.seed,
+            ),
+            window=scale.metric_window,
+        )
+        for name in GROUP1
+    ]
+
+
+def format_table(rows: List[DatasetStats]) -> str:
+    lines = ["Table 1: datasets",
+             f"{'name':<12} {'keys':>10} {'key range':>23} {'size':>11}"
+             "   metrics (paper class)"]
+    for r in rows:
+        lines.append(r.row())
+    return "\n".join(lines)

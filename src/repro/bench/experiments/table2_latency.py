@@ -1,0 +1,68 @@
+"""Table 2: average, 99th, and 99.99th percentile latencies.
+
+For workloads Load and A across {DyTIS, ALEX-10, ALEX-70, XIndex,
+B+-tree} × Group-1 datasets.  Expected shapes (paper): DyTIS beats
+ALEX for the dynamic datasets on Load; the B+-tree has the best p99.99
+on Load (no large-segment rebuild spikes) while ALEX's p99.99 is ~3x
+DyTIS's (retraining spikes dominate remapping spikes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.bench.adapters import make_adapter
+from repro.bench.experiments.scale import ExperimentScale, default_scale
+from repro.bench.harness import LatencyStats, run_ycsb
+from repro.datasets import GROUP1, generate
+from repro.workloads import make_workload
+
+INDEXES = ("DyTIS", "ALEX-10", "ALEX-70", "XIndex", "B+-tree")
+WORKLOADS = ("Load", "A")
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    dataset: str
+    workload: str
+    index: str
+    latency: Optional[LatencyStats]
+
+
+def run(
+    scale: ExperimentScale = None,
+    datasets: Sequence[str] = GROUP1,
+    indexes: Sequence[str] = INDEXES,
+) -> List[Table2Row]:
+    scale = scale or default_scale()
+    rows: List[Table2Row] = []
+    for ds in datasets:
+        keys = generate(ds, scale.n_keys, scale.seed)
+        for wl in WORKLOADS:
+            for ix in indexes:
+                adapter = make_adapter(ix, scale.dytis_config())
+                result = run_ycsb(
+                    adapter,
+                    make_workload(wl),
+                    keys,
+                    scale.n_ops,
+                    seed=scale.seed,
+                    capture_latency=True,
+                )
+                rows.append(Table2Row(ds, wl, ix, result.latency))
+    return rows
+
+
+def format_table(rows: List[Table2Row]) -> str:
+    lines = ["Table 2: avg / p99 / p99.99 latency (ns)"]
+    lines.append(f"{'dataset':<8} {'wl':<5} {'index':<9} {'avg':>10} {'p99':>10} {'p99.99':>12}")
+    for r in rows:
+        if r.latency is None:
+            continue
+        lines.append(
+            f"{r.dataset:<8} {r.workload:<5} {r.index:<9} "
+            f"{r.latency.avg_ns:>10,.0f} {r.latency.p99_ns:>10,.0f} "
+            f"{r.latency.p9999_ns:>12,.0f}"
+        )
+    return "\n".join(lines)

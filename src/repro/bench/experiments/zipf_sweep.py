@@ -1,0 +1,68 @@
+"""Request-skew sweep (paper §4.3: 'we also ran all the experiments with
+uniform distribution as well, finding the results to be similar').
+
+Sweeps the Zipfian constant (plus a uniform chooser) for workload C on
+each index and checks the paper's claim that the *relative* index
+ordering is insensitive to request skew.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.bench.adapters import make_adapter
+from repro.bench.experiments.scale import ExperimentScale, default_scale
+from repro.bench.harness import run_load, run_operations
+from repro.datasets import generate
+from repro.workloads import Operation, OpKind, UniformChooser, ZipfianChooser
+
+INDEXES = ("DyTIS", "ALEX-70", "XIndex", "B+-tree")
+THETAS = ("uniform", 0.5, 0.99, 1.2)
+
+
+@dataclass(frozen=True)
+class ZipfSweepRow:
+    dataset: str
+    index: str
+    theta: str
+    read_mops: float
+
+
+def run(
+    scale: ExperimentScale = None, datasets: Sequence[str] = ("TX",)
+) -> List[ZipfSweepRow]:
+    scale = scale or default_scale()
+    rows: List[ZipfSweepRow] = []
+    for ds in datasets:
+        keys = generate(ds, scale.n_keys, scale.seed)
+        for ix in INDEXES:
+            adapter = make_adapter(ix, scale.dytis_config())
+            run_load(adapter, keys)
+            for theta in THETAS:
+                if theta == "uniform":
+                    chooser = UniformChooser(keys, seed=scale.seed)
+                else:
+                    chooser = ZipfianChooser(keys, theta=theta, seed=scale.seed)
+                ops = [
+                    Operation(OpKind.READ, int(k))
+                    for k in chooser.choose(scale.n_ops)
+                ]
+                result = run_operations(adapter, ops, f"C(theta={theta})")
+                rows.append(ZipfSweepRow(ds, ix, str(theta), result.mops))
+    return rows
+
+
+def format_table(rows: List[ZipfSweepRow]) -> str:
+    lines = ["Request-skew sweep: workload C throughput (M ops/s)",
+             f"{'dataset':<8} {'index':<8}"
+             + "".join(f"{f'θ={t}':>10}" for t in THETAS)]
+    cells = {}
+    for r in rows:
+        cells.setdefault((r.dataset, r.index), {})[r.theta] = r.read_mops
+    for (ds, ix), per_t in cells.items():
+        lines.append(
+            f"{ds:<8} {ix:<8}"
+            + "".join(f"{per_t.get(str(t), float('nan')):>10.3f}" for t in THETAS)
+        )
+    return "\n".join(lines)

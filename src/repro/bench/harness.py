@@ -1,0 +1,241 @@
+"""Workload runner with throughput and tail-latency capture (paper §4.3).
+
+``run_ycsb`` reproduces the paper's measurement protocol: bulk load the
+adapter's bulk fraction, insert the rest of the preload population, then
+time the measured operation trace.  Latencies are captured per-operation
+with ``perf_counter_ns`` (optionally sampled) and summarised as average,
+99th, and 99.99th percentiles like Table 2.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import gc
+import time
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+from repro.bench.adapters import IndexAdapter
+from repro.workloads import OpKind, Operation, WorkloadSpec, generate_operations
+
+
+@contextlib.contextmanager
+def _quiesced_gc():
+    """Collect pending garbage, then pause the collector while timing.
+
+    Long benchmark sessions accumulate garbage from earlier adapters;
+    without this, a collection landing inside one measured section can
+    skew a cell by integer factors.
+    """
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Average and tail latencies in nanoseconds (Table 2 columns)."""
+
+    avg_ns: float
+    p50_ns: float
+    p99_ns: float
+    p9999_ns: float
+
+    @staticmethod
+    def from_samples(samples_ns: Sequence[int]) -> "LatencyStats":
+        arr = np.asarray(samples_ns, dtype=np.float64)
+        if arr.size == 0:
+            return LatencyStats(0.0, 0.0, 0.0, 0.0)
+        return LatencyStats(
+            avg_ns=float(arr.mean()),
+            p50_ns=float(np.percentile(arr, 50)),
+            p99_ns=float(np.percentile(arr, 99)),
+            p9999_ns=float(np.percentile(arr, 99.99)),
+        )
+
+
+@dataclass
+class WorkloadResult:
+    """Outcome of one measured workload run."""
+
+    index_name: str
+    workload: str
+    n_ops: int
+    seconds: float
+    latency: Optional[LatencyStats] = None
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def mops(self) -> float:
+        """Throughput in million operations per second (Figure 8 y-axis)."""
+        return self.n_ops / self.seconds / 1e6 if self.seconds else 0.0
+
+    @property
+    def ops_per_sec(self) -> float:
+        return self.n_ops / self.seconds if self.seconds else 0.0
+
+    def row(self) -> str:
+        lat = ""
+        if self.latency:
+            lat = (
+                f"  avg={self.latency.avg_ns:,.0f}ns"
+                f" p99={self.latency.p99_ns:,.0f}ns"
+                f" p99.99={self.latency.p9999_ns:,.0f}ns"
+            )
+        return (
+            f"{self.index_name:<10} {self.workload:<5} "
+            f"{self.ops_per_sec:>12,.0f} ops/s{lat}"
+        )
+
+
+def run_load(
+    adapter: IndexAdapter,
+    keys: Sequence[int],
+    values: Optional[Sequence[Any]] = None,
+    capture_latency: bool = False,
+) -> WorkloadResult:
+    """Measure pure insertion of ``keys`` in order (workload Load).
+
+    Bulk-loaded indexes first consume their bulk fraction outside the
+    measured section, matching the paper ('the results do not include
+    bulk loaded keys').
+    """
+    if values is None:
+        values = keys
+    n_bulk = int(len(keys) * adapter.bulk_fraction)
+    if n_bulk:
+        adapter.bulk_load(keys[:n_bulk], values[:n_bulk])
+    rest_k = keys[n_bulk:]
+    rest_v = values[n_bulk:]
+    samples: List[int] = []
+    insert = adapter.insert
+    with _quiesced_gc():
+        if capture_latency:
+            clock = time.perf_counter_ns
+            t0 = time.perf_counter()
+            for k, v in zip(rest_k, rest_v):
+                s = clock()
+                insert(int(k), v)
+                samples.append(clock() - s)
+            seconds = time.perf_counter() - t0
+        else:
+            t0 = time.perf_counter()
+            for k, v in zip(rest_k, rest_v):
+                insert(int(k), v)
+            seconds = time.perf_counter() - t0
+    result = WorkloadResult(
+        index_name=adapter.name,
+        workload="Load",
+        n_ops=len(rest_k),
+        seconds=seconds,
+        latency=LatencyStats.from_samples(samples) if capture_latency else None,
+    )
+    if capture_latency:
+        result.extra["samples_ns"] = samples
+    return result
+
+
+def run_operations(
+    adapter: IndexAdapter,
+    ops: Sequence[Operation],
+    workload_name: str,
+    capture_latency: bool = False,
+    min_seconds: float = 0.0,
+) -> WorkloadResult:
+    """Execute a measured operation trace against ``adapter``.
+
+    ``min_seconds`` reproduces the paper's measurement protocol ('a
+    batch of the workload is repeated for at least 60 seconds'): the
+    trace replays until the deadline passes, with repeat-pass inserts
+    degrading to updates exactly as they would in the original batches.
+    """
+    insert = adapter.insert
+    get = adapter.get
+    update = adapter.update
+    scan = adapter.scan
+    samples: List[int] = []
+    clock = time.perf_counter_ns
+
+    def run_one(op: Operation) -> None:
+        kind = op.kind
+        if kind is OpKind.READ:
+            get(op.key)
+        elif kind is OpKind.UPDATE:
+            update(op.key, op.key ^ 1)
+        elif kind is OpKind.INSERT:
+            insert(op.key, op.key)
+        elif kind is OpKind.SCAN:
+            scan(op.key, op.arg or 100)
+        else:  # read-modify-write
+            v = get(op.key)
+            update(op.key, (v or 0) if isinstance(v, int) else 0)
+
+    executed = 0
+    with _quiesced_gc():
+        t0 = time.perf_counter()
+        while True:
+            if capture_latency:
+                for op in ops:
+                    s = clock()
+                    run_one(op)
+                    samples.append(clock() - s)
+            else:
+                for op in ops:
+                    run_one(op)
+            executed += len(ops)
+            if time.perf_counter() - t0 >= min_seconds:
+                break
+        seconds = time.perf_counter() - t0
+    result = WorkloadResult(
+        index_name=adapter.name,
+        workload=workload_name,
+        n_ops=executed,
+        seconds=seconds,
+        latency=LatencyStats.from_samples(samples) if capture_latency else None,
+    )
+    if capture_latency:
+        result.extra["samples_ns"] = samples
+    return result
+
+
+def run_ycsb(
+    adapter: IndexAdapter,
+    spec: WorkloadSpec,
+    dataset: Sequence[int],
+    n_ops: int,
+    seed: int = 0,
+    distribution: str = "zipfian",
+    capture_latency: bool = False,
+    min_seconds: float = 0.0,
+) -> WorkloadResult:
+    """Full paper protocol: preload, then measure ``spec`` (paper §4.3).
+
+    For Load this is just :func:`run_load`.  Otherwise the preload
+    population (``spec.preload_fraction`` of the dataset) is installed
+    first -- bulk fraction via the adapter's loader, remainder by
+    inserts -- and only the generated operation trace is timed.
+    """
+    if spec.insert == 1.0:
+        return run_load(adapter, dataset, capture_latency=capture_latency)
+    preload, ops = generate_operations(
+        spec, dataset, n_ops, seed=seed, distribution=distribution
+    )
+    n_bulk = int(len(preload) * adapter.bulk_fraction)
+    if n_bulk:
+        adapter.bulk_load(preload[:n_bulk], preload[:n_bulk])
+    for k in preload[n_bulk:]:
+        adapter.insert(k, k)
+    return run_operations(
+        adapter,
+        ops,
+        spec.name,
+        capture_latency=capture_latency,
+        min_seconds=min_seconds,
+    )

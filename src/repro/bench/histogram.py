@@ -1,0 +1,82 @@
+"""Log-scale latency histograms (companion to Table 2's percentiles).
+
+Percentiles summarise a latency distribution; the histogram shows its
+*shape* -- the paper's tail-latency story (remapping vs retraining
+spikes) is a second mode several decades above the fast path, which a
+log2-bucketed histogram makes visible in a terminal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+_BAR = "█"
+
+
+@dataclass(frozen=True)
+class HistogramBucket:
+    low_ns: int  # inclusive
+    high_ns: int  # exclusive
+    count: int
+
+
+class LatencyHistogram:
+    """Histogram over power-of-two nanosecond buckets."""
+
+    def __init__(self, samples_ns: Sequence[int]):
+        self.n = len(samples_ns)
+        counts: dict = {}
+        for s in samples_ns:
+            b = max(int(s), 1).bit_length() - 1
+            counts[b] = counts.get(b, 0) + 1
+        self.buckets: List[HistogramBucket] = [
+            HistogramBucket(1 << b, 1 << (b + 1), counts[b])
+            for b in sorted(counts)
+        ]
+
+    def render(self, width: int = 40, title: str = "") -> str:
+        """Proportional terminal rendering, one line per bucket."""
+        lines = [title] if title else []
+        if not self.buckets:
+            return "\n".join(lines + ["(no samples)"])
+        peak = max(b.count for b in self.buckets)
+        for b in self.buckets:
+            share = b.count / self.n
+            bar = _BAR * max(1, round(b.count / peak * width))
+            lines.append(
+                f"{_fmt_ns(b.low_ns):>8}-{_fmt_ns(b.high_ns):<8} "
+                f"{bar:<{width}} {b.count:>8,d} ({share:6.2%})"
+            )
+        return "\n".join(lines)
+
+    def mode_count(self, min_share: float = 0.01, gap_buckets: int = 2) -> int:
+        """Number of separated modes carrying at least ``min_share``.
+
+        A second mode far above the first is the structural-operation
+        tail (remapping/retraining); uni- vs bi-modality is therefore a
+        checkable property of an index's latency profile.
+        """
+        significant = [
+            b for b in self.buckets if b.count / max(self.n, 1) >= min_share
+        ]
+        if not significant:
+            return 0
+        modes = 1
+        prev_exp = significant[0].low_ns.bit_length()
+        for b in significant[1:]:
+            exp = b.low_ns.bit_length()
+            if exp - prev_exp > gap_buckets:
+                modes += 1
+            prev_exp = exp
+        return modes
+
+
+def _fmt_ns(ns: int) -> str:
+    if ns >= 1_000_000_000:
+        return f"{ns / 1e9:.0f}s"
+    if ns >= 1_000_000:
+        return f"{ns / 1e6:.0f}ms"
+    if ns >= 1_000:
+        return f"{ns / 1e3:.0f}µs"
+    return f"{ns}ns"

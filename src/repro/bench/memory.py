@@ -1,0 +1,57 @@
+"""Deep memory measurement (paper §4.3 'Memory Usage Analysis').
+
+The paper measures maximum RSS with ``dstat``; here we walk an index's
+object graph with ``sys.getsizeof``, which captures the same *relative*
+footprint across index structures (directory arrays, segment buckets,
+gapped-array slack, delta buffers).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from types import FunctionType, ModuleType
+from typing import Any
+
+_ATOMIC = (str, bytes, bytearray, int, float, bool, complex, type(None))
+_SKIP = (type, ModuleType, FunctionType, threading.Lock().__class__)
+
+
+def deep_size_bytes(obj: Any) -> int:
+    """Iterative ``sys.getsizeof`` walk over an object graph.
+
+    Handles containers, ``__dict__``, and ``__slots__``; each object is
+    counted once.  Classes, modules, functions, and locks are skipped so
+    measuring an index does not drag the interpreter in.  Iterative
+    (explicit stack) because index structures contain long sibling
+    chains that would overflow Python's recursion limit.
+    """
+    seen = set()
+    stack = [obj]
+    total = 0
+    while stack:
+        o = stack.pop()
+        oid = id(o)
+        if oid in seen:
+            continue
+        seen.add(oid)
+        if isinstance(o, _SKIP):
+            continue
+        total += sys.getsizeof(o, 0)
+        if isinstance(o, _ATOMIC):
+            continue
+        if isinstance(o, dict):
+            stack.extend(o.keys())
+            stack.extend(o.values())
+            continue
+        if isinstance(o, (list, tuple, set, frozenset)):
+            stack.extend(o)
+            continue
+        d = getattr(o, "__dict__", None)
+        if d is not None:
+            stack.append(d)
+        for klass in type(o).__mro__:
+            for slot in getattr(klass, "__slots__", ()):
+                if hasattr(o, slot):
+                    stack.append(getattr(o, slot))
+    return total

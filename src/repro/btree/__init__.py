@@ -1,0 +1,10 @@
+"""In-memory B+-tree baseline (the paper's 'STX B+-tree' comparator).
+
+A standard B+-tree with configurable fanout (the paper uses 128), sorted
+leaf nodes chained for scans, in-place updates (the modification the
+paper applied to STX), and delete with borrow/merge rebalancing.
+"""
+
+from repro.btree.bptree import BPlusTree
+
+__all__ = ["BPlusTree"]

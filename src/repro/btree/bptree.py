@@ -1,0 +1,317 @@
+"""A classic in-memory B+-tree.
+
+Keys live only in the leaves; internal nodes route by separator keys.
+Leaves form a singly linked list for range scans.  Fanout is the maximum
+number of children of an internal node (equivalently, max keys per
+leaf); the paper's comparator uses fanout 128.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Any, Iterator, List, Optional, Tuple
+
+
+class _Node:
+    __slots__ = ("keys",)
+
+    def __init__(self):
+        self.keys: List[int] = []
+
+
+class _Leaf(_Node):
+    __slots__ = ("values", "next")
+
+    def __init__(self):
+        super().__init__()
+        self.values: List[Any] = []
+        self.next: Optional[_Leaf] = None
+
+
+class _Internal(_Node):
+    """Internal node: len(children) == len(keys) + 1.
+
+    ``keys[i]`` is the smallest key reachable through ``children[i+1]``.
+    """
+
+    __slots__ = ("children",)
+
+    def __init__(self):
+        super().__init__()
+        self.children: List[_Node] = []
+
+
+class BPlusTree:
+    """B+-tree supporting insert-or-update, get, delete, and ordered scan."""
+
+    def __init__(self, fanout: int = 128):
+        if fanout < 4:
+            raise ValueError("fanout must be >= 4")
+        self.fanout = fanout
+        self._root: _Node = _Leaf()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- search ----------------------------------------------------------
+
+    def _find_leaf(self, key: int) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[bisect_right(node.keys, key)]
+        return node  # type: ignore[return-value]
+
+    def get(self, key: int) -> Optional[Any]:
+        """Value stored under ``key``, or None."""
+        leaf = self._find_leaf(key)
+        i = bisect_left(leaf.keys, key)
+        if i < len(leaf.keys) and leaf.keys[i] == key:
+            return leaf.values[i]
+        return None
+
+    def __contains__(self, key: int) -> bool:
+        leaf = self._find_leaf(key)
+        i = bisect_left(leaf.keys, key)
+        return i < len(leaf.keys) and leaf.keys[i] == key
+
+    # -- insert ----------------------------------------------------------
+
+    def insert(self, key: int, value: Any) -> None:
+        """Insert ``key`` or update its value in place."""
+        root = self._root
+        split = self._insert(root, key, value)
+        if split is not None:
+            sep, right = split
+            new_root = _Internal()
+            new_root.keys = [sep]
+            new_root.children = [root, right]
+            self._root = new_root
+
+    def _insert(
+        self, node: _Node, key: int, value: Any
+    ) -> Optional[Tuple[int, _Node]]:
+        """Recursive insert; returns (separator, new right sibling) on split."""
+        if isinstance(node, _Leaf):
+            i = bisect_left(node.keys, key)
+            if i < len(node.keys) and node.keys[i] == key:
+                node.values[i] = value  # in-place update
+                return None
+            node.keys.insert(i, key)
+            node.values.insert(i, value)
+            self._size += 1
+            if len(node.keys) <= self.fanout:
+                return None
+            return self._split_leaf(node)
+        assert isinstance(node, _Internal)
+        idx = bisect_right(node.keys, key)
+        split = self._insert(node.children[idx], key, value)
+        if split is None:
+            return None
+        sep, right = split
+        node.keys.insert(idx, sep)
+        node.children.insert(idx + 1, right)
+        if len(node.children) <= self.fanout:
+            return None
+        return self._split_internal(node)
+
+    def _split_leaf(self, leaf: _Leaf) -> Tuple[int, _Leaf]:
+        mid = len(leaf.keys) // 2
+        right = _Leaf()
+        right.keys = leaf.keys[mid:]
+        right.values = leaf.values[mid:]
+        del leaf.keys[mid:]
+        del leaf.values[mid:]
+        right.next = leaf.next
+        leaf.next = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Internal) -> Tuple[int, _Internal]:
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _Internal()
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        del node.keys[mid:]
+        del node.children[mid + 1 :]
+        return sep, right
+
+    # -- scan --------------------------------------------------------
+
+    def scan(self, start_key: int, count: int) -> List[Tuple[int, Any]]:
+        """Up to ``count`` pairs with key >= start_key, in key order."""
+        out: List[Tuple[int, Any]] = []
+        leaf: Optional[_Leaf] = self._find_leaf(start_key)
+        i = bisect_left(leaf.keys, start_key)
+        while leaf is not None and len(out) < count:
+            while i < len(leaf.keys) and len(out) < count:
+                out.append((leaf.keys[i], leaf.values[i]))
+                i += 1
+            leaf = leaf.next
+            i = 0
+        return out
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        """All pairs in ascending key order."""
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        leaf: Optional[_Leaf] = node  # type: ignore[assignment]
+        while leaf is not None:
+            yield from zip(leaf.keys, leaf.values)
+            leaf = leaf.next
+
+    # -- delete ------------------------------------------------------
+
+    def delete(self, key: int) -> bool:
+        """Remove ``key``; return whether it was present."""
+        found = self._delete(self._root, key)
+        root = self._root
+        if isinstance(root, _Internal) and len(root.children) == 1:
+            self._root = root.children[0]
+        if found:
+            self._size -= 1
+        return found
+
+    def _min_keys(self) -> int:
+        return self.fanout // 2
+
+    def _delete(self, node: _Node, key: int) -> bool:
+        if isinstance(node, _Leaf):
+            i = bisect_left(node.keys, key)
+            if i < len(node.keys) and node.keys[i] == key:
+                node.keys.pop(i)
+                node.values.pop(i)
+                return True
+            return False
+        assert isinstance(node, _Internal)
+        idx = bisect_right(node.keys, key)
+        child = node.children[idx]
+        found = self._delete(child, key)
+        if found and self._underflow(child):
+            self._rebalance(node, idx)
+        return found
+
+    def _underflow(self, node: _Node) -> bool:
+        if isinstance(node, _Leaf):
+            return len(node.keys) < self._min_keys()
+        return len(node.children) < self._min_keys()  # type: ignore[attr-defined]
+
+    def _rebalance(self, parent: _Internal, idx: int) -> None:
+        child = parent.children[idx]
+        left = parent.children[idx - 1] if idx > 0 else None
+        right = parent.children[idx + 1] if idx + 1 < len(parent.children) else None
+
+        if isinstance(child, _Leaf):
+            if left is not None and len(left.keys) > self._min_keys():
+                assert isinstance(left, _Leaf)
+                child.keys.insert(0, left.keys.pop())
+                child.values.insert(0, left.values.pop())
+                parent.keys[idx - 1] = child.keys[0]
+            elif right is not None and len(right.keys) > self._min_keys():
+                assert isinstance(right, _Leaf)
+                child.keys.append(right.keys.pop(0))
+                child.values.append(right.values.pop(0))
+                parent.keys[idx] = right.keys[0]
+            elif left is not None:
+                assert isinstance(left, _Leaf)
+                left.keys.extend(child.keys)
+                left.values.extend(child.values)
+                left.next = child.next
+                parent.keys.pop(idx - 1)
+                parent.children.pop(idx)
+            elif right is not None:
+                assert isinstance(right, _Leaf)
+                child.keys.extend(right.keys)
+                child.values.extend(right.values)
+                child.next = right.next
+                parent.keys.pop(idx)
+                parent.children.pop(idx + 1)
+            return
+
+        assert isinstance(child, _Internal)
+        if left is not None and len(left.children) > self._min_keys():  # type: ignore[attr-defined]
+            assert isinstance(left, _Internal)
+            child.children.insert(0, left.children.pop())
+            child.keys.insert(0, parent.keys[idx - 1])
+            parent.keys[idx - 1] = left.keys.pop()
+        elif right is not None and len(right.children) > self._min_keys():  # type: ignore[attr-defined]
+            assert isinstance(right, _Internal)
+            child.children.append(right.children.pop(0))
+            child.keys.append(parent.keys[idx])
+            parent.keys[idx] = right.keys.pop(0)
+        elif left is not None:
+            assert isinstance(left, _Internal)
+            left.keys.append(parent.keys[idx - 1])
+            left.keys.extend(child.keys)
+            left.children.extend(child.children)
+            parent.keys.pop(idx - 1)
+            parent.children.pop(idx)
+        elif right is not None:
+            assert isinstance(right, _Internal)
+            child.keys.append(parent.keys[idx])
+            child.keys.extend(right.keys)
+            child.children.extend(right.children)
+            parent.keys.pop(idx)
+            parent.children.pop(idx + 1)
+
+    # -- introspection -------------------------------------------------
+
+    def depth(self) -> int:
+        """Number of levels (1 for a lone leaf)."""
+        d, node = 1, self._root
+        while isinstance(node, _Internal):
+            d += 1
+            node = node.children[0]
+        return d
+
+    def node_count(self) -> int:
+        """Total nodes in the tree."""
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if isinstance(node, _Internal):
+                stack.extend(node.children)
+        return count
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if tree invariants are violated.
+
+        Checks sortedness, separator correctness, leaf-chain integrity,
+        and (for non-root nodes) minimum occupancy after deletes.
+        """
+        leaves: List[_Leaf] = []
+
+        def visit(node: _Node, lo: Optional[int], hi: Optional[int], is_root: bool):
+            assert node.keys == sorted(node.keys)
+            for k in node.keys:
+                assert lo is None or k >= lo
+                assert hi is None or k < hi
+            if isinstance(node, _Leaf):
+                assert len(node.keys) == len(node.values)
+                assert len(node.keys) <= self.fanout
+                leaves.append(node)
+                return
+            assert isinstance(node, _Internal)
+            assert len(node.children) == len(node.keys) + 1
+            assert len(node.children) <= self.fanout
+            if not is_root:
+                assert len(node.children) >= 2
+            bounds = [lo] + list(node.keys) + [hi]
+            for i, child in enumerate(node.children):
+                visit(child, bounds[i], bounds[i + 1], False)
+
+        visit(self._root, None, None, True)
+        # Leaf chain visits every leaf exactly once, in order.
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        chain = []
+        leaf: Optional[_Leaf] = node  # type: ignore[assignment]
+        while leaf is not None:
+            chain.append(leaf)
+            leaf = leaf.next
+        assert [id(x) for x in chain] == [id(x) for x in leaves]
+        assert sum(len(l.keys) for l in leaves) == self._size

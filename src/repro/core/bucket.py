@@ -1,0 +1,99 @@
+"""Sorted fixed-capacity buckets (paper §3.2).
+
+A DyTIS bucket stores keys and values in two parallel arrays, sorted by
+key, so that scans read runs of consecutive keys and point lookups use
+an exponential search (the paper follows ALEX here).  Values may be
+arbitrary Python objects (the paper stores 8-byte values or pointers).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Iterator, List, Optional, Tuple
+
+
+class Bucket:
+    """Fixed-capacity sorted run of key/value pairs."""
+
+    __slots__ = ("capacity", "keys", "values")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("bucket capacity must be >= 1")
+        self.capacity = capacity
+        self.keys: List[int] = []
+        self.values: List[Any] = []
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    @property
+    def full(self) -> bool:
+        return len(self.keys) >= self.capacity
+
+    def _position(self, key: int) -> int:
+        """Exponential search for the insertion point of ``key``.
+
+        Buckets are small, so the expected cost is a handful of probes;
+        this mirrors the in-bucket exponential search of the paper.
+        """
+        keys = self.keys
+        n = len(keys)
+        if n == 0 or key <= keys[0]:
+            return 0
+        bound = 1
+        while bound < n and keys[bound] < key:
+            bound <<= 1
+        return bisect_left(keys, key, bound >> 1, min(bound + 1, n))
+
+    def find(self, key: int) -> int:
+        """Index of ``key`` in the bucket, or -1."""
+        i = self._position(key)
+        if i < len(self.keys) and self.keys[i] == key:
+            return i
+        return -1
+
+    def get(self, key: int) -> Optional[Any]:
+        i = self.find(key)
+        return self.values[i] if i >= 0 else None
+
+    def insert(self, key: int, value: Any) -> str:
+        """Sorted insert-or-update; returns 'inserted', 'updated', or 'full'."""
+        i = self._position(key)
+        if i < len(self.keys) and self.keys[i] == key:
+            self.values[i] = value
+            return "updated"
+        if self.full:
+            return "full"
+        self.keys.insert(i, key)
+        self.values.insert(i, value)
+        return "inserted"
+
+    def append(self, key: int, value: Any) -> None:
+        """Append a key known to be larger than everything present.
+
+        Rebuilds place keys in ascending order, so this skips the search
+        and the shift.
+        """
+        self.keys.append(key)
+        self.values.append(value)
+
+    def delete(self, key: int) -> bool:
+        i = self.find(key)
+        if i < 0:
+            return False
+        self.keys.pop(i)
+        self.values.pop(i)
+        return True
+
+    def lower_bound(self, key: int) -> int:
+        """Index of the first key >= ``key`` (== len when none)."""
+        return self._position(key)
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        return zip(self.keys, self.values)
+
+    def check_invariants(self) -> None:
+        assert len(self.keys) == len(self.values)
+        assert len(self.keys) <= self.capacity
+        assert all(a < b for a, b in zip(self.keys, self.keys[1:]))

@@ -1,0 +1,270 @@
+"""Concurrent DyTIS (paper §3.4).
+
+Two-level locking adapted from CCEH/Ellis: a reader/writer lock per EH
+table synchronises structure changes (split, directory doubling, sibling
+updates) against everything else, while a mutex per segment serialises
+the operations that only touch one segment object (normal insert,
+search, remapping/expansion prepare their new segment under the EH
+write lock here, conservatively).
+
+Inserts run optimistically: take the EH read lock plus the segment
+lock, re-validate the directory still points at the segment, and insert
+in place; only when the bucket is full do they escalate to the EH write
+lock and run the full Algorithm-1 path.  Scans lock segments one by one
+over the range, per the paper.
+
+Python's GIL prevents true parallel speedup; this wrapper reproduces
+the *protocol* (and its contention behaviour) and exposes lock-wait
+statistics so Figure 12 can be interpreted honestly -- see DESIGN.md §1
+and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, List, Optional, Tuple
+
+from repro.core.config import DyTISConfig
+from repro.core.dytis import DyTIS
+
+
+class RWLock:
+    """Writer-preferring reader/writer lock."""
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            while self._writer or self._readers:
+                self._cond.wait()
+            self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    class _ReadGuard:
+        __slots__ = ("_lock",)
+
+        def __init__(self, lock: "RWLock"):
+            self._lock = lock
+
+        def __enter__(self):
+            self._lock.acquire_read()
+
+        def __exit__(self, *exc):
+            self._lock.release_read()
+            return False
+
+    class _WriteGuard:
+        __slots__ = ("_lock",)
+
+        def __init__(self, lock: "RWLock"):
+            self._lock = lock
+
+        def __enter__(self):
+            self._lock.acquire_write()
+
+        def __exit__(self, *exc):
+            self._lock.release_write()
+            return False
+
+    def read(self) -> "_ReadGuard":
+        return RWLock._ReadGuard(self)
+
+    def write(self) -> "_WriteGuard":
+        return RWLock._WriteGuard(self)
+
+
+class ConcurrentDyTIS:
+    """Thread-safe DyTIS with EH-level RW locks + segment-level mutexes."""
+
+    def __init__(self, config: Optional[DyTISConfig] = None):
+        self._d = DyTIS(config)
+        self._eh_locks: List[RWLock] = [
+            RWLock() for _ in range(len(self._d._tables))
+        ]
+        self._size_lock = threading.Lock()
+        #: Seconds spent escalated to EH write locks (contention probe).
+        self.structural_lock_time = 0.0
+
+    # -- delegation -----------------------------------------------------------
+
+    @property
+    def config(self) -> DyTISConfig:
+        return self._d.config
+
+    @property
+    def stats(self):
+        return self._d.stats
+
+    def __len__(self) -> int:
+        return len(self._d)
+
+    def check_invariants(self) -> None:
+        self._d.check_invariants()
+
+    def items(self):
+        return self._d.items()
+
+    # -- operations --------------------------------------------------------------
+
+    def get(self, key: int) -> Optional[Any]:
+        """Thread-safe point lookup."""
+        d = self._d
+        d._check_key(key)
+        ti = d._table_index(key)
+        lock = self._eh_locks[ti]
+        with lock.read():
+            table = d._tables[ti]
+            if table is None:
+                return None
+            seg = table.segment_for(key & d._local_mask, d._m)
+            with seg.lock:
+                return seg.get(key)
+
+    def __contains__(self, key: int) -> bool:
+        return self.get(key) is not None or self._contains_slow(key)
+
+    def _contains_slow(self, key: int) -> bool:
+        d = self._d
+        ti = d._table_index(key)
+        with self._eh_locks[ti].read():
+            table = d._tables[ti]
+            if table is None:
+                return False
+            seg = table.segment_for(key & d._local_mask, d._m)
+            with seg.lock:
+                return seg.contains(key)
+
+    def insert(self, key: int, value: Any) -> None:
+        """Thread-safe insert-or-update (optimistic, escalates when full)."""
+        d = self._d
+        d._check_key(key)
+        ti = d._table_index(key)
+        lock = self._eh_locks[ti]
+        local = key & d._local_mask
+        while True:
+            with lock.read():
+                table = d._tables[ti]
+                if table is not None:
+                    idx = table.dir_index(local, d._m)
+                    seg = table.dir[idx]
+                    with seg.lock:
+                        # Re-validate: a racing structural op may have
+                        # replaced the segment before we got its lock.
+                        if table.dir[table.dir_index(local, d._m)] is seg:
+                            result = seg.insert(key, value)
+                            if result == "inserted":
+                                with self._size_lock:
+                                    d._size += 1
+                                return
+                            if result == "updated":
+                                return
+                            # full: fall through to the structural path
+            t0 = time.perf_counter()
+            with lock.write():
+                # The whole Algorithm-1 path (and lazy table creation)
+                # runs exclusively; d.insert re-checks everything.
+                d.insert(key, value)
+                self.structural_lock_time += time.perf_counter() - t0
+                return
+
+    def delete(self, key: int) -> bool:
+        """Thread-safe delete (segment merging deferred to quiescence)."""
+        d = self._d
+        d._check_key(key)
+        ti = d._table_index(key)
+        with self._eh_locks[ti].read():
+            table = d._tables[ti]
+            if table is None:
+                return False
+            local = key & d._local_mask
+            while True:
+                seg = table.dir[table.dir_index(local, d._m)]
+                with seg.lock:
+                    if table.dir[table.dir_index(local, d._m)] is not seg:
+                        continue
+                    if seg.delete(key):
+                        with self._size_lock:
+                            d._size -= 1
+                        return True
+                    return False
+
+    def scan_range(self, low: int, high: int) -> List[Tuple[int, Any]]:
+        """Thread-safe closed-open range scan (API parity with DyTIS).
+
+        Built from bounded :meth:`scan` batches, each of which holds its
+        segment locks only while copying; the result is a consistent
+        prefix-at-a-time view, like the paper's one-segment-at-a-time
+        scan locking.
+        """
+        self._d._check_key(low)
+        out: List[Tuple[int, Any]] = []
+        cursor = low
+        while cursor < high:
+            batch = self.scan(cursor, 512)
+            if not batch:
+                break
+            for key, value in batch:
+                if key >= high:
+                    return out
+                out.append((key, value))
+            cursor = batch[-1][0] + 1
+        return out
+
+    def scan(self, start_key: int, count: int) -> List[Tuple[int, Any]]:
+        """Thread-safe range scan, locking segments one by one (§3.4)."""
+        d = self._d
+        d._check_key(start_key)
+        out: List[Tuple[int, Any]] = []
+        table_idx = d._table_index(start_key)
+        first = True
+        while len(out) < count and table_idx < len(d._tables):
+            lock = self._eh_locks[table_idx]
+            with lock.read():
+                table = d._tables[table_idx]
+                if table is None:
+                    table_idx += 1
+                    first = False
+                    continue
+                if first:
+                    seg: Optional = table.segment_for(
+                        start_key & d._local_mask, d._m
+                    )
+                else:
+                    seg = table.dir[0]
+                while seg is not None and len(out) < count:
+                    with seg.lock:
+                        source = (
+                            seg.iter_from(start_key) if first else seg.items()
+                        )
+                        for pair in source:
+                            out.append(pair)
+                            if len(out) >= count:
+                                break
+                    first = False
+                    seg = seg.sibling
+            table_idx += 1
+            first = False
+        return out

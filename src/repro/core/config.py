@@ -1,0 +1,78 @@
+"""DyTIS configuration (the parameters studied in paper §4.1 and §4.3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DyTISConfig:
+    """Tuning knobs for :class:`repro.core.DyTIS`.
+
+    Paper defaults: 64-bit keys, R = 9 first-level bits, 2 KB buckets
+    (128 key/value pairs at 8+8 bytes), U_t = 0.6, L_start = 6, segment
+    size limit factor 2 (boosted to 128 for expansion-heavy datasets).
+    Scaled-down tests typically shrink ``first_level_bits``,
+    ``bucket_capacity``, and ``l_start``.
+    """
+
+    #: Key width n in bits; keys must lie in [0, 2^n).
+    key_bits: int = 64
+    #: R -- MSBs selecting the first-level EH table (array size 2^R).
+    first_level_bits: int = 9
+    #: Key/value pairs per bucket (paper: 2 KB bucket = 128 pairs).
+    bucket_capacity: int = 128
+    #: U_t -- utilization threshold steering Algorithm 1.
+    util_threshold: float = 0.6
+    #: L_start -- local depth at which remapping/expansion begin;
+    #: below it only basic Extendible-hashing split/doubling run.
+    l_start: int = 6
+    #: Limit_seg -- base segment-size limit factor: a depth-LD segment
+    #: may hold at most ``seg_limit_factor * 2^(LD - l_start)`` buckets.
+    seg_limit_factor: int = 2
+    #: Boosted factor applied when the dataset proves expansion-heavy.
+    seg_limit_boost: int = 128
+    #: L' = l_start + this offset: depth at which the boost decision is
+    #: taken from observed expansion/split proportions.
+    boost_check_offset: int = 2
+    #: Boost when expansions exceed this fraction of the split+expansion
+    #: operations observed between L_start and L'.  Skewed datasets are
+    #: remapping/split-heavy (fractions near 0); near-uniform datasets
+    #: expand repeatedly (fractions well above this).
+    boost_portion_threshold: float = 0.2
+    #: Cap on remapping-function granularity: at most 2^max_piece_bits
+    #: sub-ranges per segment.
+    max_piece_bits: int = 12
+
+    def __post_init__(self):
+        if not 1 <= self.key_bits <= 64:
+            raise ValueError("key_bits must be in [1, 64]")
+        if not 0 <= self.first_level_bits < self.key_bits:
+            raise ValueError("first_level_bits must be in [0, key_bits)")
+        if self.bucket_capacity < 2:
+            raise ValueError("bucket_capacity must be >= 2")
+        if not 0.0 < self.util_threshold <= 1.0:
+            raise ValueError("util_threshold must be in (0, 1]")
+        if self.l_start < 0:
+            raise ValueError("l_start must be >= 0")
+        if self.seg_limit_factor < 1 or self.seg_limit_boost < 1:
+            raise ValueError("segment limit factors must be >= 1")
+        if self.max_piece_bits < 0:
+            raise ValueError("max_piece_bits must be >= 0")
+
+    @property
+    def eh_key_bits(self) -> int:
+        """m = n - R: bits handled inside each second-level EH table."""
+        return self.key_bits - self.first_level_bits
+
+    def segment_cap(self, local_depth: int, boosted: bool) -> int:
+        """Maximum buckets for a segment at ``local_depth``.
+
+        Below L_start segments are single buckets (basic Extendible
+        hashing); from L_start the cap doubles per extra level of local
+        depth (paper §3.3 'Selecting a segment size').
+        """
+        if local_depth < self.l_start:
+            return 1
+        factor = self.seg_limit_boost if boosted else self.seg_limit_factor
+        return factor << (local_depth - self.l_start)

@@ -1,0 +1,692 @@
+"""DyTIS -- Dynamic dataset Targeted Index Structure (paper §3).
+
+Two-level layout (Figure 5): the R most significant key bits select one
+of 2^R second-level Extendible-Hashing tables; inside an EH table the
+next GD bits index a directory of segments; a segment's remapping
+function maps the remaining low bits to one of its sorted buckets.
+
+Insertion follows Algorithm 1: a full bucket triggers split, remapping,
+expansion, or directory doubling depending on the segment's local depth
+vs. the table's global depth and on segment utilization vs. U_t.  Until
+a segment reaches local depth L_start, only the basic Extendible-hashing
+schemes run.  Segment sizes are capped per depth; the cap factor is
+boosted once for expansion-heavy (near-uniform) datasets, decided at
+depth L' = L_start + 2 from observed operation mix (§3.3 'Selecting a
+segment size').
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import DyTISConfig
+from repro.core.remap import PiecewiseRemap, proportional_allocs
+from repro.core.segment import (
+    Segment,
+    build_fitting,
+    count_pieces,
+    layout_fits,
+    plan_remap,
+    plan_split,
+)
+from repro.core.stats import OperationStats
+
+
+class _EHTable:
+    """One second-level Extendible-Hashing table (paper Figure 5)."""
+
+    __slots__ = ("global_depth", "dir")
+
+    def __init__(self, eh_key_bits: int, bucket_capacity: int):
+        self.global_depth = 0
+        root = Segment(0, PiecewiseRemap(eh_key_bits, [1]), bucket_capacity)
+        self.dir: List[Segment] = [root]
+
+    def dir_index(self, local_key: int, eh_key_bits: int) -> int:
+        if self.global_depth == 0:
+            return 0
+        return local_key >> (eh_key_bits - self.global_depth)
+
+    def segment_for(self, local_key: int, eh_key_bits: int) -> Segment:
+        return self.dir[self.dir_index(local_key, eh_key_bits)]
+
+    def span_start(self, index: int, local_depth: int) -> int:
+        span = 1 << (self.global_depth - local_depth)
+        return (index // span) * span
+
+    def unique_segments(self) -> Iterator[Segment]:
+        prev = None
+        for seg in self.dir:
+            if seg is not prev:
+                yield seg
+                prev = seg
+
+
+class DyTIS:
+    """The DyTIS index: search, insert, scan, update, delete.
+
+    Keys are integers in [0, 2^key_bits); values are arbitrary objects.
+    ``insert`` updates in place when the key exists (paper §3.3).
+    """
+
+    def __init__(self, config: Optional[DyTISConfig] = None):
+        self.config = config or DyTISConfig()
+        self.stats = OperationStats()
+        self._m = self.config.eh_key_bits
+        self._local_mask = (1 << self._m) - 1
+        self._key_limit = 1 << self.config.key_bits
+        self._tables: List[Optional[_EHTable]] = [None] * (
+            1 << self.config.first_level_bits
+        )
+        self._size = 0
+        # Segment-size-limit escalation state (§3.3).
+        self._boost_decided = False
+        self._boosted = False
+        self._window_expansions = 0
+        self._window_splits = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- key plumbing ------------------------------------------------------
+
+    def _check_key(self, key: int) -> None:
+        if not 0 <= key < self._key_limit:
+            raise ValueError(
+                f"key {key} outside [0, 2^{self.config.key_bits})"
+            )
+
+    def _table_index(self, key: int) -> int:
+        return key >> self._m
+
+    def _table(self, key: int, create: bool) -> Optional[_EHTable]:
+        i = self._table_index(key)
+        table = self._tables[i]
+        if table is None and create:
+            table = _EHTable(self._m, self.config.bucket_capacity)
+            self._tables[i] = table
+        return table
+
+    # -- point operations ------------------------------------------------------
+
+    def get(self, key: int) -> Optional[Any]:
+        """Value stored under ``key``, or None ('not exist')."""
+        self._check_key(key)
+        table = self._table(key, create=False)
+        if table is None:
+            return None
+        return table.segment_for(key & self._local_mask, self._m).get(key)
+
+    def __contains__(self, key: int) -> bool:
+        self._check_key(key)
+        table = self._table(key, create=False)
+        if table is None:
+            return False
+        return table.segment_for(key & self._local_mask, self._m).contains(key)
+
+    def insert(self, key: int, value: Any) -> None:
+        """Insert ``key`` or update its value in place (Algorithm 1)."""
+        self._check_key(key)
+        table = self._table(key, create=True)
+        local = key & self._local_mask
+        while True:
+            seg = table.segment_for(local, self._m)
+            result = seg.insert(key, value)
+            if result == "inserted":
+                self._size += 1
+                return
+            if result == "updated":
+                return
+            self._handle_full(table, seg, local)
+
+    def delete(self, key: int) -> bool:
+        """Remove ``key``; return whether it was present (paper §3.3).
+
+        A segment left badly under-utilized is merged down (rebuilt with
+        fewer buckets) -- 'similar to remapping but in the opposite
+        direction'.
+        """
+        self._check_key(key)
+        table = self._table(key, create=False)
+        if table is None:
+            return False
+        local = key & self._local_mask
+        seg = table.segment_for(local, self._m)
+        if not seg.delete(key):
+            return False
+        self._size -= 1
+        if seg.utilization() < 0.25 * self.config.util_threshold:
+            if seg.n_buckets > 1:
+                self._merge_down(table, seg, local)
+                seg = table.segment_for(local, self._m)
+            self._try_buddy_merge(table, seg, local)
+        return True
+
+    # -- scans ---------------------------------------------------------------
+
+    def scan(self, start_key: int, count: int) -> List[Tuple[int, Any]]:
+        """Up to ``count`` pairs with key >= start_key, in key order.
+
+        Walks buckets within the start segment, then sibling segments,
+        then subsequent first-level EH tables (paper §3.3 Scan).
+        """
+        self._check_key(start_key)
+        if count <= 0:
+            return []
+        out: List[Tuple[int, Any]] = []
+        for pair in self._iter_from(start_key):
+            out.append(pair)
+            if len(out) >= count:
+                break
+        return out
+
+    def scan_range(self, low: int, high: int) -> List[Tuple[int, Any]]:
+        """All pairs with low <= key < high, in key order.
+
+        A closed-open range variant of :meth:`scan` for callers that
+        know the end key instead of a count.
+        """
+        self._check_key(low)
+        if high <= low:
+            return []
+        out: List[Tuple[int, Any]] = []
+        for key, value in self._iter_from(low):
+            if key >= high:
+                break
+            out.append((key, value))
+        return out
+
+    def _iter_from(self, start_key: int) -> Iterator[Tuple[int, Any]]:
+        """Lazily yield pairs with key >= start_key, ascending."""
+        table_idx = self._table_index(start_key)
+        table = self._tables[table_idx]
+        seg: Optional[Segment] = None
+        if table is not None:
+            seg = table.segment_for(start_key & self._local_mask, self._m)
+            yield from seg.iter_from(start_key)
+            seg = seg.sibling
+        while True:
+            while seg is None:
+                table_idx += 1
+                if table_idx >= len(self._tables):
+                    return
+                table = self._tables[table_idx]
+                if table is not None:
+                    seg = table.dir[0]
+            yield from seg.items()
+            seg = seg.sibling
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        """All pairs in ascending key order."""
+        for table in self._tables:
+            if table is None:
+                continue
+            seg: Optional[Segment] = table.dir[0]
+            while seg is not None:
+                yield from seg.items()
+                seg = seg.sibling
+
+    def keys(self) -> Iterator[int]:
+        """All keys in ascending order."""
+        for key, _ in self.items():
+            yield key
+
+    def __iter__(self) -> Iterator[int]:
+        return self.keys()
+
+    def __getitem__(self, key: int) -> Any:
+        """Dict-style lookup; raises KeyError for absent keys."""
+        value = self.get(key)
+        if value is None and key not in self:
+            raise KeyError(key)
+        return value
+
+    def __setitem__(self, key: int, value: Any) -> None:
+        self.insert(key, value)
+
+    def __delitem__(self, key: int) -> None:
+        if not self.delete(key):
+            raise KeyError(key)
+
+    def count_range(self, low: int, high: int) -> int:
+        """Number of keys with low <= key < high.
+
+        Whole segments inside the range are counted from their metadata
+        (``total_keys``), so the cost is proportional to the number of
+        *segments* touched plus the two boundary segments' buckets --
+        far cheaper than materialising the scan.
+        """
+        self._check_key(low)
+        if high <= low:
+            return 0
+        count = 0
+        table_idx = self._table_index(low)
+        table = self._tables[table_idx]
+        seg: Optional[Segment] = None
+        if table is not None:
+            seg = table.segment_for(low & self._local_mask, self._m)
+        while True:
+            while seg is None:
+                table_idx += 1
+                if table_idx >= len(self._tables):
+                    return count
+                table = self._tables[table_idx]
+                if table is not None:
+                    seg = table.dir[0]
+            first_key = self._segment_min_key(seg)
+            if first_key is not None and first_key >= high:
+                return count
+            last_key = self._segment_max_key(seg)
+            if (
+                first_key is not None
+                and first_key >= low
+                and last_key is not None
+                and last_key < high
+            ):
+                count += seg.total_keys  # fully inside: metadata only
+            else:
+                for k, _ in seg.items():
+                    if k >= high:
+                        return count
+                    if k >= low:
+                        count += 1
+            seg = seg.sibling
+
+    @staticmethod
+    def _segment_min_key(seg: Segment) -> Optional[int]:
+        for bucket in seg.buckets:
+            if bucket.keys:
+                return bucket.keys[0]
+        return None
+
+    @staticmethod
+    def _segment_max_key(seg: Segment) -> Optional[int]:
+        for bucket in reversed(seg.buckets):
+            if bucket.keys:
+                return bucket.keys[-1]
+        return None
+
+    def delete_range(self, low: int, high: int) -> int:
+        """Delete every key with low <= key < high; return the count.
+
+        Keys are collected first (deleting while iterating a structure
+        that merges segments underneath the iterator is undefined), then
+        removed through the normal delete path so under-utilized
+        segments still merge down.
+        """
+        victims = [k for k, _ in self.scan_range(low, high)]
+        for k in victims:
+            self.delete(k)
+        return len(victims)
+
+    def insert_many(self, pairs) -> None:
+        """Insert an iterable of (key, value) pairs in the given order.
+
+        There is deliberately no bulk-*loading* path: incremental
+        insertion IS DyTIS's loading story (design consideration 1).
+        """
+        insert = self.insert
+        for key, value in pairs:
+            insert(key, value)
+
+    # -- Algorithm 1 ------------------------------------------------------------
+
+    def _handle_full(self, table: _EHTable, seg: Segment, local: int) -> None:
+        cfg = self.config
+        ld, gd = seg.local_depth, table.global_depth
+        if ld < cfg.l_start:
+            # Basic Extendible hashing until L_start (paper §3.3).
+            if ld == gd:
+                self._double_directory(table)
+            self._split(table, seg, local)
+            return
+        high_util = seg.utilization() > cfg.util_threshold
+        if ld < gd:
+            if high_util:
+                self._split(table, seg, local)
+            elif not self._remap(table, seg, local):
+                self._split(table, seg, local)
+            return
+        # ld == gd
+        if high_util:
+            ok = self._expand(table, seg, local)
+        else:
+            ok = self._remap(table, seg, local)
+        if not ok:
+            self._double_directory(table)
+
+    # -- structure operations ------------------------------------------------
+
+    def _double_directory(self, table: _EHTable) -> None:
+        t0 = time.perf_counter()
+        table.dir = [s for s in table.dir for _ in range(2)]
+        table.global_depth += 1
+        self.stats.doublings += 1
+        self.stats.doubling_time += time.perf_counter() - t0
+
+    def _wire(
+        self,
+        table: _EHTable,
+        old: Segment,
+        start: int,
+        span: int,
+        replacements: List[Segment],
+    ) -> None:
+        """Replace ``old``'s directory span by ``replacements`` and relink.
+
+        ``replacements`` divide the span evenly and are chained in key
+        order; the predecessor segment's sibling pointer is redirected
+        (paper §3.4: sibling updates accompany directory updates).
+        """
+        per = span // len(replacements)
+        for j, seg in enumerate(replacements):
+            for i in range(start + j * per, start + (j + 1) * per):
+                table.dir[i] = seg
+        for a, b in zip(replacements, replacements[1:]):
+            a.sibling = b
+        replacements[-1].sibling = old.sibling
+        if start > 0:
+            prev = table.dir[start - 1]
+            if prev.sibling is old:
+                prev.sibling = replacements[0]
+
+    def _record_window_op(self, ld: int, op: str) -> None:
+        """Track the expansion/split mix that decides the cap boost."""
+        cfg = self.config
+        if self._boost_decided:
+            return
+        check_depth = cfg.l_start + cfg.boost_check_offset
+        if cfg.l_start <= ld < check_depth:
+            if op == "expansion":
+                self._window_expansions += 1
+            else:
+                self._window_splits += 1
+        if ld + 1 >= check_depth and op == "split" or ld >= check_depth:
+            self._decide_boost()
+
+    def _decide_boost(self) -> None:
+        self._boost_decided = True
+        total = self._window_expansions + self._window_splits
+        if total == 0:
+            return
+        portion = self._window_expansions / total
+        self._boosted = portion >= self.config.boost_portion_threshold
+
+    def _cap(self, local_depth: int) -> int:
+        return self.config.segment_cap(local_depth, self._boosted)
+
+    def _split(self, table: _EHTable, seg: Segment, local: int) -> None:
+        """Split ``seg`` into two depth+1 children (paper §3.3 Split)."""
+        t0 = time.perf_counter()
+        ld = seg.local_depth
+        assert ld < table.global_depth, "split requires LD < GD"
+        cap_child = self._cap(ld + 1)
+        left_remap, right_remap = plan_split(seg, cap_child)
+        keys, values = seg.collect()
+        mid = 1 << (seg.domain_bits - 1)
+        split_at = int(np.searchsorted(seg.local_keys_array(keys), mid))
+        cfg = self.config
+        left = build_fitting(
+            ld + 1, left_remap, cfg.bucket_capacity,
+            keys[:split_at], values[:split_at],
+            cap_child, cfg.max_piece_bits,
+        )
+        right = build_fitting(
+            ld + 1, right_remap, cfg.bucket_capacity,
+            keys[split_at:], values[split_at:],
+            cap_child, cfg.max_piece_bits,
+        )
+        idx = table.dir_index(local, self._m)
+        start = table.span_start(idx, ld)
+        span = 1 << (table.global_depth - ld)
+        self._wire(table, seg, start, span, [left, right])
+        self.stats.splits += 1
+        self.stats.keys_moved += len(keys)
+        self.stats.split_time += time.perf_counter() - t0
+        self._record_window_op(ld, "split")
+
+    def _expand(self, table: _EHTable, seg: Segment, local: int) -> bool:
+        """Double ``seg``'s size, scaling its remap (paper §3.3 Expansion)."""
+        t0 = time.perf_counter()
+        ld = seg.local_depth
+        new_remap = seg.remap.doubled()
+        if new_remap.n_buckets > self._cap(ld):
+            self.stats.expansion_failures += 1
+            return False
+        cfg = self.config
+        keys, values = seg.collect()
+        new_seg = build_fitting(
+            ld, new_remap, cfg.bucket_capacity, keys, values,
+            self._cap(ld), cfg.max_piece_bits,
+        )
+        idx = table.dir_index(local, self._m)
+        start = table.span_start(idx, ld)
+        span = 1 << (table.global_depth - ld)
+        self._wire(table, seg, start, span, [new_seg])
+        self.stats.expansions += 1
+        self.stats.keys_moved += len(keys)
+        self.stats.expansion_time += time.perf_counter() - t0
+        self._record_window_op(ld, "expansion")
+        return True
+
+    def _remap(self, table: _EHTable, seg: Segment, local: int) -> bool:
+        """Re-learn ``seg``'s remapping functions (paper §3.3 Remapping)."""
+        t0 = time.perf_counter()
+        cfg = self.config
+        ld = seg.local_depth
+        plan = plan_remap(
+            seg,
+            local,
+            cap=self._cap(ld),
+            util_threshold=cfg.util_threshold,
+            max_piece_bits=cfg.max_piece_bits,
+        )
+        if plan is None:
+            self.stats.remap_failures += 1
+            return False
+        keys, values = seg.collect()
+        new_seg = Segment.build(ld, plan, cfg.bucket_capacity, keys, values)
+        idx = table.dir_index(local, self._m)
+        start = table.span_start(idx, ld)
+        span = 1 << (table.global_depth - ld)
+        self._wire(table, seg, start, span, [new_seg])
+        self.stats.remappings += 1
+        self.stats.keys_moved += len(keys)
+        self.stats.remap_time += time.perf_counter() - t0
+        return True
+
+    def _merge_down(self, table: _EHTable, seg: Segment, local: int) -> None:
+        """Shrink an under-utilized segment after deletes (paper §3.3)."""
+        cfg = self.config
+        target = max(
+            1,
+            -(-seg.total_keys // int(cfg.bucket_capacity * cfg.util_threshold)),
+        )
+        if target >= seg.n_buckets:
+            return
+        keys, values = seg.collect()
+        local_keys = seg.local_keys_array(keys)
+        piece_bits = seg.remap.piece_bits
+        counts = count_pieces(local_keys, seg.domain_bits, piece_bits)
+        allocs = proportional_allocs(counts.tolist(), target)
+        candidate = PiecewiseRemap(seg.domain_bits, allocs)
+        if not layout_fits(candidate, local_keys, cfg.bucket_capacity):
+            return  # keep the larger layout; merging is best-effort
+        new_seg = Segment.build(
+            seg.local_depth, candidate, cfg.bucket_capacity, keys, values
+        )
+        idx = table.dir_index(local, self._m)
+        start = table.span_start(idx, seg.local_depth)
+        span = 1 << (table.global_depth - seg.local_depth)
+        self._wire(table, seg, start, span, [new_seg])
+        self.stats.merges += 1
+        self.stats.keys_moved += len(keys)
+
+    def _try_buddy_merge(self, table: _EHTable, seg: Segment, local: int) -> None:
+        """Merge ``seg`` with its buddy into one depth-1 segment.
+
+        The reverse of a split (paper §3.3 Deletion: merging 'reduces
+        the size of the segment'): when the two segments sharing an
+        LD-1 prefix are both under-utilized, they collapse back into a
+        single segment covering the parent span.
+        """
+        cfg = self.config
+        ld = seg.local_depth
+        if ld < 1 or ld > table.global_depth:
+            return
+        gd = table.global_depth
+        idx = table.dir_index(local, self._m)
+        start = table.span_start(idx, ld)
+        span = 1 << (gd - ld)
+        buddy_start = start ^ span
+        buddy = table.dir[buddy_start]
+        if buddy is seg or buddy.local_depth != ld:
+            return
+        combined = seg.total_keys + buddy.total_keys
+        capacity = cfg.bucket_capacity
+        # Merge only when the union is comfortably under-utilized too.
+        limit = max(1, int(capacity * cfg.util_threshold))
+        target = max(1, -(-combined // limit))
+        if combined > 0.5 * cfg.util_threshold * capacity * (
+            seg.n_buckets + buddy.n_buckets
+        ):
+            return
+        parent_cap = max(self._cap(ld - 1), 1)
+        if target > parent_cap:
+            return
+        left_seg = table.dir[min(start, buddy_start)]
+        right_seg = table.dir[max(start, buddy_start)]
+        keys, values = left_seg.collect()
+        rk, rv = right_seg.collect()
+        keys.extend(rk)
+        values.extend(rv)
+        domain_bits = self._m - (ld - 1)
+        initial = PiecewiseRemap(
+            domain_bits,
+            proportional_allocs(
+                count_pieces(
+                    np.asarray(keys, dtype=np.uint64)
+                    & np.uint64((1 << domain_bits) - 1),
+                    domain_bits,
+                    min(2, domain_bits),
+                ).tolist(),
+                target,
+            ),
+        )
+        merged = build_fitting(
+            ld - 1, initial, capacity, keys, values,
+            parent_cap, cfg.max_piece_bits,
+        )
+        parent_start = min(start, buddy_start)
+        merged.sibling = right_seg.sibling
+        for i in range(parent_start, parent_start + 2 * span):
+            table.dir[i] = merged
+        if parent_start > 0:
+            prev = table.dir[parent_start - 1]
+            if prev.sibling is left_seg:
+                prev.sibling = merged
+        self.stats.merges += 1
+        self.stats.keys_moved += len(keys)
+
+    # -- introspection -----------------------------------------------------------
+
+    def segment_count(self) -> int:
+        return sum(
+            sum(1 for _ in t.unique_segments())
+            for t in self._tables
+            if t is not None
+        )
+
+    def bucket_count(self) -> int:
+        return sum(
+            sum(s.n_buckets for s in t.unique_segments())
+            for t in self._tables
+            if t is not None
+        )
+
+    def model_count(self) -> int:
+        """Total linear models (sub-ranges) across all segments.
+
+        The paper contrasts this with ALEX's node count in §4.4.
+        """
+        return sum(
+            sum(s.remap.n_pieces for s in t.unique_segments())
+            for t in self._tables
+            if t is not None
+        )
+
+    def load_factor(self) -> float:
+        buckets = self.bucket_count()
+        if buckets == 0:
+            return 0.0
+        return self._size / (buckets * self.config.bucket_capacity)
+
+    def describe(self) -> str:
+        """Human-readable structural summary (debugging / ops tooling)."""
+        lines = [
+            f"DyTIS: {self._size:,} keys, key_bits={self.config.key_bits}, "
+            f"R={self.config.first_level_bits}, "
+            f"bucket_capacity={self.config.bucket_capacity}",
+            f"segments={self.segment_count()} buckets={self.bucket_count()} "
+            f"models={self.model_count()} load_factor={self.load_factor():.2f} "
+            f"boosted={self._boosted}",
+            f"ops: {self.stats.splits} splits, {self.stats.expansions} "
+            f"expansions, {self.stats.remappings} remappings, "
+            f"{self.stats.doublings} doublings, {self.stats.merges} merges",
+        ]
+        active = [
+            (ti, t) for ti, t in enumerate(self._tables) if t is not None
+        ]
+        lines.append(f"first level: {len(active)}/{len(self._tables)} EH tables in use")
+        for ti, table in active[:8]:
+            segs = list(table.unique_segments())
+            depths = {}
+            for s in segs:
+                depths[s.local_depth] = depths.get(s.local_depth, 0) + 1
+            lines.append(
+                f"  EH[{ti}]: GD={table.global_depth}, {len(segs)} segments, "
+                f"LD histogram {dict(sorted(depths.items()))}"
+            )
+        if len(active) > 8:
+            lines.append(f"  ... and {len(active) - 8} more tables")
+        return "\n".join(lines)
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError on any structural inconsistency (test hook)."""
+        total = 0
+        for ti, table in enumerate(self._tables):
+            if table is None:
+                continue
+            gd = table.global_depth
+            assert len(table.dir) == 1 << gd
+            chain = []
+            seen = set()
+            i = 0
+            while i < len(table.dir):
+                seg = table.dir[i]
+                assert id(seg) not in seen, "segment spans not contiguous"
+                seen.add(id(seg))
+                ld = seg.local_depth
+                assert ld <= gd
+                span = 1 << (gd - ld)
+                assert i % span == 0, "segment span misaligned"
+                for j in range(i, i + span):
+                    assert table.dir[j] is seg
+                prefix = i >> (gd - ld) if gd > ld else i
+                for k, _ in seg.items():
+                    lk = k & self._local_mask
+                    assert k >> self._m == ti, "key in wrong EH table"
+                    if ld:
+                        assert lk >> (self._m - ld) == prefix, "key in wrong segment"
+                seg.check_invariants()
+                chain.append(seg)
+                total += seg.total_keys
+                i += span
+            # Sibling chain must equal directory order, ending with None.
+            for a, b in zip(chain, chain[1:]):
+                assert a.sibling is b, "sibling chain broken"
+            assert chain[-1].sibling is None
+        assert total == self._size

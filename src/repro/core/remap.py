@@ -1,0 +1,239 @@
+"""Piecewise-linear remapping functions (paper §3.2, Figures 6-7).
+
+A segment with local key domain [0, 2^domain_bits) divides that domain
+into S = 2^piece_bits equal-width sub-ranges.  Sub-range i owns
+``allocs[i]`` consecutive buckets; the remapping function over the
+sub-range is the line from its first to its last bucket, so a segment
+maps key ``k`` to bucket
+
+    cum[i] + allocs[i] * (k - i*W) // W          (W = domain width / S)
+
+which is exactly F(K) // 2^(n-R-LD) from the paper with F the scaled
+piecewise-linear CDF: slope_i ∝ allocs[i], intercepts accumulated so F
+is monotone and continuous.  All arithmetic is integer and exact.
+
+Sub-ranges with allocation 0 are permitted (their keys fall into the
+first bucket of the next allocated sub-range); the function stays
+monotone, so natural key order is always preserved -- the invariant
+scans rely on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+class PiecewiseRemap:
+    """Monotone piecewise-linear key→bucket mapping for one segment."""
+
+    __slots__ = (
+        "domain_bits",
+        "piece_bits",
+        "allocs",
+        "_cum",
+        "_shift",
+        "_allocs_np",
+        "_cum_np",
+    )
+
+    def __init__(self, domain_bits: int, allocs: Sequence[int]):
+        if domain_bits < 0:
+            raise ValueError("domain_bits must be >= 0")
+        n_pieces = len(allocs)
+        if n_pieces < 1 or n_pieces & (n_pieces - 1):
+            raise ValueError("number of sub-ranges must be a power of two")
+        piece_bits = n_pieces.bit_length() - 1
+        if piece_bits > domain_bits:
+            raise ValueError("more sub-ranges than distinct keys in domain")
+        arr = np.asarray(allocs, dtype=np.int64)
+        if arr.size and int(arr.min()) < 0:
+            raise ValueError("bucket allocations must be non-negative")
+        cum = np.concatenate([[0], np.cumsum(arr)])
+        if int(cum[-1]) < 1:
+            raise ValueError("segment must own at least one bucket")
+        self.domain_bits = domain_bits
+        self.piece_bits = piece_bits
+        self.allocs = arr.tolist()
+        self._shift = domain_bits - piece_bits  # log2 of sub-range width
+        self._cum = cum.tolist()
+        self._allocs_np = arr.astype(np.uint64)
+        self._cum_np = cum[:-1].astype(np.uint64)
+
+    @property
+    def n_pieces(self) -> int:
+        return len(self.allocs)
+
+    @property
+    def n_buckets(self) -> int:
+        return self._cum[-1]
+
+    def piece_of(self, key: int) -> int:
+        """Sub-range index owning segment-local ``key``."""
+        return key >> self._shift
+
+    def bucket_of(self, key: int) -> int:
+        """Bucket index for segment-local ``key``.
+
+        For a zero-allocation sub-range this is the first bucket of the
+        next allocated one (the flat step of the CDF); the final
+        sub-ranges being zero-allocated would map past the end, so those
+        keys clamp to the last bucket.
+        """
+        i = key >> self._shift
+        offset = key & ((1 << self._shift) - 1)
+        b = self._cum[i] + ((self.allocs[i] * offset) >> self._shift)
+        if b >= self._cum[-1]:  # trailing zero-allocation sub-ranges
+            return self._cum[-1] - 1
+        return b
+
+    def bucket_indices(self, local_keys: "np.ndarray") -> "np.ndarray":
+        """Vectorised :meth:`bucket_of` over a uint64 key array.
+
+        Uses exact uint64 arithmetic when the intermediate product
+        ``alloc * offset`` provably fits in 64 bits, otherwise falls
+        back to exact per-key Python integers, so the result always
+        matches the scalar routing.
+        """
+        n = local_keys.shape[0]
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        shift = self._shift
+        pieces = (local_keys >> np.uint64(shift)).astype(np.int64)
+        max_alloc = max(self.allocs)
+        if max_alloc.bit_length() + shift < 64:
+            offsets = local_keys & np.uint64((1 << shift) - 1)
+            b = self._cum_np[pieces] + (
+                (self._allocs_np[pieces] * offsets) >> np.uint64(shift)
+            )
+            b = b.astype(np.int64)
+        else:
+            b = np.fromiter(
+                (self.bucket_of(int(k)) for k in local_keys),
+                dtype=np.int64,
+                count=n,
+            )
+        return np.minimum(b, self._cum[-1] - 1)
+
+    def piece_span(self, i: int) -> range:
+        """Bucket indices owned by sub-range ``i``."""
+        return range(self._cum[i], self._cum[i + 1])
+
+    def first_key_of_bucket(self, b: int) -> int:
+        """Smallest segment-local key mapping to bucket ``b``.
+
+        Used by scans to seed a search; exact inverse of
+        :meth:`bucket_of` at bucket granularity.
+        """
+        if not 0 <= b < self.n_buckets:
+            raise IndexError("bucket out of range")
+        # Find the sub-range owning bucket b.
+        lo, hi = 0, self.n_pieces
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cum[mid + 1] <= b:
+                lo = mid + 1
+            else:
+                hi = mid
+        i = lo
+        within = b - self._cum[i]
+        width = 1 << self._shift
+        # Smallest offset with (allocs[i] * offset) >> shift == within.
+        offset = -(-(within << self._shift) // self.allocs[i])  # ceil div
+        return (i << self._shift) + min(offset, width - 1)
+
+    def doubled(self) -> "PiecewiseRemap":
+        """All slopes doubled -- the expansion operation (paper §3.3)."""
+        return PiecewiseRemap(self.domain_bits, [a * 2 for a in self.allocs])
+
+    def refined(self, piece_counts: Sequence[int]) -> "PiecewiseRemap":
+        """Halve every sub-range, splitting allocations by key counts.
+
+        ``piece_counts`` gives the key count of each *new* (refined)
+        sub-range, length 2*S; each old allocation is divided between
+        its two halves proportionally so the refined CDF tracks the
+        real one more closely (paper Figure 7).
+        """
+        if len(piece_counts) != 2 * self.n_pieces:
+            raise ValueError("need counts for 2*S refined sub-ranges")
+        if self.piece_bits + 1 > self.domain_bits:
+            raise ValueError("cannot refine below single-key sub-ranges")
+        new_allocs: List[int] = []
+        for i, a in enumerate(self.allocs):
+            left, right = piece_counts[2 * i], piece_counts[2 * i + 1]
+            total = left + right
+            la = a * left // total if total else a // 2
+            new_allocs.extend((la, a - la))
+        return PiecewiseRemap(self.domain_bits, new_allocs)
+
+    def halves(self) -> "tuple[PiecewiseRemap, PiecewiseRemap]":
+        """Split into per-half remaps with doubled allocations.
+
+        This is the paper's segment split: each child covers half the
+        domain, keeps the slopes of its sub-ranges, and doubles its size
+        ('one segment will have two buckets, while the other will have
+        six').  A single-sub-range parent yields single-sub-range
+        children.
+        """
+        if self.domain_bits < 1:
+            raise ValueError("cannot halve a single-key domain")
+        if self.n_pieces == 1:
+            left_allocs = [max(1, self.allocs[0])]
+            right_allocs = [max(1, self.allocs[0])]
+        else:
+            half = self.n_pieces // 2
+            left_allocs = [a * 2 for a in self.allocs[:half]]
+            right_allocs = [a * 2 for a in self.allocs[half:]]
+        left = PiecewiseRemap(self.domain_bits - 1, _ensure_nonempty(left_allocs))
+        right = PiecewiseRemap(self.domain_bits - 1, _ensure_nonempty(right_allocs))
+        return left, right
+
+    def check_invariants(self) -> None:
+        assert self._cum[-1] == sum(self.allocs) >= 1
+        assert self._cum == [sum(self.allocs[:i]) for i in range(self.n_pieces + 1)]
+        # Monotonicity: spot-check sub-range boundaries.
+        prev = 0
+        for i in range(self.n_pieces):
+            first = self.bucket_of(i << self._shift)
+            assert first >= prev - 0
+            prev = first
+
+
+def _ensure_nonempty(allocs: List[int]) -> List[int]:
+    """Guarantee at least one bucket in a child segment."""
+    if sum(allocs) < 1:
+        allocs = list(allocs)
+        allocs[-1] = 1
+    return allocs
+
+
+def proportional_allocs(
+    piece_counts: Sequence[int], n_buckets: int
+) -> List[int]:
+    """Distribute ``n_buckets`` over sub-ranges proportionally to counts.
+
+    Largest-remainder apportionment (vectorised -- this runs on every
+    remapping plan); sub-ranges holding keys get priority for the
+    remainder buckets.  This realises the paper's remapping adjustment:
+    low-utilization sub-ranges 'give' buckets to high-utilization ones
+    until utilizations equalise (Figure 6).
+    """
+    counts = np.asarray(piece_counts, dtype=np.float64)
+    n = counts.size
+    total = counts.sum()
+    if total == 0:
+        base = np.full(n, n_buckets // n, dtype=np.int64)
+        base[: n_buckets - int(base.sum())] += 1
+        return base.tolist()
+    quotas = counts * (n_buckets / total)
+    allocs = quotas.astype(np.int64)
+    remaining = n_buckets - int(allocs.sum())
+    if remaining > 0:
+        # Rank by remainder, breaking ties toward non-empty zero-alloc
+        # sub-ranges so they get their reserve bucket first.
+        fractional = quotas - allocs
+        fractional[(counts > 0) & (allocs == 0)] += 1.0
+        order = np.argsort(-fractional)
+        allocs[order[:remaining]] += 1
+    return allocs.tolist()

@@ -1,0 +1,411 @@
+"""Variable-size segments (paper §3.2-3.3).
+
+A segment owns a contiguous slice of an EH table's key range (all keys
+sharing its LD-bit directory prefix), a :class:`PiecewiseRemap` CDF
+approximation over the remaining low bits, and a variable number of
+fixed-capacity sorted buckets.  Buckets store *full* keys (the paper
+stores raw keys and uses the remapped key only for routing); routing
+masks a key down to its segment-local low ``domain_bits`` bits.  Since
+every key in a segment shares the same high bits, full-key order equals
+segment-local order, so buckets stay sorted either way.
+
+This module also implements the *planners* for Algorithm 1's structure
+operations: :func:`plan_remap` (refine sub-ranges, steal buckets, grow
+bounded by the per-depth cap -- §3.3 Remapping) and :func:`plan_split`
+(children keep sub-range slopes with doubled allocations -- §3.3 Split),
+plus :func:`build_fitting`, the rebuild loop that guarantees a new
+segment layout actually holds its keys.  Planners and rebuilds are
+vectorised with numpy: structure operations touch every key of a
+segment, exactly the memory-copy cost the paper measures, so they are
+the hot path.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.bucket import Bucket
+from repro.core.remap import PiecewiseRemap, proportional_allocs
+
+
+class SegmentOverflow(Exception):
+    """A layout cannot hold its keys within bucket capacity."""
+
+    def __init__(self, bucket_index: int):
+        super().__init__(f"bucket {bucket_index} over capacity")
+        self.bucket_index = bucket_index
+
+
+class Segment:
+    """One DyTIS segment: remap function + sorted buckets + metadata."""
+
+    __slots__ = (
+        "local_depth",
+        "remap",
+        "buckets",
+        "piece_counts",
+        "total_keys",
+        "bucket_capacity",
+        "sibling",
+        "lock",
+        "_mask",
+    )
+
+    def __init__(
+        self,
+        local_depth: int,
+        remap: PiecewiseRemap,
+        bucket_capacity: int,
+    ):
+        self.local_depth = local_depth
+        self.remap = remap
+        self.bucket_capacity = bucket_capacity
+        self.buckets = [Bucket(bucket_capacity) for _ in range(remap.n_buckets)]
+        self.piece_counts = [0] * remap.n_pieces
+        self.total_keys = 0
+        #: Next segment in key order within the same EH (paper §3.2).
+        self.sibling: Optional["Segment"] = None
+        #: Segment-level lock for the concurrent wrapper (paper §3.4).
+        self.lock = threading.Lock()
+        self._mask = (1 << remap.domain_bits) - 1
+
+    # -- basic properties ------------------------------------------------
+
+    @property
+    def n_buckets(self) -> int:
+        return self.remap.n_buckets
+
+    @property
+    def domain_bits(self) -> int:
+        return self.remap.domain_bits
+
+    def local_key(self, key: int) -> int:
+        """Segment-local routing key: the low ``domain_bits`` bits."""
+        return key & self._mask
+
+    def utilization(self) -> float:
+        return self.total_keys / (self.n_buckets * self.bucket_capacity)
+
+    def piece_utilization(self, piece: int) -> float:
+        allocated = max(self.remap.allocs[piece], 1) * self.bucket_capacity
+        return self.piece_counts[piece] / allocated
+
+    # -- point operations -------------------------------------------------
+
+    def bucket_index_for(self, key: int) -> int:
+        return self.remap.bucket_of(key & self._mask)
+
+    def bucket_for(self, key: int) -> Bucket:
+        return self.buckets[self.remap.bucket_of(key & self._mask)]
+
+    def get(self, key: int) -> Optional[Any]:
+        return self.bucket_for(key).get(key)
+
+    def contains(self, key: int) -> bool:
+        return self.bucket_for(key).find(key) >= 0
+
+    def insert(self, key: int, value: Any) -> str:
+        """Sorted insert-or-update; 'inserted', 'updated', or 'full'."""
+        result = self.bucket_for(key).insert(key, value)
+        if result == "inserted":
+            self.total_keys += 1
+            self.piece_counts[self.remap.piece_of(key & self._mask)] += 1
+        return result
+
+    def delete(self, key: int) -> bool:
+        if self.bucket_for(key).delete(key):
+            self.total_keys -= 1
+            self.piece_counts[self.remap.piece_of(key & self._mask)] -= 1
+            return True
+        return False
+
+    # -- iteration ----------------------------------------------------------
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        """All (full key, value) pairs in ascending key order."""
+        for bucket in self.buckets:
+            yield from bucket.items()
+
+    def iter_from(self, key: int) -> Iterator[Tuple[int, Any]]:
+        """Pairs with key >= ``key``, ascending (``key`` must route here)."""
+        start = self.remap.bucket_of(key & self._mask)
+        bucket = self.buckets[start]
+        i = bucket.lower_bound(key)
+        yield from zip(bucket.keys[i:], bucket.values[i:])
+        for bucket in self.buckets[start + 1 :]:
+            yield from bucket.items()
+
+    def collect(self) -> Tuple[List[int], List[Any]]:
+        """All keys and values as parallel ascending lists (rebuild input)."""
+        keys: List[int] = []
+        values: List[Any] = []
+        for bucket in self.buckets:
+            keys.extend(bucket.keys)
+            values.extend(bucket.values)
+        return keys, values
+
+    def local_keys_array(self, keys: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Segment-local keys as an ascending uint64 array (planner input)."""
+        if keys is None:
+            keys, _ = self.collect()
+        arr = np.asarray(keys, dtype=np.uint64)
+        return arr & np.uint64(self._mask)
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        local_depth: int,
+        remap: PiecewiseRemap,
+        bucket_capacity: int,
+        keys: Sequence[int],
+        values: Sequence[Any],
+    ) -> "Segment":
+        """Build a segment from ascending ``keys`` and parallel ``values``.
+
+        Vectorised: one pass computes every key's bucket, a bincount
+        checks capacity, and buckets are filled by slice.  Raises
+        :class:`SegmentOverflow` when some bucket would exceed capacity
+        under ``remap``; callers pre-check with :func:`layout_fits` or
+        use :func:`build_fitting`.
+        """
+        seg = cls(local_depth, remap, bucket_capacity)
+        n = len(keys)
+        if n == 0:
+            return seg
+        lk = np.asarray(keys, dtype=np.uint64) & np.uint64(seg._mask)
+        idx = remap.bucket_indices(lk)
+        counts = np.bincount(idx, minlength=remap.n_buckets)
+        if counts.max(initial=0) > bucket_capacity:
+            raise SegmentOverflow(int(counts.argmax()))
+        bounds = np.concatenate([[0], np.cumsum(counts)])
+        values = list(values)
+        keys = list(keys)
+        for b in range(remap.n_buckets):
+            lo, hi = int(bounds[b]), int(bounds[b + 1])
+            if lo == hi:
+                continue
+            bucket = seg.buckets[b]
+            bucket.keys = keys[lo:hi]
+            bucket.values = values[lo:hi]
+        shift = remap.domain_bits - remap.piece_bits
+        pc = np.bincount(
+            (lk >> np.uint64(shift)).astype(np.int64), minlength=remap.n_pieces
+        )
+        seg.piece_counts = pc.tolist()
+        seg.total_keys = n
+        return seg
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError on internal inconsistencies (test hook)."""
+        self.remap.check_invariants()
+        assert len(self.buckets) == self.remap.n_buckets
+        total = 0
+        last_key = -1
+        counts = [0] * self.remap.n_pieces
+        for bi, bucket in enumerate(self.buckets):
+            bucket.check_invariants()
+            for k in bucket.keys:
+                assert k > last_key, "keys out of order across buckets"
+                last_key = k
+                local = k & self._mask
+                assert self.remap.bucket_of(local) == bi, "key in wrong bucket"
+                counts[self.remap.piece_of(local)] += 1
+            total += len(bucket)
+        assert total == self.total_keys
+        assert counts == self.piece_counts
+
+
+# -- planners ---------------------------------------------------------------
+
+
+def layout_fits(
+    remap: PiecewiseRemap,
+    local_keys: np.ndarray,
+    bucket_capacity: int,
+    extra_key: Optional[int] = None,
+) -> bool:
+    """Would ``local_keys`` (plus ``extra_key``) fit under ``remap``?"""
+    counts = np.bincount(remap.bucket_indices(local_keys), minlength=remap.n_buckets)
+    if extra_key is not None:
+        counts[remap.bucket_of(extra_key)] += 1
+    return int(counts.max(initial=0)) <= bucket_capacity
+
+
+def count_pieces(
+    local_keys: np.ndarray, domain_bits: int, piece_bits: int
+) -> np.ndarray:
+    """Histogram segment-local keys over 2^piece_bits equal sub-ranges."""
+    shift = np.uint64(domain_bits - piece_bits)
+    return np.bincount(
+        (local_keys >> shift).astype(np.int64), minlength=1 << piece_bits
+    )
+
+
+def _aggregate(finest: np.ndarray, from_bits: int, to_bits: int) -> np.ndarray:
+    """Coarsen a 2^from_bits histogram down to 2^to_bits sub-ranges."""
+    if from_bits == to_bits:
+        return finest
+    return finest.reshape(1 << to_bits, -1).sum(axis=1)
+
+
+def plan_remap(
+    segment: Segment,
+    insert_key: int,
+    cap: int,
+    util_threshold: float,
+    max_piece_bits: int,
+) -> Optional[PiecewiseRemap]:
+    """Compute the remapped layout for ``segment`` (paper §3.3 Remapping).
+
+    Returns a :class:`PiecewiseRemap` under which all current keys plus
+    ``insert_key`` fit, or None when no layout within the segment-size
+    cap ``cap`` works (remapping *fails* and Algorithm 1 escalates).
+
+    Procedure:
+      1. refine sub-ranges (halving widths) until the sub-range that
+         will receive ``insert_key`` has utilization > U_t, or the
+         granularity limit is reached (Figure 7);
+      2. re-apportion the current buckets over sub-ranges by key count,
+         which steals buckets from low-utilization sub-ranges for
+         high-utilization ones (Figure 6);
+      3. if the layout still overflows, grow the bucket count
+         geometrically up to ``cap`` (the paper doubles the target
+         sub-range's share; geometric growth of the total is the
+         same policy at whole-segment granularity).
+    """
+    local_keys = segment.local_keys_array()
+    insert_local = segment.local_key(insert_key)
+    domain_bits = segment.domain_bits
+    capacity = segment.bucket_capacity
+    n_buckets = segment.n_buckets
+    max_bits = min(max_piece_bits, domain_bits)
+
+    finest = count_pieces(local_keys, domain_bits, max_bits)
+    piece_bits = min(segment.remap.piece_bits, max_bits)
+
+    def counts_at(bits: int) -> np.ndarray:
+        return _aggregate(finest, max_bits, bits)
+
+    def target_piece(bits: int) -> int:
+        return insert_local >> (domain_bits - bits) if bits else 0
+
+    # Step 1: refine until the target sub-range's utilization clears U_t.
+    # Stop early once the target sub-range is small enough that a single
+    # threshold-utilization bucket holds it: refining past that point
+    # cannot sharpen the CDF further, it only fragments the allocation.
+    min_target_keys = max(1.0, capacity * util_threshold)
+    while piece_bits < max_bits:
+        counts = counts_at(piece_bits)
+        allocs = proportional_allocs(counts.tolist(), n_buckets)
+        t = target_piece(piece_bits)
+        if (int(counts[t]) + 1) / (max(allocs[t], 1) * capacity) > util_threshold:
+            break
+        if int(counts[t]) + 1 <= min_target_keys:
+            break
+        piece_bits += 1
+    counts = counts_at(piece_bits)
+
+    # Steps 2-3: try the re-apportioned layout, growing B on overflow.
+    while True:
+        allocs = proportional_allocs(counts.tolist(), n_buckets)
+        candidate = PiecewiseRemap(domain_bits, allocs)
+        if layout_fits(candidate, local_keys, capacity, insert_local):
+            return candidate
+        if piece_bits < max_bits and int(counts.max(initial=0)) + 1 > capacity:
+            # Some sub-range (counting the pending insert) overfills even
+            # a dedicated bucket: the CDF is too coarse there, and
+            # refining is free (same B).
+            piece_bits += 1
+            counts = counts_at(piece_bits)
+            continue
+        # Otherwise overflow means too few buckets: grow by the target
+        # sub-range's share (the paper doubles the target's allocation).
+        if n_buckets >= cap:
+            return None
+        growth = max(allocs[target_piece(piece_bits)], 1, n_buckets // 8)
+        n_buckets = min(cap, n_buckets + growth)
+
+
+def plan_split(
+    segment: Segment, cap_child: int
+) -> Tuple[PiecewiseRemap, PiecewiseRemap]:
+    """Child remaps for splitting ``segment`` (paper §3.3 Split).
+
+    Children keep the parent's per-sub-range slopes with doubled
+    allocations ('compute the size that accommodates the keys of the
+    sub-range, then double it'), clamped to the child-depth cap.  A
+    single-sub-range parent sizes children directly from key counts.
+    """
+    remap = segment.remap
+    cap_child = max(cap_child, 1)
+    if remap.n_pieces > 1:
+        left, right = remap.halves()
+        return _clamp_total(left, cap_child), _clamp_total(right, cap_child)
+    # Single sub-range: size children to 2 * ceil(count / capacity).
+    mid = 1 << (segment.domain_bits - 1)
+    local_keys = segment.local_keys_array()
+    left_count = int(np.searchsorted(local_keys, mid))
+    right_count = segment.total_keys - left_count
+    child_bits = segment.domain_bits - 1
+    capacity = segment.bucket_capacity
+
+    def child(count: int) -> PiecewiseRemap:
+        size = max(1, 2 * -(-count // capacity))
+        return PiecewiseRemap(child_bits, [min(size, cap_child)])
+
+    return child(left_count), child(right_count)
+
+
+def _clamp_total(remap: PiecewiseRemap, cap: int) -> PiecewiseRemap:
+    """Scale a remap's allocations down to at most ``cap`` buckets."""
+    if remap.n_buckets <= cap:
+        return remap
+    return PiecewiseRemap(
+        remap.domain_bits, proportional_allocs(remap.allocs, cap)
+    )
+
+
+def build_fitting(
+    local_depth: int,
+    initial_remap: PiecewiseRemap,
+    bucket_capacity: int,
+    keys: Sequence[int],
+    values: Sequence[Any],
+    cap: int,
+    max_piece_bits: int,
+) -> Segment:
+    """Build a segment for the items, adjusting the layout until it fits.
+
+    Tries ``initial_remap`` first, then refines sub-ranges and grows the
+    bucket count (respecting ``cap`` while possible).  As a final safety
+    valve the cap is ignored rather than losing keys -- an over-cap
+    segment simply fails its next remap/expansion, pushing Algorithm 1
+    toward a split, so the policy is preserved.
+    """
+    domain_bits = initial_remap.domain_bits
+    mask = np.uint64((1 << domain_bits) - 1)
+    local_keys = np.asarray(keys, dtype=np.uint64) & mask
+    if layout_fits(initial_remap, local_keys, bucket_capacity):
+        return Segment.build(local_depth, initial_remap, bucket_capacity, keys, values)
+    max_bits = min(max_piece_bits, domain_bits)
+    piece_bits = min(initial_remap.piece_bits, max_bits)
+    n_buckets = initial_remap.n_buckets
+    finest = count_pieces(local_keys, domain_bits, max_bits)
+    while True:
+        counts = _aggregate(finest, max_bits, piece_bits)
+        allocs = proportional_allocs(counts.tolist(), n_buckets)
+        candidate = PiecewiseRemap(domain_bits, allocs)
+        if layout_fits(candidate, local_keys, bucket_capacity):
+            return Segment.build(
+                local_depth, candidate, bucket_capacity, keys, values
+            )
+        if piece_bits < max_bits and int(counts.max(initial=0)) > bucket_capacity:
+            piece_bits += 1
+            continue
+        # Grow; past the cap this is the safety valve (see docstring).
+        n_buckets += max(1, n_buckets // 4)

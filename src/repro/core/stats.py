@@ -1,0 +1,52 @@
+"""Operation statistics for DyTIS (paper §4.3 insertion breakdown).
+
+Counts and wall-clock time of each structure-maintaining operation, plus
+the number of keys moved (the paper's memory-copy overhead proxy: 58% of
+remapping cost is memory copy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class OperationStats:
+    """Mutable counters attached to one DyTIS instance."""
+
+    splits: int = 0
+    expansions: int = 0
+    remappings: int = 0
+    doublings: int = 0
+    merges: int = 0
+    remap_failures: int = 0
+    expansion_failures: int = 0
+    #: Keys copied into fresh segments by splits/expansions/remappings.
+    keys_moved: int = 0
+    split_time: float = 0.0
+    expansion_time: float = 0.0
+    remap_time: float = 0.0
+    doubling_time: float = 0.0
+
+    def structural_ops(self) -> int:
+        return self.splits + self.expansions + self.remappings + self.doublings
+
+    def structural_time(self) -> float:
+        return (
+            self.split_time
+            + self.expansion_time
+            + self.remap_time
+            + self.doubling_time
+        )
+
+    def breakdown(self) -> dict:
+        """Per-operation share of structural time (paper's breakdown)."""
+        total = self.structural_time()
+        if total == 0.0:
+            return {"split": 0.0, "expansion": 0.0, "remapping": 0.0, "doubling": 0.0}
+        return {
+            "split": self.split_time / total,
+            "expansion": self.expansion_time / total,
+            "remapping": self.remap_time / total,
+            "doubling": self.doubling_time / total,
+        }

@@ -1,0 +1,48 @@
+"""Synthetic stand-ins for the paper's datasets (Table 1, Figure 1).
+
+The paper evaluates on five real-world datasets (Map-M, Map-L, Review-M,
+Review-L, Taxi) plus the simpler Group-3 datasets used by prior learned-
+index work (Uniform, Lognormal, Longlat, Longitudes).  The real datasets
+are not redistributable, so each generator here synthesises keys whose
+*dynamic characteristics* -- variance of skewness and key-distribution
+divergence, the quantities that drive index behaviour -- land in the same
+region of the paper's Figure 1.  See DESIGN.md §1 for the substitution
+rationale.
+
+All generators return a 1-D ``numpy.ndarray`` of unique ``uint64`` keys
+in *insertion order* (order matters: it is what KDD measures).
+"""
+
+from repro.datasets.generators import (
+    uniform,
+    lognormal,
+    longlat,
+    longitudes,
+    map_like,
+    review_like,
+    taxi_like,
+    shuffled,
+    generate,
+    DATASET_NAMES,
+    GROUP1,
+    GROUP3,
+)
+from repro.datasets.stats import dataset_stats, DatasetStats, table1
+
+__all__ = [
+    "uniform",
+    "lognormal",
+    "longlat",
+    "longitudes",
+    "map_like",
+    "review_like",
+    "taxi_like",
+    "shuffled",
+    "generate",
+    "DATASET_NAMES",
+    "GROUP1",
+    "GROUP3",
+    "dataset_stats",
+    "DatasetStats",
+    "table1",
+]

@@ -1,0 +1,260 @@
+"""Key-stream generators mimicking the paper's dataset characteristics.
+
+Target positions on the paper's Figure 1 (skewness class, KDD class):
+
+===========  ==========  =====  ====================================
+Generator    Paper name  Class  Mechanism
+===========  ==========  =====  ====================================
+map_like     Map-M/L     L, M   region-walk insertion over broad
+                                 near-uniform spatial regions
+review_like  Review-M/L  H, L   Zipf-clustered concatenated IDs,
+                                 stationary insert distribution
+taxi_like    Taxi        M, H   monotonically advancing timestamps
+                                 with diurnal structure
+uniform      Uniform     L, L   i.i.d. uniform keys
+lognormal    Lognormal   L, L   shuffled lognormal values
+longlat      Longlat     M-H, L shuffled clustered geo compound keys
+longitudes   Longitudes  M, L   shuffled clustered 1-D geo keys
+===========  ==========  =====  ====================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+KEY_BITS = 64
+_KEY_MAX = np.uint64(2**63 - 1)  # keep keys in the positive int64 range
+
+
+def _unique_in_order(keys: np.ndarray, n: int, rng: np.random.Generator) -> np.ndarray:
+    """First ``n`` unique keys of ``keys`` preserving insertion order.
+
+    Tops up with uniform random keys in the rare case deduplication
+    leaves fewer than ``n``.
+    """
+    keys = keys.astype(np.uint64)
+    _, first_idx = np.unique(keys, return_index=True)
+    ordered = keys[np.sort(first_idx)]
+    while ordered.size < n:
+        extra = rng.integers(0, int(_KEY_MAX), size=n, dtype=np.uint64)
+        merged = np.concatenate([ordered, extra])
+        _, first_idx = np.unique(merged, return_index=True)
+        ordered = merged[np.sort(first_idx)]
+    return ordered[:n]
+
+
+def uniform(n: int, seed: int = 0) -> np.ndarray:
+    """Uniform i.i.d. keys over the full key space (Group 3 'Uniform')."""
+    rng = np.random.default_rng(seed)
+    raw = rng.integers(0, int(_KEY_MAX), size=int(n * 1.01) + 16, dtype=np.uint64)
+    return _unique_in_order(raw, n, rng)
+
+
+def lognormal(n: int, seed: int = 0, sigma: float = 2.0) -> np.ndarray:
+    """Shuffled lognormal keys (Group 3 'Lognormal')."""
+    rng = np.random.default_rng(seed)
+    raw = rng.lognormal(mean=0.0, sigma=sigma, size=int(n * 1.05) + 16)
+    scaled = (raw / raw.max() * float(_KEY_MAX)).astype(np.uint64)
+    return _unique_in_order(scaled, n, rng)
+
+
+def _clustered_positions(
+    n: int,
+    rng: np.random.Generator,
+    n_clusters: int,
+    spread: float,
+) -> np.ndarray:
+    """Points drawn around ``n_clusters`` centers in [0, 1)."""
+    centers = rng.random(n_clusters)
+    weights = rng.dirichlet(np.ones(n_clusters) * 0.5)
+    assignment = rng.choice(n_clusters, size=n, p=weights)
+    points = centers[assignment] + rng.normal(0.0, spread, size=n)
+    return np.clip(points, 0.0, 1.0 - 1e-12)
+
+
+def longlat(n: int, seed: int = 0, n_clusters: int = 64) -> np.ndarray:
+    """Shuffled compound geo keys with dense clusters (Group 3 'Longlat').
+
+    Key = (longitude-like bucket << 32) | latitude-like offset, with both
+    coordinates drawn around population-style clusters.  Insertion order
+    is shuffled, so KDD is low while skewness is the highest of Group 3.
+    """
+    rng = np.random.default_rng(seed)
+    over = int(n * 1.1) + 16
+    lon = _clustered_positions(over, rng, n_clusters, spread=0.004)
+    lat = _clustered_positions(over, rng, n_clusters, spread=0.004)
+    keys = (lon * (2**31)).astype(np.uint64) << np.uint64(32)
+    keys |= (lat * (2**32)).astype(np.uint64)
+    rng.shuffle(keys)
+    return _unique_in_order(keys, n, rng)
+
+
+def longitudes(n: int, seed: int = 0, n_clusters: int = 32) -> np.ndarray:
+    """Shuffled clustered 1-D geo keys (Group 3 'Longitudes')."""
+    rng = np.random.default_rng(seed)
+    over = int(n * 1.1) + 16
+    pos = _clustered_positions(over, rng, n_clusters, spread=0.01)
+    keys = (pos * float(_KEY_MAX)).astype(np.uint64)
+    rng.shuffle(keys)
+    return _unique_in_order(keys, n, rng)
+
+
+def map_like(
+    n: int,
+    seed: int = 0,
+    half_width: float = 0.22,
+    drift_scale: float = 12.0,
+) -> np.ndarray:
+    """Map-M/Map-L stand-in: low skewness, medium KDD.
+
+    Map extracts are ingested region by region, so at any moment keys
+    arrive near-uniformly from a *broad contiguous swath* of the key
+    space and that swath drifts as the ingest sweeps the continent.  We
+    model this directly: a region center performs a smooth random walk
+    over [0, 1] and each key is uniform in ``center ± half_width``.  A
+    single insertion window is close to uniform over one wide interval
+    (1-3 CDF models: low skewness) while consecutive windows cover
+    shifted intervals (medium KDD).
+    """
+    rng = np.random.default_rng(seed)
+    over = int(n * 1.05) + 16
+    steps = rng.standard_normal(over) * (drift_scale / over)
+    center = np.cumsum(steps)
+    # Reflect the walk into [0, 1] so it keeps drifting without sticking
+    # to the boundary.
+    center = np.abs((center + 1.0) % 2.0 - 1.0)
+    pos = center + (rng.random(over) * 2.0 - 1.0) * half_width
+    pos = np.clip(pos, 0.0, 1.0 - 1e-12)
+    keys = (pos * float(_KEY_MAX)).astype(np.uint64)
+    return _unique_in_order(keys, n, rng)
+
+
+def review_like(
+    n: int,
+    seed: int = 0,
+    n_items: int = 4096,
+    zipf_a: float = 1.3,
+) -> np.ndarray:
+    """Review-M/Review-L stand-in: high skewness, low KDD.
+
+    Keys concatenate (item ID | user ID | review time) as in the paper's
+    Amazon-review keys.  Item popularity is Zipfian and item IDs are
+    sparse in a wide ID space, so the key-space CDF is a staircase of
+    dense clusters separated by large gaps -- many PLR models per window
+    (high skewness).  Reviews arrive in time order across *all* items,
+    so every window sees the same item mix (low KDD).
+    """
+    rng = np.random.default_rng(seed)
+    over = int(n * 1.05) + 16
+    # Sparse item IDs: 24 bits of ID space, only n_items of them in use.
+    item_ids = np.sort(rng.choice(2**24, size=n_items, replace=False))
+    ranks = np.arange(1, n_items + 1, dtype=np.float64)
+    popularity = ranks**-zipf_a
+    popularity /= popularity.sum()
+    chosen = rng.choice(n_items, size=over, p=popularity)
+    user = rng.integers(0, 2**24, size=over, dtype=np.uint64)
+    t = np.arange(over, dtype=np.uint64) & np.uint64(0xFFFF)
+    keys = item_ids[chosen].astype(np.uint64) << np.uint64(39)
+    keys |= user << np.uint64(16)
+    keys |= t
+    return _unique_in_order(keys, n, rng)
+
+
+def taxi_like(
+    n: int,
+    seed: int = 0,
+    rides_per_tick: int = 16,
+    cycles: float = 12.0,
+    amplitude: float = 0.6,
+    demand_sigma: float = 0.25,
+    demand_reversion: float = 0.01,
+) -> np.ndarray:
+    """Taxi stand-in: medium skewness, high KDD.
+
+    Keys concatenate (pickup timestamp | trip suffix).  Pickup times
+    advance monotonically through a simulated multi-year span, so
+    consecutive windows occupy nearly disjoint, steadily advancing
+    slices of the key space -- very high KDD.  Demand modulates pickup
+    density at several scales: a diurnal sine plus a mean-reverting
+    log-demand random walk (rush hours, weather, seasons), which makes
+    the within-window CDF moderately non-linear at *any* window size
+    (medium skewness) the way real trip data is.
+    """
+    rng = np.random.default_rng(seed)
+    over = int(n * 1.05) + 16
+    n_ticks = over // rides_per_tick + 1
+    # Mean-reverting log-demand walk: long-range density fluctuations.
+    steps = demand_sigma * rng.standard_normal(n_ticks)
+    log_demand = np.empty(n_ticks)
+    acc = 0.0
+    for i in range(n_ticks):
+        acc = acc * (1.0 - demand_reversion) + steps[i]
+        log_demand[i] = acc
+    phase = np.linspace(0.0, 2.0 * np.pi * cycles, n_ticks)
+    demand = np.exp(log_demand) * (1.0 + amplitude * np.sin(phase))
+    demand = np.clip(demand, 0.05, None)
+    gaps = rng.exponential(1.0 / demand.repeat(rides_per_tick)[:over])
+    pickup = np.cumsum(gaps)
+    pickup_scaled = (pickup / pickup[-1] * (2**30 - 1)).astype(np.uint64)
+    suffix = rng.integers(0, 2**33, size=over, dtype=np.uint64)
+    keys = (pickup_scaled << np.uint64(33)) | suffix
+    return _unique_in_order(keys, n, rng)
+
+
+def shuffled(keys: Sequence[int], seed: int = 0) -> np.ndarray:
+    """Uniform random permutation of ``keys`` (the paper's '(s)' variants).
+
+    Shuffling removes temporal structure, collapsing KDD toward zero
+    while leaving skewness (a property of key *values*) unchanged.
+    """
+    rng = np.random.default_rng(seed)
+    out = np.array(keys, dtype=np.uint64, copy=True)
+    rng.shuffle(out)
+    return out
+
+
+_GENERATORS: Dict[str, Callable[..., np.ndarray]] = {
+    "MM": map_like,
+    "ML": map_like,
+    "RM": review_like,
+    "RL": review_like,
+    "TX": taxi_like,
+    "uniform": uniform,
+    "lognormal": lognormal,
+    "longlat": longlat,
+    "longitudes": longitudes,
+}
+
+#: Group 1: the dynamic real-world datasets (paper Table 1).
+GROUP1 = ("MM", "ML", "RM", "RL", "TX")
+#: Group 3: the simple datasets used by prior learned-index studies.
+GROUP3 = ("uniform", "lognormal", "longlat", "longitudes")
+
+DATASET_NAMES = GROUP1 + GROUP3
+
+
+def generate(name: str, n: int, seed: int = 0) -> np.ndarray:
+    """Generate dataset ``name`` (paper Table 1 / Figure 1 naming).
+
+    A trailing ``(s)`` requests the shuffled variant, e.g. ``"TX(s)"``.
+    ML and RL reuse the MM/RM generators with a different seed stream,
+    standing in for the larger-continent / larger-corpus variants.
+    """
+    base = name[:-3] if name.endswith("(s)") else name
+    if base not in _GENERATORS:
+        raise ValueError(f"unknown dataset {name!r}; choose from {DATASET_NAMES}")
+    # The -L variants differ from -M by source region/corpus: a different
+    # seed stream plus slightly different shape parameters (Review-L shows
+    # higher variance of skewness than Review-M in the paper's Figure 2).
+    kwargs = {}
+    seed_offset = 0
+    if base == "ML":
+        seed_offset, kwargs = 1000, {"half_width": 0.18}
+    elif base == "RL":
+        seed_offset, kwargs = 1000, {"n_items": 8192, "zipf_a": 1.5}
+    keys = _GENERATORS[base](n, seed=seed + seed_offset, **kwargs)
+    if name.endswith("(s)"):
+        keys = shuffled(keys, seed=seed + 7)
+    return keys

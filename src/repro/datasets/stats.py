@@ -1,0 +1,67 @@
+"""Dataset statistics (paper Table 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.datasets.generators import GROUP1, generate
+from repro.metrics import characterize
+
+#: Paper Table 1 classes for reference: (skewness class, KDD class).
+PAPER_CLASSES: Dict[str, str] = {
+    "MM": "LM",
+    "ML": "LM",
+    "RM": "HL",
+    "RL": "HL",
+    "TX": "MH",
+}
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """One row of Table 1."""
+
+    name: str
+    n_keys: int
+    key_range_size: int
+    dataset_bytes: int
+    skewness: float
+    kdd: float
+    paper_class: str
+
+    def row(self) -> str:
+        """Render in the shape of a Table 1 row."""
+        return (
+            f"{self.name:<12} {self.n_keys/1e6:>8.2f}M "
+            f"{self.key_range_size:>22d} "
+            f"{self.dataset_bytes/2**20:>8.1f}MB "
+            f"skew={self.skewness:>7.2f} kdd={self.kdd:>7.3f} "
+            f"(paper: {self.paper_class})"
+        )
+
+
+def dataset_stats(name: str, keys: Sequence[int], window: int = 10_000) -> DatasetStats:
+    """Compute Table 1 statistics for one dataset.
+
+    ``dataset_bytes`` follows the paper's convention of 8-byte keys plus
+    8-byte values per record.
+    """
+    arr = np.asarray(keys, dtype=np.uint64)
+    character = characterize(name, arr, window=window)
+    return DatasetStats(
+        name=name,
+        n_keys=int(arr.size),
+        key_range_size=int(arr.max() - arr.min()) if arr.size else 0,
+        dataset_bytes=int(arr.size) * 16,
+        skewness=character.skewness,
+        kdd=character.kdd,
+        paper_class=PAPER_CLASSES.get(name, "--"),
+    )
+
+
+def table1(n: int = 100_000, seed: int = 0, window: int = 10_000):
+    """Regenerate Table 1 for the Group-1 stand-ins at the given scale."""
+    return [dataset_stats(name, generate(name, n, seed), window) for name in GROUP1]

@@ -1,0 +1,19 @@
+"""Hash-index baselines (paper §3.1, Figure 9).
+
+- :class:`ExtendibleHashing` -- the classic Fagin et al. structure DyTIS
+  derives from: a directory of 2^GD entries indexed by the most
+  significant bits of a hashed pseudo-key, pointing at fixed-size
+  buckets that split (and double the directory) on overflow.
+- :class:`CCEH` -- the three-level variant (directory → segments →
+  buckets) of Nam et al. (FAST '19) whose segment layer DyTIS adopts;
+  MSBs select the segment and LSBs the bucket within it.
+
+Both support search/insert/update/delete but *not* ordered scans --
+which is exactly the gap DyTIS fills.
+"""
+
+from repro.hashing.common import pseudo_key, HashBucket
+from repro.hashing.extendible import ExtendibleHashing
+from repro.hashing.cceh import CCEH
+
+__all__ = ["ExtendibleHashing", "CCEH", "pseudo_key", "HashBucket"]

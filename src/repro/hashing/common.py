@@ -1,0 +1,80 @@
+"""Shared pieces of the hash-index baselines."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+_MASK64 = (1 << 64) - 1
+
+
+def pseudo_key(key: int) -> int:
+    """64-bit hash of an integer key (splitmix64 finaliser).
+
+    Extendible hashing indexes by the most significant bits of the
+    *pseudo-key* h(K); splitmix64's finaliser gives a cheap, well-mixed
+    bijection on 64-bit values.
+    """
+    z = (key + 0x9E3779B97F4A7C15) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+class HashBucket:
+    """Fixed-capacity unordered bucket of key/value pairs.
+
+    Hash baselines do not keep order inside a bucket: lookup is a linear
+    probe over at most ``capacity`` slots (a cache-line scan in the
+    original systems).
+    """
+
+    __slots__ = ("capacity", "keys", "values")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("bucket capacity must be >= 1")
+        self.capacity = capacity
+        self.keys: List[int] = []
+        self.values: List[Any] = []
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    @property
+    def full(self) -> bool:
+        return len(self.keys) >= self.capacity
+
+    def get(self, key: int) -> Optional[Any]:
+        try:
+            return self.values[self.keys.index(key)]
+        except ValueError:
+            return None
+
+    def put(self, key: int, value: Any) -> bool:
+        """Insert or update; return False when full and key absent."""
+        try:
+            self.values[self.keys.index(key)] = value
+            return True
+        except ValueError:
+            pass
+        if self.full:
+            return False
+        self.keys.append(key)
+        self.values.append(value)
+        return True
+
+    def remove(self, key: int) -> bool:
+        try:
+            i = self.keys.index(key)
+        except ValueError:
+            return False
+        # Order inside a hash bucket is irrelevant: swap-remove is O(1).
+        last = len(self.keys) - 1
+        self.keys[i] = self.keys[last]
+        self.values[i] = self.values[last]
+        self.keys.pop()
+        self.values.pop()
+        return True
+
+    def items(self) -> List[Tuple[int, Any]]:
+        return list(zip(self.keys, self.values))

@@ -1,0 +1,165 @@
+"""Classic Extendible Hashing (Fagin et al., TODS 1979) -- paper §3.1.
+
+The directory is an array of 2^GD entries indexed by the GD most
+significant bits of the hashed pseudo-key.  Each bucket carries a local
+depth LD <= GD; 2^(GD-LD) consecutive directory entries point to it.
+A full bucket with LD < GD splits in place; with LD == GD the directory
+doubles first.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Tuple
+
+from repro.hashing.common import HashBucket, pseudo_key
+
+_KEY_BITS = 64
+
+
+class _EHBucket(HashBucket):
+    __slots__ = ("local_depth",)
+
+    def __init__(self, capacity: int, local_depth: int):
+        super().__init__(capacity)
+        self.local_depth = local_depth
+
+
+class ExtendibleHashing:
+    """Dynamic hash table that grows by bucket splits and directory doubling.
+
+    Supports ``insert`` (insert-or-update), ``get``, ``delete``, and
+    iteration.  There is deliberately no ordered scan: keys are placed by
+    hash, which is the limitation motivating DyTIS.
+    """
+
+    def __init__(self, bucket_capacity: int = 128, initial_depth: int = 1):
+        if initial_depth < 0:
+            raise ValueError("initial_depth must be >= 0")
+        self.bucket_capacity = bucket_capacity
+        self.global_depth = initial_depth
+        self._dir = [
+            _EHBucket(bucket_capacity, initial_depth)
+            for _ in range(1 << initial_depth)
+        ]
+        # With initial_depth d we want 2^d distinct buckets, each owning
+        # one directory entry.
+        self._size = 0
+        self.split_count = 0
+        self.double_count = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _dir_index(self, h: int) -> int:
+        if self.global_depth == 0:
+            return 0
+        return h >> (_KEY_BITS - self.global_depth)
+
+    def get(self, key: int) -> Optional[Any]:
+        """Value stored under ``key``, or None."""
+        bucket = self._dir[self._dir_index(pseudo_key(key))]
+        return bucket.get(key)
+
+    def __contains__(self, key: int) -> bool:
+        bucket = self._dir[self._dir_index(pseudo_key(key))]
+        return bucket.get(key) is not None or key in bucket.keys
+
+    def insert(self, key: int, value: Any) -> None:
+        """Insert ``key`` or update its value in place."""
+        while True:
+            h = pseudo_key(key)
+            bucket = self._dir[self._dir_index(h)]
+            had = key in bucket.keys
+            if bucket.put(key, value):
+                if not had:
+                    self._size += 1
+                return
+            self._split(bucket)
+
+    def delete(self, key: int) -> bool:
+        """Remove ``key``; return whether it was present."""
+        bucket = self._dir[self._dir_index(pseudo_key(key))]
+        if bucket.remove(key):
+            self._size -= 1
+            return True
+        return False
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        """All key/value pairs in unspecified order."""
+        seen = set()
+        for bucket in self._dir:
+            if id(bucket) in seen:
+                continue
+            seen.add(id(bucket))
+            yield from bucket.items()
+
+    # -- structure maintenance ------------------------------------------
+
+    def _split(self, bucket: _EHBucket) -> None:
+        if bucket.local_depth == self.global_depth:
+            self._double_directory()
+        self.split_count += 1
+        new_depth = bucket.local_depth + 1
+        left = _EHBucket(self.bucket_capacity, new_depth)
+        right = _EHBucket(self.bucket_capacity, new_depth)
+        # Rewire every directory entry that pointed at the old bucket,
+        # then redistribute through the normal placement path so that a
+        # one-sided split (all keys sharing the next prefix bit) simply
+        # cascades into a further split instead of dropping keys.
+        for i, b in enumerate(self._dir):
+            if b is bucket:
+                msb = (i >> (self.global_depth - new_depth)) & 1
+                self._dir[i] = right if msb else left
+        for k, v in bucket.items():
+            self._place(k, v)
+
+    def _place(self, key: int, value: Any) -> None:
+        """Insert without touching size accounting (used by splits)."""
+        while True:
+            target = self._dir[self._dir_index(pseudo_key(key))]
+            if target.put(key, value):
+                return
+            self._split(target)
+
+    def _double_directory(self) -> None:
+        self.double_count += 1
+        self._dir = [b for b in self._dir for _ in range(2)]
+        self.global_depth += 1
+
+    # -- introspection ---------------------------------------------------
+
+    def directory_size(self) -> int:
+        return len(self._dir)
+
+    def bucket_count(self) -> int:
+        return len({id(b) for b in self._dir})
+
+    def load_factor(self) -> float:
+        """Stored pairs over total bucket slots."""
+        slots = self.bucket_count() * self.bucket_capacity
+        return self._size / slots if slots else 0.0
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if structural invariants are violated.
+
+        Used by the test suite: every bucket's local depth is at most the
+        global depth, and the 2^(GD-LD) directory entries sharing the
+        bucket's prefix all point to it.
+        """
+        assert len(self._dir) == 1 << self.global_depth
+        seen = {}
+        for i, bucket in enumerate(self._dir):
+            assert bucket.local_depth <= self.global_depth
+            span = 1 << (self.global_depth - bucket.local_depth)
+            start = (i // span) * span
+            if id(bucket) in seen:
+                lo, hi = seen[id(bucket)]
+                assert lo <= i <= hi, "bucket entries not contiguous"
+            else:
+                seen[id(bucket)] = (start, start + span - 1)
+            assert self._dir[start] is bucket
+            for k in bucket.keys:
+                h = pseudo_key(k)
+                prefix = h >> (_KEY_BITS - bucket.local_depth) if bucket.local_depth else 0
+                expected = i >> (self.global_depth - bucket.local_depth) if bucket.local_depth else 0
+                assert prefix == expected, "key in wrong bucket"

@@ -1,0 +1,35 @@
+"""An embedded in-memory key-value store built on DyTIS.
+
+The paper motivates DyTIS with in-memory data management systems
+(Memcached, Redis-style stores, §1 and §3.4); this sub-package is that
+substrate: a small embedded KV store whose ordered index is pluggable
+(DyTIS by default, any benchmark adapter otherwise), with
+
+- order-preserving codecs so string and composite keys keep working
+  with range scans (the paper's indexes take 64-bit integer keys),
+- namespaces sharing one index via key prefixes, and
+- a thread-safe variant mirroring the paper's single-threaded vs
+  multi-threaded engine discussion (§3.4).
+"""
+
+from repro.kvstore.codec import (
+    KeyCodec,
+    UintCodec,
+    StringCodec,
+    CompositeCodec,
+    CodecError,
+)
+from repro.kvstore.store import KVStore, Namespace
+from repro.kvstore.snapshot import save_snapshot, load_snapshot
+
+__all__ = [
+    "KVStore",
+    "Namespace",
+    "KeyCodec",
+    "UintCodec",
+    "StringCodec",
+    "CompositeCodec",
+    "CodecError",
+    "save_snapshot",
+    "load_snapshot",
+]

@@ -1,0 +1,76 @@
+"""Snapshot persistence for the embedded store.
+
+An in-memory store still needs a way off the machine: snapshots dump
+every namespace's records to a JSONL file and restore them into a fresh
+store.  Values must be JSON-serialisable (the usual embedded-store
+contract); keys round-trip through each namespace's codec.
+
+Format: a header line (version, namespace table), then one line per
+record carrying the namespace id and the *encoded* integer key, which
+is codec-independent and order-preserving.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.kvstore.store import KVStore
+
+_FORMAT_VERSION = 1
+
+
+def save_snapshot(store: KVStore, path: Union[str, Path]) -> int:
+    """Write every namespace's records; returns the record count."""
+    path = Path(path)
+    count = 0
+    with path.open("w") as f:
+        header = {
+            "version": _FORMAT_VERSION,
+            "namespaces": store.namespaces(),
+        }
+        f.write(json.dumps(header) + "\n")
+        for name in store.namespaces():
+            ns = store.namespace(name)
+            for key, value in ns.items():
+                record = {
+                    "ns": name,
+                    "key": ns.codec.encode(key),
+                    "value": value,
+                }
+                f.write(json.dumps(record) + "\n")
+                count += 1
+    return count
+
+
+def load_snapshot(store: KVStore, path: Union[str, Path]) -> int:
+    """Restore records into ``store``; namespaces must be opened first
+    with the same codecs (codec choice is not serialisable).  Returns
+    the record count.
+    """
+    path = Path(path)
+    with path.open() as f:
+        header_line = f.readline()
+        if not header_line:
+            raise ValueError(f"{path}: empty snapshot")
+        header = json.loads(header_line)
+        if header.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported snapshot version {header.get('version')!r}"
+            )
+        missing = [
+            n for n in header["namespaces"] if n not in store.namespaces()
+        ]
+        if missing:
+            raise ValueError(
+                f"open these namespaces (with their codecs) before loading: "
+                f"{missing}"
+            )
+        count = 0
+        for line in f:
+            record = json.loads(line)
+            ns = store.namespace(record["ns"])
+            ns.put(ns.codec.decode(record["key"]), record["value"])
+            count += 1
+    return count

@@ -1,0 +1,171 @@
+"""The embedded store: namespaces over one ordered index.
+
+A :class:`KVStore` owns a single ordered index (DyTIS by default) and
+hands out :class:`Namespace` views.  A namespace combines a numeric
+prefix with a key codec, so many logical tables share the index while
+staying disjoint in key space and scannable per table -- the standard
+embedded-store layout (think column families over one keyspace).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.core import ConcurrentDyTIS, DyTIS, DyTISConfig
+from repro.kvstore.codec import KeyCodec, UintCodec
+
+_NAMESPACE_BITS = 8  # up to 256 namespaces per store
+
+
+class KVStore:
+    """Embedded ordered key-value store with namespace views.
+
+    ``thread_safe=True`` swaps in :class:`ConcurrentDyTIS` (paper §3.4's
+    multi-threaded engine); the default single-threaded engine skips
+    locking entirely, mirroring the paper's H-Store/Redis-style usage.
+    """
+
+    def __init__(
+        self,
+        config: Optional[DyTISConfig] = None,
+        thread_safe: bool = False,
+        index: Optional[Any] = None,
+    ):
+        if index is not None:
+            self._index = index
+        else:
+            cfg = config or DyTISConfig()
+            self._index = ConcurrentDyTIS(cfg) if thread_safe else DyTIS(cfg)
+        key_bits = getattr(
+            getattr(self._index, "config", None), "key_bits", 64
+        )
+        if key_bits <= _NAMESPACE_BITS:
+            raise ValueError("index key space too small for namespaces")
+        self._payload_bits = key_bits - _NAMESPACE_BITS
+        self._namespaces: dict = {}
+        self._ns_lock = threading.Lock()
+
+    @property
+    def index(self):
+        return self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def namespace(
+        self, name: str, codec: Optional[KeyCodec] = None
+    ) -> "Namespace":
+        """Get or create the namespace ``name``.
+
+        The codec is fixed at creation; re-opening with a different
+        codec is an error (it would scramble the mapping).
+        """
+        with self._ns_lock:
+            if name in self._namespaces:
+                ns = self._namespaces[name]
+                if codec is not None and codec is not ns.codec:
+                    raise ValueError(
+                        f"namespace {name!r} already open with a different codec"
+                    )
+                return ns
+            if len(self._namespaces) >= (1 << _NAMESPACE_BITS):
+                raise ValueError("namespace limit reached")
+            ns_id = len(self._namespaces)
+            ns = Namespace(
+                self, name, ns_id, codec or UintCodec(self._payload_bits)
+            )
+            self._namespaces[name] = ns
+            return ns
+
+    def namespaces(self) -> List[str]:
+        return list(self._namespaces)
+
+
+class Namespace:
+    """One logical table: codec-translated view over the shared index.
+
+    ``len(namespace)`` tracks puts/deletes through this view; with
+    concurrent writers racing on the *same key* the counter is
+    best-effort (the underlying index stays exact -- use
+    ``len(store.index)`` for the authoritative total).
+    """
+
+    def __init__(self, store: KVStore, name: str, ns_id: int, codec: KeyCodec):
+        if codec.bits > store._payload_bits:
+            raise ValueError(
+                f"codec needs {codec.bits} bits; namespace payload has "
+                f"{store._payload_bits}"
+            )
+        self.store = store
+        self.name = name
+        self.codec = codec
+        self._base = ns_id << store._payload_bits
+        self._span = 1 << store._payload_bits
+        self._count = 0
+        self._count_lock = threading.Lock()
+
+    def _encode(self, key) -> int:
+        return self._base | self.codec.encode(key)
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- operations -----------------------------------------------------
+
+    def put(self, key, value: Any) -> None:
+        """Insert or overwrite ``key``."""
+        full = self._encode(key)
+        existed = full in self.store.index
+        self.store.index.insert(full, value)
+        if not existed:
+            with self._count_lock:
+                self._count += 1
+
+    def get(self, key, default: Any = None) -> Any:
+        found = self.store.index.get(self._encode(key))
+        return default if found is None else found
+
+    def __contains__(self, key) -> bool:
+        return self._encode(key) in self.store.index
+
+    def delete(self, key) -> bool:
+        if self.store.index.delete(self._encode(key)):
+            with self._count_lock:
+                self._count -= 1
+            return True
+        return False
+
+    def scan(self, start_key, count: int) -> List[Tuple[Any, Any]]:
+        """Up to ``count`` pairs with key >= start_key, decoded, in order.
+
+        Never leaks entries from other namespaces: results are clipped
+        to this namespace's key span.
+        """
+        raw = self.store.index.scan(self._encode(start_key), count)
+        end = self._base + self._span
+        out: List[Tuple[Any, Any]] = []
+        for full, value in raw:
+            if full >= end:
+                break
+            out.append((self.codec.decode(full - self._base), value))
+        return out
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """Every pair of this namespace in ascending key order."""
+        index = self.store.index
+        if hasattr(index, "scan_range"):
+            pairs = index.scan_range(self._base, self._base + self._span)
+        else:
+            pairs = []
+            cursor = self._base
+            end = self._base + self._span
+            while True:
+                batch = index.scan(cursor, 1024)
+                live = [(k, v) for k, v in batch if k < end]
+                pairs.extend(live)
+                if len(live) < len(batch) or not batch:
+                    break
+                cursor = batch[-1][0] + 1
+        for full, value in pairs:
+            yield self.codec.decode(full - self._base), value

@@ -1,0 +1,39 @@
+"""Learned-index baselines (paper §2.2, §4).
+
+- :class:`AlexIndex` -- an ALEX-like updatable adaptive learned index
+  (Ding et al., SIGMOD '20): linear-model internal nodes over a pointer
+  array, gapped-array data nodes with model-based inserts, bulk loading
+  by fraction, and expand-vs-split adaptation.
+- :class:`XIndex` -- an XIndex-like two-level learned index (Tang et
+  al., PPoPP '20): a learned root over group pivots, per-group linear
+  models with error bounds, delta buffers absorbing inserts, and
+  compaction merging deltas back into the learned arrays.
+
+Both require bulk loading to build their models, which is the
+constraint DyTIS is designed to avoid.  Two related-work baselines from
+the paper's §5 round out the family:
+
+- :class:`RMIndex` -- the original *static* recursive model index
+  (Kraska et al., SIGMOD '18): read-only, search via two model hops.
+- :class:`LippIndex` -- a LIPP-like index with precise positions
+  (Wu et al., VLDB '21): search-free lookups, conflict-grown children.
+"""
+
+from repro.learned.linear import LinearModel
+from repro.learned.gapped import GappedArray
+from repro.learned.alex import AlexIndex
+from repro.learned.xindex import XIndex
+from repro.learned.rmi import RMIndex
+from repro.learned.lipp import LippIndex
+from repro.learned.pgm import PGMIndex, StaticPGM
+
+__all__ = [
+    "LinearModel",
+    "GappedArray",
+    "AlexIndex",
+    "XIndex",
+    "RMIndex",
+    "LippIndex",
+    "PGMIndex",
+    "StaticPGM",
+]

@@ -1,0 +1,444 @@
+"""An ALEX-like updatable adaptive learned index (Ding et al., SIGMOD '20).
+
+Structure (paper §2.2): a tree of *internal nodes*, each holding one
+linear model and a power-of-two pointer array whose entries may repeat,
+and *data nodes*, each holding one linear model over a gapped array.
+Lookup multiplies through one model per level; insert lands via the data
+node's model and shifts at most to the nearest gap.  A full data node
+either *expands* (bigger gapped array, retrained model) or *splits*
+(two data nodes sharing the parent's pointer span; the parent's pointer
+array doubles when the span is a single slot).
+
+Like the original, the index is bulk loaded from a sorted sample and
+then adapts; the bulk-loaded structure's depth strongly persists, which
+is the behaviour the paper's Figure 10 probes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.learned.gapped import GappedArray
+from repro.learned.linear import LinearModel
+
+_MAX_DATA_NODE_KEYS = 4096  # beyond this a data node splits, not expands
+_INIT_DENSITY = 0.7
+_MAX_DENSITY = 0.8
+_MIN_CAPACITY = 16
+_MAX_FANOUT = 1 << 14
+#: Cost-model trigger (ALEX §5.3): retrain/adapt a node whose inserts
+#: shift this many elements each on average -- its model has drifted.
+_MAX_AVG_SHIFTS = 64
+
+
+class _DataNode:
+    __slots__ = ("model", "ga", "next", "prev", "num_inserts_since_train",
+                 "shifts_at_train")
+
+    def __init__(self, model: LinearModel, ga: GappedArray):
+        self.model = model
+        self.ga = ga
+        self.next: Optional[_DataNode] = None
+        self.prev: Optional[_DataNode] = None
+        self.num_inserts_since_train = 0
+        self.shifts_at_train = 0
+
+    @classmethod
+    def build(
+        cls, keys: Sequence[int], values: Sequence[Any], min_capacity: int = _MIN_CAPACITY
+    ) -> "_DataNode":
+        n = len(keys)
+        capacity = max(min_capacity, int(n / _INIT_DENSITY) + 1)
+        model = LinearModel.fit_cdf(keys, capacity)
+        positions = [model.predict_clamped(k, capacity) for k in keys]
+        ga = GappedArray.from_sorted(keys, values, capacity, positions)
+        return cls(model, ga)
+
+    def hint(self, key: int) -> int:
+        return self.model.predict_clamped(key, self.ga.capacity)
+
+
+class _InternalNode:
+    """Linear model routing keys onto a pointer array with repetition.
+
+    ``children[clamp(int(model.predict(key)))]`` is the next level; a
+    child occupying 2^s consecutive slots owns the key range that maps
+    onto those slots.
+    """
+
+    __slots__ = ("model", "children")
+
+    def __init__(self, model: LinearModel, children: List[Any]):
+        self.model = model
+        self.children = children
+
+    def route(self, key: int) -> int:
+        return self.model.predict_clamped(key, len(self.children))
+
+    def double(self) -> None:
+        """Double the pointer array, duplicating every entry."""
+        self.children = [c for c in self.children for _ in range(2)]
+        self.model = self.model.scaled(2.0)
+
+
+class AlexIndex:
+    """Updatable adaptive learned index over integer keys.
+
+    ``bulk_fraction`` of the paper's evaluation (ALEX-10 ... ALEX-90) is
+    applied by the *caller*: pass the chosen prefix of the dataset to
+    :meth:`bulk_load` and insert the rest.  An un-bulk-loaded index
+    starts as a single empty data node and adapts from there.
+    """
+
+    def __init__(self):
+        self._root: Any = _DataNode.build([], [])
+        self._size = 0
+        # operation statistics (paper §4.3 insertion-breakdown analysis)
+        self.expand_count = 0
+        self.split_count = 0
+        self.retrain_count = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- bulk loading -----------------------------------------------------
+
+    def bulk_load(self, keys: Sequence[int], values: Sequence[Any]) -> None:
+        """(Re)build the index from ``keys`` (need not be pre-sorted)."""
+        pairs = sorted(zip(keys, values))
+        skeys = [k for k, _ in pairs]
+        svals = [v for _, v in pairs]
+        self._root = self._bulk_build(skeys, svals)
+        self._size = len(skeys)
+        self._relink_leaves()
+
+    def _bulk_build(self, keys: List[int], values: List[Any]) -> Any:
+        n = len(keys)
+        if n <= _MAX_DATA_NODE_KEYS:
+            return _DataNode.build(keys, values)
+        fanout = 2
+        while fanout < _MAX_FANOUT and n / fanout > _MAX_DATA_NODE_KEYS:
+            fanout <<= 1
+        model = LinearModel.fit_cdf(keys, fanout)
+        # Partition keys by the slot the model routes them to.
+        groups: List[Tuple[List[int], List[Any]]] = [([], []) for _ in range(fanout)]
+        for k, v in zip(keys, values):
+            slot = model.predict_clamped(k, fanout)
+            groups[slot][0].append(k)
+            groups[slot][1].append(v)
+        children = [self._bulk_build(gk, gv) for gk, gv in groups]
+        return _InternalNode(model, children)
+
+    def _relink_leaves(self) -> None:
+        leaves = list(self._iter_leaves())
+        for a, b in zip(leaves, leaves[1:]):
+            a.next = b
+            b.prev = a
+        if leaves:
+            leaves[0].prev = None
+            leaves[-1].next = None
+
+    @staticmethod
+    def _splice(old: "_DataNode", left: "_DataNode", right: "_DataNode") -> None:
+        """Replace ``old`` by ``left``-``right`` in the leaf chain, O(1)."""
+        left.prev = old.prev
+        if old.prev is not None:
+            old.prev.next = left
+        left.next = right
+        right.prev = left
+        right.next = old.next
+        if old.next is not None:
+            old.next.prev = right
+
+    def _iter_leaves(self) -> Iterator[_DataNode]:
+        emitted = set()
+        out: List[_DataNode] = []
+
+        # Depth-first, left-to-right, deduplicating repeated pointers.
+        def visit(n):
+            if isinstance(n, _DataNode):
+                if id(n) not in emitted:
+                    emitted.add(id(n))
+                    out.append(n)
+                return
+            for c in n.children:
+                visit(c)
+
+        visit(self._root)
+        return iter(out)
+
+    # -- point operations ---------------------------------------------------
+
+    def _find_data_node(self, key: int) -> _DataNode:
+        node = self._root
+        while isinstance(node, _InternalNode):
+            node = node.children[node.route(key)]
+        return node
+
+    def get(self, key: int) -> Optional[Any]:
+        """Value stored under ``key``, or None."""
+        dn = self._find_data_node(key)
+        return dn.ga.get(key, dn.hint(key))
+
+    def __contains__(self, key: int) -> bool:
+        dn = self._find_data_node(key)
+        return dn.ga.find_slot(key, dn.hint(key)) >= 0
+
+    def insert(self, key: int, value: Any) -> None:
+        """Insert ``key`` or update its value in place."""
+        while True:
+            dn = self._find_data_node(key)
+            if dn.ga.density() >= _MAX_DENSITY or dn.ga.full:
+                self._grow(dn, key)
+                continue
+            result = dn.ga.insert(key, value, dn.hint(key))
+            if result == "inserted":
+                self._size += 1
+                dn.num_inserts_since_train += 1
+                # Cost model: a drifted model makes every insert shift
+                # long runs; adapt (expand-with-retrain or split) early.
+                if (
+                    dn.num_inserts_since_train >= 16
+                    and dn.ga.shifts - dn.shifts_at_train
+                    > _MAX_AVG_SHIFTS * dn.num_inserts_since_train
+                ):
+                    self._grow(dn, key, cost_triggered=True)
+                return
+            if result == "updated":
+                return
+            self._grow(dn, key)
+
+    def delete(self, key: int) -> bool:
+        """Remove ``key``; return whether it was present."""
+        dn = self._find_data_node(key)
+        if dn.ga.delete(key, dn.hint(key)):
+            self._size -= 1
+            return True
+        return False
+
+    # -- scans ---------------------------------------------------------------
+
+    def scan(self, start_key: int, count: int) -> List[Tuple[int, Any]]:
+        """Up to ``count`` pairs with key >= start_key, in key order."""
+        dn: Optional[_DataNode] = self._find_data_node(start_key)
+        out: List[Tuple[int, Any]] = []
+        slot = dn.ga.lower_bound(start_key, dn.hint(start_key))
+        while dn is not None and len(out) < count:
+            for k, v in dn.ga.iter_from(slot):
+                out.append((k, v))
+                if len(out) >= count:
+                    break
+            dn = dn.next
+            slot = 0
+        return out
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        """All pairs in ascending key order."""
+        node: Optional[_DataNode] = self._leftmost_leaf()
+        while node is not None:
+            yield from node.ga.items()
+            node = node.next
+
+    def _leftmost_leaf(self) -> _DataNode:
+        node = self._root
+        while isinstance(node, _InternalNode):
+            node = node.children[0]
+        return node
+
+    # -- adaptation -----------------------------------------------------------
+
+    def _grow(self, dn: _DataNode, key: int, cost_triggered: bool = False) -> None:
+        """Expand or split a data node that cannot take more inserts.
+
+        Density growth prefers expansion up to the node-size cap; a
+        cost-model trigger (excessive shifting = drifted model) prefers
+        splitting once the node is big enough to be worth partitioning,
+        which is how ALEX ends up with many small nodes on skewed data
+        (the paper's 1341x node-count observation).
+        """
+        if dn.ga.num_keys >= _MAX_DATA_NODE_KEYS or (
+            cost_triggered and dn.ga.num_keys >= 4 * _MIN_CAPACITY
+        ):
+            self._split(dn, key)
+        else:
+            self._expand(dn)
+
+    def _expand(self, dn: _DataNode) -> None:
+        """Double the gapped array and retrain the model in place."""
+        self.expand_count += 1
+        self.retrain_count += 1
+        keys = dn.ga.keys()
+        values = [v for _, v in dn.ga.items()]
+        n = len(keys)
+        capacity = max(
+            _MIN_CAPACITY,
+            int(n / _INIT_DENSITY) + 1,
+            # Grow, but never balloon a node whose model cannot use the
+            # space (tight clusters pack regardless of capacity).
+            min(dn.ga.capacity * 2, max(8 * n, _MIN_CAPACITY)),
+        )
+        model = LinearModel.fit_cdf(keys, capacity)
+        positions = [model.predict_clamped(k, capacity) for k in keys]
+        dn.model = model
+        dn.ga = GappedArray.from_sorted(keys, values, capacity, positions)
+        dn.num_inserts_since_train = 0
+        dn.shifts_at_train = 0
+
+    def _split(self, dn: _DataNode, key: int) -> None:
+        """Split ``dn`` sideways inside its parent's pointer span.
+
+        When every key routes to one half of the span (a cluster inside
+        one model slot), the parent's pointer array keeps doubling --
+        refining the partition -- until the cluster separates or the
+        fanout cap forces a new internal level under the slot.
+        """
+        self.split_count += 1
+        self.retrain_count += 2
+        parent, path = self._find_parent(key, dn)
+        if parent is None:
+            # Root data node: grow a 2-way internal root above it.
+            keys = dn.ga.keys()
+            values = [v for _, v in dn.ga.items()]
+            model = LinearModel.fit_cdf(keys, 2)
+            left_k: List[int] = []
+            left_v: List[Any] = []
+            right_k: List[int] = []
+            right_v: List[Any] = []
+            for k, v in zip(keys, values):
+                if model.predict_clamped(k, 2) == 0:
+                    left_k.append(k)
+                    left_v.append(v)
+                else:
+                    right_k.append(k)
+                    right_v.append(v)
+            if not left_k or not right_k:
+                # Degenerate model (all keys route one way): expand instead.
+                self._expand(dn)
+                return
+            left = _DataNode.build(left_k, left_v)
+            right = _DataNode.build(right_k, right_v)
+            self._splice(dn, left, right)
+            self._root = _InternalNode(model, [left, right])
+            return
+
+        keys = dn.ga.keys()
+        values = [v for _, v in dn.ga.items()]
+        lo, hi = self._pointer_span(parent, dn)
+        while True:
+            if hi - lo == 1:
+                if len(parent.children) * 2 > _MAX_FANOUT:
+                    # Pointer array at cap: push an internal level down.
+                    self._push_internal(parent, dn)
+                    return
+                parent.double()
+                lo, hi = lo * 2, (lo + 1) * 2
+            mid = (lo + hi) // 2
+            split_at = 0
+            for k in keys:  # keys ascending: routes are non-decreasing
+                if parent.route(k) >= mid:
+                    break
+                split_at += 1
+            if 0 < split_at < len(keys):
+                break
+            # One-sided partition: narrow the span toward the keys and
+            # retry with a finer boundary.
+            if split_at == 0:
+                lo = mid
+            else:
+                hi = mid
+        left = _DataNode.build(keys[:split_at], values[:split_at])
+        right = _DataNode.build(keys[split_at:], values[split_at:])
+        self._splice(dn, left, right)
+        # The node's original span splits at ``mid``; entries outside the
+        # narrowed [lo, hi) still pointed at dn and must be rewired too.
+        full_lo, full_hi = self._pointer_span(parent, dn)
+        for i in range(full_lo, full_hi):
+            parent.children[i] = left if i < mid else right
+
+    def _push_internal(self, parent: _InternalNode, dn: _DataNode) -> None:
+        """Replace a data node by a 2-way internal child over its span.
+
+        Used at the parent's fanout cap: the new internal node's own
+        model partitions the cluster the parent could not separate.
+        Every directory slot the data node occupied is rewired (the node
+        may span several even when the *narrowed* split window is one).
+        """
+        keys = dn.ga.keys()
+        values = [v for _, v in dn.ga.items()]
+        model = LinearModel.fit_cdf(keys, 2)
+        left_k, left_v, right_k, right_v = [], [], [], []
+        for k, v in zip(keys, values):
+            if model.predict_clamped(k, 2) == 0:
+                left_k.append(k)
+                left_v.append(v)
+            else:
+                right_k.append(k)
+                right_v.append(v)
+        if not left_k or not right_k:
+            self._expand(dn)
+            return
+        left = _DataNode.build(left_k, left_v)
+        right = _DataNode.build(right_k, right_v)
+        self._splice(dn, left, right)
+        internal = _InternalNode(model, [left, right])
+        lo, hi = self._pointer_span(parent, dn)
+        for i in range(lo, hi):
+            parent.children[i] = internal
+
+    def _find_parent(
+        self, key: int, dn: _DataNode
+    ) -> Tuple[Optional[_InternalNode], List[_InternalNode]]:
+        node = self._root
+        parent: Optional[_InternalNode] = None
+        path: List[_InternalNode] = []
+        while isinstance(node, _InternalNode):
+            path.append(node)
+            parent = node
+            node = node.children[node.route(key)]
+        if node is not dn:
+            # key routed elsewhere between lookups cannot happen in the
+            # single-threaded index; defensive check.
+            raise RuntimeError("data node changed during split")
+        return parent, path
+
+    def _pointer_span(self, parent: _InternalNode, dn: _DataNode) -> Tuple[int, int]:
+        lo = None
+        hi = None
+        for i, c in enumerate(parent.children):
+            if c is dn:
+                if lo is None:
+                    lo = i
+                hi = i + 1
+        assert lo is not None and hi is not None
+        return lo, hi
+
+    # -- introspection ---------------------------------------------------------
+
+    def depth(self) -> int:
+        """Maximum node depth (1 = root-only)."""
+
+        def d(node) -> int:
+            if isinstance(node, _DataNode):
+                return 1
+            unique = {id(c): c for c in node.children}
+            return 1 + max(d(c) for c in unique.values())
+
+        return d(self._root)
+
+    def node_count(self) -> int:
+        seen = set()
+
+        def visit(node):
+            if id(node) in seen:
+                return
+            seen.add(id(node))
+            if isinstance(node, _InternalNode):
+                for c in node.children:
+                    visit(c)
+
+        visit(self._root)
+        return len(seen)
+
+    def model_count(self) -> int:
+        """Number of linear models in the index (paper §4.3 analysis)."""
+        return self.node_count()

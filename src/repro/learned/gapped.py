@@ -1,0 +1,242 @@
+"""ALEX-style gapped array (Ding et al., SIGMOD '20).
+
+A fixed-capacity array whose free slots ("gaps") each hold a copy of the
+key in the nearest *filled* slot to their left (or a -1 sentinel before
+the first filled slot).  That keeps the raw slot array non-decreasing,
+so position lookups are plain binary/exponential searches, while inserts
+only shift elements as far as the nearest gap -- the property that makes
+model-based inserts cheap.
+
+The array stores keys >= 0 (the sentinel is -1).  The model that
+predicts slots lives in the data node, not here; callers pass a slot
+hint to search methods.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+_SENTINEL = -1
+
+
+class GappedArray:
+    """Sorted fixed-capacity array with gap-absorbed inserts."""
+
+    __slots__ = ("capacity", "slots", "occupied", "values", "num_keys", "shifts")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.slots: List[int] = [_SENTINEL] * capacity
+        self.occupied = bytearray(capacity)
+        self.values: List[Any] = [None] * capacity
+        self.num_keys = 0
+        #: Total element moves performed by inserts (cost-model input).
+        self.shifts = 0
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_sorted(
+        cls,
+        keys: Sequence[int],
+        values: Sequence[Any],
+        capacity: int,
+        positions: Optional[Sequence[int]] = None,
+    ) -> "GappedArray":
+        """Build from sorted unique ``keys``.
+
+        ``positions`` optionally gives a target slot per key (e.g. model
+        predictions); they are made strictly increasing and clamped.
+        Without them keys are spread evenly, leaving uniform gaps.
+        """
+        n = len(keys)
+        if n > capacity:
+            raise ValueError("more keys than capacity")
+        ga = cls(capacity)
+        last = -1
+        for i, (k, v) in enumerate(zip(keys, values)):
+            if positions is not None:
+                pos = max(int(positions[i]), last + 1)
+            else:
+                pos = max(i * capacity // max(n, 1), last + 1)
+            # Keep enough room for the remaining keys.
+            pos = min(pos, capacity - (n - i))
+            ga.slots[pos] = int(k)
+            ga.values[pos] = v
+            ga.occupied[pos] = 1
+            last = pos
+        ga.num_keys = n
+        ga._refill_gaps()
+        return ga
+
+    def _refill_gaps(self) -> None:
+        carry = _SENTINEL
+        for i in range(self.capacity):
+            if self.occupied[i]:
+                carry = self.slots[i]
+            else:
+                self.slots[i] = carry
+                self.values[i] = None
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def full(self) -> bool:
+        return self.num_keys >= self.capacity
+
+    def density(self) -> float:
+        return self.num_keys / self.capacity
+
+    def _window(self, key: int, hint: Optional[int]) -> Tuple[int, int]:
+        """Exponential search outward from ``hint`` for a bisect window."""
+        n = self.capacity
+        if hint is None:
+            return 0, n
+        hint = min(max(hint, 0), n - 1)
+        if self.slots[hint] < key:
+            bound = 1
+            while hint + bound < n and self.slots[hint + bound] < key:
+                bound <<= 1
+            return hint + (bound >> 1), min(n, hint + bound + 1)
+        bound = 1
+        while hint - bound >= 0 and self.slots[hint - bound] >= key:
+            bound <<= 1
+        return max(0, hint - bound), hint - (bound >> 1) + 1
+
+    def _rightmost_leq(self, key: int, hint: Optional[int] = None) -> int:
+        """Index of the rightmost slot whose value is <= key, or -1."""
+        lo, hi = self._window(key, hint)
+        return bisect_right(self.slots, key, lo, hi) - 1
+
+    def find_slot(self, key: int, hint: Optional[int] = None) -> int:
+        """Occupied slot holding exactly ``key``, or -1."""
+        i = self._rightmost_leq(key, hint)
+        while i >= 0 and not self.occupied[i]:
+            i -= 1
+        if i >= 0 and self.slots[i] == key:
+            return i
+        return -1
+
+    def get(self, key: int, hint: Optional[int] = None) -> Optional[Any]:
+        i = self.find_slot(key, hint)
+        return self.values[i] if i >= 0 else None
+
+    def lower_bound(self, key: int, hint: Optional[int] = None) -> int:
+        """First occupied slot with key >= ``key``; ``capacity`` if none."""
+        i = self._rightmost_leq(key, hint)
+        j = self.find_slot(key, hint)
+        if j >= 0:
+            return j
+        j = i + 1
+        while j < self.capacity and not self.occupied[j]:
+            j += 1
+        return j
+
+    def iter_from(self, slot: int) -> Iterator[Tuple[int, Any]]:
+        """Yield (key, value) for occupied slots starting at ``slot``."""
+        for i in range(max(slot, 0), self.capacity):
+            if self.occupied[i]:
+                yield self.slots[i], self.values[i]
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        return self.iter_from(0)
+
+    def keys(self) -> List[int]:
+        return [self.slots[i] for i in range(self.capacity) if self.occupied[i]]
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, key: int, value: Any, hint: Optional[int] = None) -> str:
+        """Insert or update; returns 'inserted', 'updated', or 'full'."""
+        if key < 0:
+            raise ValueError("keys must be non-negative")
+        i = self._rightmost_leq(key, hint)
+        # Walk left over the gap run to the nearest filled slot.
+        f = i
+        while f >= 0 and not self.occupied[f]:
+            f -= 1
+        if f >= 0 and self.slots[f] == key:
+            self.values[f] = value
+            return "updated"
+        if self.full:
+            return "full"
+        if i >= 0 and not self.occupied[i]:
+            # Place directly into the last gap before the successor.
+            self.slots[i] = key
+            self.values[i] = value
+            self.occupied[i] = 1
+            self.num_keys += 1
+            return "inserted"
+        p = i + 1  # slot the key must occupy; p == capacity or occupied[p]
+        g = self._gap_right(p)
+        if g >= 0:
+            # Shift the filled run [p, g) right by one into the gap
+            # (slice assignment = C-level memmove, as in the original).
+            if g > p:
+                self.slots[p + 1 : g + 1] = self.slots[p:g]
+                self.values[p + 1 : g + 1] = self.values[p:g]
+                self.occupied[g] = 1
+            self.shifts += g - p
+            self.slots[p] = key
+            self.values[p] = value
+            self.occupied[p] = 1
+        else:
+            g = self._gap_left(p - 1)
+            assert g >= 0, "not full but no gap found"
+            # Shift the filled run (g, p-1] left by one; key lands at p-1.
+            if g < p - 1:
+                self.slots[g : p - 1] = self.slots[g + 1 : p]
+                self.values[g : p - 1] = self.values[g + 1 : p]
+                self.occupied[g] = 1
+            self.shifts += p - 1 - g
+            self.slots[p - 1] = key
+            self.values[p - 1] = value
+            self.occupied[p - 1] = 1
+        self.num_keys += 1
+        return "inserted"
+
+    def delete(self, key: int, hint: Optional[int] = None) -> bool:
+        """Remove ``key``; return whether it was present."""
+        i = self.find_slot(key, hint)
+        if i < 0:
+            return False
+        carry = self.slots[i - 1] if i > 0 else _SENTINEL
+        j = i
+        # The freed slot and any gap run that copied this key now copy
+        # the predecessor instead.
+        self.occupied[i] = 0
+        self.values[i] = None
+        while j < self.capacity and not self.occupied[j]:
+            self.slots[j] = carry
+            j += 1
+        self.num_keys -= 1
+        return True
+
+    def _gap_right(self, start: int) -> int:
+        if start >= self.capacity:
+            return -1
+        return self.occupied.find(0, start)
+
+    def _gap_left(self, start: int) -> int:
+        if start < 0:
+            return -1
+        return self.occupied.rfind(0, 0, min(start, self.capacity - 1) + 1)
+
+    # -- invariants (test support) ------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError when internal invariants are violated."""
+        assert self.num_keys == sum(self.occupied)
+        carry = _SENTINEL
+        prev_filled = _SENTINEL
+        for i in range(self.capacity):
+            if self.occupied[i]:
+                assert self.slots[i] > prev_filled, "filled keys not increasing"
+                prev_filled = self.slots[i]
+                carry = self.slots[i]
+            else:
+                assert self.slots[i] == carry, "gap does not copy left neighbour"
+                assert self.values[i] is None

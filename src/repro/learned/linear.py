@@ -1,0 +1,101 @@
+"""Linear models mapping keys to positions.
+
+Every learned index in this repository approximates a CDF with linear
+pieces ``position = slope * key + intercept``; this module provides the
+shared least-squares fit and prediction helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass
+class LinearModel:
+    """``position = slope * (key - x_offset) + intercept``.
+
+    The ``x_offset`` anchor keeps predictions numerically exact for
+    64-bit keys: ``slope * key`` alone loses whole position units once
+    the product passes 2^53, while ``key - x_offset`` stays small for
+    the keys a model actually serves.  The anchor is kept as an *int*
+    when fitted on integer keys so the subtraction itself is exact
+    (``float(2^62 + i)`` already rounds away the low bits).
+    """
+
+    slope: float = 0.0
+    intercept: float = 0.0
+    x_offset: int = 0
+
+    def predict(self, key: int) -> float:
+        # Plain-int subtraction: numpy uint64 inputs would wrap when the
+        # key is below the anchor.
+        return self.slope * (int(key) - int(self.x_offset)) + self.intercept
+
+    def predict_clamped(self, key: int, n: int) -> int:
+        """Integer prediction clamped into [0, n-1]."""
+        p = int(self.slope * (int(key) - int(self.x_offset)) + self.intercept)
+        if p < 0:
+            return 0
+        if p >= n:
+            return n - 1
+        return p
+
+    def inverse(self, position: float) -> float:
+        """Key whose prediction equals ``position`` (slope must be non-zero)."""
+        if self.slope == 0.0:
+            raise ZeroDivisionError("cannot invert a flat model")
+        return self.x_offset + (position - self.intercept) / self.slope
+
+    def scaled(self, factor: float) -> "LinearModel":
+        """Model for a position space stretched by ``factor``.
+
+        This is ALEX's 'scaled' (as opposed to retrained) expansion and
+        DyTIS's expansion-time slope doubling.
+        """
+        return LinearModel(
+            self.slope * factor, self.intercept * factor, self.x_offset
+        )
+
+    @staticmethod
+    def fit(keys: Sequence[int], positions: Sequence[float]) -> "LinearModel":
+        """Least-squares fit of positions on keys.
+
+        Falls back to a flat model for degenerate inputs (fewer than two
+        distinct keys).
+        """
+        n = len(keys)
+        if n == 0:
+            return LinearModel(0.0, 0.0)
+        if n == 1:
+            return LinearModel(0.0, float(positions[0]), keys[0])
+        # Work in key-offset space for numerical stability with 64-bit
+        # keys; subtract as ints so the offsets themselves are exact.
+        k0 = keys[0]
+        sx = sy = sxx = sxy = 0.0
+        for k, p in zip(keys, positions):
+            x = float(k - k0)
+            y = float(p)
+            sx += x
+            sy += y
+            sxx += x * x
+            sxy += x * y
+        denom = n * sxx - sx * sx
+        if denom == 0.0:
+            return LinearModel(0.0, sy / n, k0)
+        slope = (n * sxy - sx * sy) / denom
+        intercept = (sy - slope * sx) / n
+        return LinearModel(slope, intercept, k0)
+
+    @staticmethod
+    def fit_cdf(keys: Sequence[int], n_positions: int) -> "LinearModel":
+        """Fit sorted ``keys`` to evenly spread positions in [0, n_positions).
+
+        The standard learned-index training target: key i maps near
+        ``i / len(keys) * n_positions``.
+        """
+        n = len(keys)
+        if n == 0:
+            return LinearModel(0.0, 0.0)
+        step = n_positions / n
+        return LinearModel.fit(keys, [i * step for i in range(n)])

@@ -1,0 +1,254 @@
+"""A LIPP-like updatable learned index with precise positions (Wu et al.,
+VLDB '21; paper §5).
+
+LIPP eliminates ALEX's "last-mile" search: a node's model maps a key to
+*exactly one slot*, and a slot is either empty, holds one record, or
+points to a child node.  Lookups never search within a node -- they
+just follow model predictions down the tree.  The price is conflicts:
+two keys predicted to the same slot force a child node, and adversarial
+clusters can balloon memory (the paper's footnote 6 reports LIPP
+running out of memory on 4 of its 5 datasets; this reproduction
+bounds the damage with conflict-ratio-triggered rebuilds).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.learned.linear import LinearModel
+
+_MIN_NODE_SLOTS = 8
+_SLOTS_PER_KEY = 2  # node slot budget relative to keys at build time
+_REBUILD_CONFLICT_RATIO = 4.0  # rebuild subtree when conflicts/keys exceed
+_MAX_DEPTH = 24  # rebuild mid-path when conflict chains grow past this
+
+
+class _Node:
+    __slots__ = ("model", "slots", "n_keys", "n_conflicts")
+
+    def __init__(self, model: LinearModel, n_slots: int):
+        self.model = model
+        # Slot: None (empty) | (key, value) tuple | _Node child.
+        self.slots: List[Any] = [None] * n_slots
+        self.n_keys = 0
+        self.n_conflicts = 0
+
+    def slot_of(self, key: int) -> int:
+        return self.model.predict_clamped(key, len(self.slots))
+
+
+def _build_node(keys: Sequence[int], values: Sequence[Any]) -> _Node:
+    """Build a node (and children for conflicting slots) from sorted input."""
+    n = len(keys)
+    n_slots = max(_MIN_NODE_SLOTS, n * _SLOTS_PER_KEY)
+    model = LinearModel.fit_cdf(keys, n_slots)
+    node = _Node(model, n_slots)
+    node.n_keys = n
+    # Group records by their predicted slot.
+    groups: dict = {}
+    for k, v in zip(keys, values):
+        groups.setdefault(model.predict_clamped(k, n_slots), []).append((k, v))
+    for slot, records in groups.items():
+        if len(records) == 1:
+            node.slots[slot] = records[0]
+        else:
+            gk = [k for k, _ in records]
+            gv = [v for _, v in records]
+            node.slots[slot] = _build_node(gk, gv)
+            node.n_conflicts += len(records)
+    return node
+
+
+class LippIndex:
+    """Updatable learned index where every lookup is search-free."""
+
+    def __init__(self):
+        self._root = _build_node([], [])
+        self._size = 0
+        self.rebuild_count = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- construction --------------------------------------------------------
+
+    def bulk_load(self, keys: Sequence[int], values: Sequence[Any]) -> None:
+        pairs = sorted(zip(keys, values))
+        self._root = _build_node([k for k, _ in pairs], [v for _, v in pairs])
+        self._size = len(pairs)
+
+    # -- point operations -------------------------------------------------------
+
+    def get(self, key: int) -> Optional[Any]:
+        """Value stored under ``key``, or None -- zero in-node search."""
+        node = self._root
+        while True:
+            entry = node.slots[node.slot_of(key)]
+            if entry is None:
+                return None
+            if isinstance(entry, _Node):
+                node = entry
+                continue
+            return entry[1] if entry[0] == key else None
+
+    def __contains__(self, key: int) -> bool:
+        node = self._root
+        while True:
+            entry = node.slots[node.slot_of(key)]
+            if entry is None:
+                return False
+            if isinstance(entry, _Node):
+                node = entry
+                continue
+            return entry[0] == key
+
+    def insert(self, key: int, value: Any) -> None:
+        """Insert or update; conflicts grow a child, heavy subtrees rebuild."""
+        path: List[_Node] = []
+        node = self._root
+        while True:
+            path.append(node)
+            slot = node.slot_of(key)
+            entry = node.slots[slot]
+            if entry is None:
+                node.slots[slot] = (key, value)
+                self._size += 1
+                self._bump_keys(path)
+                return
+            if isinstance(entry, _Node):
+                node = entry
+                continue
+            if entry[0] == key:
+                node.slots[slot] = (key, value)  # in-place update
+                return
+            # Conflict: push both records into a fresh child node.
+            pair = sorted([entry, (key, value)])
+            child = _build_node([p[0] for p in pair], [p[1] for p in pair])
+            node.slots[slot] = child
+            for nd in path:
+                nd.n_conflicts += 1
+            self._size += 1
+            self._bump_keys(path)
+            self._maybe_rebuild(path, key)
+            return
+
+    def _bump_keys(self, path: List[_Node]) -> None:
+        for node in path:
+            node.n_keys += 1
+
+    def _maybe_rebuild(self, path: List[_Node], key: int) -> None:
+        """Rebuild an over-conflicted or over-deep subtree on the path.
+
+        Two triggers, mirroring LIPP's cost-based adjustment: a node
+        whose conflicts outnumber its keys by the ratio bound, or a
+        conflict chain deeper than ``_MAX_DEPTH`` (sequential clusters
+        degenerate into 2-key chains without this).
+        """
+        rebuild_at = None
+        for depth, node in enumerate(path):
+            if (
+                node.n_keys >= _MIN_NODE_SLOTS
+                and node.n_conflicts > _REBUILD_CONFLICT_RATIO * node.n_keys
+            ):
+                rebuild_at = depth
+                break
+        if rebuild_at is None and len(path) > _MAX_DEPTH:
+            rebuild_at = len(path) // 2
+        if rebuild_at is None:
+            return
+        node = path[rebuild_at]
+        pairs = list(_iter_node(node))
+        rebuilt = _build_node([k for k, _ in pairs], [v for _, v in pairs])
+        if rebuild_at == 0:
+            self._root = rebuilt
+        else:
+            parent = path[rebuild_at - 1]
+            parent.slots[parent.slot_of(key)] = rebuilt
+        self.rebuild_count += 1
+
+    def delete(self, key: int) -> bool:
+        """Remove ``key``; return whether it was present."""
+        node = self._root
+        while True:
+            slot = node.slot_of(key)
+            entry = node.slots[slot]
+            if entry is None:
+                return False
+            if isinstance(entry, _Node):
+                node = entry
+                continue
+            if entry[0] != key:
+                return False
+            node.slots[slot] = None
+            self._size -= 1
+            return True
+
+    # -- scans ---------------------------------------------------------------
+
+    def scan(self, start_key: int, count: int) -> List[Tuple[int, Any]]:
+        """Up to ``count`` pairs with key >= start_key, in key order.
+
+        Slot order equals key order (models are monotone), so the walk
+        starts at ``start_key``'s predicted slot in each node on the
+        left spine and in-order traversal yields sorted output.
+        """
+        out: List[Tuple[int, Any]] = []
+        if count <= 0:
+            return out
+
+        def walk(node: _Node, bounded: bool) -> bool:
+            """In-order visit; returns True once ``count`` pairs found."""
+            first = node.slot_of(start_key) if bounded else 0
+            for i in range(first, len(node.slots)):
+                entry = node.slots[i]
+                if entry is None:
+                    continue
+                if isinstance(entry, _Node):
+                    if walk(entry, bounded and i == first):
+                        return True
+                else:
+                    if not bounded or entry[0] >= start_key:
+                        out.append(entry)
+                        if len(out) >= count:
+                            return True
+            return False
+
+        walk(self._root, True)
+        return out
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        return _iter_node(self._root)
+
+    # -- introspection -----------------------------------------------------------
+
+    def node_count(self) -> int:
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            for s in node.slots:
+                if isinstance(s, _Node):
+                    stack.append(s)
+        return count
+
+    def depth(self) -> int:
+        best = 1
+        stack = [(self._root, 1)]
+        while stack:
+            node, d = stack.pop()
+            best = max(best, d)
+            for s in node.slots:
+                if isinstance(s, _Node):
+                    stack.append((s, d + 1))
+        return best
+
+
+def _iter_node(node: _Node) -> Iterator[Tuple[int, Any]]:
+    for entry in node.slots:
+        if entry is None:
+            continue
+        if isinstance(entry, _Node):
+            yield from _iter_node(entry)
+        else:
+            yield entry

@@ -1,0 +1,365 @@
+"""A PGM-like learned index (Ferragina & Vinciguerra, VLDB 2020; paper §5).
+
+The PGM-index is the other family of updatable learned indexes the
+paper cites: a *static* structure of recursive maximum-error-bounded
+piecewise linear models (built with the same Greedy-PLR algorithm as
+our skewness metric, ``repro.plr``), made *dynamic* with the classic
+logarithmic method -- a hierarchy of geometrically growing static
+levels merged LSM-style, with tombstones for deletes.
+
+Guarantees mirrored here:
+
+- every static level answers a lookup with at most ``epsilon``-bounded
+  binary searches per layer;
+- inserts are amortised O(log n) static-level merges;
+- scans k-way merge the levels, suppressing tombstones.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_left
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.plr import fit_plr
+
+_EPSILON = 16
+_ROOT_FANOUT = 32  # recurse layers until this few segments remain
+_BUFFER_CAPACITY = 128
+
+
+class _Tombstone:
+    __slots__ = ()
+
+    def __repr__(self):
+        return "<pgm-tombstone>"
+
+
+_TOMBSTONE = _Tombstone()
+
+
+class _Layer:
+    """One piecewise-linear layer: segment first-keys + models."""
+
+    __slots__ = ("first_keys", "slopes", "intercepts", "anchors")
+
+    def __init__(self, keys: Sequence[int], epsilon: float):
+        segments = fit_plr(list(keys), gamma=epsilon) if keys else []
+        self.first_keys = [s.x_start for s in segments]
+        self.slopes = [s.slope for s in segments]
+        self.intercepts = [s.y_start for s in segments]
+        self.anchors = [s.x_start for s in segments]
+
+    def __len__(self) -> int:
+        return len(self.first_keys)
+
+    def predict(self, key: int, segment_index: int) -> float:
+        i = segment_index
+        return self.intercepts[i] + self.slopes[i] * (key - self.anchors[i])
+
+    def segment_for(self, key: int) -> int:
+        """Segment whose model covers ``key`` (clamped to the ends)."""
+        i = bisect_left(self.first_keys, key)
+        if i < len(self.first_keys) and self.first_keys[i] == key:
+            return i
+        return max(i - 1, 0)
+
+
+class StaticPGM:
+    """Immutable PGM over sorted unique keys with parallel values."""
+
+    def __init__(
+        self,
+        keys: Sequence[int],
+        values: Sequence[Any],
+        epsilon: int = _EPSILON,
+    ):
+        if epsilon < 1:
+            raise ValueError("epsilon must be >= 1")
+        self.epsilon = epsilon
+        self._keys = list(keys)
+        self._values = list(values)
+        if any(a >= b for a, b in zip(self._keys, self._keys[1:])):
+            raise ValueError("keys must be sorted and unique")
+        # Bottom layer predicts positions in the key array; upper layers
+        # predict positions in the layer below's first-key array.
+        self.layers: List[_Layer] = []
+        level_keys: Sequence[int] = self._keys
+        while len(level_keys) > _ROOT_FANOUT:
+            layer = _Layer(level_keys, epsilon)
+            self.layers.append(layer)
+            if len(layer) >= len(level_keys):
+                break  # cannot compress further; stop recursing
+            level_keys = layer.first_keys
+        self.layers.reverse()  # root first
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    # -- lookups -------------------------------------------------------------
+
+    def _windowed_bisect(self, arr: List[int], key: int, pred: float) -> int:
+        """Global bisect_left via an epsilon window, verified.
+
+        The epsilon bound holds for keys the models were fitted on;
+        extrapolating into a large key gap can overshoot, so a result
+        pinned to a window edge falls back to the full binary search
+        (rare, and still correct).
+        """
+        n = len(arr)
+        lo = max(0, int(pred) - self.epsilon - 1)
+        hi = min(n, int(pred) + self.epsilon + 2)
+        if lo >= hi:
+            return bisect_left(arr, key)
+        i = bisect_left(arr, key, lo, hi)
+        if (i == lo and lo > 0 and arr[lo - 1] >= key) or (
+            i == hi and hi < n and arr[hi] < key
+        ):
+            return bisect_left(arr, key)
+        return i
+
+    def _insertion_point(self, key: int) -> int:
+        """Global bisect_left position of ``key`` in the key array."""
+        if not self.layers:
+            return bisect_left(self._keys, key)
+        # Walk the layers root→bottom; each predicts a position in the
+        # next layer's first-key list within +/- epsilon.
+        segment = self.layers[0].segment_for(key)
+        for depth, layer in enumerate(self.layers):
+            pred = layer.predict(key, segment)
+            if depth + 1 < len(self.layers):
+                nxt = self.layers[depth + 1]
+                i = self._windowed_bisect(nxt.first_keys, key, pred)
+                if i == len(nxt.first_keys) or nxt.first_keys[i] != key:
+                    i = max(i - 1, 0)
+                segment = i
+            else:
+                return self._windowed_bisect(self._keys, key, pred)
+        return bisect_left(self._keys, key)
+
+    def find(self, key: int) -> int:
+        """Index of ``key`` in the array, or -1."""
+        i = self._insertion_point(key)
+        if i < len(self._keys) and self._keys[i] == key:
+            return i
+        return -1
+
+    def get(self, key: int) -> Optional[Any]:
+        i = self.find(key)
+        return self._values[i] if i >= 0 else None
+
+    def lower_bound(self, key: int) -> int:
+        """Global index of the first key >= ``key``."""
+        return self._insertion_point(key)
+
+    def items_from(self, index: int) -> Iterator[Tuple[int, Any]]:
+        return zip(self._keys[index:], self._values[index:])
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        return zip(self._keys, self._values)
+
+    def segment_count(self) -> int:
+        return sum(len(layer) for layer in self.layers)
+
+
+class PGMIndex:
+    """Dynamic PGM: logarithmic-method levels of :class:`StaticPGM`.
+
+    Level ``i`` holds a static PGM of at most ``buffer * 2^i`` records;
+    an insert goes to the sorted buffer, and a full buffer merges down
+    into the first empty level, carrying every occupied level above it
+    (exactly the logarithmic method / LSM compaction discipline).
+    Deletes write tombstones that are dropped when merges meet them.
+    """
+
+    def __init__(
+        self, epsilon: int = _EPSILON, buffer_capacity: int = _BUFFER_CAPACITY
+    ):
+        if buffer_capacity < 2:
+            raise ValueError("buffer_capacity must be >= 2")
+        self.epsilon = epsilon
+        self.buffer_capacity = buffer_capacity
+        self._buffer_keys: List[int] = []
+        self._buffer_values: List[Any] = []
+        self._levels: List[Optional[StaticPGM]] = []
+        self._size = 0  # live records (tombstones excluded)
+        self.merge_count = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- point operations ---------------------------------------------------
+
+    def _buffer_find(self, key: int) -> int:
+        i = bisect_left(self._buffer_keys, key)
+        if i < len(self._buffer_keys) and self._buffer_keys[i] == key:
+            return i
+        return -1
+
+    def _lookup_raw(self, key: int):
+        """Newest-first value for ``key`` (may be a tombstone) or None."""
+        i = self._buffer_find(key)
+        if i >= 0:
+            return self._buffer_values[i]
+        for level in self._levels:
+            if level is None:
+                continue
+            j = level.find(key)
+            if j >= 0:
+                return level._values[j]
+        return None
+
+    def get(self, key: int) -> Optional[Any]:
+        value = self._lookup_raw(key)
+        return None if value is _TOMBSTONE or value is None else value
+
+    def __contains__(self, key: int) -> bool:
+        value = self._lookup_raw(key)
+        return value is not None and value is not _TOMBSTONE
+
+    def insert(self, key: int, value: Any) -> None:
+        """Insert or update ``key``."""
+        existed = key in self
+        i = self._buffer_find(key)
+        if i >= 0:
+            self._buffer_values[i] = value
+        else:
+            pos = bisect_left(self._buffer_keys, key)
+            self._buffer_keys.insert(pos, key)
+            self._buffer_values.insert(pos, value)
+        if not existed:
+            self._size += 1
+        if len(self._buffer_keys) >= self.buffer_capacity:
+            self._merge_down()
+
+    def delete(self, key: int) -> bool:
+        """Remove ``key``; returns whether it was live."""
+        if key not in self:
+            return False
+        i = self._buffer_find(key)
+        if i >= 0:
+            self._buffer_values[i] = _TOMBSTONE
+        else:
+            pos = bisect_left(self._buffer_keys, key)
+            self._buffer_keys.insert(pos, key)
+            self._buffer_values.insert(pos, _TOMBSTONE)
+            if len(self._buffer_keys) >= self.buffer_capacity:
+                self._merge_down()
+        self._size -= 1
+        return True
+
+    # -- merging ---------------------------------------------------------------
+
+    def _merge_down(self) -> None:
+        """Merge the buffer plus every occupied prefix level downward."""
+        self.merge_count += 1
+        runs: List[List[Tuple[int, Any]]] = [
+            list(zip(self._buffer_keys, self._buffer_values))
+        ]
+        target = 0
+        while target < len(self._levels) and self._levels[target] is not None:
+            runs.append(list(self._levels[target].items()))
+            self._levels[target] = None
+            target += 1
+        merged = self._merge_runs(runs)
+        # Tombstones survive the merge unless this is the bottom level
+        # (nothing older can exist below the deepest occupied level).
+        is_bottom = target >= len(self._levels) or all(
+            lv is None for lv in self._levels[target:]
+        )
+        if is_bottom:
+            merged = [(k, v) for k, v in merged if v is not _TOMBSTONE]
+        keys = [k for k, _ in merged]
+        values = [v for _, v in merged]
+        static = StaticPGM(keys, values, self.epsilon)
+        if target == len(self._levels):
+            self._levels.append(static)
+        else:
+            self._levels[target] = static
+        self._buffer_keys = []
+        self._buffer_values = []
+
+    @staticmethod
+    def _merge_runs(
+        runs: List[List[Tuple[int, Any]]]
+    ) -> List[Tuple[int, Any]]:
+        """Merge newest-first runs; the newest occurrence of a key wins."""
+        out: List[Tuple[int, Any]] = []
+        heap = []
+        for run_idx, run in enumerate(runs):
+            if run:
+                heap.append((run[0][0], run_idx, 0))
+        heapq.heapify(heap)
+        last_key: Optional[int] = None
+        while heap:
+            key, run_idx, pos = heapq.heappop(heap)
+            if key != last_key:
+                out.append(runs[run_idx][pos])
+                last_key = key
+            # Equal keys: the lower run_idx (newer) was popped first by
+            # the (key, run_idx) tie-break, so older duplicates drop here.
+            if pos + 1 < len(runs[run_idx]):
+                nxt = runs[run_idx][pos + 1]
+                heapq.heappush(heap, (nxt[0], run_idx, pos + 1))
+        return out
+
+    # -- scans --------------------------------------------------------------------
+
+    def scan(self, start_key: int, count: int) -> List[Tuple[int, Any]]:
+        """Up to ``count`` live pairs with key >= start_key, in order."""
+        if count <= 0:
+            return []
+        iterators: List[Iterator[Tuple[int, Any]]] = []
+        i = bisect_left(self._buffer_keys, start_key)
+        iterators.append(
+            iter(list(zip(self._buffer_keys[i:], self._buffer_values[i:])))
+        )
+        for level in self._levels:
+            if level is None:
+                continue
+            iterators.append(level.items_from(level.lower_bound(start_key)))
+        def tagged(source, rank):
+            for k, v in source:
+                yield k, rank, v
+
+        merged = heapq.merge(
+            *(tagged(it, rank) for rank, it in enumerate(iterators))
+        )
+        out: List[Tuple[int, Any]] = []
+        last_key: Optional[int] = None
+        for key, _rank, value in merged:
+            if key == last_key:
+                continue
+            last_key = key
+            if value is _TOMBSTONE:
+                continue
+            out.append((key, value))
+            if len(out) >= count:
+                break
+        return out
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        """All live pairs in ascending key order."""
+        yield from self.scan(0, len(self) + 1) if self._size else iter(())
+
+    # -- bulk / introspection --------------------------------------------------------
+
+    def bulk_load(self, keys: Sequence[int], values: Sequence[Any]) -> None:
+        """Rebuild from the given records (one static bottom level)."""
+        pairs = sorted(zip(keys, values))
+        self._buffer_keys = []
+        self._buffer_values = []
+        self._levels = []
+        self._size = len(pairs)
+        if pairs:
+            self._levels.append(
+                StaticPGM(
+                    [k for k, _ in pairs], [v for _, v in pairs], self.epsilon
+                )
+            )
+
+    def level_sizes(self) -> List[int]:
+        return [len(lv) if lv else 0 for lv in self._levels]
+
+    def segment_count(self) -> int:
+        return sum(lv.segment_count() for lv in self._levels if lv)

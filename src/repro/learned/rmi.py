@@ -1,0 +1,130 @@
+"""A static two-stage Recursive Model Index (Kraska et al., SIGMOD '18).
+
+The original learned index (paper §2.2 and §5): a *static* hierarchy of
+models over a sorted array.  Stage 1 is one linear model routing a key
+to one of N stage-2 linear models; each stage-2 model predicts a
+position in the array and records its maximum error, so a lookup is two
+model evaluations plus a binary search inside the error window.
+
+The RMI must be built by bulk loading and supports **no inserts** --
+exactly the constraint that motivates both ALEX and DyTIS.  It is
+included as the related-work baseline for search-only comparisons
+(Kipf et al.'s SOSD setting, cited in §5).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.learned.linear import LinearModel
+
+
+class RMIndex:
+    """Read-only two-stage recursive model index over sorted records."""
+
+    def __init__(self, branching: int = 64):
+        if branching < 1:
+            raise ValueError("branching must be >= 1")
+        self.branching = branching
+        self._keys: List[int] = []
+        self._values: List[Any] = []
+        self._root = LinearModel()
+        self._leaf_models: List[LinearModel] = []
+        self._leaf_errors: List[int] = []
+        self._built = False
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    # -- construction ------------------------------------------------------
+
+    def bulk_load(self, keys: Sequence[int], values: Sequence[Any]) -> None:
+        """Build the model hierarchy from the given records."""
+        pairs = sorted(zip(keys, values))
+        self._keys = [k for k, _ in pairs]
+        self._values = [v for _, v in pairs]
+        n = len(self._keys)
+        m = self.branching
+        self._root = LinearModel.fit_cdf(self._keys, m) if n else LinearModel()
+        buckets: List[List[int]] = [[] for _ in range(m)]
+        for i, k in enumerate(self._keys):
+            buckets[self._root.predict_clamped(k, m)].append(i)
+        self._leaf_models = []
+        self._leaf_errors = []
+        for idx_list in buckets:
+            if not idx_list:
+                self._leaf_models.append(LinearModel())
+                self._leaf_errors.append(0)
+                continue
+            ks = [self._keys[i] for i in idx_list]
+            model = LinearModel.fit(ks, [float(i) for i in idx_list])
+            err = max(
+                abs(model.predict_clamped(k, n) - i)
+                for k, i in zip(ks, idx_list)
+            )
+            self._leaf_models.append(model)
+            self._leaf_errors.append(err)
+        self._built = True
+
+    # -- queries -------------------------------------------------------------
+
+    def _position(self, key: int) -> int:
+        """Index of ``key`` in the sorted array, or -1."""
+        if not self._built:
+            raise RuntimeError("RMIndex must be bulk loaded before use")
+        n = len(self._keys)
+        if n == 0:
+            return -1
+        leaf = self._root.predict_clamped(key, self.branching)
+        model = self._leaf_models[leaf]
+        err = self._leaf_errors[leaf]
+        pred = model.predict_clamped(key, n)
+        lo = max(0, pred - err)
+        hi = min(n, pred + err + 1)
+        i = bisect_left(self._keys, key, lo, hi)
+        if i < n and self._keys[i] == key:
+            return i
+        # The prediction window can miss keys routed to an adjacent
+        # stage-2 model; fall back to a full binary search.
+        i = bisect_left(self._keys, key)
+        if i < n and self._keys[i] == key:
+            return i
+        return -1
+
+    def get(self, key: int) -> Optional[Any]:
+        """Value stored under ``key``, or None."""
+        i = self._position(key)
+        return self._values[i] if i >= 0 else None
+
+    def __contains__(self, key: int) -> bool:
+        return self._position(key) >= 0
+
+    def scan(self, start_key: int, count: int) -> List[Tuple[int, Any]]:
+        """Up to ``count`` pairs with key >= start_key, in key order."""
+        if not self._built:
+            raise RuntimeError("RMIndex must be bulk loaded before use")
+        i = bisect_left(self._keys, start_key)
+        j = min(len(self._keys), i + max(count, 0))
+        return list(zip(self._keys[i:j], self._values[i:j]))
+
+    def items(self):
+        return zip(self._keys, self._values)
+
+    # -- mutations (unsupported by design) -------------------------------------
+
+    def insert(self, key: int, value: Any) -> None:
+        """The static RMI cannot absorb inserts (the point of the paper)."""
+        raise NotImplementedError(
+            "RMIndex is static; rebuild with bulk_load (see ALEX/DyTIS "
+            "for updatable alternatives)"
+        )
+
+    def delete(self, key: int) -> bool:
+        raise NotImplementedError("RMIndex is static")
+
+    def model_count(self) -> int:
+        return 1 + sum(1 for m in self._leaf_models if m.slope or m.intercept)
+
+    def max_error(self) -> int:
+        return max(self._leaf_errors, default=0)

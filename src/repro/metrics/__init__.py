@@ -1,0 +1,34 @@
+"""Dynamic-dataset metrics from paper §2.1.
+
+Two quantities characterise how "dynamic" a dataset is:
+
+- **Variance of skewness** -- the average number of linear models an
+  error-bounded PLR needs to approximate the CDF of each fixed-size
+  window of keys.  High values mean the key density varies a lot across
+  the key space (Figure 2).
+- **Key Distribution Divergence (KDD)** -- the average Kullback-Leibler
+  divergence between the histograms of consecutive fixed-size
+  sub-datasets, capturing how fast the insert distribution drifts over
+  time (Figure 3).
+
+Figure 1 of the paper plots datasets on the (skewness, KDD) plane; the
+:func:`characterize` helper computes both at once.
+"""
+
+from repro.metrics.skewness import (
+    variance_of_skewness,
+    calibrate_gamma,
+    DEFAULT_WINDOW,
+)
+from repro.metrics.kdd import key_distribution_divergence, kl_divergence
+from repro.metrics.characterize import characterize, DatasetCharacter
+
+__all__ = [
+    "variance_of_skewness",
+    "calibrate_gamma",
+    "key_distribution_divergence",
+    "kl_divergence",
+    "characterize",
+    "DatasetCharacter",
+    "DEFAULT_WINDOW",
+]

@@ -1,0 +1,57 @@
+"""Joint characterisation of a dataset on the (skewness, KDD) plane.
+
+This is what Figure 1 of the paper plots for Groups 1-3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.metrics.kdd import key_distribution_divergence
+from repro.metrics.skewness import variance_of_skewness
+
+
+@dataclass(frozen=True)
+class DatasetCharacter:
+    """A dataset's position on the paper's Figure 1 axes."""
+
+    name: str
+    skewness: float
+    kdd: float
+    n_keys: int
+
+    def classify(
+        self,
+        skew_bounds: tuple = (2.0, 8.0),
+        kdd_bounds: tuple = (0.05, 0.5),
+    ) -> str:
+        """Return an 'XY' class string (e.g. 'HL') like paper Table 1.
+
+        X is skewness class, Y is KDD class; L/M/H thresholds are
+        relative splits of the observed metric ranges and configurable.
+        """
+
+        def grade(value: float, bounds: tuple) -> str:
+            lo, hi = bounds
+            if value < lo:
+                return "L"
+            if value < hi:
+                return "M"
+            return "H"
+
+        return grade(self.skewness, skew_bounds) + grade(self.kdd, kdd_bounds)
+
+
+def characterize(
+    name: str,
+    keys: Sequence[int],
+    window: int = 100_000,
+) -> DatasetCharacter:
+    """Compute both dynamic-dataset metrics for ``keys``."""
+    return DatasetCharacter(
+        name=name,
+        skewness=variance_of_skewness(keys, window=window),
+        kdd=key_distribution_divergence(keys, window=window),
+        n_keys=len(keys),
+    )

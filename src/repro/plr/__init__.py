@@ -1,0 +1,13 @@
+"""Maximum error-bounded Piecewise Linear Representation (PLR).
+
+The paper's variance-of-skewness metric (§2.1) counts how many linear
+models an error-bounded PLR needs to approximate the CDF of a window of
+keys.  This sub-package implements the greedy slope-corridor algorithm of
+Xie et al. ("Maximum error-bounded Piecewise Linear Representation for
+online stream approximation", VLDB 2014), the same algorithm used by the
+reference implementation the paper cites (github.com/RyanMarcus/plr).
+"""
+
+from repro.plr.plr import GreedyPLR, PLRSegment, fit_plr, count_models
+
+__all__ = ["GreedyPLR", "PLRSegment", "fit_plr", "count_models"]

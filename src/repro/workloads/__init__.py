@@ -1,0 +1,38 @@
+"""YCSB-style workload generation (paper §4.3).
+
+The paper evaluates with seven workloads roughly corresponding to YCSB
+Load, A, B, C, D', E, and F, with Zipfian key selection (constant 0.99).
+``D'`` differs from stock YCSB D in that reads target *existing* keys
+rather than the latest ones (paper footnote 5).
+"""
+
+from repro.workloads.zipf import (
+    HotspotChooser,
+    KeyChooser,
+    UniformChooser,
+    ZipfianChooser,
+)
+from repro.workloads.ycsb import (
+    Operation,
+    OpKind,
+    WorkloadSpec,
+    WORKLOADS,
+    make_workload,
+    generate_operations,
+)
+from repro.workloads.trace import save_trace, load_trace
+
+__all__ = [
+    "ZipfianChooser",
+    "UniformChooser",
+    "HotspotChooser",
+    "KeyChooser",
+    "Operation",
+    "OpKind",
+    "WorkloadSpec",
+    "WORKLOADS",
+    "make_workload",
+    "generate_operations",
+    "save_trace",
+    "load_trace",
+]

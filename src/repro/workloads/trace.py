@@ -1,0 +1,71 @@
+"""Record and replay operation traces.
+
+Benchmark runs are reproducible from seeds, but a serialized trace lets
+you re-run the *exact* operation stream across machines, branches, or
+index implementations -- the standard way to chase a performance or
+correctness regression.  Format: one JSON object per line; the first
+line is a header with the preload keys.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Sequence, Tuple, Union
+
+from repro.workloads.ycsb import Operation, OpKind
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(
+    path: Union[str, Path],
+    preload: Sequence[int],
+    ops: Sequence[Operation],
+) -> None:
+    """Write a trace as JSONL: header line, then one line per operation."""
+    path = Path(path)
+    with path.open("w") as f:
+        header = {
+            "version": _FORMAT_VERSION,
+            "preload": [int(k) for k in preload],
+            "n_ops": len(ops),
+        }
+        f.write(json.dumps(header) + "\n")
+        for op in ops:
+            record = {"op": op.kind.value, "key": int(op.key)}
+            if op.arg is not None:
+                record["arg"] = int(op.arg)
+            f.write(json.dumps(record) + "\n")
+
+
+def load_trace(
+    path: Union[str, Path],
+) -> Tuple[List[int], List[Operation]]:
+    """Read a trace written by :func:`save_trace`."""
+    path = Path(path)
+    with path.open() as f:
+        header_line = f.readline()
+        if not header_line:
+            raise ValueError(f"{path}: empty trace file")
+        header = json.loads(header_line)
+        if header.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported trace version {header.get('version')!r}"
+            )
+        preload = [int(k) for k in header["preload"]]
+        ops: List[Operation] = []
+        for line in f:
+            record = json.loads(line)
+            ops.append(
+                Operation(
+                    OpKind(record["op"]),
+                    int(record["key"]),
+                    record.get("arg"),
+                )
+            )
+    if len(ops) != header.get("n_ops", len(ops)):
+        raise ValueError(
+            f"{path}: header claims {header['n_ops']} ops, found {len(ops)}"
+        )
+    return preload, ops

@@ -1,0 +1,126 @@
+"""Key choosers: Zipfian (YCSB-style, scrambled) and uniform.
+
+YCSB's Zipfian chooser draws ranks from a Zipf distribution with
+constant theta (0.99 by default) and *scrambles* the rank-to-item
+mapping with a hash so hot items are spread across the key space rather
+than clustered at its start.  We reproduce both behaviours.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+DEFAULT_THETA = 0.99
+_FNV_OFFSET = np.uint64(0xCBF29CE484222325)
+_FNV_PRIME = np.uint64(0x100000001B3)
+
+
+def _fnv_mix(values: np.ndarray) -> np.ndarray:
+    """Vectorised FNV-1a-style mix used to scramble Zipf ranks."""
+    h = np.full(values.shape, _FNV_OFFSET, dtype=np.uint64)
+    v = values.astype(np.uint64)
+    for shift in (0, 8, 16, 24, 32, 40, 48, 56):
+        byte = (v >> np.uint64(shift)) & np.uint64(0xFF)
+        h = (h ^ byte) * _FNV_PRIME
+    return h
+
+
+class KeyChooser:
+    """Base interface: choose existing keys for read/update/scan ops."""
+
+    def choose(self, size: int) -> np.ndarray:
+        raise NotImplementedError
+
+
+class UniformChooser(KeyChooser):
+    """Uniformly random choices over a fixed key population."""
+
+    def __init__(self, keys: Sequence[int], seed: int = 0):
+        self._keys = np.asarray(keys, dtype=np.uint64)
+        if self._keys.size == 0:
+            raise ValueError("key population must be non-empty")
+        self._rng = np.random.default_rng(seed)
+
+    def choose(self, size: int) -> np.ndarray:
+        idx = self._rng.integers(0, self._keys.size, size=size)
+        return self._keys[idx]
+
+
+class HotspotChooser(KeyChooser):
+    """YCSB hotspot distribution: a hot set absorbs most accesses.
+
+    ``hot_fraction`` of the key population receives ``hot_opn_fraction``
+    of the operations (YCSB defaults: 20% of keys get 80% of accesses);
+    both hot and cold picks are uniform within their set.
+    """
+
+    def __init__(
+        self,
+        keys: Sequence[int],
+        hot_fraction: float = 0.2,
+        hot_opn_fraction: float = 0.8,
+        seed: int = 0,
+    ):
+        self._keys = np.asarray(keys, dtype=np.uint64)
+        if self._keys.size == 0:
+            raise ValueError("key population must be non-empty")
+        if not 0.0 < hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in (0, 1]")
+        if not 0.0 <= hot_opn_fraction <= 1.0:
+            raise ValueError("hot_opn_fraction must be in [0, 1]")
+        self.hot_fraction = hot_fraction
+        self.hot_opn_fraction = hot_opn_fraction
+        self._rng = np.random.default_rng(seed)
+        n_hot = max(1, int(self._keys.size * hot_fraction))
+        # Scramble so the hot set is scattered over the key space.
+        order = np.argsort(_fnv_mix(np.arange(self._keys.size)))
+        self._hot = self._keys[order[:n_hot]]
+        self._cold = self._keys[order[n_hot:]]
+        if self._cold.size == 0:
+            self._cold = self._hot
+
+    def choose(self, size: int) -> np.ndarray:
+        is_hot = self._rng.random(size) < self.hot_opn_fraction
+        hot_idx = self._rng.integers(0, self._hot.size, size=size)
+        cold_idx = self._rng.integers(0, self._cold.size, size=size)
+        return np.where(is_hot, self._hot[hot_idx], self._cold[cold_idx])
+
+
+class ZipfianChooser(KeyChooser):
+    """Scrambled Zipfian choices over a fixed key population.
+
+    Rank probabilities are p(r) ∝ 1/r^theta, sampled by inverse-CDF
+    lookup over the precomputed cumulative mass (exact, O(log N) per
+    draw, vectorised).  Ranks are then scrambled onto key indices so the
+    hottest keys are scattered over the population as in YCSB.
+    """
+
+    def __init__(
+        self,
+        keys: Sequence[int],
+        theta: float = DEFAULT_THETA,
+        seed: int = 0,
+        scramble: bool = True,
+    ):
+        self._keys = np.asarray(keys, dtype=np.uint64)
+        n = self._keys.size
+        if n == 0:
+            raise ValueError("key population must be non-empty")
+        if not 0 < theta:
+            raise ValueError("theta must be positive")
+        self.theta = float(theta)
+        self._rng = np.random.default_rng(seed)
+        weights = np.arange(1, n + 1, dtype=np.float64) ** -self.theta
+        self._cdf = np.cumsum(weights)
+        self._cdf /= self._cdf[-1]
+        if scramble:
+            self._rank_to_index = np.argsort(_fnv_mix(np.arange(n)))
+        else:
+            self._rank_to_index = np.arange(n)
+
+    def choose(self, size: int) -> np.ndarray:
+        u = self._rng.random(size)
+        ranks = np.searchsorted(self._cdf, u, side="left")
+        return self._keys[self._rank_to_index[ranks]]

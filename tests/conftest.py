@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+import random
+
+import pytest
+
+from repro.core import DyTISConfig
+
+
+@pytest.fixture
+def small_config():
+    """DyTIS config scaled for fast tests: tiny buckets, early remapping."""
+    return DyTISConfig(
+        key_bits=32, first_level_bits=4, bucket_capacity=8, l_start=2
+    )
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xDB15)
+
+
+@pytest.fixture
+def sample_keys(rng):
+    """5k unique random 32-bit keys."""
+    return rng.sample(range(0, 2**32), 5000)

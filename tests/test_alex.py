@@ -1,0 +1,113 @@
+"""Tests for the ALEX-like adaptive learned index (repro.learned.alex)."""
+
+import pytest
+
+from repro.learned import AlexIndex
+
+
+class TestBulkLoad:
+    def test_bulk_load_roundtrip(self, rng):
+        keys = rng.sample(range(2**40), 5000)
+        idx = AlexIndex()
+        idx.bulk_load(keys, [k + 1 for k in keys])
+        assert len(idx) == len(keys)
+        for k in keys[::11]:
+            assert idx.get(k) == k + 1
+
+    def test_bulk_load_unsorted_input_ok(self):
+        idx = AlexIndex()
+        idx.bulk_load([5, 1, 9], ["b", "a", "c"])
+        assert [k for k, _ in idx.items()] == [1, 5, 9]
+
+    def test_bulk_load_builds_tree_for_large_inputs(self, rng):
+        keys = rng.sample(range(2**40), 20000)
+        idx = AlexIndex()
+        idx.bulk_load(keys, keys)
+        assert idx.depth() >= 2
+        assert idx.node_count() > 1
+
+    def test_empty_bulk_load(self):
+        idx = AlexIndex()
+        idx.bulk_load([], [])
+        assert len(idx) == 0
+        assert idx.get(5) is None
+
+
+class TestAdaptiveInserts:
+    def test_insert_without_bulk_load(self, rng):
+        idx = AlexIndex()
+        keys = rng.sample(range(2**40), 3000)
+        for k in keys:
+            idx.insert(k, k)
+        assert len(idx) == len(keys)
+        assert [k for k, _ in idx.items()] == sorted(keys)
+
+    def test_expansion_and_split_counters(self, rng):
+        idx = AlexIndex()
+        for k in rng.sample(range(2**40), 12000):
+            idx.insert(k, k)
+        assert idx.expand_count > 0
+        assert idx.split_count > 0  # nodes beyond max size must split
+
+    def test_in_place_update(self):
+        idx = AlexIndex()
+        idx.insert(5, "a")
+        idx.insert(5, "b")
+        assert idx.get(5) == "b"
+        assert len(idx) == 1
+
+    def test_skewed_inserts_after_bulk_load(self, rng):
+        """Inserting into one hot region forces local adaptation."""
+        base = rng.sample(range(2**40), 5000)
+        idx = AlexIndex()
+        idx.bulk_load(base, base)
+        hot = [2**20 + i for i in range(5000) if 2**20 + i not in set(base)]
+        for k in hot:
+            idx.insert(k, k)
+        assert len(idx) == len(base) + len(hot)
+        assert [k for k, _ in idx.items()] == sorted(set(base) | set(hot))
+
+
+class TestScanDelete:
+    def test_scan_matches_reference(self, rng):
+        keys = rng.sample(range(2**40), 4000)
+        idx = AlexIndex()
+        idx.bulk_load(keys[:2000], keys[:2000])
+        for k in keys[2000:]:
+            idx.insert(k, k)
+        ref = sorted(keys)
+        assert [k for k, _ in idx.scan(ref[100], 200)] == ref[100:300]
+
+    def test_scan_across_node_boundaries(self, rng):
+        keys = rng.sample(range(2**40), 15000)
+        idx = AlexIndex()
+        idx.bulk_load(keys, keys)
+        ref = sorted(keys)
+        assert [k for k, _ in idx.scan(ref[0], 6000)] == ref[:6000]
+
+    def test_delete(self, rng):
+        keys = rng.sample(range(2**40), 2000)
+        idx = AlexIndex()
+        idx.bulk_load(keys, keys)
+        for k in keys[:500]:
+            assert idx.delete(k)
+        assert not idx.delete(keys[0])
+        assert len(idx) == 1500
+        assert [k for k, _ in idx.items()] == sorted(keys[500:])
+
+
+class TestStructure:
+    def test_model_count_reported(self, rng):
+        idx = AlexIndex()
+        idx.bulk_load(rng.sample(range(2**40), 10000), [0] * 10000)
+        assert idx.model_count() == idx.node_count() > 1
+
+    def test_bulk_loaded_depth_persists(self, rng):
+        """The paper: ALEX 'vigorously deters' increasing bulk-load depth."""
+        keys = rng.sample(range(2**40), 10000)
+        idx = AlexIndex()
+        idx.bulk_load(keys[:7000], keys[:7000])
+        d0 = idx.depth()
+        for k in keys[7000:]:
+            idx.insert(k, k)
+        assert idx.depth() <= d0 + 1

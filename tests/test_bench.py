@@ -1,0 +1,139 @@
+"""Tests for the benchmark harness (repro.bench)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    ADAPTER_NAMES,
+    LatencyStats,
+    deep_size_bytes,
+    make_adapter,
+    run_load,
+    run_operations,
+    run_ycsb,
+)
+from repro.core import DyTISConfig
+from repro.workloads import Operation, OpKind, make_workload
+
+CFG = DyTISConfig(key_bits=32, first_level_bits=2, bucket_capacity=8, l_start=1)
+
+
+class TestAdapters:
+    @pytest.mark.parametrize("name", ADAPTER_NAMES)
+    def test_uniform_api(self, name, rng):
+        adapter = make_adapter(name, CFG)
+        keys = rng.sample(range(2**31), 600)
+        n_bulk = int(len(keys) * adapter.bulk_fraction)
+        if n_bulk:
+            adapter.bulk_load(keys[:n_bulk], keys[:n_bulk])
+        for k in keys[n_bulk:]:
+            adapter.insert(k, k)
+        assert len(adapter) == len(keys)
+        for k in keys[::17]:
+            assert adapter.get(k) == k
+        adapter.update(keys[0], "u")
+        assert adapter.get(keys[0]) == "u"
+        if adapter.supports_scan:
+            ref = sorted(keys)
+            got = adapter.scan(ref[10], 20)
+            assert [k for k, _ in got] == ref[10:30]
+        else:
+            with pytest.raises(NotImplementedError):
+                adapter.scan(0, 5)
+        assert adapter.delete(keys[-1])
+
+    def test_unknown_adapter(self):
+        with pytest.raises(ValueError):
+            make_adapter("FooIndex")
+
+    def test_alex_fraction_parsing(self):
+        assert make_adapter("ALEX-30").bulk_fraction == 0.3
+        assert make_adapter("ALEX-90").name == "ALEX-90"
+
+
+class TestHarness:
+    def test_run_load_counts_only_non_bulk(self, rng):
+        keys = rng.sample(range(2**31), 1000)
+        adapter = make_adapter("ALEX-50")
+        result = run_load(adapter, keys)
+        assert result.n_ops == 500  # the other 500 were bulk loaded
+        assert result.workload == "Load"
+        assert result.seconds > 0
+        assert result.mops > 0
+        assert len(adapter) == 1000
+
+    def test_run_load_latency_capture(self, rng):
+        keys = rng.sample(range(2**31), 400)
+        result = run_load(make_adapter("DyTIS", CFG), keys, capture_latency=True)
+        assert result.latency is not None
+        assert result.latency.avg_ns > 0
+        assert result.latency.p9999_ns >= result.latency.p99_ns >= result.latency.p50_ns
+
+    def test_run_operations_executes_all_kinds(self, rng):
+        adapter = make_adapter("DyTIS", CFG)
+        keys = rng.sample(range(2**31), 500)
+        for k in keys:
+            adapter.insert(k, k)
+        ops = [
+            Operation(OpKind.READ, keys[0]),
+            Operation(OpKind.UPDATE, keys[1]),
+            Operation(OpKind.INSERT, max(keys) + 1),
+            Operation(OpKind.SCAN, keys[2], 10),
+            Operation(OpKind.READ_MODIFY_WRITE, keys[3]),
+        ]
+        result = run_operations(adapter, ops, "mixed")
+        assert result.n_ops == 5
+        assert len(adapter) == len(keys) + 1
+
+    @pytest.mark.parametrize("wl", ["Load", "A", "C", "E"])
+    def test_run_ycsb_full_protocol(self, wl, rng):
+        keys = rng.sample(range(2**31), 1200)
+        result = run_ycsb(
+            make_adapter("DyTIS", CFG), make_workload(wl), keys, 400, seed=1
+        )
+        assert result.workload == wl
+        assert result.n_ops > 0
+        assert result.ops_per_sec > 0
+
+    def test_row_rendering(self, rng):
+        keys = rng.sample(range(2**31), 300)
+        result = run_load(make_adapter("B+-tree"), keys, capture_latency=True)
+        row = result.row()
+        assert "B+-tree" in row and "ops/s" in row and "p99" in row
+
+
+class TestLatencyStats:
+    def test_empty(self):
+        s = LatencyStats.from_samples([])
+        assert s.avg_ns == 0.0
+
+    def test_percentiles_ordered(self):
+        s = LatencyStats.from_samples(list(range(1, 10001)))
+        assert s.p50_ns <= s.p99_ns <= s.p9999_ns
+        assert s.avg_ns == pytest.approx(5000.5)
+
+
+class TestDeepSize:
+    def test_counts_nested_structures(self):
+        small = deep_size_bytes([1, 2, 3])
+        big = deep_size_bytes([[i] * 10 for i in range(100)])
+        assert big > small > 0
+
+    def test_shared_objects_counted_once(self):
+        shared = list(range(1000))
+        assert deep_size_bytes([shared, shared]) < 2 * deep_size_bytes([shared])
+
+    def test_index_sizes_ordered_sanely(self, rng):
+        keys = rng.sample(range(2**31), 1500)
+        dytis = make_adapter("DyTIS", CFG)
+        for k in keys:
+            dytis.insert(k, k)
+        size = deep_size_bytes(dytis.index)
+        assert size > 1500 * 8  # at least the keys themselves
+
+    def test_handles_slots_and_locks(self, rng):
+        """Segments use __slots__ and hold locks; the walker must cope."""
+        adapter = make_adapter("DyTIS", CFG)
+        for k in rng.sample(range(2**31), 2000):
+            adapter.insert(k, k)
+        assert deep_size_bytes(adapter.index) > 0

@@ -1,0 +1,129 @@
+"""Tests for the B+-tree baseline (repro.btree)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.btree import BPlusTree
+
+
+class TestBasics:
+    def test_fanout_validation(self):
+        with pytest.raises(ValueError):
+            BPlusTree(fanout=3)
+
+    def test_empty(self):
+        t = BPlusTree(fanout=8)
+        assert len(t) == 0
+        assert t.get(1) is None
+        assert 1 not in t
+        assert t.scan(0, 10) == []
+        assert not t.delete(1)
+
+    def test_insert_get_update(self):
+        t = BPlusTree(fanout=8)
+        t.insert(5, "a")
+        assert t.get(5) == "a"
+        t.insert(5, "b")  # in-place update (the paper's modification)
+        assert t.get(5) == "b"
+        assert len(t) == 1
+
+    def test_many_inserts(self, rng):
+        t = BPlusTree(fanout=8)
+        keys = rng.sample(range(10**9), 5000)
+        for k in keys:
+            t.insert(k, k)
+        t.check_invariants()
+        assert len(t) == len(keys)
+        assert t.depth() > 1
+        for k in keys[::7]:
+            assert t.get(k) == k
+
+
+class TestScan:
+    def test_scan_matches_reference(self, rng):
+        t = BPlusTree(fanout=16)
+        keys = rng.sample(range(10**9), 3000)
+        for k in keys:
+            t.insert(k, k)
+        ref = sorted(keys)
+        assert [k for k, _ in t.scan(ref[500], 100)] == ref[500:600]
+        assert [k for k, _ in t.scan(0, 10)] == ref[:10]
+        assert [k for k, _ in t.items()] == ref
+
+    def test_scan_beyond_end(self):
+        t = BPlusTree(fanout=8)
+        t.insert(1, 1)
+        assert t.scan(2, 10) == []
+
+
+class TestDelete:
+    def test_delete_with_rebalance(self, rng):
+        t = BPlusTree(fanout=8)
+        keys = rng.sample(range(10**9), 4000)
+        for k in keys:
+            t.insert(k, k)
+        victims = keys[:3000]
+        for k in victims:
+            assert t.delete(k)
+        t.check_invariants()
+        survivors = sorted(set(keys) - set(victims))
+        assert [k for k, _ in t.items()] == survivors
+
+    def test_delete_to_empty_and_reuse(self, rng):
+        t = BPlusTree(fanout=8)
+        keys = rng.sample(range(10**6), 1000)
+        for k in keys:
+            t.insert(k, k)
+        for k in keys:
+            assert t.delete(k)
+        t.check_invariants()
+        assert len(t) == 0
+        t.insert(42, "back")
+        assert t.get(42) == "back"
+
+    def test_delete_missing(self):
+        t = BPlusTree(fanout=8)
+        t.insert(1, 1)
+        assert not t.delete(2)
+
+
+class TestIntrospection:
+    def test_node_count_grows(self):
+        t = BPlusTree(fanout=8)
+        assert t.node_count() == 1
+        for k in range(100):
+            t.insert(k, k)
+        assert t.node_count() > 1
+
+    def test_fanout_bounds_leaf_size(self):
+        t = BPlusTree(fanout=8)
+        for k in range(1000):
+            t.insert(k, k)
+        t.check_invariants()  # includes per-node occupancy checks
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete", "get"]),
+            st.integers(0, 500),
+        ),
+        max_size=400,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_btree_matches_dict_model(ops):
+    t = BPlusTree(fanout=4)
+    model = {}
+    for op, key in ops:
+        if op == "insert":
+            t.insert(key, key * 2)
+            model[key] = key * 2
+        elif op == "delete":
+            assert t.delete(key) == (key in model)
+            model.pop(key, None)
+        else:
+            assert t.get(key) == model.get(key)
+    t.check_invariants()
+    assert [k for k, _ in t.items()] == sorted(model)

@@ -1,0 +1,39 @@
+"""Tests for the ``python -m repro.bench`` command-line interface."""
+
+import pytest
+
+from repro.bench.__main__ import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig1", "fig8", "table2", "related"):
+            assert name in out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--only", "nope"])
+
+    def test_run_one_experiment(self, capsys, tmp_path):
+        assert main(["--only", "table1", "--n", "2500", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert (tmp_path / "table1.txt").exists()
+
+    def test_report_aggregation(self, capsys, tmp_path):
+        report = tmp_path / "report.md"
+        assert main(
+            ["--only", "fig2", "--n", "2500", "--report", str(report)]
+        ) == 0
+        text = report.read_text()
+        assert text.startswith("# DyTIS reproduction results")
+        assert "## fig2" in text
+        assert "```" in text
+
+    def test_every_registered_experiment_has_run_and_format(self):
+        for name, module in EXPERIMENTS.items():
+            assert callable(getattr(module, "run", None)), name
+            assert callable(getattr(module, "format_table", None)), name
+            assert (module.__doc__ or "").strip(), name

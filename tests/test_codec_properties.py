@@ -1,0 +1,56 @@
+"""Property-based tests for the order-preserving key codecs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvstore import CompositeCodec, StringCodec, UintCodec
+
+_short_text = st.text(
+    alphabet=st.characters(min_codepoint=1, max_codepoint=0x7F),
+    max_size=4,
+).filter(lambda s: len(s.encode()) <= 4)
+
+
+@given(st.lists(_short_text, min_size=2, max_size=20, unique=True))
+@settings(max_examples=200, deadline=None)
+def test_string_codec_order_preserving(words):
+    codec = StringCodec(max_length=4)
+    by_bytes = sorted(words, key=lambda w: w.encode())
+    by_code = sorted(words, key=codec.encode)
+    assert by_code == by_bytes
+
+
+@given(_short_text)
+@settings(max_examples=200, deadline=None)
+def test_string_codec_roundtrip(word):
+    codec = StringCodec(max_length=4)
+    assert codec.decode(codec.encode(word)) == word
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 2**12 - 1), st.integers(0, 2**12 - 1)),
+        min_size=2,
+        max_size=20,
+        unique=True,
+    )
+)
+@settings(max_examples=200, deadline=None)
+def test_composite_codec_lexicographic(tuples):
+    codec = CompositeCodec(UintCodec(12), UintCodec(12))
+    assert sorted(tuples, key=codec.encode) == sorted(tuples)
+
+
+@given(st.tuples(st.integers(0, 2**12 - 1), st.integers(0, 2**12 - 1)))
+@settings(max_examples=200, deadline=None)
+def test_composite_codec_roundtrip(t):
+    codec = CompositeCodec(UintCodec(12), UintCodec(12))
+    assert codec.decode(codec.encode(t)) == t
+
+
+@given(st.integers(0, 2**20 - 1))
+@settings(max_examples=100, deadline=None)
+def test_uint_codec_identity(value):
+    codec = UintCodec(20)
+    assert codec.encode(value) == value
+    assert codec.decode(value) == value

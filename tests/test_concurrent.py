@@ -1,0 +1,232 @@
+"""Tests for the concurrent DyTIS wrapper (repro.core.concurrent)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import ConcurrentDyTIS, DyTISConfig
+from repro.core.concurrent import RWLock
+
+
+class TestRWLock:
+    def test_multiple_readers(self):
+        lock = RWLock()
+        acquired = []
+
+        def reader():
+            with lock.read():
+                acquired.append(1)
+                time.sleep(0.02)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Readers overlap: total well under 4 * 20ms.
+        assert time.perf_counter() - t0 < 0.06
+        assert len(acquired) == 4
+
+    def test_writer_excludes_readers(self):
+        lock = RWLock()
+        order = []
+
+        def writer():
+            with lock.write():
+                order.append("w-in")
+                time.sleep(0.03)
+                order.append("w-out")
+
+        def reader():
+            time.sleep(0.01)  # let the writer in first
+            with lock.read():
+                order.append("r")
+
+        tw = threading.Thread(target=writer)
+        tr = threading.Thread(target=reader)
+        tw.start()
+        tr.start()
+        tw.join()
+        tr.join()
+        assert order == ["w-in", "w-out", "r"]
+
+    def test_writer_preference(self):
+        lock = RWLock()
+        lock.acquire_read()
+        done = []
+
+        def writer():
+            with lock.write():
+                done.append("w")
+
+        t = threading.Thread(target=writer)
+        t.start()
+        time.sleep(0.01)
+        assert not done  # writer blocked by the reader
+        lock.release_read()
+        t.join()
+        assert done == ["w"]
+
+
+@pytest.fixture
+def cindex():
+    return ConcurrentDyTIS(
+        DyTISConfig(key_bits=32, first_level_bits=4, bucket_capacity=8, l_start=2)
+    )
+
+
+class TestConcurrentOperations:
+    def test_single_thread_semantics(self, cindex):
+        cindex.insert(5, "a")
+        assert cindex.get(5) == "a"
+        assert 5 in cindex
+        cindex.insert(5, "b")
+        assert cindex.get(5) == "b"
+        assert len(cindex) == 1
+        assert cindex.delete(5)
+        assert not cindex.delete(5)
+
+    def test_scan_single_thread(self, cindex):
+        for k in range(100):
+            cindex.insert(k * 7, k)
+        got = cindex.scan(35, 5)
+        assert [k for k, _ in got] == [35, 42, 49, 56, 63]
+
+    def test_parallel_inserts_all_present(self, cindex, rng):
+        keys = rng.sample(range(2**32), 8000)
+        shards = [keys[i::4] for i in range(4)]
+        errors = []
+
+        def worker(shard):
+            try:
+                for k in shard:
+                    cindex.insert(k, k + 1)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in shards]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cindex) == len(keys)
+        cindex.check_invariants()
+        for k in rng.sample(keys, 500):
+            assert cindex.get(k) == k + 1
+
+    def test_mixed_readers_and_writers(self, cindex, rng):
+        base = rng.sample(range(2**32), 2000)
+        for k in base:
+            cindex.insert(k, k)
+        extra = rng.sample(range(2**32), 2000)
+        extra = [k for k in extra if k not in set(base)]
+        errors = []
+
+        def writer():
+            try:
+                for k in extra:
+                    cindex.insert(k, k)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def reader():
+            try:
+                for k in base * 2:
+                    v = cindex.get(k)
+                    assert v == k
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def scanner():
+            try:
+                for k in base[:100]:
+                    out = cindex.scan(k, 10)
+                    got = [kk for kk, _ in out]
+                    assert got == sorted(got)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer),
+            threading.Thread(target=reader),
+            threading.Thread(target=scanner),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cindex) == len(base) + len(extra)
+        cindex.check_invariants()
+
+    def test_parallel_deletes(self, cindex, rng):
+        keys = rng.sample(range(2**32), 4000)
+        for k in keys:
+            cindex.insert(k, k)
+        victims = keys[:2000]
+        shards = [victims[i::4] for i in range(4)]
+        results = []
+
+        def worker(shard):
+            ok = all(cindex.delete(k) for k in shard)
+            results.append(ok)
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in shards]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(results)
+        assert len(cindex) == len(keys) - len(victims)
+        cindex.check_invariants()
+
+    def test_scan_range_parity(self, cindex, rng):
+        keys = rng.sample(range(2**32), 2000)
+        for k in keys:
+            cindex.insert(k, k)
+        ref = sorted(keys)
+        lo, hi = ref[200], ref[900]
+        got = cindex.scan_range(lo, hi)
+        assert [k for k, _ in got] == ref[200:900]
+        assert cindex.scan_range(5, 5) == []
+
+    def test_scan_range_under_concurrent_writes(self, cindex, rng):
+        base = rng.sample(range(2**31), 3000)
+        for k in base:
+            cindex.insert(k, k)
+        extra = [k + 2**31 for k in base]  # disjoint upper half
+        errors = []
+
+        def writer():
+            try:
+                for k in extra:
+                    cindex.insert(k, k)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def scanner():
+            try:
+                for _ in range(40):
+                    out = cindex.scan_range(0, 2**31)
+                    keys_only = [k for k, _ in out]
+                    assert keys_only == sorted(keys_only)
+                    # The lower half is stable: always fully present.
+                    assert len(out) == len(base)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        ts = [threading.Thread(target=writer), threading.Thread(target=scanner)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        assert not errors
+
+    def test_stats_delegation(self, cindex):
+        for k in range(2000):
+            cindex.insert(k, k)
+        assert cindex.stats.structural_ops() > 0
+        assert cindex.config.bucket_capacity == 8

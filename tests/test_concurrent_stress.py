@@ -1,0 +1,112 @@
+"""Heavier concurrency stress: structural churn racing reads and scans."""
+
+import random
+import threading
+
+import pytest
+
+from repro.core import ConcurrentDyTIS, DyTISConfig
+
+CFG = DyTISConfig(key_bits=32, first_level_bits=2, bucket_capacity=4, l_start=1)
+
+
+def _run_threads(workers):
+    errors = []
+
+    def guard(fn):
+        def wrapped():
+            try:
+                fn()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        return wrapped
+
+    threads = [threading.Thread(target=guard(w)) for w in workers]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return errors
+
+
+class TestStructuralChurn:
+    def test_sequential_inserters_force_constant_splits(self):
+        """Sequential keys hammer the same segments from every thread."""
+        index = ConcurrentDyTIS(CFG)
+        n_threads, per_thread = 4, 4000
+        bases = [t * per_thread for t in range(n_threads)]
+
+        def inserter(base):
+            def work():
+                for i in range(per_thread):
+                    index.insert(base + i, base + i)
+
+            return work
+
+        errors = _run_threads([inserter(b) for b in bases])
+        assert not errors
+        assert len(index) == n_threads * per_thread
+        index.check_invariants()
+        assert index.stats.structural_ops() > 0
+
+    def test_scans_stay_sorted_during_churn(self):
+        index = ConcurrentDyTIS(CFG)
+        rng = random.Random(0)
+        seed_keys = rng.sample(range(2**32), 3000)
+        for k in seed_keys:
+            index.insert(k, k)
+        stop = threading.Event()
+
+        def writer():
+            wrng = random.Random(1)
+            for _ in range(6000):
+                index.insert(wrng.randrange(2**32), 1)
+            stop.set()
+
+        observed = []
+
+        def scanner():
+            srng = random.Random(2)
+            while not stop.is_set():
+                start = srng.randrange(2**32)
+                out = index.scan(start, 25)
+                keys = [k for k, _ in out]
+                assert keys == sorted(keys)
+                assert all(k >= start for k in keys)
+                observed.append(len(out))
+
+        errors = _run_threads([writer, scanner, scanner])
+        assert not errors
+        assert observed  # the scanners actually ran
+        index.check_invariants()
+
+    def test_mixed_churn_with_deletes(self):
+        index = ConcurrentDyTIS(CFG)
+        rng = random.Random(3)
+        keys = rng.sample(range(2**32), 6000)
+        for k in keys[:3000]:
+            index.insert(k, k)
+
+        def inserter():
+            for k in keys[3000:]:
+                index.insert(k, k)
+
+        def deleter():
+            for k in keys[:1500]:
+                while not index.delete(k):
+                    pass  # key must exist: delete can't fail spuriously
+
+        def reader():
+            rrng = random.Random(4)
+            for _ in range(4000):
+                k = keys[rrng.randrange(len(keys))]
+                v = index.get(k)
+                assert v is None or v == k
+
+        errors = _run_threads([inserter, deleter, reader, reader])
+        assert not errors
+        assert len(index) == 6000 - 1500
+        index.check_invariants()
+        survivors = sorted(set(keys) - set(keys[:1500]))
+        assert [k for k, _ in index.items()] == survivors

@@ -1,0 +1,141 @@
+"""Tests for the dataset generators (repro.datasets)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_NAMES,
+    GROUP1,
+    dataset_stats,
+    generate,
+    lognormal,
+    longitudes,
+    longlat,
+    map_like,
+    review_like,
+    shuffled,
+    table1,
+    taxi_like,
+    uniform,
+)
+from repro.metrics import characterize
+
+N = 12_000
+WINDOW = 3_000
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_unique_and_sized(name):
+    keys = generate(name, N, seed=0)
+    assert keys.dtype == np.uint64
+    assert len(keys) == N
+    assert len(np.unique(keys)) == N
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_reproducible(name):
+    a = generate(name, 2000, seed=3)
+    b = generate(name, 2000, seed=3)
+    assert np.array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    a = generate("uniform", 2000, seed=1)
+    b = generate("uniform", 2000, seed=2)
+    assert not np.array_equal(a, b)
+
+
+def test_unknown_name_raises():
+    with pytest.raises(ValueError):
+        generate("nope", 100)
+
+
+def test_shuffled_preserves_multiset():
+    keys = generate("TX", 5000, seed=0)
+    s = shuffled(keys, seed=1)
+    assert sorted(s) == sorted(keys)
+    assert not np.array_equal(s, keys)
+
+
+def test_shuffled_suffix_naming():
+    plain = generate("TX", 3000, seed=0)
+    shuf = generate("TX(s)", 3000, seed=0)
+    assert sorted(shuf) == sorted(plain)
+
+
+class TestFigure1Positions:
+    """The generators must land in the paper's Figure 1 regions."""
+
+    @pytest.fixture(scope="class")
+    def chars(self):
+        return {
+            name: characterize(name, generate(name, N, seed=1), window=WINDOW)
+            for name in ("MM", "RM", "TX", "uniform", "TX(s)", "RM(s)")
+        }
+
+    def test_uniform_baseline(self, chars):
+        assert chars["uniform"].skewness == pytest.approx(1.0, abs=0.5)
+        assert chars["uniform"].kdd < 0.2
+
+    def test_map_low_skew_medium_kdd(self, chars):
+        assert chars["MM"].skewness < chars["TX"].skewness
+        assert chars["MM"].skewness < chars["RM"].skewness
+        assert chars["uniform"].kdd < chars["MM"].kdd < chars["TX"].kdd
+
+    def test_review_high_skew_low_kdd(self, chars):
+        assert chars["RM"].skewness > chars["TX"].skewness
+        assert chars["RM"].kdd < chars["MM"].kdd
+
+    def test_taxi_high_kdd(self, chars):
+        assert chars["TX"].kdd > 5 * chars["MM"].kdd
+
+    def test_shuffling_collapses_kdd(self, chars):
+        assert chars["TX(s)"].kdd < chars["TX"].kdd / 10
+        assert chars["RM(s)"].kdd <= chars["RM"].kdd * 2  # already low
+
+
+class TestIndividualGenerators:
+    def test_map_like_keys_in_range(self):
+        keys = map_like(2000, seed=0)
+        assert keys.max() < 2**63
+
+    def test_review_like_concatenated_structure(self):
+        keys = review_like(2000, seed=0)
+        # Item IDs occupy the top bits; only n_items distinct prefixes.
+        prefixes = np.unique(keys >> np.uint64(39))
+        assert len(prefixes) <= 4096
+
+    def test_taxi_like_time_advances(self):
+        keys = taxi_like(5000, seed=0)
+        pickups = (keys >> np.uint64(33)).astype(np.int64)
+        # Pickup timestamps trend upward over the stream.
+        assert pickups[-100:].mean() > pickups[:100].mean()
+
+    def test_lognormal_skewed_values(self):
+        keys = lognormal(5000, seed=0)
+        assert np.median(keys) < keys.astype(np.float64).mean()
+
+    def test_longlat_longitudes_clustered(self):
+        for gen in (longlat, longitudes):
+            keys = gen(5000, seed=0)
+            c = characterize("g", keys, window=2500)
+            assert c.skewness > 2.0
+
+    def test_uniform_spans_space(self):
+        keys = uniform(5000, seed=0)
+        assert keys.max() > 2**62
+
+
+class TestStats:
+    def test_dataset_stats_fields(self):
+        keys = generate("RM", 4000, seed=0)
+        s = dataset_stats("RM", keys, window=2000)
+        assert s.n_keys == 4000
+        assert s.dataset_bytes == 4000 * 16
+        assert s.key_range_size == int(keys.max() - keys.min())
+        assert s.paper_class == "HL"
+        assert "RM" in s.row()
+
+    def test_table1_covers_group1(self):
+        rows = table1(n=3000, window=1500)
+        assert [r.name for r in rows] == list(GROUP1)

@@ -1,0 +1,112 @@
+"""Differential fuzzing: every index answers every trace identically.
+
+The six orderable indexes (DyTIS, ConcurrentDyTIS, B+-tree, ALEX, LIPP,
+XIndex) and the two hash indexes are driven with identical randomized
+traces; any divergence from the dict/sorted-list oracle is a bug in the
+diverging index.  This is the strongest cross-cutting correctness net
+in the suite.
+"""
+
+import random
+
+import pytest
+
+from repro.bench import make_adapter
+from repro.core import DyTISConfig
+
+CFG = DyTISConfig(key_bits=32, first_level_bits=3, bucket_capacity=8, l_start=1)
+
+ORDERED = ("DyTIS", "DyTIS-MT", "B+-tree", "ALEX-10", "LIPP", "XIndex", "PGM")
+HASHED = ("EH", "CCEH")
+KEY_SPACE = 2**31
+
+
+def _trace(seed: int, n_ops: int):
+    rng = random.Random(seed)
+    hot = [rng.randrange(KEY_SPACE) for _ in range(64)]
+    ops = []
+    for _ in range(n_ops):
+        roll = rng.random()
+        key = rng.choice(hot) if rng.random() < 0.5 else rng.randrange(KEY_SPACE)
+        if roll < 0.55:
+            ops.append(("insert", key, rng.randrange(1000)))
+        elif roll < 0.75:
+            ops.append(("get", key, None))
+        elif roll < 0.9:
+            ops.append(("delete", key, None))
+        else:
+            ops.append(("scan", key, rng.randrange(1, 30)))
+    return ops
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+@pytest.mark.parametrize("name", ORDERED)
+def test_ordered_indexes_match_oracle(name, seed):
+    adapter = make_adapter(name, CFG)
+    # Learned indexes need a seed population for their models.
+    base = sorted(random.Random(99).sample(range(KEY_SPACE), 512))
+    if adapter.bulk_fraction or name in ("LIPP",):
+        adapter.bulk_load(base, base)
+    else:
+        for k in base:
+            adapter.insert(k, k)
+    oracle = {k: k for k in base}
+
+    for op, key, arg in _trace(seed, 1500):
+        if op == "insert":
+            adapter.insert(key, arg)
+            oracle[key] = arg
+        elif op == "get":
+            assert adapter.get(key) == oracle.get(key), (name, key)
+        elif op == "delete":
+            assert adapter.delete(key) == (key in oracle), (name, key)
+            oracle.pop(key, None)
+        else:
+            got = adapter.scan(key, arg)
+            ref_keys = sorted(k for k in oracle if k >= key)[:arg]
+            assert [k for k, _ in got] == ref_keys, (name, key, arg)
+            assert [v for _, v in got] == [oracle[k] for k in ref_keys]
+    assert len(adapter) == len(oracle), name
+
+
+@pytest.mark.parametrize("seed", [4, 5])
+@pytest.mark.parametrize("name", HASHED)
+def test_hash_indexes_match_oracle(name, seed):
+    adapter = make_adapter(name, CFG)
+    oracle = {}
+    for op, key, arg in _trace(seed, 2000):
+        if op == "insert":
+            adapter.insert(key, arg)
+            oracle[key] = arg
+        elif op == "get":
+            assert adapter.get(key) == oracle.get(key), (name, key)
+        elif op == "delete":
+            assert adapter.delete(key) == (key in oracle), (name, key)
+            oracle.pop(key, None)
+        # scans unsupported by design
+    assert len(adapter) == len(oracle), name
+
+
+def test_all_ordered_indexes_agree_with_each_other():
+    """One trace, all indexes side by side, byte-identical answers."""
+    adapters = [make_adapter(n, CFG) for n in ORDERED]
+    base = sorted(random.Random(7).sample(range(KEY_SPACE), 256))
+    for a in adapters:
+        if a.bulk_fraction or a.name == "LIPP":
+            a.bulk_load(base, base)
+        else:
+            for k in base:
+                a.insert(k, k)
+    for op, key, arg in _trace(11, 800):
+        if op == "insert":
+            for a in adapters:
+                a.insert(key, arg)
+        elif op == "get":
+            answers = {a.name: a.get(key) for a in adapters}
+            assert len(set(answers.values())) == 1, answers
+        elif op == "delete":
+            answers = {a.name: a.delete(key) for a in adapters}
+            assert len(set(answers.values())) == 1, answers
+        else:
+            answers = {a.name: tuple(a.scan(key, arg)) for a in adapters}
+            assert len(set(answers.values())) == 1, answers

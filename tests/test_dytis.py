@@ -1,0 +1,257 @@
+"""Tests for the DyTIS index (repro.core.dytis)."""
+
+import random
+
+import pytest
+
+from repro.core import DyTIS, DyTISConfig
+
+
+@pytest.fixture
+def index(small_config):
+    return DyTIS(small_config)
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        cfg = DyTISConfig()
+        assert cfg.key_bits == 64
+        assert cfg.first_level_bits == 9
+        assert cfg.bucket_capacity == 128
+        assert cfg.util_threshold == 0.6
+        assert cfg.l_start == 6
+        assert cfg.seg_limit_factor == 2
+        assert cfg.seg_limit_boost == 128
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DyTISConfig(key_bits=0)
+        with pytest.raises(ValueError):
+            DyTISConfig(first_level_bits=64)
+        with pytest.raises(ValueError):
+            DyTISConfig(bucket_capacity=1)
+        with pytest.raises(ValueError):
+            DyTISConfig(util_threshold=0.0)
+        with pytest.raises(ValueError):
+            DyTISConfig(l_start=-1)
+
+    def test_segment_cap_schedule(self):
+        cfg = DyTISConfig(l_start=6)
+        assert cfg.segment_cap(5, boosted=False) == 1  # basic EH phase
+        assert cfg.segment_cap(6, boosted=False) == 2
+        assert cfg.segment_cap(8, boosted=False) == 8
+        assert cfg.segment_cap(8, boosted=True) == 512
+
+
+class TestBasicOperations:
+    def test_empty_index(self, index):
+        assert len(index) == 0
+        assert index.get(42) is None
+        assert 42 not in index
+        assert index.scan(0, 10) == []
+        assert list(index.items()) == []
+        assert not index.delete(42)
+
+    def test_insert_get(self, index):
+        index.insert(100, "v")
+        assert index.get(100) == "v"
+        assert 100 in index
+        assert len(index) == 1
+
+    def test_in_place_update(self, index):
+        index.insert(5, "a")
+        index.insert(5, "b")
+        assert index.get(5) == "b"
+        assert len(index) == 1
+
+    def test_key_range_validation(self, index):
+        with pytest.raises(ValueError):
+            index.insert(-1, "x")
+        with pytest.raises(ValueError):
+            index.insert(2**32, "x")
+        with pytest.raises(ValueError):
+            index.get(2**40)
+
+    def test_boundary_keys(self, index):
+        index.insert(0, "zero")
+        index.insert(2**32 - 1, "max")
+        assert index.get(0) == "zero"
+        assert index.get(2**32 - 1) == "max"
+        assert [k for k, _ in index.items()] == [0, 2**32 - 1]
+
+    def test_none_values_storable(self, index):
+        # get returning None is 'not exist', but contains still works.
+        index.insert(7, None)
+        assert 7 in index
+        assert len(index) == 1
+
+
+class TestBulkBehaviour:
+    def test_many_inserts_roundtrip(self, index, sample_keys):
+        for i, k in enumerate(sample_keys):
+            index.insert(k, i)
+        assert len(index) == len(sample_keys)
+        index.check_invariants()
+        for i, k in enumerate(sample_keys):
+            assert index.get(k) == i
+
+    def test_items_sorted(self, index, sample_keys):
+        for k in sample_keys:
+            index.insert(k, k)
+        assert [k for k, _ in index.items()] == sorted(sample_keys)
+
+    def test_sequential_keys(self, index):
+        for k in range(6000):
+            index.insert(k, k)
+        index.check_invariants()
+        assert [k for k, _ in index.items()] == list(range(6000))
+
+    def test_reverse_sequential(self, index):
+        for k in reversed(range(6000)):
+            index.insert(k, k)
+        index.check_invariants()
+        assert len(index) == 6000
+
+    def test_clustered_keys(self, index, rng):
+        keys = set()
+        while len(keys) < 6000:
+            c = rng.randrange(0, 2**32, 2**20)
+            keys.add(c + rng.randrange(2**10))
+        for k in keys:
+            index.insert(k, k)
+        index.check_invariants()
+        assert [k for k, _ in index.items()] == sorted(keys)
+
+    def test_structural_stats_populated(self, index, sample_keys):
+        for k in sample_keys:
+            index.insert(k, k)
+        s = index.stats
+        assert s.splits > 0
+        assert s.structural_ops() == s.splits + s.expansions + s.remappings + s.doublings
+        assert s.keys_moved > 0
+        assert 0.99 <= sum(s.breakdown().values()) <= 1.01
+
+
+class TestScan:
+    def test_scan_matches_sorted_reference(self, index, sample_keys):
+        for k in sample_keys:
+            index.insert(k, k)
+        ref = sorted(sample_keys)
+        for start_idx in (0, 100, 2500, len(ref) - 50):
+            start = ref[start_idx]
+            got = index.scan(start, 100)
+            assert [k for k, _ in got] == ref[start_idx : start_idx + 100]
+
+    def test_scan_from_nonexistent_key(self, index, sample_keys):
+        for k in sample_keys:
+            index.insert(k, k)
+        ref = sorted(sample_keys)
+        start = ref[1000] + 1
+        while start in set(ref):
+            start += 1
+        import bisect
+        i = bisect.bisect_left(ref, start)
+        assert [k for k, _ in index.scan(start, 50)] == ref[i : i + 50]
+
+    def test_scan_past_end(self, index):
+        index.insert(10, 10)
+        assert index.scan(11, 5) == []
+
+    def test_scan_crosses_eh_tables(self, index):
+        # Keys in different first-level tables (top 4 of 32 bits differ).
+        keys = [t << 28 | 5 for t in range(10)]
+        for k in keys:
+            index.insert(k, k)
+        got = index.scan(0, 10)
+        assert [k for k, _ in got] == sorted(keys)
+
+    def test_scan_count_zero(self, index):
+        index.insert(1, 1)
+        assert index.scan(0, 0) == []
+
+    def test_scan_returns_values(self, index):
+        index.insert(3, "three")
+        index.insert(4, "four")
+        assert index.scan(3, 2) == [(3, "three"), (4, "four")]
+
+
+class TestDelete:
+    def test_delete_roundtrip(self, index, sample_keys):
+        for k in sample_keys:
+            index.insert(k, k)
+        victims = sample_keys[::3]
+        for k in victims:
+            assert index.delete(k)
+        assert len(index) == len(sample_keys) - len(victims)
+        index.check_invariants()
+        survivors = sorted(set(sample_keys) - set(victims))
+        assert [k for k, _ in index.items()] == survivors
+
+    def test_merge_down_shrinks_segments(self, small_config):
+        index = DyTIS(small_config)
+        keys = list(range(0, 8000))
+        for k in keys:
+            index.insert(k, k)
+        buckets_before = index.bucket_count()
+        for k in keys[:7600]:
+            index.delete(k)
+        index.check_invariants()
+        assert index.stats.merges > 0
+        assert index.bucket_count() < buckets_before
+
+    def test_delete_then_reinsert(self, index):
+        index.insert(9, "a")
+        index.delete(9)
+        index.insert(9, "b")
+        assert index.get(9) == "b"
+        assert len(index) == 1
+
+
+class TestAlgorithmOne:
+    def test_basic_phase_single_bucket_segments(self, small_config):
+        """Below L_start segments are single buckets (basic EH)."""
+        index = DyTIS(small_config)
+        for k in range(small_config.bucket_capacity + 1):
+            index.insert(k, k)
+        for table in index._tables:
+            if table is None:
+                continue
+            for seg in table.unique_segments():
+                if seg.local_depth < small_config.l_start:
+                    assert seg.n_buckets == 1
+
+    def test_remapping_triggers_on_skew(self, small_config):
+        index = DyTIS(small_config)
+        # Dense cluster inside one EH table forces low-util/full-bucket.
+        for k in range(4000):
+            index.insert(k, k)
+        assert index.stats.remappings + index.stats.expansions > 0
+
+    def test_boost_decision_on_uniform(self, small_config, rng):
+        index = DyTIS(small_config)
+        for k in rng.sample(range(2**32), 20000):
+            index.insert(k, k)
+        assert index._boost_decided
+        assert index._boosted  # uniform data is expansion-heavy
+
+    def test_caps_respected_outside_safety_valve(self, small_config, rng):
+        index = DyTIS(small_config)
+        for k in rng.sample(range(2**32), 10000):
+            index.insert(k, k)
+        cfg = small_config
+        for table in index._tables:
+            if table is None:
+                continue
+            for seg in table.unique_segments():
+                cap = cfg.segment_cap(seg.local_depth, index._boosted)
+                # The safety valve may exceed cap transiently; it must be rare.
+                assert seg.n_buckets <= max(cap, 4 * cap)
+
+
+class TestModelCount:
+    def test_model_and_segment_counts(self, index, sample_keys):
+        for k in sample_keys:
+            index.insert(k, k)
+        assert index.segment_count() > 0
+        assert index.model_count() >= index.segment_count()
+        assert 0.0 < index.load_factor() <= 1.0

@@ -1,0 +1,81 @@
+"""Tests for DyTIS's extended public API (scan_range, dict-style, bulk)."""
+
+import pytest
+
+from repro.core import DyTIS
+
+
+@pytest.fixture
+def index(small_config, sample_keys):
+    idx = DyTIS(small_config)
+    idx.insert_many((k, k * 2) for k in sample_keys)
+    return idx
+
+
+class TestScanRange:
+    def test_matches_sorted_slice(self, index, sample_keys):
+        ref = sorted(sample_keys)
+        lo, hi = ref[500], ref[700]
+        got = index.scan_range(lo, hi)
+        assert [k for k, _ in got] == ref[500:700]
+
+    def test_half_open_semantics(self, index, sample_keys):
+        ref = sorted(sample_keys)
+        got = index.scan_range(ref[10], ref[11])
+        assert [k for k, _ in got] == [ref[10]]
+
+    def test_empty_and_inverted_ranges(self, index):
+        assert index.scan_range(5, 5) == []
+        assert index.scan_range(10, 5) == []
+
+    def test_spans_eh_tables(self, small_config):
+        idx = DyTIS(small_config)
+        keys = [t << 28 for t in range(1, 9)]
+        idx.insert_many((k, k) for k in keys)
+        got = idx.scan_range(0, 1 << 32)
+        assert [k for k, _ in got] == keys
+
+
+class TestDictStyle:
+    def test_getitem_setitem(self, index, sample_keys):
+        k = sample_keys[0]
+        assert index[k] == k * 2
+        index[k] = "new"
+        assert index[k] == "new"
+
+    def test_getitem_missing_raises(self, index):
+        missing = 1
+        while missing in index:
+            missing += 1
+        with pytest.raises(KeyError):
+            index[missing]
+
+    def test_getitem_none_value(self, small_config):
+        idx = DyTIS(small_config)
+        idx[7] = None
+        assert idx[7] is None  # stored None is distinguishable from missing
+
+    def test_delitem(self, index, sample_keys):
+        k = sample_keys[3]
+        del index[k]
+        assert k not in index
+        with pytest.raises(KeyError):
+            del index[k]
+
+    def test_iteration_yields_sorted_keys(self, small_config):
+        idx = DyTIS(small_config)
+        for k in (9, 1, 5):
+            idx[k] = k
+        assert list(idx) == [1, 5, 9]
+        assert list(idx.keys()) == [1, 5, 9]
+
+
+class TestInsertMany:
+    def test_bulk_and_single_agree(self, small_config, sample_keys):
+        a = DyTIS(small_config)
+        b = DyTIS(small_config)
+        a.insert_many((k, k) for k in sample_keys)
+        for k in sample_keys:
+            b.insert(k, k)
+        assert len(a) == len(b)
+        assert list(a.items()) == list(b.items())

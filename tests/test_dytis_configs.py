@@ -1,0 +1,101 @@
+"""The full DyTIS operation cycle across a configuration matrix.
+
+Bit-layout bugs hide in specific (key_bits, R, capacity, L_start)
+combinations; this module runs the same roundtrip + scan + delete +
+invariant cycle over a spread of layouts.
+"""
+
+import random
+
+import pytest
+
+from repro.core import DyTIS, DyTISConfig
+
+CONFIGS = {
+    "paper-shaped": DyTISConfig(
+        key_bits=64, first_level_bits=9, bucket_capacity=128, l_start=6
+    ),
+    "scaled-default": DyTISConfig(
+        key_bits=64, first_level_bits=4, bucket_capacity=64, l_start=2
+    ),
+    "tiny-buckets": DyTISConfig(
+        key_bits=32, first_level_bits=4, bucket_capacity=4, l_start=1
+    ),
+    "wide-first-level": DyTISConfig(
+        key_bits=32, first_level_bits=8, bucket_capacity=16, l_start=2
+    ),
+    "no-first-level": DyTISConfig(
+        key_bits=32, first_level_bits=0, bucket_capacity=16, l_start=2
+    ),
+    "tight-caps": DyTISConfig(
+        key_bits=32,
+        first_level_bits=2,
+        bucket_capacity=8,
+        l_start=1,
+        seg_limit_factor=1,
+        seg_limit_boost=2,
+    ),
+    "coarse-pieces": DyTISConfig(
+        key_bits=32, first_level_bits=2, bucket_capacity=8, l_start=1,
+        max_piece_bits=2,
+    ),
+    "high-threshold": DyTISConfig(
+        key_bits=32, first_level_bits=2, bucket_capacity=8, l_start=1,
+        util_threshold=0.9,
+    ),
+}
+
+
+def _keys_for(cfg: DyTISConfig, n: int, seed: int):
+    rng = random.Random(seed)
+    limit = 1 << cfg.key_bits
+    if cfg.key_bits >= 62:  # random.sample cannot take a 2^64 range
+        out = set()
+        while len(out) < n:
+            out.add(rng.randrange(limit))
+        return list(out)
+    return rng.sample(range(limit), n)
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_full_cycle(name):
+    cfg = CONFIGS[name]
+    idx = DyTIS(cfg)
+    keys = _keys_for(cfg, 4000, seed=hash(name) & 0xFFFF)
+
+    for i, k in enumerate(keys):
+        idx.insert(k, i)
+    assert len(idx) == len(keys)
+    idx.check_invariants()
+
+    for i, k in enumerate(keys[::5]):
+        assert idx.get(k) == i * 5
+
+    ref = sorted(keys)
+    start = ref[len(ref) // 3]
+    got = idx.scan(start, 200)
+    lo = ref.index(start)
+    assert [k for k, _ in got] == ref[lo : lo + 200]
+
+    victims = keys[::2]
+    for k in victims:
+        assert idx.delete(k)
+    idx.check_invariants()
+    survivors = sorted(set(keys) - set(victims))
+    assert [k for k, _ in idx.items()] == survivors
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_sequential_cycle(name):
+    """Sequential keys stress splits/doubling in every layout."""
+    cfg = CONFIGS[name]
+    idx = DyTIS(cfg)
+    base = (1 << (cfg.key_bits - 1)) + 12345
+    n = 3000
+    for k in range(base, base + n):
+        idx.insert(k, k)
+    idx.check_invariants()
+    assert [k for k, _ in idx.items()] == list(range(base, base + n))
+    assert [k for k, _ in idx.scan(base + 100, 50)] == list(
+        range(base + 100, base + 150)
+    )

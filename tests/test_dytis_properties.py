@@ -1,0 +1,78 @@
+"""Property-based tests: DyTIS versus a dict/sorted-list model."""
+
+import bisect
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DyTIS, DyTISConfig
+
+_CFG = DyTISConfig(key_bits=16, first_level_bits=2, bucket_capacity=4, l_start=1)
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.integers(0, 2**16 - 1), st.integers(0, 100)),
+        st.tuples(st.just("delete"), st.integers(0, 2**16 - 1), st.just(0)),
+        st.tuples(st.just("get"), st.integers(0, 2**16 - 1), st.just(0)),
+        st.tuples(st.just("scan"), st.integers(0, 2**16 - 1), st.integers(0, 20)),
+    ),
+    max_size=300,
+)
+
+
+@given(_ops)
+@settings(max_examples=150, deadline=None)
+def test_dytis_matches_dict_model(ops):
+    """Every operation agrees with a reference dict + sorted key list."""
+    index = DyTIS(_CFG)
+    model = {}
+    for op, key, arg in ops:
+        if op == "insert":
+            index.insert(key, arg)
+            model[key] = arg
+        elif op == "delete":
+            assert index.delete(key) == (key in model)
+            model.pop(key, None)
+        elif op == "get":
+            assert index.get(key) == model.get(key)
+        else:  # scan
+            ref_keys = sorted(model)
+            i = bisect.bisect_left(ref_keys, key)
+            expected = [(k, model[k]) for k in ref_keys[i : i + arg]]
+            assert index.scan(key, arg) == expected
+    assert len(index) == len(model)
+    assert [k for k, _ in index.items()] == sorted(model)
+    index.check_invariants()
+
+
+@given(
+    st.lists(st.integers(0, 2**16 - 1), min_size=1, max_size=500, unique=True)
+)
+@settings(max_examples=100, deadline=None)
+def test_insert_then_full_scan_is_sorted(keys):
+    index = DyTIS(_CFG)
+    for k in keys:
+        index.insert(k, k)
+    assert [k for k, _ in index.items()] == sorted(keys)
+    got = index.scan(0, len(keys))
+    assert [k for k, _ in got] == sorted(keys)
+    index.check_invariants()
+
+
+@given(
+    st.lists(st.integers(0, 2**16 - 1), min_size=10, max_size=300, unique=True),
+    st.data(),
+)
+@settings(max_examples=100, deadline=None)
+def test_delete_half_preserves_rest(keys, data):
+    index = DyTIS(_CFG)
+    for k in keys:
+        index.insert(k, k * 3)
+    victims = data.draw(st.lists(st.sampled_from(keys), unique=True))
+    for v in victims:
+        assert index.delete(v)
+    remaining = sorted(set(keys) - set(victims))
+    assert [k for k, _ in index.items()] == remaining
+    for k in remaining:
+        assert index.get(k) == k * 3
+    index.check_invariants()

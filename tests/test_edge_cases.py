@@ -1,0 +1,168 @@
+"""Edge cases and failure injection across the DyTIS configuration space."""
+
+import random
+
+import pytest
+
+from repro.core import DyTIS, DyTISConfig
+
+
+class TestTinyKeySpaces:
+    def test_one_bit_keys(self):
+        idx = DyTIS(DyTISConfig(key_bits=1, first_level_bits=0))
+        idx.insert(0, "zero")
+        idx.insert(1, "one")
+        assert idx.get(0) == "zero"
+        assert idx.get(1) == "one"
+        assert [k for k, _ in idx.items()] == [0, 1]
+        idx.check_invariants()
+
+    def test_exhaustive_key_space(self):
+        """Insert every key of a 10-bit space, then delete them all."""
+        cfg = DyTISConfig(
+            key_bits=10, first_level_bits=2, bucket_capacity=4, l_start=1
+        )
+        idx = DyTIS(cfg)
+        keys = list(range(1 << 10))
+        random.Random(3).shuffle(keys)
+        for k in keys:
+            idx.insert(k, k)
+        assert len(idx) == 1 << 10
+        idx.check_invariants()
+        assert [k for k, _ in idx.items()] == list(range(1 << 10))
+        for k in keys:
+            assert idx.delete(k)
+        assert len(idx) == 0
+        idx.check_invariants()
+
+    def test_no_first_level(self):
+        """R = 0: a single second-level EH handles the whole key space."""
+        cfg = DyTISConfig(
+            key_bits=16, first_level_bits=0, bucket_capacity=4, l_start=1
+        )
+        idx = DyTIS(cfg)
+        keys = random.Random(4).sample(range(1 << 16), 2000)
+        for k in keys:
+            idx.insert(k, k)
+        idx.check_invariants()
+        assert [k for k, _ in idx.items()] == sorted(keys)
+
+    def test_l_start_zero(self):
+        """Remapping enabled from the first split."""
+        cfg = DyTISConfig(
+            key_bits=16, first_level_bits=2, bucket_capacity=4, l_start=0
+        )
+        idx = DyTIS(cfg)
+        for k in random.Random(5).sample(range(1 << 16), 2000):
+            idx.insert(k, k)
+        idx.check_invariants()
+
+    def test_minimum_bucket_capacity(self):
+        cfg = DyTISConfig(
+            key_bits=16, first_level_bits=2, bucket_capacity=2, l_start=1
+        )
+        idx = DyTIS(cfg)
+        keys = random.Random(6).sample(range(1 << 16), 1500)
+        for k in keys:
+            idx.insert(k, k)
+        idx.check_invariants()
+        assert len(idx) == len(keys)
+
+
+class TestAdversarialDistributions:
+    def test_dense_cluster_in_huge_space(self):
+        """All keys inside one 2^10 window of a 2^48 space."""
+        cfg = DyTISConfig(
+            key_bits=48, first_level_bits=4, bucket_capacity=8, l_start=2
+        )
+        idx = DyTIS(cfg)
+        base = 0x123456789A00
+        for k in range(base, base + 1024):
+            idx.insert(k, k)
+        idx.check_invariants()
+        assert [k for k, _ in idx.items()] == list(range(base, base + 1024))
+
+    def test_two_distant_clusters(self):
+        cfg = DyTISConfig(
+            key_bits=40, first_level_bits=2, bucket_capacity=8, l_start=2
+        )
+        idx = DyTIS(cfg)
+        keys = list(range(0, 600)) + list(range((1 << 39), (1 << 39) + 600))
+        random.Random(7).shuffle(keys)
+        for k in keys:
+            idx.insert(k, k)
+        idx.check_invariants()
+        got = idx.scan_range(0, 1 << 40)
+        assert [k for k, _ in got] == sorted(keys)
+
+    def test_bit_reversed_sequential(self):
+        """Keys hitting every directory entry in pathological order."""
+        cfg = DyTISConfig(
+            key_bits=16, first_level_bits=2, bucket_capacity=4, l_start=1
+        )
+        idx = DyTIS(cfg)
+        keys = [int(f"{k:016b}"[::-1], 2) for k in range(3000)]
+        keys = list(dict.fromkeys(keys))
+        for k in keys:
+            idx.insert(k, k)
+        idx.check_invariants()
+        assert len(idx) == len(keys)
+
+    def test_alternating_insert_delete_churn(self):
+        cfg = DyTISConfig(
+            key_bits=24, first_level_bits=2, bucket_capacity=4, l_start=1
+        )
+        idx = DyTIS(cfg)
+        rng = random.Random(8)
+        live = set()
+        for round_ in range(6):
+            added = rng.sample(
+                [k for k in range(1 << 24) if k not in live], 800
+            )
+            for k in added:
+                idx.insert(k, k)
+                live.add(k)
+            victims = rng.sample(sorted(live), 400)
+            for k in victims:
+                assert idx.delete(k)
+                live.remove(k)
+            idx.check_invariants()
+        assert [k for k, _ in idx.items()] == sorted(live)
+
+
+class TestFailureEscalation:
+    def test_remap_failures_escalate_to_doubling(self):
+        """A tight cap forces remap failures; Algorithm 1 must recover."""
+        cfg = DyTISConfig(
+            key_bits=20,
+            first_level_bits=2,
+            bucket_capacity=4,
+            l_start=1,
+            seg_limit_factor=1,
+            seg_limit_boost=1,  # caps pinned at 2^(LD-1): remaps fail often
+        )
+        idx = DyTIS(cfg)
+        keys = random.Random(9).sample(range(1 << 20), 4000)
+        for k in keys:
+            idx.insert(k, k)
+        idx.check_invariants()
+        assert len(idx) == len(keys)
+        assert idx.stats.remap_failures + idx.stats.expansion_failures > 0
+        assert idx.stats.doublings > 0
+
+    def test_values_of_any_type(self, small_config):
+        idx = DyTIS(small_config)
+        payloads = [None, 0, "", (1, 2), {"a": [3]}, b"bytes", 3.14]
+        for i, v in enumerate(payloads):
+            idx.insert(i * 1000, v)
+        for i, v in enumerate(payloads):
+            assert idx.get(i * 1000) == v
+
+    def test_stats_time_accounting_monotone(self, small_config, sample_keys):
+        idx = DyTIS(small_config)
+        for k in sample_keys:
+            idx.insert(k, k)
+        s = idx.stats
+        assert s.structural_time() >= 0
+        for share in s.breakdown().values():
+            assert 0.0 <= share <= 1.0

@@ -1,0 +1,42 @@
+"""Smoke tests keeping the fast examples runnable.
+
+The slow examples (taxi_trips, record_replay, index_shootout,
+concurrent_cache, review_store) are exercised indirectly by the
+equivalent benchmark drivers; the three quick ones run here end to end
+so a refactor cannot silently break the documented entry points.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+FAST = ["quickstart.py", "characterize_dataset.py", "embedded_store.py"]
+
+
+@pytest.mark.parametrize("script", FAST)
+def test_fast_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()
+
+
+def test_all_examples_compile():
+    """Every example (fast or slow) must at least be importable syntax."""
+    import py_compile
+
+    for script in sorted(EXAMPLES.glob("*.py")):
+        py_compile.compile(str(script), doraise=True)
+
+
+def test_examples_readme_lists_every_script():
+    readme = (EXAMPLES / "README.md").read_text()
+    for script in sorted(EXAMPLES.glob("*.py")):
+        assert script.name in readme, f"{script.name} missing from examples/README.md"

@@ -1,0 +1,117 @@
+"""Micro-scale smoke tests for every experiment driver.
+
+The benchmarks run these drivers at real scale; here each runs at toy
+scale so a broken driver fails the unit suite, not just a long bench.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    ExperimentScale,
+    fig8_ycsb,
+    fig9_hashing,
+    fig10_bulkload,
+    fig11_dynamic,
+    fig12_concurrency,
+    group23,
+    load_timeline,
+    lock_overhead,
+    params_ablation,
+    related_work,
+    scan_sweep,
+    table2_latency,
+    zipf_sweep,
+)
+
+SCALE = ExperimentScale(n_keys=2500, n_ops=800, metric_window=800)
+
+
+def test_fig8_cell():
+    result = fig8_ycsb.run_cell("DyTIS", "TX", "A", SCALE)
+    assert result.mops > 0
+
+
+def test_fig8_chart_renders():
+    rows = fig8_ycsb.run(
+        SCALE, indexes=("DyTIS", "B+-tree"), workloads=("Load",),
+        datasets=("TX",),
+    )
+    chart = fig8_ycsb.format_chart(rows)
+    assert "Load" in chart and "DyTIS" in chart
+
+
+def test_fig9_driver_and_chart():
+    rows = fig9_hashing.run(SCALE, datasets=("TX",))
+    assert {r.index for r in rows} == {"DyTIS", "CCEH", "EH"}
+    assert "Figure 9a" in fig9_hashing.format_chart(rows)
+
+
+def test_fig10_driver():
+    rows = fig10_bulkload.run(SCALE, datasets=("TX",), workloads=("Load",))
+    by_ix = {r.index: r for r in rows}
+    assert by_ix["ALEX-10"].normalized == pytest.approx(1.0)
+    assert len(rows) == 5
+
+
+def test_fig11_driver():
+    rows = fig11_dynamic.run(SCALE, datasets=("TX",))
+    panels = {r.panel for r in rows}
+    assert panels == {"kdd", "skewness"}
+    assert all(r.ratio > 0 for r in rows)
+
+
+def test_fig12_driver():
+    rows = fig12_concurrency.run(SCALE, datasets=("TX",), thread_counts=(1, 2))
+    assert {r.threads for r in rows} == {1, 2}
+    assert all(r.mops > 0 for r in rows)
+    assert "Figure 12" in fig12_concurrency.format_table(rows)
+
+
+def test_table2_driver():
+    rows = table2_latency.run(SCALE, datasets=("TX",), indexes=("DyTIS",))
+    assert all(r.latency is not None for r in rows)
+    assert "Table 2" in table2_latency.format_table(rows)
+
+
+def test_params_driver():
+    rows = params_ablation.run(
+        SCALE, datasets=("TX",), parameters=("util_threshold",)
+    )
+    assert {r.value for r in rows} == set(params_ablation.SWEEPS["util_threshold"])
+    assert "parameter" in params_ablation.format_table(rows)
+
+
+def test_group23_driver():
+    rows = group23.run(SCALE, datasets=("uniform",), workloads=("Load",))
+    assert {r.index for r in rows} == {"DyTIS", "ALEX-10", "B+-tree"}
+
+
+def test_related_work_driver():
+    rows = related_work.run(SCALE, datasets=("TX",))
+    by_ix = {r.index: r for r in rows}
+    assert by_ix["RMI"].insert_mops == 0.0
+    assert by_ix["LIPP"].search_mops > 0
+    assert "static" in related_work.format_table(rows)
+
+
+def test_scan_sweep_driver():
+    rows = scan_sweep.run(SCALE, datasets=("TX",))
+    assert {r.scan_length for r in rows} == {10, 100, 1000}
+    assert "items/s" in scan_sweep.format_table(rows)
+
+
+def test_zipf_sweep_driver():
+    rows = zipf_sweep.run(SCALE, datasets=("TX",))
+    assert {r.theta for r in rows} == {"uniform", "0.5", "0.99", "1.2"}
+
+
+def test_lock_overhead_driver():
+    rows = lock_overhead.run(SCALE, datasets=("TX",))
+    assert {r.engine for r in rows} == {"DyTIS", "DyTIS-MT"}
+    assert all(r.insert_mops > 0 for r in rows)
+
+
+def test_load_timeline_driver():
+    rows = load_timeline.run(SCALE, datasets=("TX",), indexes=("DyTIS",))
+    assert len(rows) == 10
+    assert "d0" in load_timeline.format_table(rows)

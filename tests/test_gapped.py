@@ -1,0 +1,127 @@
+"""Tests for the ALEX-style gapped array (repro.learned.gapped)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learned import GappedArray
+
+
+class TestConstruction:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            GappedArray(0)
+
+    def test_from_sorted_even_spread(self):
+        ga = GappedArray.from_sorted([10, 20, 30], ["a", "b", "c"], 9)
+        ga.check_invariants()
+        assert ga.num_keys == 3
+        assert ga.keys() == [10, 20, 30]
+        assert ga.get(20) == "b"
+
+    def test_from_sorted_with_positions(self):
+        ga = GappedArray.from_sorted([1, 2, 3], [1, 2, 3], 10, positions=[0, 5, 9])
+        ga.check_invariants()
+        assert ga.occupied[0] and ga.occupied[5] and ga.occupied[9]
+
+    def test_from_sorted_overflow(self):
+        with pytest.raises(ValueError):
+            GappedArray.from_sorted([1, 2, 3], [1, 2, 3], 2)
+
+    def test_positions_clamped_monotone(self):
+        # Colliding positions must still produce a valid layout.
+        ga = GappedArray.from_sorted([1, 2, 3], [1, 2, 3], 8, positions=[4, 4, 4])
+        ga.check_invariants()
+        assert ga.keys() == [1, 2, 3]
+
+
+class TestOperations:
+    def test_insert_update_full(self):
+        ga = GappedArray(4)
+        assert ga.insert(5, "a") == "inserted"
+        assert ga.insert(5, "b") == "updated"
+        assert ga.get(5) == "b"
+        for k in (1, 2, 3):
+            assert ga.insert(k, k) == "inserted"
+        assert ga.insert(9, 9) == "full"
+        ga.check_invariants()
+
+    def test_negative_key_rejected(self):
+        with pytest.raises(ValueError):
+            GappedArray(4).insert(-1, "x")
+
+    def test_delete_rewrites_gap_run(self):
+        ga = GappedArray.from_sorted([10, 20, 30], [1, 2, 3], 9)
+        assert ga.delete(20)
+        ga.check_invariants()
+        assert ga.keys() == [10, 30]
+        assert not ga.delete(20)
+
+    def test_delete_first_key(self):
+        ga = GappedArray.from_sorted([10, 20], [1, 2], 6)
+        assert ga.delete(10)
+        ga.check_invariants()
+        assert ga.keys() == [20]
+
+    def test_lower_bound(self):
+        ga = GappedArray.from_sorted([10, 20, 30], [1, 2, 3], 12)
+        assert ga.slots[ga.lower_bound(15)] == 20
+        assert ga.slots[ga.lower_bound(20)] == 20
+        assert ga.lower_bound(31) == ga.capacity
+
+    def test_iter_from(self):
+        ga = GappedArray.from_sorted([1, 5, 9], ["a", "b", "c"], 9)
+        start = ga.lower_bound(4)
+        assert list(ga.iter_from(start)) == [(5, "b"), (9, "c")]
+
+    def test_hint_quality_irrelevant_to_correctness(self):
+        ga = GappedArray.from_sorted(list(range(0, 100, 2)), list(range(50)), 100)
+        for k in range(0, 100, 2):
+            for hint in (0, 50, 99, None):
+                assert ga.get(k, hint) == k // 2
+
+    def test_shift_left_when_no_right_gap(self):
+        # Fill the tail so inserting a large key must shift left.
+        ga = GappedArray(6)
+        for k in (10, 20, 30, 40, 50):
+            ga.insert(k, k)
+        ga.check_invariants()
+        assert ga.insert(60, 60) == "inserted"
+        ga.check_invariants()
+        assert ga.keys() == [10, 20, 30, 40, 50, 60]
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete", "get"]),
+            st.integers(0, 60),
+            st.integers(0, 31),
+        ),
+        max_size=250,
+    )
+)
+@settings(max_examples=150, deadline=None)
+def test_gapped_matches_dict_model(ops):
+    """Property: gapped array behaves like a capacity-capped dict."""
+    ga = GappedArray(32)
+    model = {}
+    for op, key, hint in ops:
+        if op == "insert":
+            result = ga.insert(key, key * 7, hint)
+            if key in model:
+                assert result == "updated"
+            elif len(model) < 32:
+                assert result == "inserted"
+                model[key] = key * 7
+            else:
+                assert result == "full"
+        elif op == "delete":
+            assert ga.delete(key, hint) == (key in model)
+            model.pop(key, None)
+        else:
+            assert ga.get(key, hint) == model.get(key)
+        ga.check_invariants()
+    assert ga.keys() == sorted(model)

@@ -1,0 +1,143 @@
+"""Tests for the hash-index baselines (repro.hashing)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing import CCEH, ExtendibleHashing, pseudo_key
+
+
+def test_pseudo_key_is_deterministic_and_mixing():
+    assert pseudo_key(1) == pseudo_key(1)
+    assert pseudo_key(1) != pseudo_key(2)
+    # Consecutive keys should differ in their MSBs (directory bits).
+    msbs = {pseudo_key(i) >> 56 for i in range(100)}
+    assert len(msbs) > 50
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda: ExtendibleHashing(bucket_capacity=8),
+        lambda: CCEH(bucket_capacity=4, segment_bits=4),
+    ],
+    ids=["EH", "CCEH"],
+)
+class TestHashIndexes:
+    def test_empty(self, make):
+        h = make()
+        assert len(h) == 0
+        assert h.get(1) is None
+        assert not h.delete(1)
+
+    def test_roundtrip(self, make, rng):
+        h = make()
+        keys = rng.sample(range(2**62), 5000)
+        for i, k in enumerate(keys):
+            h.insert(k, i)
+        h.check_invariants()
+        assert len(h) == len(keys)
+        for i, k in enumerate(keys):
+            assert h.get(k) == i
+
+    def test_update_in_place(self, make):
+        h = make()
+        h.insert(7, "a")
+        h.insert(7, "b")
+        assert h.get(7) == "b"
+        assert len(h) == 1
+
+    def test_delete(self, make, rng):
+        h = make()
+        keys = rng.sample(range(2**62), 2000)
+        for k in keys:
+            h.insert(k, k)
+        for k in keys[:1000]:
+            assert h.delete(k)
+        assert len(h) == 1000
+        h.check_invariants()
+        assert h.get(keys[0]) is None
+        assert h.get(keys[1500]) == keys[1500]
+
+    def test_items_complete(self, make, rng):
+        h = make()
+        keys = rng.sample(range(2**62), 1000)
+        for k in keys:
+            h.insert(k, k)
+        assert sorted(k for k, _ in h.items()) == sorted(keys)
+
+    def test_contains(self, make):
+        h = make()
+        h.insert(3, 3)
+        assert 3 in h
+        assert 4 not in h
+
+    def test_load_factor_reasonable(self, make, rng):
+        h = make()
+        for k in rng.sample(range(2**62), 5000):
+            h.insert(k, k)
+        assert 0.1 < h.load_factor() <= 1.0
+
+
+class TestExtendibleSpecifics:
+    def test_directory_doubles(self, rng):
+        h = ExtendibleHashing(bucket_capacity=4, initial_depth=1)
+        for k in rng.sample(range(2**62), 1000):
+            h.insert(k, k)
+        assert h.double_count > 0
+        assert h.directory_size() == 2**h.global_depth
+        assert h.bucket_count() <= h.directory_size()
+
+    def test_splits_counted(self, rng):
+        h = ExtendibleHashing(bucket_capacity=4)
+        for k in rng.sample(range(2**62), 500):
+            h.insert(k, k)
+        assert h.split_count > 0
+
+
+class TestCCEHSpecifics:
+    def test_segments_reduce_doubling(self, rng):
+        """CCEH's segment layer makes directory doubling far rarer."""
+        keys = rng.sample(range(2**62), 5000)
+        eh = ExtendibleHashing(bucket_capacity=4)
+        cceh = CCEH(bucket_capacity=4, segment_bits=4)
+        for k in keys:
+            eh.insert(k, k)
+            cceh.insert(k, k)
+        assert cceh.double_count < eh.double_count
+
+    def test_segment_bits_validation(self):
+        with pytest.raises(ValueError):
+            CCEH(segment_bits=0)
+
+    def test_segment_count(self, rng):
+        h = CCEH(bucket_capacity=4, segment_bits=4)
+        for k in rng.sample(range(2**62), 2000):
+            h.insert(k, k)
+        assert h.segment_count() > 1
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete", "get"]),
+            st.integers(0, 300),
+        ),
+        max_size=300,
+    )
+)
+@settings(max_examples=75, deadline=None)
+def test_cceh_matches_dict_model(ops):
+    h = CCEH(bucket_capacity=2, segment_bits=2)
+    model = {}
+    for op, key in ops:
+        if op == "insert":
+            h.insert(key, key + 1)
+            model[key] = key + 1
+        elif op == "delete":
+            assert h.delete(key) == (key in model)
+            model.pop(key, None)
+        else:
+            assert h.get(key) == model.get(key)
+    h.check_invariants()
+    assert len(h) == len(model)

@@ -1,0 +1,69 @@
+"""Tests for the log-scale latency histogram (repro.bench.histogram)."""
+
+import pytest
+
+from repro.bench.histogram import LatencyHistogram, _fmt_ns
+
+
+class TestBuckets:
+    def test_power_of_two_buckets(self):
+        h = LatencyHistogram([1, 2, 3, 4, 7, 8, 1000])
+        ranges = [(b.low_ns, b.high_ns) for b in h.buckets]
+        assert (1, 2) in ranges
+        assert (2, 4) in ranges
+        assert (4, 8) in ranges
+        assert (8, 16) in ranges
+        assert (512, 1024) in ranges
+        assert h.n == 7
+
+    def test_counts(self):
+        h = LatencyHistogram([2, 3, 2, 3])
+        assert len(h.buckets) == 1
+        assert h.buckets[0].count == 4
+
+    def test_zero_and_negative_clamped(self):
+        h = LatencyHistogram([0, 1])
+        assert h.buckets[0].low_ns == 1
+        assert h.buckets[0].count == 2
+
+    def test_empty(self):
+        h = LatencyHistogram([])
+        assert h.buckets == []
+        assert "(no samples)" in h.render()
+
+
+class TestRender:
+    def test_renders_every_bucket(self):
+        h = LatencyHistogram([100] * 90 + [10**7] * 10)
+        text = h.render(title="T")
+        assert text.startswith("T")
+        assert "90" in text and "10" in text
+        assert "ms" in text  # 10^7 ns formats as ms
+
+    def test_units(self):
+        assert _fmt_ns(500) == "500ns"
+        assert _fmt_ns(2_000) == "2µs"
+        assert _fmt_ns(3_000_000) == "3ms"
+        assert _fmt_ns(2_000_000_000) == "2s"
+
+
+class TestModeCount:
+    def test_unimodal(self):
+        h = LatencyHistogram([100, 120, 130, 200, 210] * 20)
+        assert h.mode_count() == 1
+
+    def test_bimodal_with_gap(self):
+        fast = [1_000 + i for i in range(95)]
+        slow = [5_000_000 + i for i in range(5)]
+        h = LatencyHistogram(fast + slow)
+        assert h.mode_count(min_share=0.01) == 2
+
+    def test_min_share_filters_noise(self):
+        fast = [1_000] * 999
+        slow = [10**8]  # one outlier: 0.1% share
+        h = LatencyHistogram(fast + slow)
+        assert h.mode_count(min_share=0.01) == 1
+        assert h.mode_count(min_share=0.0005) == 2
+
+    def test_empty(self):
+        assert LatencyHistogram([]).mode_count() == 0

@@ -1,0 +1,119 @@
+"""Integration tests: datasets → workloads → every index, plus drivers."""
+
+import numpy as np
+import pytest
+
+from repro.bench import make_adapter, run_ycsb
+from repro.bench.experiments import ExperimentScale
+from repro.bench.experiments import (
+    breakdown,
+    fig1_characteristics,
+    fig2_plr,
+    fig3_kdd,
+    memory_usage,
+    table1_datasets,
+)
+from repro.core import DyTISConfig
+from repro.datasets import generate
+from repro.workloads import WORKLOADS, generate_operations, make_workload
+
+SCALE = ExperimentScale(n_keys=4000, n_ops=1500, metric_window=1000)
+CFG = DyTISConfig(key_bits=64, first_level_bits=3, bucket_capacity=8, l_start=1)
+
+INDEXES = ("DyTIS", "ALEX-10", "ALEX-70", "XIndex", "B+-tree")
+
+
+@pytest.mark.parametrize("index_name", INDEXES)
+@pytest.mark.parametrize("dataset", ("MM", "RM", "TX"))
+def test_every_index_survives_every_workload(index_name, dataset):
+    """Smoke the full Figure 8 matrix at tiny scale with verification."""
+    keys = generate(dataset, SCALE.n_keys, seed=0)
+    for wl in ("Load", "A", "E"):
+        adapter = make_adapter(index_name, CFG)
+        result = run_ycsb(
+            adapter, make_workload(wl), keys, SCALE.n_ops, seed=0
+        )
+        assert result.n_ops > 0
+        assert len(adapter) > 0
+
+
+@pytest.mark.parametrize("index_name", INDEXES)
+def test_indexes_agree_on_final_state(index_name):
+    """After the same trace, every index returns the same answers."""
+    keys = generate("TX", 3000, seed=1)
+    spec = WORKLOADS["D'"]
+    preload, ops = generate_operations(spec, keys, 1000, seed=2)
+    adapter = make_adapter(index_name, CFG)
+    reference = {}
+    n_bulk = int(len(preload) * adapter.bulk_fraction)
+    if n_bulk:
+        adapter.bulk_load(preload[:n_bulk], preload[:n_bulk])
+    for k in preload[n_bulk:]:
+        adapter.insert(k, k)
+    for k in preload:
+        reference[k] = k
+    from repro.workloads import OpKind
+
+    for op in ops:
+        if op.kind is OpKind.INSERT:
+            adapter.insert(op.key, op.key)
+            reference[op.key] = op.key
+        elif op.kind is OpKind.UPDATE:
+            adapter.update(op.key, op.key ^ 1)
+            reference[op.key] = op.key ^ 1
+    assert len(adapter) == len(reference)
+    probe = list(reference)[::37]
+    for k in probe:
+        assert adapter.get(k) == reference[k], index_name
+
+
+class TestExperimentDrivers:
+    def test_fig1_driver(self):
+        rows = fig1_characteristics.run(SCALE)
+        groups = {r.group for r in rows}
+        assert groups == {1, 2, 3}
+        table = fig1_characteristics.format_table(rows)
+        assert "TX" in table
+        # Shuffled TX must show far lower KDD than TX (paper's Group 2 point).
+        tx = next(r for r in rows if r.dataset == "TX")
+        txs = next(r for r in rows if r.dataset == "TX(s)")
+        assert txs.kdd < tx.kdd
+
+    def test_fig2_driver(self):
+        rows = fig2_plr.run(SCALE)
+        by_name = {r.dataset: r.mean_models for r in rows}
+        assert by_name["uniform"] == pytest.approx(1.0, abs=0.5)
+        assert by_name["RL"] > by_name["MM"]
+        assert "uniform" in fig2_plr.format_table(rows)
+
+    def test_fig3_driver(self):
+        rows = fig3_kdd.run(SCALE)
+        by_name = {r.dataset: r for r in rows}
+        # TX consecutive windows diverge much more than RL's.
+        assert min(by_name["TX"].pairwise_kl) > max(by_name["RL"].pairwise_kl)
+        assert "window" in fig3_kdd.format_table(rows)
+
+    def test_table1_driver(self):
+        rows = table1_datasets.run(SCALE)
+        assert [r.name for r in rows] == ["MM", "ML", "RM", "RL", "TX"]
+        assert "Table 1" in table1_datasets.format_table(rows)
+
+    def test_breakdown_driver(self):
+        rows = breakdown.run(SCALE, datasets=("RM",))
+        r = rows[0]
+        shares = (
+            r.split_share + r.expansion_share + r.remap_share + r.doubling_share
+        )
+        assert shares == pytest.approx(1.0, abs=0.01) or shares == 0.0
+        # High-skew RM leans on remapping (paper §4.3).
+        assert r.remap_share > r.doubling_share
+        assert "RM" in breakdown.format_table(rows)
+
+    def test_memory_driver(self):
+        rows = memory_usage.run(
+            SCALE, datasets=("RM",), indexes=("DyTIS", "B+-tree", "XIndex")
+        )
+        by_ix = {r.index: r for r in rows}
+        assert by_ix["DyTIS"].bytes_used > 0
+        assert by_ix["DyTIS"].relative_to_dytis == pytest.approx(1.0)
+        assert "MiB" in memory_usage.format_table(rows)

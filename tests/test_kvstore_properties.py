@@ -1,0 +1,83 @@
+"""Property-based tests for the KV store (namespace isolation, codecs)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DyTISConfig
+from repro.kvstore import KVStore, StringCodec, UintCodec
+
+CFG = DyTISConfig(key_bits=40, first_level_bits=2, bucket_capacity=8, l_start=1)
+
+_ns_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["a", "b", "c"]),           # namespace
+        st.sampled_from(["put", "get", "delete"]),  # operation
+        st.integers(0, 500),                        # key
+        st.integers(0, 100),                        # value
+    ),
+    max_size=250,
+)
+
+
+@given(_ns_ops)
+@settings(max_examples=100, deadline=None)
+def test_namespaces_behave_like_independent_dicts(ops):
+    store = KVStore(CFG)
+    models = {"a": {}, "b": {}, "c": {}}
+    spaces = {name: store.namespace(name) for name in models}
+    for ns_name, op, key, value in ops:
+        ns, model = spaces[ns_name], models[ns_name]
+        if op == "put":
+            ns.put(key, value)
+            model[key] = value
+        elif op == "get":
+            assert ns.get(key) == model.get(key)
+        else:
+            assert ns.delete(key) == (key in model)
+            model.pop(key, None)
+    for name, model in models.items():
+        ns = spaces[name]
+        assert len(ns) == len(model)
+        assert dict(ns.items()) == model
+        assert [k for k, _ in ns.items()] == sorted(model)
+    assert len(store) == sum(len(m) for m in models.values())
+
+
+_words = st.lists(
+    st.text(
+        alphabet=st.characters(min_codepoint=1, max_codepoint=0x7F),
+        min_size=1,
+        max_size=4,
+    ).filter(lambda s: len(s.encode()) <= 4),
+    min_size=1,
+    max_size=40,
+    unique=True,
+)
+
+
+@given(_words)
+@settings(max_examples=100, deadline=None)
+def test_string_namespace_scans_lexicographically(words):
+    store = KVStore(CFG)
+    ns = store.namespace("words", codec=StringCodec(max_length=4))
+    for w in words:
+        ns.put(w, len(w))
+    ordered = sorted(words, key=lambda w: w.encode())
+    assert [k for k, _ in ns.items()] == ordered
+    got = ns.scan(ordered[0], len(words))
+    assert [k for k, _ in got] == ordered
+
+
+@given(st.lists(st.integers(0, 2**20 - 1), min_size=1, max_size=60, unique=True))
+@settings(max_examples=100, deadline=None)
+def test_scan_clipping_never_leaks(keys):
+    """A namespace's scan must never surface a neighbour's records."""
+    store = KVStore(CFG)
+    first = store.namespace("first", codec=UintCodec(20))
+    second = store.namespace("second", codec=UintCodec(20))
+    for k in keys:
+        first.put(k, "f")
+        second.put(k, "s")
+    got = first.scan(min(keys), len(keys) * 3)
+    assert len(got) == len(keys)
+    assert all(v == "f" for _, v in got)

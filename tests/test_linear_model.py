@@ -1,0 +1,60 @@
+"""Tests for the shared linear model (repro.learned.linear)."""
+
+import pytest
+
+from repro.learned import LinearModel
+
+
+class TestFit:
+    def test_exact_on_linear_data(self):
+        keys = [10, 20, 30, 40]
+        positions = [1.0, 2.0, 3.0, 4.0]
+        m = LinearModel.fit(keys, positions)
+        assert m.slope == pytest.approx(0.1)
+        for k, p in zip(keys, positions):
+            assert m.predict(k) == pytest.approx(p)
+
+    def test_empty_and_single(self):
+        assert LinearModel.fit([], []).predict(5) == 0.0
+        m = LinearModel.fit([7], [3.0])
+        assert m.predict(7) == 3.0
+        assert m.slope == 0.0
+
+    def test_degenerate_same_key(self):
+        m = LinearModel.fit([5, 5, 5], [1, 2, 3])
+        assert m.slope == 0.0
+        assert m.predict(5) == pytest.approx(2.0)
+
+    def test_large_keys_numerically_stable(self):
+        base = 2**62
+        keys = [base + i * 1000 for i in range(100)]
+        m = LinearModel.fit(keys, list(range(100)))
+        for i, k in enumerate(keys):
+            assert m.predict(k) == pytest.approx(i, abs=0.01)
+
+    def test_fit_cdf_spreads_evenly(self):
+        keys = list(range(0, 1000, 10))
+        m = LinearModel.fit_cdf(keys, 200)
+        assert m.predict_clamped(0, 200) <= 3
+        assert m.predict_clamped(990, 200) >= 195
+
+
+class TestPredict:
+    def test_clamping(self):
+        m = LinearModel(slope=1.0, intercept=0.0)
+        assert m.predict_clamped(-5, 10) == 0
+        assert m.predict_clamped(50, 10) == 9
+        assert m.predict_clamped(5, 10) == 5
+
+    def test_inverse(self):
+        m = LinearModel(slope=2.0, intercept=3.0)
+        assert m.inverse(m.predict(21)) == pytest.approx(21)
+
+    def test_inverse_flat_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            LinearModel(0.0, 1.0).inverse(1.0)
+
+    def test_scaled(self):
+        m = LinearModel(slope=1.5, intercept=2.0).scaled(2.0)
+        assert m.slope == 3.0
+        assert m.intercept == 4.0

@@ -1,0 +1,131 @@
+"""Tests for the LIPP-like precise-position index (repro.learned.lipp)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learned import LippIndex
+
+
+class TestBasics:
+    def test_empty(self):
+        idx = LippIndex()
+        assert len(idx) == 0
+        assert idx.get(5) is None
+        assert 5 not in idx
+        assert not idx.delete(5)
+        assert idx.scan(0, 5) == []
+
+    def test_insert_get_update(self):
+        idx = LippIndex()
+        idx.insert(10, "a")
+        assert idx.get(10) == "a"
+        idx.insert(10, "b")
+        assert idx.get(10) == "b"
+        assert len(idx) == 1
+
+    def test_conflicts_grow_children(self, rng):
+        idx = LippIndex()
+        # Keys within a tiny range collide in the root's slots.
+        for k in range(100, 164):
+            idx.insert(k, k)
+        assert idx.node_count() > 1
+        for k in range(100, 164):
+            assert idx.get(k) == k
+
+    def test_bulk_load_roundtrip(self, rng):
+        keys = rng.sample(range(2**40), 6000)
+        idx = LippIndex()
+        idx.bulk_load(keys, [k + 1 for k in keys])
+        assert len(idx) == len(keys)
+        for k in keys[::9]:
+            assert idx.get(k) == k + 1
+
+    def test_mixed_bulk_and_inserts(self, rng):
+        keys = rng.sample(range(2**40), 6000)
+        idx = LippIndex()
+        idx.bulk_load(keys[:3000], keys[:3000])
+        for k in keys[3000:]:
+            idx.insert(k, k)
+        assert len(idx) == len(keys)
+        assert [k for k, _ in idx.items()] == sorted(keys)
+
+
+class TestDegenerateInputs:
+    def test_sequential_keys_bounded_depth(self):
+        """Sequential clusters must trigger rebuilds, not 2-key chains."""
+        idx = LippIndex()
+        for k in range(30_000, 36_000):
+            idx.insert(k, k)
+        assert idx.depth() <= 30
+        assert idx.rebuild_count > 0
+        for k in range(30_000, 36_000, 37):
+            assert idx.get(k) == k
+
+    def test_reverse_sequential(self):
+        idx = LippIndex()
+        for k in reversed(range(5000)):
+            idx.insert(k, k)
+        assert len(idx) == 5000
+        assert [k for k, _ in idx.items()] == list(range(5000))
+
+
+class TestScanDelete:
+    def test_scan_matches_reference(self, rng):
+        keys = rng.sample(range(2**40), 5000)
+        idx = LippIndex()
+        idx.bulk_load(keys[:2500], keys[:2500])
+        for k in keys[2500:]:
+            idx.insert(k, k)
+        ref = sorted(keys)
+        for start in (0, 100, 2400, 4990):
+            assert [k for k, _ in idx.scan(ref[start], 60)] == ref[start : start + 60]
+
+    def test_scan_count_zero(self):
+        idx = LippIndex()
+        idx.insert(1, 1)
+        assert idx.scan(0, 0) == []
+
+    def test_delete(self, rng):
+        keys = rng.sample(range(2**40), 3000)
+        idx = LippIndex()
+        idx.bulk_load(keys, keys)
+        for k in keys[:1000]:
+            assert idx.delete(k)
+        assert not idx.delete(keys[0])
+        assert len(idx) == 2000
+        assert [k for k, _ in idx.items()] == sorted(keys[1000:])
+
+    def test_reinsert_after_delete(self):
+        idx = LippIndex()
+        idx.insert(5, "a")
+        idx.delete(5)
+        idx.insert(5, "b")
+        assert idx.get(5) == "b"
+        assert len(idx) == 1
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete", "get"]),
+            st.integers(0, 400),
+        ),
+        max_size=300,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_lipp_matches_dict_model(ops):
+    idx = LippIndex()
+    model = {}
+    for op, key in ops:
+        if op == "insert":
+            idx.insert(key, key * 3)
+            model[key] = key * 3
+        elif op == "delete":
+            assert idx.delete(key) == (key in model)
+            model.pop(key, None)
+        else:
+            assert idx.get(key) == model.get(key)
+    assert len(idx) == len(model)
+    assert [k for k, _ in idx.items()] == sorted(model)

@@ -1,0 +1,126 @@
+"""Tests for the dynamic-dataset metrics (repro.metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    calibrate_gamma,
+    characterize,
+    key_distribution_divergence,
+    kl_divergence,
+    variance_of_skewness,
+)
+
+
+class TestVarianceOfSkewness:
+    def test_uniform_is_one_model(self):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 2**60, size=30000)
+        assert variance_of_skewness(keys, window=10000) == pytest.approx(1.0)
+
+    def test_clustered_higher_than_uniform(self):
+        rng = np.random.default_rng(1)
+        uniform = rng.integers(0, 2**60, size=20000)
+        centers = rng.integers(0, 2**60, size=20)
+        clustered = np.concatenate(
+            [rng.integers(c, c + 10**6, size=1000) for c in centers]
+        )
+        rng.shuffle(clustered)
+        assert variance_of_skewness(clustered, window=10000) > variance_of_skewness(
+            uniform, window=10000
+        )
+
+    def test_empty(self):
+        assert variance_of_skewness([], window=100) == 0.0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            variance_of_skewness([1, 2, 3], window=1)
+
+    def test_partial_tail_window_dropped(self):
+        rng = np.random.default_rng(2)
+        keys = rng.integers(0, 2**60, size=10500)
+        # The 500-key tail (< half a window) must not skew the average.
+        full = variance_of_skewness(keys[:10000], window=10000)
+        with_tail = variance_of_skewness(keys, window=10000)
+        assert with_tail == pytest.approx(full)
+
+    def test_calibrate_gamma_keeps_uniform_at_one(self):
+        gamma = calibrate_gamma(window=5000, trials=2)
+        rng = np.random.default_rng(9)
+        keys = np.sort(rng.integers(0, 2**63, size=5000))
+        from repro.plr import fit_plr
+
+        assert len(fit_plr(keys.astype(float).tolist(), gamma)) == 1
+
+
+class TestKLDivergence:
+    def test_identical_is_zero(self):
+        h = np.array([10, 20, 30, 40])
+        assert kl_divergence(h, h) == pytest.approx(0.0, abs=1e-12)
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            p = rng.integers(0, 100, size=50)
+            q = rng.integers(0, 100, size=50)
+            assert kl_divergence(p, q) >= -1e-12
+
+    def test_asymmetric(self):
+        p = np.array([100, 0, 0, 0])
+        q = np.array([25, 25, 25, 25])
+        assert kl_divergence(p, q) != pytest.approx(kl_divergence(q, p))
+
+    def test_disjoint_large(self):
+        p = np.array([100, 100, 0, 0])
+        q = np.array([0, 0, 100, 100])
+        assert kl_divergence(p, q) > 1.0
+
+
+class TestKDD:
+    def test_stationary_near_zero(self):
+        rng = np.random.default_rng(4)
+        keys = rng.integers(0, 2**60, size=40000)
+        assert key_distribution_divergence(keys, window=10000) < 0.1
+
+    def test_drifting_much_higher(self):
+        # Monotone keys: consecutive windows occupy disjoint ranges.
+        keys = np.arange(40000, dtype=np.uint64) * 12345
+        drifting = key_distribution_divergence(keys, window=10000)
+        rng = np.random.default_rng(5)
+        stationary = key_distribution_divergence(
+            rng.integers(0, 2**60, size=40000), window=10000
+        )
+        assert drifting > 10 * stationary
+
+    def test_shuffling_lowers_kdd(self):
+        keys = np.arange(40000, dtype=np.uint64) * 9973
+        rng = np.random.default_rng(6)
+        shuffled = keys.copy()
+        rng.shuffle(shuffled)
+        assert key_distribution_divergence(
+            shuffled, window=10000
+        ) < key_distribution_divergence(keys, window=10000)
+
+    def test_fewer_than_two_windows(self):
+        assert key_distribution_divergence(np.arange(100), window=1000) == 0.0
+
+    def test_constant_keys(self):
+        keys = np.full(20000, 42, dtype=np.uint64)
+        assert key_distribution_divergence(keys, window=10000) == 0.0
+
+
+class TestCharacterize:
+    def test_returns_both_metrics(self):
+        rng = np.random.default_rng(7)
+        keys = rng.integers(0, 2**60, size=20000)
+        c = characterize("x", keys, window=10000)
+        assert c.name == "x"
+        assert c.n_keys == 20000
+        assert c.skewness == pytest.approx(1.0)
+        assert c.kdd < 0.1
+
+    def test_classify_grades(self):
+        c = characterize("u", np.random.default_rng(8).integers(0, 2**60, 20000),
+                         window=10000)
+        assert c.classify() == "LL"

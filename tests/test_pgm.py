@@ -1,0 +1,179 @@
+"""Tests for the PGM-like learned index (repro.learned.pgm)."""
+
+import bisect
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learned import PGMIndex, StaticPGM
+
+
+class TestStaticPGM:
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            StaticPGM([3, 1], [1, 2])
+        with pytest.raises(ValueError):
+            StaticPGM([1, 1], [1, 2])
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            StaticPGM([1], [1], epsilon=0)
+
+    def test_empty(self):
+        s = StaticPGM([], [])
+        assert len(s) == 0
+        assert s.get(5) is None
+        assert s.lower_bound(5) == 0
+
+    def test_lookup_roundtrip(self, rng):
+        keys = sorted(rng.sample(range(2**40), 10000))
+        s = StaticPGM(keys, [k + 1 for k in keys])
+        for k in keys[::13]:
+            assert s.get(k) == k + 1
+        assert s.get(keys[0] + 1 if keys[0] + 1 not in set(keys) else 0) in (
+            None, 1,
+        )
+
+    def test_lower_bound_matches_bisect(self, rng):
+        keys = sorted(rng.sample(range(2**40), 5000))
+        s = StaticPGM(keys, keys)
+        for _ in range(2000):
+            q = rng.randrange(2**40)
+            assert s.lower_bound(q) == bisect.bisect_left(keys, q)
+
+    def test_clustered_keys_with_gaps(self, rng):
+        """Huge key gaps exercise the extrapolation fallback."""
+        keys = []
+        for c in sorted(rng.sample(range(2**50), 8)):
+            keys.extend(range(c, c + 500))
+        keys = sorted(set(keys))
+        s = StaticPGM(keys, keys, epsilon=8)
+        for k in rng.sample(keys, 800):
+            assert s.get(k) == k
+        for _ in range(500):
+            q = rng.randrange(2**50)
+            assert s.lower_bound(q) == bisect.bisect_left(keys, q)
+
+    def test_layers_built_for_large_inputs(self, rng):
+        keys = sorted(rng.sample(range(2**40), 20000))
+        s = StaticPGM(keys, keys)
+        assert len(s.layers) >= 1
+        assert s.segment_count() > 1
+
+
+class TestPGMIndex:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PGMIndex(buffer_capacity=1)
+
+    def test_empty(self):
+        p = PGMIndex()
+        assert len(p) == 0
+        assert p.get(5) is None
+        assert 5 not in p
+        assert not p.delete(5)
+        assert p.scan(0, 10) == []
+        assert list(p.items()) == []
+
+    def test_insert_get_update(self, rng):
+        p = PGMIndex(buffer_capacity=32)
+        keys = rng.sample(range(2**40), 4000)
+        for k in keys:
+            p.insert(k, k)
+        assert len(p) == len(keys)
+        assert p.merge_count > 0
+        for k in keys[::7]:
+            assert p.get(k) == k
+        p.insert(keys[0], "u")
+        assert p.get(keys[0]) == "u"
+        assert len(p) == len(keys)
+
+    def test_update_key_living_in_a_level(self, rng):
+        p = PGMIndex(buffer_capacity=16)
+        keys = rng.sample(range(2**40), 200)
+        for k in keys:
+            p.insert(k, "old")
+        # keys[0] has certainly been merged into a level by now.
+        p.insert(keys[0], "new")
+        assert p.get(keys[0]) == "new"
+        assert len(p) == len(keys)
+
+    def test_scan_merges_levels_and_buffer(self, rng):
+        p = PGMIndex(buffer_capacity=32)
+        keys = rng.sample(range(2**40), 3000)
+        for k in keys:
+            p.insert(k, k)
+        ref = sorted(keys)
+        for start in (0, 500, 2900):
+            assert [k for k, _ in p.scan(ref[start], 50)] == ref[start : start + 50]
+
+    def test_delete_tombstones(self, rng):
+        p = PGMIndex(buffer_capacity=32)
+        keys = rng.sample(range(2**40), 2000)
+        for k in keys:
+            p.insert(k, k)
+        for k in keys[:800]:
+            assert p.delete(k)
+        assert len(p) == 1200
+        assert p.get(keys[0]) is None
+        assert keys[0] not in p
+        ref = sorted(keys[800:])
+        assert [k for k, _ in p.items()] == ref
+        # Deleted keys never appear in scans.
+        got = [k for k, _ in p.scan(0, 5000)]
+        assert set(got).isdisjoint(set(keys[:800]))
+
+    def test_reinsert_after_delete(self, rng):
+        p = PGMIndex(buffer_capacity=8)
+        for k in range(100):
+            p.insert(k, k)
+        p.delete(50)
+        p.insert(50, "back")
+        assert p.get(50) == "back"
+        assert len(p) == 100
+
+    def test_bulk_load(self, rng):
+        keys = rng.sample(range(2**40), 5000)
+        p = PGMIndex()
+        p.bulk_load(keys, [k * 3 for k in keys])
+        assert len(p) == len(keys)
+        for k in keys[::11]:
+            assert p.get(k) == k * 3
+        p.insert(max(keys) + 1, "new")
+        assert len(p) == len(keys) + 1
+
+    def test_levels_grow_geometrically(self, rng):
+        p = PGMIndex(buffer_capacity=16)
+        for k in rng.sample(range(2**40), 3000):
+            p.insert(k, k)
+        sizes = [s for s in p.level_sizes() if s]
+        assert sizes  # some levels exist
+        assert max(sizes) > min(sizes)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete", "get"]),
+            st.integers(0, 300),
+        ),
+        max_size=300,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_pgm_matches_dict_model(ops):
+    p = PGMIndex(buffer_capacity=8)
+    model = {}
+    for op, key in ops:
+        if op == "insert":
+            p.insert(key, key + 7)
+            model[key] = key + 7
+        elif op == "delete":
+            assert p.delete(key) == (key in model)
+            model.pop(key, None)
+        else:
+            assert p.get(key) == model.get(key)
+    assert len(p) == len(model)
+    assert [k for k, _ in p.items()] == sorted(model)

@@ -1,0 +1,98 @@
+"""Property-based tests for the Algorithm-1 planners (repro.core.segment).
+
+The planners carry DyTIS's correctness: a returned remapping plan must
+actually fit the keys (plus the pending insert) within the cap, split
+plans must partition cleanly, and rebuilds must preserve the exact
+key/value multiset.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.remap import PiecewiseRemap
+from repro.core.segment import (
+    Segment,
+    build_fitting,
+    layout_fits,
+    plan_remap,
+    plan_split,
+)
+
+DOMAIN_BITS = 10
+CAPACITY = 4
+
+_keys = st.lists(
+    st.integers(0, (1 << DOMAIN_BITS) - 1), min_size=1, max_size=80, unique=True
+)
+
+
+def _segment_holding(keys):
+    """Build a segment that provably holds ``keys`` (generous layout)."""
+    keys = sorted(keys)
+    remap = PiecewiseRemap(DOMAIN_BITS, [max(1, len(keys))])
+    return build_fitting(
+        3, remap, CAPACITY, keys, keys, cap=1 << 16, max_piece_bits=DOMAIN_BITS
+    )
+
+
+@given(_keys, st.integers(0, (1 << DOMAIN_BITS) - 1), st.integers(1, 64))
+@settings(max_examples=200, deadline=None)
+def test_plan_remap_result_always_fits(keys, insert_key, cap):
+    assume(insert_key not in set(keys))
+    seg = _segment_holding(keys)
+    plan = plan_remap(
+        seg, insert_key, cap=cap, util_threshold=0.6, max_piece_bits=8
+    )
+    if plan is None:
+        return  # failure is legal; Algorithm 1 escalates
+    assert plan.n_buckets <= max(cap, seg.n_buckets)
+    lk = seg.local_keys_array()
+    assert layout_fits(plan, lk, CAPACITY, extra_key=insert_key)
+
+
+@given(_keys)
+@settings(max_examples=200, deadline=None)
+def test_plan_split_partitions_all_keys(keys):
+    seg = _segment_holding(keys)
+    left, right = plan_split(seg, cap_child=1 << 12)
+    assert left.domain_bits == right.domain_bits == seg.domain_bits - 1
+    mid = 1 << (seg.domain_bits - 1)
+    left_keys = [k for k in keys if k < mid]
+    right_keys = [k for k in keys if k >= mid]
+    built_left = build_fitting(
+        4, left, CAPACITY, sorted(left_keys), sorted(left_keys),
+        cap=1 << 16, max_piece_bits=8,
+    )
+    built_right = build_fitting(
+        4, right, CAPACITY, sorted(right_keys), sorted(right_keys),
+        cap=1 << 16, max_piece_bits=8,
+    )
+    assert built_left.total_keys == len(left_keys)
+    assert built_right.total_keys == len(right_keys)
+
+
+@given(_keys, st.integers(1, 6))
+@settings(max_examples=200, deadline=None)
+def test_build_fitting_preserves_multiset(keys, piece_bits):
+    keys = sorted(keys)
+    values = [k * 3 for k in keys]
+    remap = PiecewiseRemap(DOMAIN_BITS, [1] * (1 << min(piece_bits, DOMAIN_BITS)))
+    seg = build_fitting(
+        2, remap, CAPACITY, keys, values, cap=1 << 16, max_piece_bits=8
+    )
+    assert [k for k, _ in seg.items()] == keys
+    assert [v for _, v in seg.items()] == values
+    seg.check_invariants()
+
+
+@given(_keys)
+@settings(max_examples=100, deadline=None)
+def test_segment_rebuild_roundtrip(keys):
+    """collect() → build() reproduces the segment exactly."""
+    seg = _segment_holding(sorted(keys))
+    ks, vs = seg.collect()
+    rebuilt = Segment.build(seg.local_depth, seg.remap, CAPACITY, ks, vs)
+    assert list(rebuilt.items()) == list(seg.items())
+    rebuilt.check_invariants()

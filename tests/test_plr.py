@@ -1,0 +1,115 @@
+"""Tests for the maximum error-bounded PLR (repro.plr)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.plr import GreedyPLR, fit_plr, count_models
+
+
+class TestGreedyPLR:
+    def test_rejects_nonpositive_gamma(self):
+        with pytest.raises(ValueError):
+            GreedyPLR(0.0)
+        with pytest.raises(ValueError):
+            GreedyPLR(-1.0)
+
+    def test_single_point_segment(self):
+        plr = GreedyPLR(1.0)
+        assert plr.add(5.0, 1.0) is None
+        seg = plr.finish()
+        assert seg is not None
+        assert seg.x_start == 5.0
+        assert seg.predict(5.0) == 1.0
+
+    def test_finish_empty_returns_none(self):
+        assert GreedyPLR(1.0).finish() is None
+
+    def test_duplicate_x_rejected(self):
+        plr = GreedyPLR(1.0)
+        plr.add(1.0, 0.0)
+        with pytest.raises(ValueError):
+            plr.add(1.0, 2.0)
+
+    def test_decreasing_x_rejected(self):
+        plr = GreedyPLR(1.0)
+        plr.add(2.0, 0.0)
+        with pytest.raises(ValueError):
+            plr.add(1.0, 1.0)
+
+
+class TestFitPLR:
+    def test_perfect_line_one_segment(self):
+        xs = list(range(100))
+        ys = [2.0 * x + 3.0 for x in xs]
+        assert len(fit_plr(xs, gamma=0.5, ys=ys)) == 1
+
+    def test_step_function_needs_multiple_segments(self):
+        xs = list(range(100))
+        ys = [0.0] * 50 + [1000.0] * 50
+        assert len(fit_plr(xs, gamma=1.0, ys=ys)) > 1
+
+    def test_error_bound_respected(self):
+        rng = np.random.default_rng(3)
+        xs = np.sort(rng.uniform(0, 1000, size=500))
+        xs = np.unique(xs)
+        ys = np.cumsum(rng.uniform(0, 5, size=xs.size))
+        gamma = 10.0
+        segments = fit_plr(xs.tolist(), gamma, ys.tolist())
+        # Every point must be within gamma of its covering segment.
+        si = 0
+        for x, y in zip(xs, ys):
+            while si + 1 < len(segments) and segments[si + 1].x_start <= x:
+                si += 1
+            assert abs(segments[si].predict(x) - y) <= gamma + 1e-9
+
+    def test_duplicates_collapsed(self):
+        segments = fit_plr([1, 1, 2, 3], gamma=10.0, ys=[0, 1, 2, 3])
+        assert segments  # no crash; duplicate x=1 keeps last y
+
+    def test_empty_input(self):
+        assert fit_plr([], gamma=1.0) == []
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=10**9),
+            min_size=2,
+            max_size=200,
+            unique=True,
+        ),
+        st.floats(min_value=0.5, max_value=100.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_error_bound_property_cdf(self, keys, gamma):
+        """Fitting a CDF (y = rank) always respects the error bound."""
+        keys = sorted(keys)
+        segments = fit_plr(keys, gamma)
+        si = 0
+        for rank, x in enumerate(keys):
+            while si + 1 < len(segments) and segments[si + 1].x_start <= x:
+                si += 1
+            assert abs(segments[si].predict(x) - rank) <= gamma + 1e-6
+
+
+class TestCountModels:
+    def test_uniform_grid_one_model(self):
+        assert count_models(range(0, 100000, 7), gamma=50.0) == 1
+
+    def test_empty(self):
+        assert count_models([], gamma=1.0) == 0
+
+    def test_clusters_need_more_models(self):
+        cluster_a = list(range(0, 1000))
+        cluster_b = list(range(10**9, 10**9 + 1000))
+        assert count_models(cluster_a + cluster_b, gamma=10.0) >= 2
+
+    def test_more_skew_more_models(self):
+        rng = np.random.default_rng(0)
+        uniform = rng.integers(0, 2**40, size=5000)
+        clustered = np.concatenate(
+            [rng.integers(c, c + 1000, size=500) for c in
+             rng.integers(0, 2**40, size=10)]
+        )
+        gamma = 50.0
+        assert count_models(clustered, gamma) > count_models(uniform, gamma)

@@ -1,0 +1,96 @@
+"""Tests for DyTIS range operations (count_range, delete_range)."""
+
+import bisect
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DyTIS, DyTISConfig
+
+CFG = DyTISConfig(key_bits=24, first_level_bits=3, bucket_capacity=8, l_start=1)
+
+
+@pytest.fixture
+def loaded():
+    idx = DyTIS(CFG)
+    keys = random.Random(0).sample(range(1 << 24), 6000)
+    for k in keys:
+        idx.insert(k, k)
+    return idx, sorted(keys)
+
+
+class TestCountRange:
+    def test_matches_reference(self, loaded):
+        idx, ref = loaded
+        rng = random.Random(1)
+        for _ in range(30):
+            lo = rng.randrange(1 << 24)
+            hi = rng.randrange(1 << 24)
+            expected = bisect.bisect_left(ref, hi) - bisect.bisect_left(ref, lo)
+            expected = max(expected, 0) if lo < hi else 0
+            assert idx.count_range(lo, hi) == expected, (lo, hi)
+
+    def test_full_and_empty_ranges(self, loaded):
+        idx, ref = loaded
+        assert idx.count_range(0, 1 << 24) == len(ref)
+        assert idx.count_range(5, 5) == 0
+        assert idx.count_range(10, 5) == 0
+
+    def test_boundaries_half_open(self, loaded):
+        idx, ref = loaded
+        k = ref[100]
+        assert idx.count_range(k, k + 1) == 1
+        assert (
+            idx.count_range(ref[100], ref[200]) == 100
+        )  # end key excluded
+
+    def test_empty_index(self):
+        idx = DyTIS(CFG)
+        assert idx.count_range(0, 1000) == 0
+
+    def test_counts_after_deletes(self, loaded):
+        idx, ref = loaded
+        for k in ref[:500]:
+            idx.delete(k)
+        assert idx.count_range(0, 1 << 24) == len(ref) - 500
+
+
+class TestDeleteRange:
+    def test_deletes_exactly_the_range(self, loaded):
+        idx, ref = loaded
+        lo, hi = ref[1000], ref[2000]
+        removed = idx.delete_range(lo, hi)
+        assert removed == 1000
+        assert idx.count_range(lo, hi) == 0
+        survivors = [k for k in ref if not (lo <= k < hi)]
+        assert [k for k, _ in idx.items()] == survivors
+        idx.check_invariants()
+
+    def test_noop_on_empty_range(self, loaded):
+        idx, ref = loaded
+        assert idx.delete_range(ref[0], ref[0]) == 0
+        assert len(idx) == len(ref)
+
+    def test_everything(self, loaded):
+        idx, ref = loaded
+        assert idx.delete_range(0, 1 << 24) == len(ref)
+        assert len(idx) == 0
+        idx.check_invariants()
+
+
+@given(
+    st.lists(st.integers(0, 2**16 - 1), min_size=1, max_size=300, unique=True),
+    st.integers(0, 2**16 - 1),
+    st.integers(0, 2**16 - 1),
+)
+@settings(max_examples=100, deadline=None)
+def test_count_range_property(keys, a, b):
+    cfg = DyTISConfig(key_bits=16, first_level_bits=2, bucket_capacity=4, l_start=1)
+    idx = DyTIS(cfg)
+    for k in keys:
+        idx.insert(k, k)
+    lo, hi = min(a, b), max(a, b)
+    expected = sum(1 for k in keys if lo <= k < hi)
+    assert idx.count_range(lo, hi) == expected

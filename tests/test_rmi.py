@@ -1,0 +1,94 @@
+"""Tests for the static recursive model index (repro.learned.rmi)."""
+
+import pytest
+
+from repro.learned import RMIndex
+
+
+class TestConstruction:
+    def test_branching_validation(self):
+        with pytest.raises(ValueError):
+            RMIndex(branching=0)
+
+    def test_requires_bulk_load(self):
+        idx = RMIndex()
+        with pytest.raises(RuntimeError):
+            idx.get(1)
+        with pytest.raises(RuntimeError):
+            idx.scan(0, 5)
+
+    def test_empty_bulk_load(self):
+        idx = RMIndex()
+        idx.bulk_load([], [])
+        assert idx.get(1) is None
+        assert idx.scan(0, 5) == []
+
+
+class TestLookups:
+    def test_roundtrip(self, rng):
+        keys = rng.sample(range(2**40), 8000)
+        idx = RMIndex(branching=32)
+        idx.bulk_load(keys, [k * 2 for k in keys])
+        assert len(idx) == len(keys)
+        for k in keys[::7]:
+            assert idx.get(k) == k * 2
+        assert idx.model_count() > 1
+
+    def test_missing_keys(self, rng):
+        keys = rng.sample(range(2, 2**40, 2), 2000)  # even keys only
+        idx = RMIndex()
+        idx.bulk_load(keys, keys)
+        for k in keys[:200]:
+            assert idx.get(k + 1) is None
+        assert (keys[0] + 1) not in idx
+        assert keys[0] in idx
+
+    def test_error_bound_recorded(self, rng):
+        keys = rng.sample(range(2**40), 5000)
+        idx = RMIndex(branching=16)
+        idx.bulk_load(keys, keys)
+        assert idx.max_error() >= 0
+
+    def test_skewed_keys_still_exact(self, rng):
+        """Clustered keys blow up model error but never correctness."""
+        keys = []
+        for c in rng.sample(range(2**40), 10):
+            keys.extend(range(c, c + 300))
+        keys = sorted(set(keys))
+        idx = RMIndex(branching=8)
+        idx.bulk_load(keys, keys)
+        for k in rng.sample(keys, 500):
+            assert idx.get(k) == k
+
+
+class TestScan:
+    def test_scan_matches_reference(self, rng):
+        keys = rng.sample(range(2**40), 4000)
+        idx = RMIndex()
+        idx.bulk_load(keys, keys)
+        ref = sorted(keys)
+        assert [k for k, _ in idx.scan(ref[100], 50)] == ref[100:150]
+        assert [k for k, _ in idx.items()] == ref
+
+    def test_scan_past_end(self):
+        idx = RMIndex()
+        idx.bulk_load([1, 2], [1, 2])
+        assert idx.scan(3, 10) == []
+
+
+class TestStatic:
+    def test_insert_rejected(self):
+        idx = RMIndex()
+        idx.bulk_load([1], [1])
+        with pytest.raises(NotImplementedError):
+            idx.insert(2, 2)
+        with pytest.raises(NotImplementedError):
+            idx.delete(1)
+
+    def test_rebuild_replaces_content(self):
+        idx = RMIndex()
+        idx.bulk_load([1, 2, 3], "abc")
+        idx.bulk_load([10, 20], "xy")
+        assert idx.get(1) is None
+        assert idx.get(10) == "x"
+        assert len(idx) == 2

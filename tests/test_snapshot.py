@@ -1,0 +1,82 @@
+"""Tests for KV-store snapshot persistence (repro.kvstore.snapshot)."""
+
+import json
+
+import pytest
+
+from repro.core import DyTISConfig
+from repro.kvstore import (
+    CompositeCodec,
+    KVStore,
+    StringCodec,
+    UintCodec,
+    load_snapshot,
+    save_snapshot,
+)
+
+CFG = DyTISConfig(key_bits=40, first_level_bits=2, bucket_capacity=8, l_start=1)
+
+
+def _populated_store():
+    store = KVStore(CFG)
+    users = store.namespace("users", codec=UintCodec(20))
+    tags = store.namespace("tags", codec=StringCodec(max_length=4))
+    pairs = store.namespace(
+        "pairs", codec=CompositeCodec(UintCodec(10), UintCodec(10))
+    )
+    for i in range(200):
+        users.put(i, {"n": i})
+    for word in ("abc", "xyz", "m"):
+        tags.put(word, word.upper())
+    pairs.put((3, 4), [3, 4])
+    return store
+
+
+def _fresh_store():
+    store = KVStore(CFG)
+    store.namespace("users", codec=UintCodec(20))
+    store.namespace("tags", codec=StringCodec(max_length=4))
+    store.namespace("pairs", codec=CompositeCodec(UintCodec(10), UintCodec(10)))
+    return store
+
+
+class TestSnapshot:
+    def test_roundtrip(self, tmp_path):
+        src = _populated_store()
+        path = tmp_path / "snap.jsonl"
+        n = save_snapshot(src, path)
+        assert n == 204
+        dst = _fresh_store()
+        assert load_snapshot(dst, path) == 204
+        assert dst.namespace("users").get(42) == {"n": 42}
+        assert dst.namespace("tags").get("abc") == "ABC"
+        assert dst.namespace("pairs").get((3, 4)) == [3, 4]
+        assert list(dst.namespace("users").items()) == list(
+            src.namespace("users").items()
+        )
+
+    def test_missing_namespace_rejected(self, tmp_path):
+        src = _populated_store()
+        path = tmp_path / "snap.jsonl"
+        save_snapshot(src, path)
+        empty = KVStore(CFG)  # no namespaces opened
+        with pytest.raises(ValueError, match="users"):
+            load_snapshot(empty, path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            load_snapshot(KVStore(CFG), path)
+
+    def test_version_checked(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"version": 9, "namespaces": []}) + "\n")
+        with pytest.raises(ValueError):
+            load_snapshot(KVStore(CFG), path)
+
+    def test_empty_store_roundtrip(self, tmp_path):
+        store = KVStore(CFG)
+        path = tmp_path / "empty.jsonl"
+        assert save_snapshot(store, path) == 0
+        assert load_snapshot(KVStore(CFG), path) == 0

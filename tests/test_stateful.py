@@ -1,0 +1,103 @@
+"""Stateful property testing with hypothesis RuleBasedStateMachines.
+
+Hypothesis drives arbitrary interleavings of insert/update/delete/get/
+scan against DyTIS and the B+-tree, shrinking any divergence from a
+dict model to a minimal failing program.
+"""
+
+import bisect
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.btree import BPlusTree
+from repro.core import DyTIS, DyTISConfig
+
+_KEYS = st.integers(min_value=0, max_value=2**14 - 1)
+
+
+class _IndexMachine(RuleBasedStateMachine):
+    """Shared rules; subclasses provide the index under test."""
+
+    def __init__(self):
+        super().__init__()
+        self.model = {}
+        self.index = self.make_index()
+
+    def make_index(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @rule(key=_KEYS, value=st.integers(0, 1000))
+    def insert(self, key, value):
+        self.index.insert(key, value)
+        self.model[key] = value
+
+    @rule(key=_KEYS)
+    def delete(self, key):
+        assert self.index.delete(key) == (key in self.model)
+        self.model.pop(key, None)
+
+    @rule(key=_KEYS)
+    def get(self, key):
+        assert self.index.get(key) == self.model.get(key)
+
+    @rule(key=_KEYS, count=st.integers(0, 20))
+    def scan(self, key, count):
+        got = self.index.scan(key, count)
+        ref = sorted(k for k in self.model if k >= key)[:count]
+        assert [k for k, _ in got] == ref
+        assert [v for _, v in got] == [self.model[k] for k in ref]
+
+    @precondition(lambda self: len(self.model) > 0)
+    @rule()
+    def update_existing(self):
+        key = next(iter(self.model))
+        self.index.insert(key, -1)
+        self.model[key] = -1
+        assert self.index.get(key) == -1
+
+    @invariant()
+    def size_matches(self):
+        assert len(self.index) == len(self.model)
+
+    @invariant()
+    def iteration_sorted(self):
+        assert [k for k, _ in self.index.items()] == sorted(self.model)
+
+
+class DyTISMachine(_IndexMachine):
+    def make_index(self):
+        return DyTIS(
+            DyTISConfig(
+                key_bits=14, first_level_bits=2, bucket_capacity=4, l_start=1
+            )
+        )
+
+    @invariant()
+    def structural_invariants(self):
+        self.index.check_invariants()
+
+
+class BTreeMachine(_IndexMachine):
+    def make_index(self):
+        return BPlusTree(fanout=4)
+
+    @invariant()
+    def structural_invariants(self):
+        self.index.check_invariants()
+
+
+TestDyTISStateful = DyTISMachine.TestCase
+TestDyTISStateful.settings = settings(
+    max_examples=40, stateful_step_count=60, deadline=None
+)
+TestBTreeStateful = BTreeMachine.TestCase
+TestBTreeStateful.settings = settings(
+    max_examples=40, stateful_step_count=60, deadline=None
+)

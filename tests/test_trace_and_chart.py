@@ -1,0 +1,114 @@
+"""Tests for trace record/replay and the terminal chart renderer."""
+
+import json
+
+import pytest
+
+from repro.bench import make_adapter, run_operations
+from repro.bench.chart import bar_chart, grouped_bar_chart
+from repro.core import DyTISConfig
+from repro.datasets import generate
+from repro.workloads import (
+    OpKind,
+    Operation,
+    WORKLOADS,
+    generate_operations,
+    load_trace,
+    save_trace,
+)
+
+CFG = DyTISConfig(key_bits=32, first_level_bits=2, bucket_capacity=8, l_start=1)
+
+
+class TestTrace:
+    def test_roundtrip(self, tmp_path):
+        keys = generate("TX", 2000, seed=0)
+        preload, ops = generate_operations(WORKLOADS["E"], keys, 500, seed=1)
+        path = tmp_path / "trace.jsonl"
+        save_trace(path, preload, ops)
+        preload2, ops2 = load_trace(path)
+        assert preload2 == preload
+        assert ops2 == ops
+
+    def test_scan_args_survive(self, tmp_path):
+        ops = [Operation(OpKind.SCAN, 5, 77), Operation(OpKind.READ, 9)]
+        path = tmp_path / "t.jsonl"
+        save_trace(path, [1, 2], ops)
+        _, ops2 = load_trace(path)
+        assert ops2[0].arg == 77
+        assert ops2[1].arg is None
+
+    def test_replay_gives_same_final_state(self, tmp_path):
+        keys = generate("RM", 2000, seed=2)
+        preload, ops = generate_operations(WORKLOADS["A"], keys, 800, seed=3)
+        path = tmp_path / "trace.jsonl"
+        save_trace(path, preload, ops)
+
+        def run(trace_preload, trace_ops):
+            adapter = make_adapter("DyTIS", CFG)
+            for k in trace_preload:
+                adapter.insert(k & 0xFFFFFFFF, k)
+            fixed = [
+                Operation(op.kind, op.key & 0xFFFFFFFF, op.arg)
+                for op in trace_ops
+            ]
+            run_operations(adapter, fixed, "replay")
+            return sorted(adapter.index.items())
+
+        assert run(preload, ops) == run(*load_trace(path))
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"version": 99, "preload": [], "n_ops": 0}) + "\n")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_truncated_trace_detected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        save_trace(path, [], [Operation(OpKind.READ, 1)] * 3)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+
+class TestCharts:
+    def test_bar_chart_proportions(self):
+        out = bar_chart([("a", 10.0), ("b", 5.0)], title="T", width=20)
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        bar_a = lines[1].split("|")[1]
+        bar_b = lines[2].split("|")[1]
+        assert bar_a.count("█") == 20
+        assert 9 <= bar_b.count("█") <= 10
+
+    def test_bar_chart_empty(self):
+        assert "(no data)" in bar_chart([])
+
+    def test_zero_values(self):
+        out = bar_chart([("a", 0.0), ("b", 0.0)])
+        assert "a" in out and "b" in out
+
+    def test_grouped_chart_shared_scale(self):
+        out = grouped_bar_chart(
+            {"g1": {"x": 10.0, "y": 2.0}, "g2": {"x": 5.0}},
+            title="G",
+        )
+        assert "-- g1" in out and "-- g2" in out
+        # y's bar is a fifth of x's within the same global scale.
+        lines = out.splitlines()
+        x1 = next(l for l in lines if l.strip().startswith("x") and "10.0" in l)
+        assert x1.split("|")[1].count("█") == 40
+
+    def test_grouped_chart_series_order(self):
+        out = grouped_bar_chart(
+            {"g": {"b": 1.0, "a": 2.0}}, series_order=["b", "a"]
+        )
+        lines = [l.strip() for l in out.splitlines() if "|" in l]
+        assert lines[0].startswith("b")

@@ -1,0 +1,138 @@
+"""Tests for workload extensions: hotspot chooser, latest (YCSB D),
+harness batch repetition, buddy merging, and describe()."""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.bench import make_adapter, run_operations, run_ycsb
+from repro.core import DyTIS, DyTISConfig
+from repro.datasets import generate
+from repro.workloads import (
+    HotspotChooser,
+    Operation,
+    OpKind,
+    WORKLOADS,
+    generate_operations,
+    make_workload,
+)
+
+CFG = DyTISConfig(key_bits=32, first_level_bits=2, bucket_capacity=8, l_start=1)
+
+
+class TestHotspotChooser:
+    def test_hot_set_dominates(self):
+        keys = np.arange(1000, dtype=np.uint64)
+        chooser = HotspotChooser(keys, hot_fraction=0.2, hot_opn_fraction=0.8,
+                                 seed=0)
+        picks = chooser.choose(30000)
+        counts = collections.Counter(picks.tolist())
+        hot = set(chooser._hot.tolist())
+        hot_hits = sum(c for k, c in counts.items() if k in hot)
+        assert hot_hits == pytest.approx(24000, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HotspotChooser([], seed=0)
+        with pytest.raises(ValueError):
+            HotspotChooser([1], hot_fraction=0.0)
+        with pytest.raises(ValueError):
+            HotspotChooser([1], hot_opn_fraction=1.5)
+
+    def test_all_hot(self):
+        keys = np.arange(10, dtype=np.uint64)
+        picks = HotspotChooser(keys, hot_fraction=1.0, seed=1).choose(100)
+        assert set(picks.tolist()) <= set(range(10))
+
+    def test_generate_operations_accepts_hotspot(self):
+        keys = generate("uniform", 2000, seed=0)
+        _, ops = generate_operations(
+            WORKLOADS["C"], keys, 500, seed=1, distribution="hotspot"
+        )
+        assert len(ops) == 500
+
+
+class TestLatestWorkload:
+    def test_d_reads_skew_to_recent_inserts(self):
+        keys = generate("uniform", 4000, seed=2)
+        preload, ops = generate_operations(WORKLOADS["D"], keys, 3000, seed=3)
+        inserted = [op.key for op in ops if op.kind is OpKind.INSERT]
+        assert inserted  # D includes 5% inserts
+        reads = [op.key for op in ops if op.kind is OpKind.READ]
+        # Recent keys (inserted during the run) must appear among reads
+        # far more often than their share of the population would give.
+        recent = set(inserted)
+        recent_reads = sum(1 for k in reads if k in recent)
+        share = len(recent) / (len(preload) + len(recent))
+        assert recent_reads / len(reads) > 3 * share
+
+    def test_d_runs_through_harness(self):
+        keys = generate("TX", 3000, seed=4)
+        cfg64 = DyTISConfig(
+            key_bits=64, first_level_bits=2, bucket_capacity=8, l_start=1
+        )
+        result = run_ycsb(
+            make_adapter("DyTIS", cfg64), make_workload("D"), keys, 800, seed=5
+        )
+        assert result.n_ops > 0
+
+
+class TestBatchRepetition:
+    def test_min_seconds_repeats_trace(self):
+        adapter = make_adapter("DyTIS", CFG)
+        for k in range(300):
+            adapter.insert(k, k)
+        ops = [Operation(OpKind.READ, k % 300) for k in range(100)]
+        result = run_operations(adapter, ops, "C", min_seconds=0.05)
+        assert result.seconds >= 0.05
+        assert result.n_ops > 100
+        assert result.n_ops % 100 == 0
+
+    def test_zero_min_seconds_single_pass(self):
+        adapter = make_adapter("DyTIS", CFG)
+        adapter.insert(1, 1)
+        ops = [Operation(OpKind.READ, 1)] * 50
+        result = run_operations(adapter, ops, "C")
+        assert result.n_ops == 50
+
+
+class TestBuddyMerge:
+    def test_mass_deletion_collapses_segments(self, rng):
+        idx = DyTIS(DyTISConfig(key_bits=24, first_level_bits=2,
+                                bucket_capacity=8, l_start=1))
+        keys = rng.sample(range(1 << 24), 8000)
+        for k in keys:
+            idx.insert(k, k)
+        before = idx.segment_count()
+        for k in keys[: int(len(keys) * 0.95)]:
+            assert idx.delete(k)
+        idx.check_invariants()
+        assert idx.segment_count() < before
+        assert idx.stats.merges > 0
+        survivors = sorted(set(keys) - set(keys[: int(len(keys) * 0.95)]))
+        assert [k for k, _ in idx.items()] == survivors
+
+    def test_scan_correct_after_merges(self, rng):
+        idx = DyTIS(DyTISConfig(key_bits=20, first_level_bits=1,
+                                bucket_capacity=4, l_start=1))
+        keys = rng.sample(range(1 << 20), 4000)
+        for k in keys:
+            idx.insert(k, k)
+        for k in keys[:3800]:
+            idx.delete(k)
+        idx.check_invariants()
+        survivors = sorted(set(keys) - set(keys[:3800]))
+        assert [k for k, _ in idx.scan(0, 10**6)] == survivors
+
+
+class TestDescribe:
+    def test_describe_summarises_structure(self, small_config, sample_keys):
+        idx = DyTIS(small_config)
+        for k in sample_keys:
+            idx.insert(k, k)
+        text = idx.describe()
+        assert f"{len(sample_keys):,} keys" in text
+        assert "segments=" in text
+        assert "EH[" in text
+        assert "splits" in text

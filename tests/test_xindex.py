@@ -1,0 +1,150 @@
+"""Tests for the XIndex-like learned index (repro.learned.xindex)."""
+
+import pytest
+
+from repro.learned import XIndex
+
+
+class TestBulkLoad:
+    def test_requires_bulk_load(self):
+        idx = XIndex()
+        with pytest.raises(RuntimeError):
+            idx.get(5)
+
+    def test_roundtrip(self, rng):
+        keys = rng.sample(range(2**40), 5000)
+        idx = XIndex()
+        idx.bulk_load(keys, [k + 1 for k in keys])
+        assert len(idx) == len(keys)
+        for k in keys[::7]:
+            assert idx.get(k) == k + 1
+        assert idx.group_count() >= 2
+
+    def test_empty_bulk_load_usable(self):
+        idx = XIndex()
+        idx.bulk_load([], [])
+        assert idx.get(5) is None
+        idx.insert(5, "v")
+        assert idx.get(5) == "v"
+
+
+class TestDelta:
+    def test_inserts_go_to_delta_then_compact(self, rng):
+        keys = rng.sample(range(2**40), 3000)
+        idx = XIndex(auto_compact=False)
+        idx.bulk_load(keys[:2000], keys[:2000])
+        for k in keys[2000:]:
+            idx.insert(k, k)
+        assert sum(idx.delta_sizes()) == 1000
+        for k in keys[2000:]:
+            assert idx.get(k) == k
+        merged = idx.compact_all()
+        assert merged > 0
+        assert sum(idx.delta_sizes()) == 0
+        for k in keys:
+            assert idx.get(k) == k
+
+    def test_auto_compaction_bounds_delta(self, rng):
+        keys = rng.sample(range(2**40), 6000)
+        idx = XIndex(auto_compact=True)
+        idx.bulk_load(keys[:1000], keys[:1000])
+        for k in keys[1000:]:
+            idx.insert(k, k)
+        assert idx.compaction_count > 0
+        assert len(idx) == len(keys)
+
+    def test_update_array_key_in_place(self, rng):
+        keys = rng.sample(range(2**40), 1000)
+        idx = XIndex()
+        idx.bulk_load(keys, keys)
+        idx.insert(keys[0], "updated")
+        assert idx.get(keys[0]) == "updated"
+        assert len(idx) == len(keys)
+
+    def test_delete_with_tombstones(self, rng):
+        keys = rng.sample(range(2**40), 2000)
+        idx = XIndex(auto_compact=False)
+        idx.bulk_load(keys, keys)
+        for k in keys[:500]:
+            assert idx.delete(k)
+        assert not idx.delete(keys[0])  # double delete
+        assert idx.get(keys[0]) is None
+        assert len(idx) == 1500
+        idx.compact_all()
+        assert idx.get(keys[0]) is None
+        assert len(idx) == 1500
+
+    def test_delete_delta_key(self, rng):
+        keys = rng.sample(range(2**40), 1000)
+        idx = XIndex(auto_compact=False)
+        idx.bulk_load(keys[:900], keys[:900])
+        idx.insert(keys[950], "delta")
+        assert idx.delete(keys[950])
+        assert idx.get(keys[950]) is None
+
+    def test_reinsert_after_delete(self, rng):
+        keys = rng.sample(range(2**40), 1000)
+        idx = XIndex()
+        idx.bulk_load(keys, keys)
+        idx.delete(keys[3])
+        idx.insert(keys[3], "again")
+        assert idx.get(keys[3]) == "again"
+        assert len(idx) == len(keys)
+
+
+class TestScan:
+    def test_scan_merges_array_and_delta(self, rng):
+        keys = rng.sample(range(2**40), 4000)
+        idx = XIndex(auto_compact=False)
+        idx.bulk_load(keys[:3000], keys[:3000])
+        for k in keys[3000:]:
+            idx.insert(k, k)
+        ref = sorted(keys)
+        assert [k for k, _ in idx.scan(ref[50], 300)] == ref[50:350]
+
+    def test_scan_skips_tombstones(self, rng):
+        keys = rng.sample(range(2**40), 1000)
+        idx = XIndex(auto_compact=False)
+        idx.bulk_load(keys, keys)
+        ref = sorted(keys)
+        idx.delete(ref[1])
+        got = [k for k, _ in idx.scan(ref[0], 3)]
+        assert got == [ref[0], ref[2], ref[3]]
+
+    def test_items_sorted(self, rng):
+        keys = rng.sample(range(2**40), 3000)
+        idx = XIndex()
+        idx.bulk_load(keys[:2000], keys[:2000])
+        for k in keys[2000:]:
+            idx.insert(k, k)
+        assert [k for k, _ in idx.items()] == sorted(keys)
+
+
+class TestBackgroundCompaction:
+    def test_background_thread_compacts(self, rng):
+        keys = rng.sample(range(2**40), 4000)
+        idx = XIndex(auto_compact=False)
+        idx.bulk_load(keys[:1000], keys[:1000])
+        idx.start_background_compaction(interval=0.001)
+        try:
+            for k in keys[1000:]:
+                idx.insert(k, k)
+            import time
+
+            deadline = time.time() + 2.0
+            while sum(idx.delta_sizes()) > 600 and time.time() < deadline:
+                time.sleep(0.01)
+        finally:
+            idx.stop_background_compaction()
+        assert idx.compaction_count > 0
+        assert len(idx) == len(keys)
+        for k in keys[::13]:
+            assert idx.get(k) == k
+
+    def test_start_stop_idempotent(self):
+        idx = XIndex()
+        idx.bulk_load([1, 2, 3], [1, 2, 3])
+        idx.start_background_compaction()
+        idx.start_background_compaction()
+        idx.stop_background_compaction()
+        idx.stop_background_compaction()

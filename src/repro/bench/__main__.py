@@ -21,6 +21,7 @@ from pathlib import Path
 
 from repro.bench.experiments import (
     ExperimentScale,
+    batch_ops,
     breakdown,
     fig1_characteristics,
     fig2_plr,
@@ -64,6 +65,7 @@ EXPERIMENTS = {
     "related": related_work,
     "scan-sweep": scan_sweep,
     "zipf-sweep": zipf_sweep,
+    "batch-ops": batch_ops,
 }
 
 

@@ -23,6 +23,10 @@ class IndexAdapter:
 
     name = "abstract"
     supports_scan = True
+    #: Whether the underlying index has a native sorted-build path (the
+    #: SOSD-style canonical entry point); False means :meth:`bulk_load`
+    #: degrades to per-key inserts.
+    supports_bulk_load = False
     #: Fraction of the dataset consumed by bulk loading during Load.
     bulk_fraction = 0.0
 
@@ -55,9 +59,18 @@ class DyTISAdapter(IndexAdapter):
     """DyTIS with the paper's defaults (scaled by ``config``)."""
 
     name = "DyTIS"
+    supports_bulk_load = True
 
     def __init__(self, config: Optional[DyTISConfig] = None):
         self.index = DyTIS(config)
+
+    def bulk_load(self, keys, values):
+        """Bottom-up sorted build when empty; per-key inserts otherwise."""
+        if len(self.index) == 0:
+            self.index.bulk_load(keys, values)
+        else:
+            for k, v in zip(keys, values):
+                self.insert(k, v)
 
     def insert(self, key, value):
         self.index.insert(key, value)
@@ -86,9 +99,13 @@ class BTreeAdapter(IndexAdapter):
     """STX-style B+-tree, fanout 128 (paper §4.1)."""
 
     name = "B+-tree"
+    supports_bulk_load = True
 
     def __init__(self, fanout: int = 128):
         self.index = BPlusTree(fanout=fanout)
+
+    def bulk_load(self, keys, values):
+        self.index.bulk_load(keys, values)
 
     def insert(self, key, value):
         self.index.insert(key, value)
@@ -108,6 +125,8 @@ class BTreeAdapter(IndexAdapter):
 
 class AlexAdapter(IndexAdapter):
     """ALEX with a bulk-loading fraction (ALEX-10 ... ALEX-90)."""
+
+    supports_bulk_load = True
 
     def __init__(self, bulk_fraction: float = 0.7):
         if not 0.0 <= bulk_fraction <= 1.0:
@@ -139,6 +158,7 @@ class XIndexAdapter(IndexAdapter):
     """XIndex with 70% bulk loading (the paper's working setting)."""
 
     name = "XIndex"
+    supports_bulk_load = True
     bulk_fraction = 0.7
 
     def __init__(self, bulk_fraction: float = 0.7):
@@ -220,6 +240,7 @@ class LippAdapter(IndexAdapter):
     """LIPP-like learned index with precise positions (§5 baseline)."""
 
     name = "LIPP"
+    supports_bulk_load = True
 
     def __init__(self):
         self.index = LippIndex()
@@ -247,6 +268,7 @@ class PGMAdapter(IndexAdapter):
     """PGM-like learned index (logarithmic-method dynamisation, §5)."""
 
     name = "PGM"
+    supports_bulk_load = True
 
     def __init__(self):
         self.index = PGMIndex()
@@ -274,6 +296,7 @@ class RMIAdapter(IndexAdapter):
     """Static recursive model index: read/scan only, 100% bulk loaded."""
 
     name = "RMI"
+    supports_bulk_load = True
     bulk_fraction = 1.0  # the whole preload must come through bulk_load
 
     def __init__(self):

@@ -1,0 +1,125 @@
+"""Batch-operation micro-benchmark: get_many / insert_many vs. scalar.
+
+DyTIS's batch layer sorts each batch and walks it with per-segment
+cached routing state, so directory lookups and remap coefficient loads
+are amortised across every key that lands in the same segment.  This
+driver measures that amortisation directly: for each batch size it
+times the scalar loop (``get``/``insert`` per key) against one
+``get_many``/``insert_many`` call over the same keys and reports the
+speedup.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.bench.experiments.scale import ExperimentScale, default_scale
+
+DEFAULT_BATCH_SIZES = (64, 256, 1024, 4096)
+
+
+@dataclass(frozen=True)
+class BatchOpRow:
+    """One (operation, batch size) cell of the micro-benchmark."""
+
+    op: str  # "get_many" | "insert_many"
+    batch_size: int
+    scalar_s: float
+    batch_s: float
+    speedup: float
+
+
+def _repeats(batch_size: int, n_ops: int) -> int:
+    """Enough repetitions per cell to make the timing stable."""
+    return max(3, n_ops // batch_size)
+
+
+def run(
+    scale: ExperimentScale = None,
+    dataset: str = "MM",
+    batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
+) -> List[BatchOpRow]:
+    """Time scalar loops vs. batch calls over ``batch_sizes``.
+
+    Lookups run against a preloaded index; inserts measure fresh keys
+    drawn from the same distribution (each repeat inserts a disjoint
+    slice so no cell degenerates into pure updates).
+    """
+    import random
+
+    from repro.core import DyTIS
+    from repro.datasets import generate
+
+    scale = scale or default_scale()
+    keys = [int(k) for k in generate(dataset, scale.n_keys * 2, scale.seed)]
+    preload, fresh = keys[: scale.n_keys], keys[scale.n_keys :]
+    rng = random.Random(scale.seed)
+
+    rows: List[BatchOpRow] = []
+    for batch_size in batch_sizes:
+        reps = _repeats(batch_size, scale.n_ops)
+
+        # -- get_many: identical random probe batches, scalar vs. batch.
+        base = DyTIS()
+        base.bulk_load(preload, preload)
+        batches = [
+            [preload[rng.randrange(len(preload))] for _ in range(batch_size)]
+            for _ in range(reps)
+        ]
+        t0 = time.perf_counter()
+        for batch in batches:
+            for k in batch:
+                base.get(k)
+        scalar_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for batch in batches:
+            base.get_many(batch)
+        batch_s = time.perf_counter() - t0
+        rows.append(
+            BatchOpRow(
+                "get_many", batch_size, scalar_s, batch_s,
+                scalar_s / batch_s if batch_s else float("inf"),
+            )
+        )
+
+        # -- insert_many: disjoint fresh slices into two equal preloads.
+        slices = []
+        for i in range(reps):
+            lo = (i * batch_size) % max(1, len(fresh) - batch_size)
+            slices.append(fresh[lo : lo + batch_size])
+        scalar_ix = DyTIS()
+        scalar_ix.bulk_load(preload, preload)
+        t0 = time.perf_counter()
+        for chunk in slices:
+            for k in chunk:
+                scalar_ix.insert(k, k)
+        scalar_s = time.perf_counter() - t0
+        batch_ix = DyTIS()
+        batch_ix.bulk_load(preload, preload)
+        t0 = time.perf_counter()
+        for chunk in slices:
+            batch_ix.insert_many([(k, k) for k in chunk])
+        batch_s = time.perf_counter() - t0
+        rows.append(
+            BatchOpRow(
+                "insert_many", batch_size, scalar_s, batch_s,
+                scalar_s / batch_s if batch_s else float("inf"),
+            )
+        )
+    return rows
+
+
+def format_table(rows: List[BatchOpRow]) -> str:
+    lines = ["Batch operations vs. scalar loop (DyTIS)"]
+    lines.append(
+        f"{'op':<12} {'batch':>6} {'scalar(s)':>10} {'batch(s)':>9} "
+        f"{'speedup':>8}"
+    )
+    for r in rows:
+        lines.append(
+            f"{r.op:<12} {r.batch_size:>6} {r.scalar_s:>10.3f} "
+            f"{r.batch_s:>9.3f} {r.speedup:>7.2f}x"
+        )
+    return "\n".join(lines)

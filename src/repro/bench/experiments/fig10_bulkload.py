@@ -4,10 +4,16 @@ Runs ALEX-30/50/70/90 on each dataset × workload and normalises to
 ALEX-10.  The paper's key finding: *no regularity* -- more bulk loading
 is not reliably better (e.g. RM degrades from 10%→70% while MM/ML
 prefer 70/90%), because the depth built during bulk loading persists.
+
+This module also measures our extension to the bulk-loading story:
+:func:`dytis_bulk_vs_insert` compares DyTIS's bottom-up sorted build
+(:meth:`repro.core.DyTIS.bulk_load`) against replaying Algorithm 1 key
+by key, and verifies both builds answer an identical probe battery.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
@@ -81,6 +87,91 @@ def bulk_structure(
                 )
             )
     return rows
+
+
+@dataclass(frozen=True)
+class DyTISBulkRow:
+    """Bottom-up bulk load vs. sequential Algorithm-1 insertion."""
+
+    dataset: str
+    n_keys: int
+    insert_s: float
+    bulk_s: float
+    speedup: float
+    probes_match: bool
+
+
+def _probe_battery(index, keys: Sequence[int], seed: int) -> list:
+    """Deterministic get/scan/count_range probes over ``index``."""
+    import random
+
+    rng = random.Random(seed)
+    ordered = sorted(keys)
+    present = [ordered[rng.randrange(len(ordered))] for _ in range(256)]
+    absent = [k + 1 for k in present if k + 1 not in set(ordered)][:128]
+    results = [index.get(k) for k in present]
+    results += [index.get(k) for k in absent]
+    lo = ordered[len(ordered) // 4]
+    hi = ordered[3 * len(ordered) // 4]
+    results.append(index.scan(lo, 100))
+    results.append(index.count_range(lo, hi))
+    results.append(len(index))
+    return results
+
+
+def dytis_bulk_vs_insert(
+    scale: ExperimentScale = None,
+    datasets: Sequence[str] = ("MM", "RM", "TX"),
+) -> List[DyTISBulkRow]:
+    """Wall-clock of ``bulk_load`` vs. a sequential insert loop.
+
+    Both indexes then answer the same probe battery; ``probes_match``
+    certifies the bottom-up build is observationally equivalent (and
+    both pass ``check_invariants``).
+    """
+    from repro.core import DyTIS
+    from repro.datasets import generate
+
+    scale = scale or default_scale()
+    rows: List[DyTISBulkRow] = []
+    for ds in datasets:
+        keys = [int(k) for k in generate(ds, scale.n_keys, scale.seed)]
+        seq = DyTIS()
+        t0 = time.perf_counter()
+        for k in keys:
+            seq.insert(k, k)
+        insert_s = time.perf_counter() - t0
+        bulk = DyTIS()
+        t0 = time.perf_counter()
+        bulk.bulk_load(keys, keys)
+        bulk_s = time.perf_counter() - t0
+        seq.check_invariants()
+        bulk.check_invariants()
+        match = _probe_battery(bulk, keys, scale.seed) == _probe_battery(
+            seq, keys, scale.seed
+        )
+        rows.append(
+            DyTISBulkRow(
+                ds, len(keys), insert_s, bulk_s,
+                insert_s / bulk_s if bulk_s else float("inf"), match,
+            )
+        )
+    return rows
+
+
+def format_dytis_table(rows: List[DyTISBulkRow]) -> str:
+    lines = ["DyTIS bottom-up bulk load vs. sequential insert"]
+    lines.append(
+        f"{'dataset':<8} {'keys':>9} {'insert(s)':>10} {'bulk(s)':>9} "
+        f"{'speedup':>8} {'probes':>7}"
+    )
+    for r in rows:
+        lines.append(
+            f"{r.dataset:<8} {r.n_keys:>9,} {r.insert_s:>10.3f} "
+            f"{r.bulk_s:>9.3f} {r.speedup:>7.1f}x "
+            f"{'match' if r.probes_match else 'DIFFER':>7}"
+        )
+    return "\n".join(lines)
 
 
 def format_table(rows: List[Fig10Row]) -> str:

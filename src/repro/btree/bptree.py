@@ -75,6 +75,68 @@ class BPlusTree:
         i = bisect_left(leaf.keys, key)
         return i < len(leaf.keys) and leaf.keys[i] == key
 
+    # -- bulk load -------------------------------------------------------
+
+    def bulk_load(self, keys, values) -> None:
+        """Bottom-up build from a (possibly unsorted) key/value batch.
+
+        Sorts once, deduplicates (later occurrences win, matching
+        insert-or-update), packs leaves to ~2/3 of fanout (headroom for
+        subsequent inserts, like SOSD-style sorted builds), and stacks
+        internal levels over them -- no per-key descent or node split.
+        A non-empty tree falls back to per-key inserts.
+        """
+        keys = list(keys)
+        values = list(values)
+        if len(keys) != len(values):
+            raise ValueError("keys and values must have the same length")
+        if self._size:
+            for key, value in zip(keys, values):
+                self.insert(key, value)
+            return
+        if not keys:
+            return
+        order = sorted(range(len(keys)), key=lambda i: (keys[i], i))
+        # Last occurrence of each key wins.
+        picked: List[int] = []
+        for i in order:
+            if picked and keys[picked[-1]] == keys[i]:
+                picked[-1] = i
+            else:
+                picked.append(i)
+        fill = max(2, (self.fanout * 2) // 3)
+        leaves: List[_Leaf] = []
+        for start in range(0, len(picked), fill):
+            chunk = picked[start : start + fill]
+            leaf = _Leaf()
+            leaf.keys = [keys[i] for i in chunk]
+            leaf.values = [values[i] for i in chunk]
+            if leaves:
+                leaves[-1].next = leaf
+            leaves.append(leaf)
+        level: List[_Node] = list(leaves)
+        mins = [leaf.keys[0] for leaf in leaves]
+        while len(level) > 1:
+            parents: List[_Node] = []
+            parent_mins: List[int] = []
+            group = self.fanout
+            starts = list(range(0, len(level), group))
+            # A trailing 1-child internal node violates occupancy; move
+            # one child from the previous full group to balance it.
+            if len(starts) > 1 and len(level) - starts[-1] == 1:
+                starts[-1] -= 1
+            for gi, start in enumerate(starts):
+                end = starts[gi + 1] if gi + 1 < len(starts) else len(level)
+                node = _Internal()
+                node.children = level[start:end]
+                node.keys = mins[start + 1 : end]
+                parents.append(node)
+                parent_mins.append(mins[start])
+            level = parents
+            mins = parent_mins
+        self._root = level[0]
+        self._size = len(picked)
+
     # -- insert ----------------------------------------------------------
 
     def insert(self, key: int, value: Any) -> None:

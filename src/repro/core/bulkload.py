@@ -1,0 +1,228 @@
+"""Bottom-up bulk loading for DyTIS (SOSD-style sorted builds).
+
+DyTIS's loading story in the paper is incremental insertion (design
+consideration 1), but replaying Algorithm 1 key by key over a sorted
+batch repeatedly splits, remaps, and doubles directories that a sorted
+build can lay out once.  Following FITing-Tree's observation that
+piecewise-linear segments built bottom-up from sorted data are both
+cheaper to construct and better fitted than incrementally grown ones,
+this module plans a whole second-level EH table from its sorted keys:
+
+1. **Depth assignment** (:func:`plan_depths`): recursively halve the
+   table's local key domain -- the same binary prefix structure
+   Extendible hashing converges to -- until each prefix group's key
+   count fits a segment at that local depth (within the per-depth
+   segment-size cap, filled to the utilization threshold so the loaded
+   index has the same insert headroom an incrementally built one does).
+2. **Model planning** (:func:`_plan_piece_bits`): run the greedy
+   error-bounded PLR fitter over each group's sorted local keys (the
+   paper's skewness machinery, §2.1) to count how many linear models
+   the group's CDF needs, and size the segment's sub-range granularity
+   to match.
+3. **Segment build** (:func:`build_segment`): apportion buckets over
+   sub-ranges by key count (:func:`proportional_allocs`, Figure 6) and
+   construct the segment through :func:`build_fitting`, which fills
+   sorted buckets by slice -- no per-key search, shift, split, or
+   directory update ever runs.
+
+The result passes exactly the invariants of an incrementally built
+index (aligned directory spans, sorted buckets, sibling chains, piece
+counts); :meth:`repro.core.DyTIS.bulk_load` wires the planned segments
+into directories.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import DyTISConfig
+from repro.core.remap import PiecewiseRemap, proportional_allocs
+from repro.core.segment import Segment, build_fitting, count_pieces
+from repro.plr import fit_plr
+
+#: Cap on the number of points fed to the PLR fitter per segment; the
+#: fit only has to *count models* to pick a granularity, so a uniform
+#: subsample of the group's CDF is plenty.
+PLR_SAMPLE_LIMIT = 512
+
+
+def fill_target(config: DyTISConfig, local_depth: int, boosted: bool) -> int:
+    """Keys a freshly loaded depth-``local_depth`` segment should hold.
+
+    The per-depth segment-size cap times bucket capacity, derated by the
+    utilization threshold U_t so the loaded segment sits just under the
+    level at which Algorithm 1 would start restructuring -- the same
+    headroom a segment has right after an incremental remap.
+    """
+    cap = config.segment_cap(local_depth, boosted)
+    return max(1, int(cap * config.bucket_capacity * config.util_threshold))
+
+
+def plan_depths(
+    local_keys: np.ndarray, m: int, config: DyTISConfig, boosted: bool
+) -> List[Tuple[int, int, int]]:
+    """Partition sorted ``local_keys`` into per-segment prefix groups.
+
+    Returns ``[(local_depth, lo, hi), ...]`` in key order, covering the
+    whole ``m``-bit local domain (empty groups included -- every
+    directory slot needs a segment).  A group is split in two (depth+1)
+    while it exceeds :func:`fill_target` for its depth; the recursion
+    terminates because the cap grows geometrically with depth while
+    group sizes shrink, and at depth ``m`` a group holds at most one
+    distinct key.
+    """
+    out: List[Tuple[int, int, int]] = []
+    # Explicit DFS stack, left child popped first => output in key order.
+    stack: List[Tuple[int, int, int, int]] = [(0, 0, 0, int(local_keys.size))]
+    while stack:
+        ld, prefix, lo, hi = stack.pop()
+        n = hi - lo
+        if ld >= m or n <= fill_target(config, ld, boosted):
+            out.append((ld, lo, hi))
+            continue
+        span_bits = m - ld - 1
+        mid_key = np.uint64(((prefix << 1) | 1) << span_bits)
+        mid = lo + int(np.searchsorted(local_keys[lo:hi], mid_key))
+        stack.append((ld + 1, (prefix << 1) | 1, mid, hi))
+        stack.append((ld + 1, prefix << 1, lo, mid))
+    return out
+
+
+def _plan_piece_bits(
+    local: np.ndarray, domain_bits: int, max_bits: int, bucket_capacity: int
+) -> int:
+    """Sub-range granularity for a group, from a PLR fit of its CDF.
+
+    Fits the greedy error-bounded PLR (gamma = half a bucket, scaled
+    for subsampling) over the group's sorted local keys and rounds the
+    model count up to a power of two: a CDF that needs ``k`` linear
+    models is approximated by ``2^ceil(log2 k)`` equal-width sub-ranges.
+    """
+    n = int(local.size)
+    if max_bits <= 0 or n <= bucket_capacity:
+        return 0
+    step = max(1, n // PLR_SAMPLE_LIMIT)
+    sample = local[::step].astype(np.float64)
+    gamma = max(1.0, bucket_capacity / (2.0 * step))
+    models = len(fit_plr(sample, gamma))
+    bits = max(1, models - 1).bit_length() if models > 1 else 0
+    return min(bits, max_bits)
+
+
+#: Shared single-bucket remapping functions, one per domain width.
+#: PiecewiseRemap is immutable after construction (structure operations
+#: always build fresh instances), so empty and single-bucket segments
+#: can share one -- bulk loads create thousands of them.
+_UNIT_REMAPS: dict = {}
+
+
+def _unit_remap(domain_bits: int) -> PiecewiseRemap:
+    remap = _UNIT_REMAPS.get(domain_bits)
+    if remap is None:
+        remap = _UNIT_REMAPS[domain_bits] = PiecewiseRemap(domain_bits, [1])
+    return remap
+
+
+def build_segment(
+    local_depth: int,
+    local: np.ndarray,
+    keys: List[int],
+    values: List[Any],
+    m: int,
+    config: DyTISConfig,
+    boosted: bool,
+) -> Segment:
+    """Build one segment bottom-up from its sorted key group.
+
+    ``local`` holds the group's ``m``-bit local keys (high bits are the
+    group's prefix); ``keys``/``values`` the full keys and payloads as
+    fresh lists the segment may take ownership of.  Small groups skip
+    planning entirely (one sorted bucket *is* the segment); larger ones
+    get a PLR-planned remap and are filled by slice, falling back to
+    :func:`build_fitting`'s refine-and-grow loop only when the planned
+    layout overflows a bucket.
+    """
+    domain_bits = m - local_depth
+    capacity = config.bucket_capacity
+    n = len(keys)
+    if n == 0:
+        return Segment(local_depth, _unit_remap(domain_bits), capacity)
+    if n <= capacity:
+        # One sorted bucket holds the whole group: no model to plan.
+        seg = Segment(local_depth, _unit_remap(domain_bits), capacity)
+        bucket = seg.buckets[0]
+        bucket.keys = keys
+        bucket.values = values
+        seg.piece_counts = [n]
+        seg.total_keys = n
+        return seg
+    cap = config.segment_cap(local_depth, boosted)
+    per_bucket = max(1, int(capacity * config.util_threshold))
+    n_buckets = min(cap, max(1, -(-n // per_bucket)))
+    seg_local = local & np.uint64((1 << domain_bits) - 1)
+    piece_bits = _plan_piece_bits(
+        seg_local, domain_bits, min(config.max_piece_bits, domain_bits), capacity
+    )
+    counts = count_pieces(seg_local, domain_bits, piece_bits)
+    remap = PiecewiseRemap(
+        domain_bits, proportional_allocs(counts.tolist(), n_buckets)
+    )
+    bidx = remap.bucket_indices(seg_local)
+    per_bucket_counts = np.bincount(bidx, minlength=remap.n_buckets)
+    if int(per_bucket_counts.max(initial=0)) > capacity:
+        # Planned layout overflows somewhere: hand the group to the
+        # incremental-path rebuild loop (refine sub-ranges, grow).
+        return build_fitting(
+            local_depth, remap, capacity, keys, values,
+            cap, config.max_piece_bits,
+        )
+    seg = Segment(local_depth, remap, capacity)
+    bounds = np.concatenate([[0], np.cumsum(per_bucket_counts)]).tolist()
+    seg_buckets = seg.buckets
+    for b in range(remap.n_buckets):
+        lo, hi = bounds[b], bounds[b + 1]
+        if lo == hi:
+            continue
+        bucket = seg_buckets[b]
+        bucket.keys = keys[lo:hi]
+        bucket.values = values[lo:hi]
+    seg.piece_counts = counts.tolist()
+    seg.total_keys = n
+    return seg
+
+
+def build_table_segments(
+    sorted_keys: np.ndarray,
+    key_list: Sequence[int],
+    values: Sequence[Any],
+    lo: int,
+    hi: int,
+    m: int,
+    config: DyTISConfig,
+    boosted: bool,
+) -> Tuple[List[Segment], int]:
+    """Plan and build one EH table's segments from its sorted key slice.
+
+    ``sorted_keys`` is the whole load's ascending uint64 key array;
+    ``[lo, hi)`` is this table's slice.  Returns the segments in key
+    order plus the table's global depth (= max local depth).  The caller
+    wires directory spans and sibling pointers.
+    """
+    local = sorted_keys[lo:hi] & np.uint64((1 << m) - 1)
+    plan = plan_depths(local, m, config, boosted)
+    gd = max(ld for ld, _, _ in plan)
+    segments = [
+        build_segment(
+            ld,
+            local[a:b],
+            key_list[lo + a : lo + b],
+            values[lo + a : lo + b],
+            m,
+            config,
+            boosted,
+        )
+        for ld, a, b in plan
+    ]
+    return segments, gd

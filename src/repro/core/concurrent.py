@@ -127,6 +127,38 @@ class ConcurrentDyTIS:
     def items(self):
         return self._d.items()
 
+    # -- batch operations ---------------------------------------------------------
+
+    def bulk_load(self, keys, values) -> None:
+        """Bottom-up bulk load under exclusive access.
+
+        Takes every EH write lock (in index order, so concurrent bulk
+        loads cannot deadlock) and delegates to :meth:`DyTIS.bulk_load`;
+        the index must be empty, exactly as in the single-threaded API.
+        """
+        for lock in self._eh_locks:
+            lock.acquire_write()
+        try:
+            self._d.bulk_load(keys, values)
+        finally:
+            for lock in reversed(self._eh_locks):
+                lock.release_write()
+
+    def get_many(self, keys) -> List[Optional[Any]]:
+        """Batched lookups through the locking :meth:`get` path.
+
+        The concurrent wrapper keeps the paper's two-level locking
+        protocol per key rather than vectorising across segments: each
+        lookup is individually consistent, like a scan's one-segment-
+        at-a-time locking.
+        """
+        return [self.get(key) for key in keys]
+
+    def insert_many(self, pairs) -> None:
+        """Batched inserts through the locking :meth:`insert` path."""
+        for key, value in pairs:
+            self.insert(key, value)
+
     # -- operations --------------------------------------------------------------
 
     def get(self, key: int) -> Optional[Any]:

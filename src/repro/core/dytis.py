@@ -18,10 +18,12 @@ segment size').
 from __future__ import annotations
 
 import time
+from bisect import bisect_left
 from typing import Any, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core import bulkload
 from repro.core.config import DyTISConfig
 from repro.core.remap import PiecewiseRemap, proportional_allocs
 from repro.core.segment import (
@@ -238,11 +240,21 @@ class DyTIS:
         return self.keys()
 
     def __getitem__(self, key: int) -> Any:
-        """Dict-style lookup; raises KeyError for absent keys."""
-        value = self.get(key)
-        if value is None and key not in self:
-            raise KeyError(key)
-        return value
+        """Dict-style lookup; raises KeyError for absent keys.
+
+        A single traversal: the bucket search distinguishes 'absent'
+        from 'stored None' directly, instead of running ``get`` and
+        ``__contains__`` back to back (two full traversals for misses).
+        """
+        self._check_key(key)
+        table = self._table(key, create=False)
+        if table is not None:
+            seg = table.segment_for(key & self._local_mask, self._m)
+            bucket = seg.bucket_for(key)
+            i = bucket.find(key)
+            if i >= 0:
+                return bucket.values[i]
+        raise KeyError(key)
 
     def __setitem__(self, key: int, value: Any) -> None:
         self.insert(key, value)
@@ -266,8 +278,9 @@ class DyTIS:
         table_idx = self._table_index(low)
         table = self._tables[table_idx]
         seg: Optional[Segment] = None
+        entry: Optional[Segment] = None
         if table is not None:
-            seg = table.segment_for(low & self._local_mask, self._m)
+            seg = entry = table.segment_for(low & self._local_mask, self._m)
         while True:
             while seg is None:
                 table_idx += 1
@@ -287,6 +300,13 @@ class DyTIS:
                 and last_key < high
             ):
                 count += seg.total_keys  # fully inside: metadata only
+            elif seg is entry:
+                # Low-boundary segment: seek directly to ``low`` instead
+                # of rescanning the segment from its first bucket.
+                for k, _ in seg.iter_from(low):
+                    if k >= high:
+                        return count
+                    count += 1
             else:
                 for k, _ in seg.items():
                     if k >= high:
@@ -322,15 +342,258 @@ class DyTIS:
             self.delete(k)
         return len(victims)
 
-    def insert_many(self, pairs) -> None:
-        """Insert an iterable of (key, value) pairs in the given order.
+    # -- batch operations --------------------------------------------------
 
-        There is deliberately no bulk-*loading* path: incremental
-        insertion IS DyTIS's loading story (design consideration 1).
+    def _sorted_batch(
+        self, keys_arr: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sort a key batch and dedupe it keeping the *last* occurrence.
+
+        Returns ``(sorted_unique_keys, source_index, order)`` where
+        ``source_index[i]`` is the original position whose value wins
+        for sorted key ``i`` (matching sequential insert-or-update
+        semantics) and ``order`` is the full stable sort permutation.
         """
-        insert = self.insert
-        for key, value in pairs:
-            insert(key, value)
+        order = np.argsort(keys_arr, kind="stable")
+        sk = keys_arr[order]
+        keep = np.empty(sk.size, dtype=bool)
+        if sk.size:
+            keep[:-1] = sk[:-1] != sk[1:]
+            keep[-1] = True
+        return sk[keep], order[keep], order
+
+    def _check_batch_keys(self, keys_arr: np.ndarray) -> None:
+        if keys_arr.size and int(keys_arr.max()) >= self._key_limit:
+            bad = int(keys_arr[keys_arr >= np.uint64(self._key_limit)][0])
+            raise ValueError(
+                f"key {bad} outside [0, 2^{self.config.key_bits})"
+            )
+
+    def bulk_load(self, keys, values) -> None:
+        """Build the index bottom-up from a key/value batch (sorted once).
+
+        The batch is sorted with numpy, deduplicated (later occurrences
+        win, matching sequential insert-or-update), partitioned by the R
+        first-level bits, and each EH table is laid out directly by
+        :mod:`repro.core.bulkload`: prefix groups become segments whose
+        piecewise-linear remapping functions are planned from a PLR fit
+        of the group's CDF, and buckets are filled by slice.  No split,
+        remapping, expansion, or directory doubling ever runs, which
+        makes loading N sorted keys dramatically cheaper than N
+        Algorithm-1 inserts while producing a structure that satisfies
+        the same invariants (and has the same insert headroom, since
+        segments are filled only to the utilization threshold).
+
+        Only an empty index can be bulk loaded; use :meth:`insert_many`
+        to add batches to a populated index.
+        """
+        if self._size:
+            raise ValueError("bulk_load requires an empty index")
+        values = list(values)
+        try:
+            arr = np.asarray(
+                keys if isinstance(keys, np.ndarray) else list(keys),
+                dtype=np.uint64,
+            )
+        except (OverflowError, TypeError) as exc:
+            raise ValueError(f"keys must be non-negative integers: {exc}")
+        if arr.ndim != 1:
+            raise ValueError("keys must be one-dimensional")
+        if arr.size != len(values):
+            raise ValueError("keys and values must have the same length")
+        if arr.size == 0:
+            return
+        self._check_batch_keys(arr)
+        t0 = time.perf_counter()
+        sk, src, _ = self._sorted_batch(arr)
+        key_list = sk.tolist()
+        vals = [values[i] for i in src.tolist()]
+        table_ids, starts = np.unique(sk >> np.uint64(self._m), return_index=True)
+        bounds = np.append(starts, sk.size).tolist()
+        cfg = self.config
+        for t, tid in enumerate(table_ids.tolist()):
+            lo, hi = bounds[t], bounds[t + 1]
+            segments, gd = bulkload.build_table_segments(
+                sk, key_list, vals, lo, hi, self._m, cfg, self._boosted
+            )
+            table = _EHTable(self._m, cfg.bucket_capacity)
+            table.global_depth = gd
+            table.dir = []
+            prev: Optional[Segment] = None
+            for seg in segments:
+                table.dir.extend([seg] * (1 << (gd - seg.local_depth)))
+                if prev is not None:
+                    prev.sibling = seg
+                prev = seg
+            self._tables[int(tid)] = table
+        self._size = int(sk.size)
+        self.stats.bulk_loads += 1
+        self.stats.keys_bulk_loaded += int(sk.size)
+        self.stats.bulk_load_time += time.perf_counter() - t0
+
+    def get_many(self, keys) -> List[Optional[Any]]:
+        """Batched point lookups; returns values aligned with ``keys``.
+
+        The batch is bounds-checked and sorted once with numpy, then
+        walked in key order: the EH table, directory slot, segment, and
+        remapping-function state are resolved once per *group* of keys
+        sharing a segment (a sorted batch visits each segment exactly
+        once) and reused for every key in the group, instead of being
+        re-derived per key as the scalar :meth:`get` must.  Missing keys
+        yield None (same contract as :meth:`get`).
+        """
+        if not isinstance(keys, np.ndarray):
+            keys = list(keys)
+        try:
+            arr = np.asarray(keys, dtype=np.uint64)
+        except (OverflowError, TypeError) as exc:
+            raise ValueError(f"keys must be non-negative integers: {exc}")
+        n = int(arr.size)
+        out: List[Optional[Any]] = [None] * n
+        if n == 0:
+            return out
+        self._check_batch_keys(arr)
+        order = np.argsort(arr, kind="stable").tolist()
+        key_list = arr.tolist()
+        m = self._m
+        local_mask = self._local_mask
+        tables = self._tables
+        # Per-group cached routing state, refreshed when the next key
+        # leaves the current segment's key range (``seg_upper``).
+        seg_upper = -1
+        in_gap = False
+        cum = allocs = buckets = None
+        shift = dmask = offmask = last_bucket = 0
+        for pos in order:
+            key = key_list[pos]
+            if key >= seg_upper:
+                ti = key >> m
+                table = tables[ti]
+                if table is None:
+                    seg_upper = (ti + 1) << m
+                    in_gap = True
+                    continue
+                in_gap = False
+                gd = table.global_depth
+                local = key & local_mask
+                if gd:
+                    di = local >> (m - gd)
+                    seg = table.dir[di]
+                    span = 1 << (gd - seg.local_depth)
+                    end_di = (di // span) * span + span
+                    seg_upper = (ti << m) | (end_di << (m - gd))
+                else:
+                    seg = table.dir[0]
+                    seg_upper = (ti + 1) << m
+                remap = seg.remap
+                cum = remap._cum
+                allocs = remap.allocs
+                shift = remap._shift
+                dmask = seg._mask
+                offmask = (1 << shift) - 1
+                last_bucket = cum[-1] - 1
+                buckets = seg.buckets
+            elif in_gap:
+                continue
+            lk = key & dmask
+            i = lk >> shift
+            b = cum[i] + ((allocs[i] * (lk & offmask)) >> shift)
+            if b > last_bucket:
+                b = last_bucket
+            bucket = buckets[b]
+            bkeys = bucket.keys
+            idx = bisect_left(bkeys, key)
+            if idx < len(bkeys) and bkeys[idx] == key:
+                out[pos] = bucket.values[idx]
+        return out
+
+    def insert_many(self, pairs) -> None:
+        """Insert a batch of (key, value) pairs (order-equivalent).
+
+        The batch is sorted and deduplicated once (the last occurrence
+        of a key wins, exactly as sequential insert-or-update resolves
+        it), then applied in key order with the same per-segment cached
+        routing as :meth:`get_many`.  A full bucket -- the case that
+        triggers Algorithm 1 -- falls back to the scalar :meth:`insert`
+        for that key and invalidates the cached routing state, so
+        structural behaviour is identical to sequential insertion.
+        """
+        pairs = list(pairs)
+        if not pairs:
+            return
+        n = len(pairs)
+        try:
+            arr = np.fromiter((p[0] for p in pairs), dtype=np.uint64, count=n)
+        except (OverflowError, TypeError, ValueError):
+            # Out-of-domain keys: let the scalar path raise with
+            # sequential semantics (prior pairs applied).
+            for key, value in pairs:
+                self.insert(key, value)
+            return
+        if int(arr.max()) >= self._key_limit:
+            for key, value in pairs:
+                self.insert(key, value)
+            return
+        sk, src, _ = self._sorted_batch(arr)
+        key_list = sk.tolist()
+        vals = [pairs[i][1] for i in src.tolist()]
+        m = self._m
+        local_mask = self._local_mask
+        tables = self._tables
+        capacity = self.config.bucket_capacity
+        seg_upper = -1
+        seg = None
+        cum = allocs = buckets = piece_counts = None
+        shift = dmask = offmask = last_bucket = 0
+        for p, key in enumerate(key_list):
+            if key >= seg_upper:
+                ti = key >> m
+                table = tables[ti]
+                if table is None:
+                    table = _EHTable(m, capacity)
+                    tables[ti] = table
+                gd = table.global_depth
+                local = key & local_mask
+                if gd:
+                    di = local >> (m - gd)
+                    seg = table.dir[di]
+                    span = 1 << (gd - seg.local_depth)
+                    end_di = (di // span) * span + span
+                    seg_upper = (ti << m) | (end_di << (m - gd))
+                else:
+                    seg = table.dir[0]
+                    seg_upper = (ti + 1) << m
+                remap = seg.remap
+                cum = remap._cum
+                allocs = remap.allocs
+                shift = remap._shift
+                dmask = seg._mask
+                offmask = (1 << shift) - 1
+                last_bucket = cum[-1] - 1
+                buckets = seg.buckets
+                piece_counts = seg.piece_counts
+            lk = key & dmask
+            i = lk >> shift
+            b = cum[i] + ((allocs[i] * (lk & offmask)) >> shift)
+            if b > last_bucket:
+                b = last_bucket
+            bucket = buckets[b]
+            bkeys = bucket.keys
+            idx = bisect_left(bkeys, key)
+            if idx < len(bkeys) and bkeys[idx] == key:
+                bucket.values[idx] = vals[p]  # in-place update
+            elif len(bkeys) < capacity:
+                bkeys.insert(idx, key)
+                bucket.values.insert(idx, vals[p])
+                piece_counts[i] += 1
+                seg.total_keys += 1
+                self._size += 1
+            else:
+                # Full bucket: Algorithm 1 may rewrite this table's
+                # directory, so run the scalar path and re-resolve.
+                self.insert(key, vals[p])
+                seg_upper = -1
+        return
 
     # -- Algorithm 1 ------------------------------------------------------------
 

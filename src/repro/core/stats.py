@@ -23,6 +23,10 @@ class OperationStats:
     expansion_failures: int = 0
     #: Keys copied into fresh segments by splits/expansions/remappings.
     keys_moved: int = 0
+    #: Bottom-up bulk loads run and the keys they laid out directly.
+    bulk_loads: int = 0
+    keys_bulk_loaded: int = 0
+    bulk_load_time: float = 0.0
     split_time: float = 0.0
     expansion_time: float = 0.0
     remap_time: float = 0.0

@@ -127,3 +127,47 @@ def test_btree_matches_dict_model(ops):
             assert t.get(key) == model.get(key)
     t.check_invariants()
     assert [k for k, _ in t.items()] == sorted(model)
+
+
+class TestBulkLoad:
+    @pytest.mark.parametrize("n", [0, 1, 5, 1000])
+    def test_equivalent_to_inserts(self, rng, n):
+        keys = rng.sample(range(10**9), n)
+        bulk, ref = BPlusTree(fanout=8), BPlusTree(fanout=8)
+        bulk.bulk_load(keys, [k * 2 for k in keys])
+        for k in keys:
+            ref.insert(k, k * 2)
+        bulk.check_invariants()
+        assert list(bulk.items()) == list(ref.items())
+        for k in keys[:100]:
+            assert bulk.get(k) == k * 2
+        assert bulk.get(10**9 + 1) is None
+
+    def test_duplicates_last_wins(self):
+        t = BPlusTree(fanout=4)
+        t.bulk_load([3, 1, 3, 2, 3], ["a", "b", "c", "d", "e"])
+        assert len(t) == 3
+        assert t.get(3) == "e"
+        t.check_invariants()
+
+    def test_non_empty_falls_back_to_inserts(self):
+        t = BPlusTree(fanout=4)
+        t.insert(100, "x")
+        t.bulk_load([1, 2, 3], ["a", "b", "c"])
+        t.check_invariants()
+        assert [k for k, _ in t.items()] == [1, 2, 3, 100]
+
+    def test_loaded_tree_supports_mutation(self, rng):
+        keys = rng.sample(range(10**9), 2000)
+        t = BPlusTree(fanout=16)
+        t.bulk_load(keys[:1000], keys[:1000])
+        for k in keys[1000:]:
+            t.insert(k, k)
+        for k in keys[:500]:
+            assert t.delete(k)
+        t.check_invariants()
+        assert sorted(keys[500:]) == [k for k, _ in t.items()]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            BPlusTree(fanout=4).bulk_load([1, 2], ["a"])

@@ -230,3 +230,58 @@ class TestConcurrentOperations:
             cindex.insert(k, k)
         assert cindex.stats.structural_ops() > 0
         assert cindex.config.bucket_capacity == 8
+
+
+class TestBatchOperations:
+    def test_bulk_load_then_concurrent_reads(self, cindex, rng):
+        keys = rng.sample(range(2**32), 3000)
+        cindex.bulk_load(keys, keys)
+        cindex.check_invariants()
+        assert len(cindex) == 3000
+        errors = []
+
+        def reader(sample):
+            try:
+                assert cindex.get_many(sample) == [k for k in sample]
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        ts = [
+            threading.Thread(target=reader, args=(rng.sample(keys, 500),))
+            for _ in range(4)
+        ]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        assert not errors
+
+    def test_bulk_load_requires_empty(self, cindex):
+        cindex.insert(1, "a")
+        with pytest.raises(ValueError):
+            cindex.bulk_load([2], ["b"])
+
+    def test_insert_many_races_with_inserts(self, cindex, rng):
+        chunks = [
+            [(rng.randrange(2**32), i) for _ in range(300)]
+            for i in range(4)
+        ]
+        errors = []
+
+        def batch_writer(chunk):
+            try:
+                cindex.insert_many(chunk)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        ts = [
+            threading.Thread(target=batch_writer, args=(c,)) for c in chunks
+        ]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        assert not errors
+        cindex.check_invariants()
+        expect = {k for c in chunks for k, _ in c}
+        assert len(cindex) == len(expect)

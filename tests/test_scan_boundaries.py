@@ -1,0 +1,121 @@
+"""Range operations across first-level table boundaries.
+
+Scans that start in one EH table and finish in another must hop the
+per-table sibling chains (each chain ends with None at its table
+boundary) and skip tables that were never materialised.  These tests
+pin that traversal for ``scan``, ``scan_range``, and ``count_range``,
+including the low-boundary segment fast path of ``count_range``.
+"""
+
+import pytest
+
+from repro.core import DyTIS
+
+# small_config: key_bits=32, first_level_bits=4 -> table = key >> 28.
+TABLE_SHIFT = 28
+
+
+def _key(table, local):
+    return (table << TABLE_SHIFT) | local
+
+
+@pytest.fixture
+def sparse_index(small_config, rng):
+    """Keys in tables 1, 4, 5 and 14 only; 0, 2-3, 6-13, 15 stay empty."""
+    d = DyTIS(small_config)
+    keys = []
+    for table in (1, 4, 5, 14):
+        for _ in range(400):
+            keys.append(_key(table, rng.randrange(1 << TABLE_SHIFT)))
+    keys = sorted(set(keys))
+    for k in keys:
+        d.insert(k, k)
+    return d, keys
+
+
+def test_scan_crosses_table_boundary(sparse_index):
+    d, keys = sparse_index
+    start = _key(1, 0)
+    got = d.scan(start, len(keys))
+    assert got == [(k, k) for k in keys]
+
+
+def test_scan_count_spans_tables(sparse_index):
+    d, keys = sparse_index
+    # Start near the end of table 1 so the batch must continue in table 4.
+    in_t1 = [k for k in keys if k >> TABLE_SHIFT == 1]
+    start = in_t1[-5]
+    got = d.scan(start, 50)
+    expect = [(k, k) for k in keys if k >= start][:50]
+    assert got == expect
+    assert {k >> TABLE_SHIFT for k, _ in got} >= {1, 4}
+
+
+def test_scan_from_empty_table(sparse_index):
+    d, keys = sparse_index
+    # Table 2 is empty: the scan must skip ahead to table 4's keys.
+    got = d.scan(_key(2, 123), 10)
+    expect = [(k, k) for k in keys if k >> TABLE_SHIFT >= 4][:10]
+    assert got == expect
+
+
+def test_scan_past_last_table(sparse_index):
+    d, keys = sparse_index
+    assert d.scan(_key(15, 0), 10) == []
+    last = keys[-1]
+    assert d.scan(last, 10) == [(last, last)]
+
+
+def test_scan_range_across_tables(sparse_index):
+    d, keys = sparse_index
+    low, high = _key(1, 1 << 27), _key(14, 1 << 27)
+    got = d.scan_range(low, high)
+    assert got == [(k, k) for k in keys if low <= k < high]
+
+
+def test_scan_range_entirely_inside_gap(sparse_index):
+    d, _ = sparse_index
+    assert d.scan_range(_key(6, 0), _key(13, 0)) == []
+
+
+def test_count_range_across_tables(sparse_index):
+    d, keys = sparse_index
+    low, high = _key(1, 1 << 27), _key(14, 1 << 27)
+    assert d.count_range(low, high) == sum(
+        1 for k in keys if low <= k < high
+    )
+
+
+def test_count_range_low_boundary_mid_segment(sparse_index):
+    """The low bound lands mid-segment: iter_from must skip keys < low."""
+    d, keys = sparse_index
+    in_t4 = [k for k in keys if k >> TABLE_SHIFT == 4]
+    low = in_t4[len(in_t4) // 2] + 1  # strictly inside table 4's range
+    high = _key(15, 0)
+    assert d.count_range(low, high) == sum(
+        1 for k in keys if low <= k < high
+    )
+
+
+def test_count_range_single_segment_window(sparse_index):
+    """Low and high inside the same segment (entry == boundary segment)."""
+    d, keys = sparse_index
+    in_t5 = [k for k in keys if k >> TABLE_SHIFT == 5]
+    low, high = in_t5[10], in_t5[20]
+    assert d.count_range(low, high) == 10
+    assert d.count_range(low, low) == 0
+
+
+def test_range_ops_agree_after_bulk_load(small_config, sparse_index):
+    """Bulk-loaded index answers boundary queries like the inserted one."""
+    d, keys = sparse_index
+    b = DyTIS(small_config)
+    b.bulk_load(keys, keys)
+    for low, high in [
+        (_key(1, 1 << 27), _key(14, 1 << 27)),
+        (_key(0, 0), _key(16, 0) - 1),
+        (_key(6, 0), _key(13, 0)),
+    ]:
+        assert b.scan_range(low, high) == d.scan_range(low, high)
+        assert b.count_range(low, high) == d.count_range(low, high)
+    assert b.scan(_key(2, 123), 17) == d.scan(_key(2, 123), 17)

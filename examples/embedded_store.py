@@ -22,12 +22,12 @@ def main():
     # Table 1: users keyed by id.
     users = store.namespace("users", codec=UintCodec(32))
     for uid, name in enumerate(["ada", "grace", "edsger", "barbara"]):
-        users.put(uid, {"name": name})
+        users.insert(uid, {"name": name})
 
     # Table 2: sessions keyed by token string, scannable by prefix.
     sessions = store.namespace("sessions", codec=StringCodec(max_length=5))
     for token in ("aa1", "aa2", "ab9", "zz3"):
-        sessions.put(token, {"token": token, "ttl": 3600})
+        sessions.insert(token, {"token": token, "ttl": 3600})
 
     # Table 3: reviews keyed by (item, user) -- the paper's composite keys.
     reviews = store.namespace(
@@ -35,7 +35,7 @@ def main():
     )
     for item in (7, 9):
         for uid in range(4):
-            reviews.put((item, uid), {"stars": (item + uid) % 5 + 1})
+            reviews.insert((item, uid), {"stars": (item + uid) % 5 + 1})
 
     print(f"one index, {len(store.namespaces())} tables, "
           f"{len(store)} total records\n")

@@ -1,0 +1,18 @@
+"""The unified index contract.
+
+Every ordered index in this repository -- DyTIS, its concurrent
+wrapper, the B+-tree, and the learned baselines -- conforms to
+:class:`IndexProtocol`: one structural type the kvstore, the bench
+adapters, and the observability layer all program against.  SOSD's
+lesson is that cross-index comparisons live or die on uniform
+instrumentation through one interface; this module is that interface.
+
+:class:`RangeOpsMixin` supplies ``scan_range``/``count_range`` for
+indexes that natively offer only ``scan(start, count)``, so bringing a
+new index up to the protocol costs one mixin plus the five core
+methods it already has.
+"""
+
+from repro.api.protocol import IndexProtocol, RangeOpsMixin, is_index
+
+__all__ = ["IndexProtocol", "RangeOpsMixin", "is_index"]

@@ -1,0 +1,114 @@
+"""``IndexProtocol``: the single contract every ordered index satisfies."""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
+
+
+@runtime_checkable
+class IndexProtocol(Protocol):
+    """Structural contract for an ordered key-value index.
+
+    Keys are non-negative integers, values arbitrary objects.  The
+    semantics every implementation agrees on:
+
+    - ``insert`` is insert-or-update: an existing key's value is
+      replaced in place (so a separate ``update`` is just ``insert``).
+    - ``get`` returns None for absent keys ('not exist');
+      ``__contains__`` distinguishes a stored None from absence.
+    - ``scan`` returns up to ``count`` pairs with key >= start_key in
+      ascending key order; ``scan_range``/``count_range`` are the
+      closed-open [low, high) variants.
+    - ``bulk_load`` builds from a batch (indexes without a native
+      sorted build degrade to per-key inserts); duplicate keys resolve
+      to the last occurrence, matching sequential insert-or-update.
+    - ``items`` yields every pair ascending; ``__len__`` is the exact
+      live-key count.
+
+    The protocol is ``runtime_checkable``, so conformance is asserted
+    structurally in tests: ``isinstance(index, IndexProtocol)``.
+    """
+
+    def get(self, key: int) -> Optional[Any]: ...
+
+    def insert(self, key: int, value: Any) -> None: ...
+
+    def delete(self, key: int) -> bool: ...
+
+    def scan(self, start_key: int, count: int) -> List[Tuple[int, Any]]: ...
+
+    def scan_range(self, low: int, high: int) -> List[Tuple[int, Any]]: ...
+
+    def count_range(self, low: int, high: int) -> int: ...
+
+    def items(self) -> Iterator[Tuple[int, Any]]: ...
+
+    def bulk_load(
+        self, keys: Sequence[int], values: Sequence[Any]
+    ) -> None: ...
+
+    def __len__(self) -> int: ...
+
+    def __contains__(self, key: int) -> bool: ...
+
+
+def is_index(obj: Any) -> bool:
+    """Structural conformance check (``isinstance`` with a clearer name)."""
+    return isinstance(obj, IndexProtocol)
+
+
+class RangeOpsMixin:
+    """Default ``scan_range``/``count_range`` built on ``scan``.
+
+    For indexes whose native range primitive is ``scan(start, count)``
+    (the learned baselines): pages through bounded batches so a huge
+    range never materialises more than ``_RANGE_BATCH`` extra pairs
+    past the high bound.
+    """
+
+    _RANGE_BATCH = 1024
+
+    def scan_range(self, low: int, high: int) -> List[Tuple[int, Any]]:
+        """All pairs with low <= key < high, in ascending key order."""
+        out: List[Tuple[int, Any]] = []
+        if high <= low:
+            return out
+        cursor = low
+        while True:
+            batch = self.scan(cursor, self._RANGE_BATCH)
+            if not batch:
+                return out
+            for key, value in batch:
+                if key >= high:
+                    return out
+                out.append((key, value))
+            if len(batch) < self._RANGE_BATCH:
+                return out
+            cursor = batch[-1][0] + 1
+
+    def count_range(self, low: int, high: int) -> int:
+        """Number of keys with low <= key < high."""
+        count = 0
+        if high <= low:
+            return 0
+        cursor = low
+        while True:
+            batch = self.scan(cursor, self._RANGE_BATCH)
+            if not batch:
+                return count
+            for key, _ in batch:
+                if key >= high:
+                    return count
+                count += 1
+            if len(batch) < self._RANGE_BATCH:
+                return count
+            cursor = batch[-1][0] + 1

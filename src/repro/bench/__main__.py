@@ -93,6 +93,11 @@ def main(argv=None) -> int:
         "--report", type=Path, default=None, metavar="FILE",
         help="also aggregate everything that ran into one markdown file",
     )
+    parser.add_argument(
+        "--metrics-out", type=Path, default=None, metavar="BASE",
+        help="run the observability metrics smoke and write BASE.json "
+        "+ BASE.prom snapshots; without --only, runs only the smoke",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -100,6 +105,18 @@ def main(argv=None) -> int:
             doc = (module.__doc__ or "").strip().splitlines()[0]
             print(f"{name:<12} {doc}")
         return 0
+
+    if args.metrics_out is not None:
+        from repro.bench.metrics import check_snapshot, run_metrics_smoke
+        from repro.obs import write_snapshot
+
+        snapshot, _, _ = run_metrics_smoke(n=args.n, seed=args.seed)
+        check_snapshot(snapshot)
+        args.metrics_out.parent.mkdir(parents=True, exist_ok=True)
+        json_path, prom_path = write_snapshot(snapshot, args.metrics_out)
+        print(f"[metrics snapshot written to {json_path} and {prom_path}]")
+        if not args.only:
+            return 0
 
     chosen = args.only or list(EXPERIMENTS)
     unknown = [c for c in chosen if c not in EXPERIMENTS]

@@ -1,11 +1,12 @@
 """Uniform adapters over every index in the evaluation (paper §4.1).
 
-Each adapter exposes the same five operations (insert, get, update,
-scan, delete) plus an optional bulk-load phase, so the harness can drive
-DyTIS, ALEX(-10/-70/...), XIndex, the B+-tree, CCEH, and plain
-Extendible Hashing with identical traces.  Hash indexes report
-``supports_scan = False`` and raise on scan, mirroring the capability
-gap the paper highlights.
+Every index conforms to :class:`repro.api.IndexProtocol`, so the
+adapter layer is one delegating base plus per-index construction: a
+subclass builds ``self.index`` and sets capability flags, and the base
+forwards the five driver operations (insert, get, update, scan,
+delete) plus bulk loading straight to the protocol.  Hash indexes
+report ``supports_scan = False`` and raise on scan, mirroring the
+capability gap the paper highlights.
 """
 
 from __future__ import annotations
@@ -19,7 +20,14 @@ from repro.learned import AlexIndex, LippIndex, PGMIndex, RMIndex, XIndex
 
 
 class IndexAdapter:
-    """Common driver interface over one index instance."""
+    """Common driver interface: delegates to ``self.index`` (IndexProtocol).
+
+    Subclasses construct ``self.index`` and set the class flags; the
+    operation methods below are shared.  ``update`` routes through
+    ``insert`` because the protocol defines insert as insert-or-update
+    -- an adapter whose index cannot update (RMI) overrides it to
+    raise rather than silently corrupt the trace.
+    """
 
     name = "abstract"
     supports_scan = True
@@ -30,39 +38,50 @@ class IndexAdapter:
     #: Fraction of the dataset consumed by bulk loading during Load.
     bulk_fraction = 0.0
 
+    index: Any
+
     def bulk_load(self, keys: Sequence[int], values: Sequence[Any]) -> None:
-        """Default bulk load: plain inserts (indexes without a loader)."""
-        for k, v in zip(keys, values):
-            self.insert(k, v)
+        """Native sorted build when the index has one, else plain inserts."""
+        if self.supports_bulk_load:
+            self.index.bulk_load(keys, values)
+        else:
+            for k, v in zip(keys, values):
+                self.insert(k, v)
 
     def insert(self, key: int, value: Any) -> None:
-        raise NotImplementedError
+        self.index.insert(key, value)
 
     def get(self, key: int) -> Optional[Any]:
-        raise NotImplementedError
+        return self.index.get(key)
 
     def update(self, key: int, value: Any) -> None:
-        """In-place update (all evaluated indexes were given this)."""
-        self.insert(key, value)
+        """In-place update: protocol insert-or-update semantics."""
+        self.index.insert(key, value)
 
     def scan(self, start_key: int, count: int) -> List[Tuple[int, Any]]:
-        raise NotImplementedError
+        if not self.supports_scan:
+            raise NotImplementedError(f"{self.name} does not support scans")
+        return self.index.scan(start_key, count)
 
     def delete(self, key: int) -> bool:
-        raise NotImplementedError
+        return self.index.delete(key)
 
     def __len__(self) -> int:
-        raise NotImplementedError
+        return len(self.index)
 
 
 class DyTISAdapter(IndexAdapter):
-    """DyTIS with the paper's defaults (scaled by ``config``)."""
+    """DyTIS with the paper's defaults (scaled by ``config``).
+
+    ``obs`` threads a :class:`repro.obs.Observability` collector into
+    the index so harness runs can export latency/event snapshots.
+    """
 
     name = "DyTIS"
     supports_bulk_load = True
 
-    def __init__(self, config: Optional[DyTISConfig] = None):
-        self.index = DyTIS(config)
+    def __init__(self, config: Optional[DyTISConfig] = None, obs=None):
+        self.index = DyTIS(config, obs=obs)
 
     def bulk_load(self, keys, values):
         """Bottom-up sorted build when empty; per-key inserts otherwise."""
@@ -72,27 +91,12 @@ class DyTISAdapter(IndexAdapter):
             for k, v in zip(keys, values):
                 self.insert(k, v)
 
-    def insert(self, key, value):
-        self.index.insert(key, value)
-
-    def get(self, key):
-        return self.index.get(key)
-
-    def scan(self, start_key, count):
-        return self.index.scan(start_key, count)
-
-    def delete(self, key):
-        return self.index.delete(key)
-
-    def __len__(self):
-        return len(self.index)
-
 
 class ConcurrentDyTISAdapter(DyTISAdapter):
     name = "DyTIS-MT"
 
-    def __init__(self, config: Optional[DyTISConfig] = None):
-        self.index = ConcurrentDyTIS(config)
+    def __init__(self, config: Optional[DyTISConfig] = None, obs=None):
+        self.index = ConcurrentDyTIS(config, obs=obs)
 
 
 class BTreeAdapter(IndexAdapter):
@@ -103,24 +107,6 @@ class BTreeAdapter(IndexAdapter):
 
     def __init__(self, fanout: int = 128):
         self.index = BPlusTree(fanout=fanout)
-
-    def bulk_load(self, keys, values):
-        self.index.bulk_load(keys, values)
-
-    def insert(self, key, value):
-        self.index.insert(key, value)
-
-    def get(self, key):
-        return self.index.get(key)
-
-    def scan(self, start_key, count):
-        return self.index.scan(start_key, count)
-
-    def delete(self, key):
-        return self.index.delete(key)
-
-    def __len__(self):
-        return len(self.index)
 
 
 class AlexAdapter(IndexAdapter):
@@ -135,24 +121,6 @@ class AlexAdapter(IndexAdapter):
         self.bulk_fraction = bulk_fraction
         self.name = f"ALEX-{int(bulk_fraction * 100)}"
 
-    def bulk_load(self, keys, values):
-        self.index.bulk_load(keys, values)
-
-    def insert(self, key, value):
-        self.index.insert(key, value)
-
-    def get(self, key):
-        return self.index.get(key)
-
-    def scan(self, start_key, count):
-        return self.index.scan(start_key, count)
-
-    def delete(self, key):
-        return self.index.delete(key)
-
-    def __len__(self):
-        return len(self.index)
-
 
 class XIndexAdapter(IndexAdapter):
     """XIndex with 70% bulk loading (the paper's working setting)."""
@@ -165,24 +133,6 @@ class XIndexAdapter(IndexAdapter):
         self.index = XIndex()
         self.bulk_fraction = bulk_fraction
 
-    def bulk_load(self, keys, values):
-        self.index.bulk_load(keys, values)
-
-    def insert(self, key, value):
-        self.index.insert(key, value)
-
-    def get(self, key):
-        return self.index.get(key)
-
-    def scan(self, start_key, count):
-        return self.index.scan(start_key, count)
-
-    def delete(self, key):
-        return self.index.delete(key)
-
-    def __len__(self):
-        return len(self.index)
-
 
 class EHAdapter(IndexAdapter):
     """Plain Extendible Hashing; no ordered scans (Figure 9 baseline)."""
@@ -192,21 +142,6 @@ class EHAdapter(IndexAdapter):
 
     def __init__(self, bucket_capacity: int = 128):
         self.index = ExtendibleHashing(bucket_capacity=bucket_capacity)
-
-    def insert(self, key, value):
-        self.index.insert(key, value)
-
-    def get(self, key):
-        return self.index.get(key)
-
-    def scan(self, start_key, count):
-        raise NotImplementedError("hash indexes do not support scans")
-
-    def delete(self, key):
-        return self.index.delete(key)
-
-    def __len__(self):
-        return len(self.index)
 
 
 class CCEHAdapter(IndexAdapter):
@@ -220,21 +155,6 @@ class CCEHAdapter(IndexAdapter):
             bucket_capacity=bucket_capacity, segment_bits=segment_bits
         )
 
-    def insert(self, key, value):
-        self.index.insert(key, value)
-
-    def get(self, key):
-        return self.index.get(key)
-
-    def scan(self, start_key, count):
-        raise NotImplementedError("hash indexes do not support scans")
-
-    def delete(self, key):
-        return self.index.delete(key)
-
-    def __len__(self):
-        return len(self.index)
-
 
 class LippAdapter(IndexAdapter):
     """LIPP-like learned index with precise positions (§5 baseline)."""
@@ -245,24 +165,6 @@ class LippAdapter(IndexAdapter):
     def __init__(self):
         self.index = LippIndex()
 
-    def bulk_load(self, keys, values):
-        self.index.bulk_load(keys, values)
-
-    def insert(self, key, value):
-        self.index.insert(key, value)
-
-    def get(self, key):
-        return self.index.get(key)
-
-    def scan(self, start_key, count):
-        return self.index.scan(start_key, count)
-
-    def delete(self, key):
-        return self.index.delete(key)
-
-    def __len__(self):
-        return len(self.index)
-
 
 class PGMAdapter(IndexAdapter):
     """PGM-like learned index (logarithmic-method dynamisation, §5)."""
@@ -272,24 +174,6 @@ class PGMAdapter(IndexAdapter):
 
     def __init__(self):
         self.index = PGMIndex()
-
-    def bulk_load(self, keys, values):
-        self.index.bulk_load(keys, values)
-
-    def insert(self, key, value):
-        self.index.insert(key, value)
-
-    def get(self, key):
-        return self.index.get(key)
-
-    def scan(self, start_key, count):
-        return self.index.scan(start_key, count)
-
-    def delete(self, key):
-        return self.index.delete(key)
-
-    def __len__(self):
-        return len(self.index)
 
 
 class RMIAdapter(IndexAdapter):
@@ -302,26 +186,8 @@ class RMIAdapter(IndexAdapter):
     def __init__(self):
         self.index = RMIndex()
 
-    def bulk_load(self, keys, values):
-        self.index.bulk_load(keys, values)
-
-    def insert(self, key, value):
-        self.index.insert(key, value)  # raises NotImplementedError
-
-    def get(self, key):
-        return self.index.get(key)
-
     def update(self, key, value):
         raise NotImplementedError("RMI is static")
-
-    def scan(self, start_key, count):
-        return self.index.scan(start_key, count)
-
-    def delete(self, key):
-        return self.index.delete(key)  # raises NotImplementedError
-
-    def __len__(self):
-        return len(self.index)
 
 
 ADAPTER_NAMES = (
@@ -341,13 +207,17 @@ ADAPTER_NAMES = (
 
 
 def make_adapter(
-    name: str, dytis_config: Optional[DyTISConfig] = None
+    name: str, dytis_config: Optional[DyTISConfig] = None, obs=None
 ) -> IndexAdapter:
-    """Fresh adapter by paper name (e.g. 'DyTIS', 'ALEX-10', 'B+-tree')."""
+    """Fresh adapter by paper name (e.g. 'DyTIS', 'ALEX-10', 'B+-tree').
+
+    ``obs`` is honoured by the DyTIS adapters (the instrumented
+    engines) and ignored by the baselines.
+    """
     if name == "DyTIS":
-        return DyTISAdapter(dytis_config)
+        return DyTISAdapter(dytis_config, obs=obs)
     if name == "DyTIS-MT":
-        return ConcurrentDyTISAdapter(dytis_config)
+        return ConcurrentDyTISAdapter(dytis_config, obs=obs)
     if name.startswith("ALEX-"):
         return AlexAdapter(bulk_fraction=int(name[5:]) / 100.0)
     if name == "XIndex":

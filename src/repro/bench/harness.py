@@ -95,11 +95,23 @@ class WorkloadResult:
         )
 
 
+def _attach_obs_snapshot(result: "WorkloadResult", adapter, obs) -> None:
+    """Embed the collector's snapshot (with the index's own stats for
+    reconciliation) into ``result.extra``."""
+    if obs is None:
+        return
+    result.extra["obs_snapshot"] = obs.snapshot(
+        op_stats=getattr(adapter.index, "stats", None),
+        extra={"workload": result.workload, "index": result.index_name},
+    )
+
+
 def run_load(
     adapter: IndexAdapter,
     keys: Sequence[int],
     values: Optional[Sequence[Any]] = None,
     capture_latency: bool = False,
+    obs=None,
 ) -> WorkloadResult:
     """Measure pure insertion of ``keys`` in order (workload Load).
 
@@ -139,6 +151,7 @@ def run_load(
     )
     if capture_latency:
         result.extra["samples_ns"] = samples
+    _attach_obs_snapshot(result, adapter, obs)
     return result
 
 
@@ -148,6 +161,7 @@ def run_operations(
     workload_name: str,
     capture_latency: bool = False,
     min_seconds: float = 0.0,
+    obs=None,
 ) -> WorkloadResult:
     """Execute a measured operation trace against ``adapter``.
 
@@ -202,6 +216,7 @@ def run_operations(
     )
     if capture_latency:
         result.extra["samples_ns"] = samples
+    _attach_obs_snapshot(result, adapter, obs)
     return result
 
 
@@ -214,6 +229,7 @@ def run_ycsb(
     distribution: str = "zipfian",
     capture_latency: bool = False,
     min_seconds: float = 0.0,
+    obs=None,
 ) -> WorkloadResult:
     """Full paper protocol: preload, then measure ``spec`` (paper §4.3).
 
@@ -223,7 +239,9 @@ def run_ycsb(
     inserts -- and only the generated operation trace is timed.
     """
     if spec.insert == 1.0:
-        return run_load(adapter, dataset, capture_latency=capture_latency)
+        return run_load(
+            adapter, dataset, capture_latency=capture_latency, obs=obs
+        )
     preload, ops = generate_operations(
         spec, dataset, n_ops, seed=seed, distribution=distribution
     )
@@ -238,4 +256,5 @@ def run_ycsb(
         spec.name,
         capture_latency=capture_latency,
         min_seconds=min_seconds,
+        obs=obs,
     )

@@ -1,0 +1,92 @@
+"""Metrics smoke run: an instrumented DyTIS workout + snapshot export.
+
+``run_metrics_smoke`` drives an observability-enabled DyTIS through a
+mixed workload (bulk load, inserts, point gets -- present and absent --
+scans, deletes) and returns the collector snapshot, with the index's
+own ``OperationStats`` embedded so consumers can reconcile
+structural-event counts against the counters the index maintains
+independently.  ``python -m repro.bench --metrics-out PATH`` writes the
+snapshot as ``PATH.json`` + ``PATH.prom``; CI parses the Prometheus
+text back to assert the exposition stays well-formed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Tuple
+
+from repro.core import DyTIS
+from repro.obs import Observability
+
+#: Required op kinds in the exported snapshot (acceptance criterion:
+#: p50/p95/p99 present for each).
+REQUIRED_OPS = ("get", "insert", "scan")
+
+
+def run_metrics_smoke(
+    n: int = 3000, seed: int = 42
+) -> Tuple[Dict, Observability, DyTIS]:
+    """Exercise every instrumented path; return (snapshot, obs, index)."""
+    rng = random.Random(seed)
+    obs = Observability(enabled=True)
+    index = DyTIS(obs=obs)
+
+    # Sparse keys: a dense key set (span ~= n) differs only in its low
+    # bits, which defeats high-bit splitting and degenerates into
+    # directory-doubling storms -- realistic workloads are sparse.
+    span = 1 << 32
+    keys = rng.sample(range(1, span), n)
+    key_set = set(keys)
+    half = n // 2
+    loaded = sorted(keys[:half])
+    index.bulk_load(loaded, [k * 2 for k in loaded])
+    for k in keys[half:]:
+        index.insert(k, k * 2)
+    for k in rng.sample(keys, min(n, 2000)):
+        index.get(k)
+    absent = 0
+    while absent < 200:  # misses exercise the plr_misses counter
+        k = rng.randrange(1, span)
+        if k not in key_set:
+            index.get(k)
+            absent += 1
+    for _ in range(100):
+        index.scan(rng.choice(keys), 64)
+    for k in rng.sample(keys, min(n // 10, 500)):
+        index.delete(k)
+
+    snapshot = obs.snapshot(
+        op_stats=index.stats, extra={"n_keys": n, "seed": seed}
+    )
+    return snapshot, obs, index
+
+
+def check_snapshot(snapshot: Dict) -> None:
+    """Assert the acceptance-criteria shape of a metrics snapshot.
+
+    Every required op has recorded latencies with quantiles, and the
+    structural-event counts reconcile exactly with ``OperationStats``.
+    """
+    for op in REQUIRED_OPS:
+        hist = snapshot["latency"][op]
+        if hist["count"] <= 0:
+            raise AssertionError(f"no {op!r} latencies recorded")
+        for q in ("p50_ns", "p95_ns", "p99_ns"):
+            if hist[q] <= 0:
+                raise AssertionError(f"{op!r} {q} missing from snapshot")
+    stats = snapshot.get("op_stats")
+    if stats is not None:
+        counts = snapshot["events"]["counts"]
+        pairs = [
+            ("split", stats["splits"]),
+            ("expand", stats["expansions"]),
+            ("remap", stats["remappings"]),
+            ("doubling", stats["doublings"]),
+            ("merge", stats["merges"]),
+        ]
+        for kind, expected in pairs:
+            if counts.get(kind, 0) != expected:
+                raise AssertionError(
+                    f"event count {kind}={counts.get(kind, 0)} does not "
+                    f"reconcile with op_stats ({expected})"
+                )

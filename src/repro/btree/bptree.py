@@ -213,6 +213,67 @@ class BPlusTree:
             i = 0
         return out
 
+    def scan_range(self, low: int, high: int) -> List[Tuple[int, Any]]:
+        """All pairs with low <= key < high, in key order.
+
+        Closed-open companion to :meth:`scan` (API parity with DyTIS):
+        seeks the low-boundary leaf, then walks the leaf chain until a
+        key reaches ``high``.
+        """
+        out: List[Tuple[int, Any]] = []
+        if high <= low:
+            return out
+        leaf: Optional[_Leaf] = self._find_leaf(low)
+        i = bisect_left(leaf.keys, low)
+        while leaf is not None:
+            keys = leaf.keys
+            while i < len(keys):
+                if keys[i] >= high:
+                    return out
+                out.append((keys[i], leaf.values[i]))
+                i += 1
+            leaf = leaf.next
+            i = 0
+        return out
+
+    def count_range(self, low: int, high: int) -> int:
+        """Number of keys with low <= key < high.
+
+        Interior leaves are counted by length; only the two boundary
+        leaves pay a bisect, so the cost is proportional to the number
+        of *leaves* spanned, not keys copied.
+        """
+        if high <= low:
+            return 0
+        leaf: Optional[_Leaf] = self._find_leaf(low)
+        count = 0
+        first = True
+        while leaf is not None:
+            keys = leaf.keys
+            if keys and keys[0] >= high and not first:
+                break
+            lo_i = bisect_left(keys, low) if first else 0
+            if keys and keys[-1] < high:
+                count += len(keys) - lo_i
+            else:
+                count += bisect_left(keys, high) - lo_i
+                break
+            first = False
+            leaf = leaf.next
+        return count
+
+    def delete_range(self, low: int, high: int) -> int:
+        """Delete every key with low <= key < high; return the count.
+
+        Victims are collected first (rebalancing merges leaves under a
+        live iterator otherwise), then removed through the normal
+        delete path so occupancy invariants keep holding.
+        """
+        victims = [k for k, _ in self.scan_range(low, high)]
+        for k in victims:
+            self.delete(k)
+        return len(victims)
+
     def items(self) -> Iterator[Tuple[int, Any]]:
         """All pairs in ascending key order."""
         node = self._root

@@ -97,13 +97,32 @@ class RWLock:
 
 
 class ConcurrentDyTIS:
-    """Thread-safe DyTIS with EH-level RW locks + segment-level mutexes."""
+    """Thread-safe DyTIS with EH-level RW locks + segment-level mutexes.
 
-    def __init__(self, config: Optional[DyTISConfig] = None):
-        self._d = DyTIS(config)
+    Observability: latencies are recorded into one
+    :class:`repro.obs.ObsShard` *per EH table* -- writers on different
+    tables never contend on instrumentation, and readers merge the
+    shards on demand (``obs.histogram(op)``).  Structural events flow
+    through the shared bus from the inner index (whose own latency
+    recording is disabled via :meth:`Observability.structural_view`, so
+    escalated inserts are not double-counted).
+    """
+
+    def __init__(self, config: Optional[DyTISConfig] = None, obs=None):
+        self.obs = obs
+        self._obs = obs if (obs is not None and obs.enabled) else None
+        self._d = DyTIS(
+            config,
+            obs=self._obs.structural_view() if self._obs is not None else None,
+        )
         self._eh_locks: List[RWLock] = [
             RWLock() for _ in range(len(self._d._tables))
         ]
+        self._shards = (
+            [self._obs.new_shard() for _ in self._d._tables]
+            if self._obs is not None
+            else None
+        )
         self._size_lock = threading.Lock()
         #: Seconds spent escalated to EH write locks (contention probe).
         self.structural_lock_time = 0.0
@@ -136,6 +155,7 @@ class ConcurrentDyTIS:
         loads cannot deadlock) and delegates to :meth:`DyTIS.bulk_load`;
         the index must be empty, exactly as in the single-threaded API.
         """
+        t0 = time.perf_counter_ns()
         for lock in self._eh_locks:
             lock.acquire_write()
         try:
@@ -143,6 +163,8 @@ class ConcurrentDyTIS:
         finally:
             for lock in reversed(self._eh_locks):
                 lock.release_write()
+        if self._obs is not None:
+            self._obs.record("bulk_load", time.perf_counter_ns() - t0)
 
     def get_many(self, keys) -> List[Optional[Any]]:
         """Batched lookups through the locking :meth:`get` path.
@@ -163,6 +185,8 @@ class ConcurrentDyTIS:
 
     def get(self, key: int) -> Optional[Any]:
         """Thread-safe point lookup."""
+        if self._obs is not None:
+            return self._get_observed(key)
         d = self._d
         d._check_key(key)
         ti = d._table_index(key)
@@ -174,6 +198,40 @@ class ConcurrentDyTIS:
             seg = table.segment_for(key & d._local_mask, d._m)
             with seg.lock:
                 return seg.get(key)
+
+    def _get_observed(self, key: int) -> Optional[Any]:
+        """``get`` recording latency + probes into the table's shard."""
+        d = self._d
+        t0 = time.perf_counter_ns()
+        d._check_key(key)
+        ti = d._table_index(key)
+        shard = self._shards[ti]
+        found = False
+        value = None
+        probed = False
+        with self._eh_locks[ti].read():
+            table = d._tables[ti]
+            if table is not None:
+                seg = table.segment_for(key & d._local_mask, d._m)
+                with seg.lock:
+                    bucket = seg.bucket_for(key)
+                    probed = True
+                    i = bucket.find(key)
+                    if i >= 0:
+                        found = True
+                        value = bucket.values[i]
+        ns = time.perf_counter_ns() - t0
+        with shard.lock:
+            shard.record("get", ns)
+            p = shard.probes
+            p.gets += 1
+            if probed:
+                p.buckets_probed += 1
+                if found:
+                    p.plr_hits += 1
+                else:
+                    p.plr_misses += 1
+        return value
 
     def __contains__(self, key: int) -> bool:
         return self.get(key) is not None or self._contains_slow(key)
@@ -191,6 +249,16 @@ class ConcurrentDyTIS:
 
     def insert(self, key: int, value: Any) -> None:
         """Thread-safe insert-or-update (optimistic, escalates when full)."""
+        if self._obs is not None:
+            t0 = time.perf_counter_ns()
+            ti = self._insert_impl(key, value)
+            self._shards[ti].record_locked(
+                "insert", time.perf_counter_ns() - t0
+            )
+            return
+        self._insert_impl(key, value)
+
+    def _insert_impl(self, key: int, value: Any) -> int:
         d = self._d
         d._check_key(key)
         ti = d._table_index(key)
@@ -210,9 +278,9 @@ class ConcurrentDyTIS:
                             if result == "inserted":
                                 with self._size_lock:
                                     d._size += 1
-                                return
+                                return ti
                             if result == "updated":
-                                return
+                                return ti
                             # full: fall through to the structural path
             t0 = time.perf_counter()
             with lock.write():
@@ -220,10 +288,21 @@ class ConcurrentDyTIS:
                 # runs exclusively; d.insert re-checks everything.
                 d.insert(key, value)
                 self.structural_lock_time += time.perf_counter() - t0
-                return
+                return ti
 
     def delete(self, key: int) -> bool:
         """Thread-safe delete (segment merging deferred to quiescence)."""
+        if self._obs is not None:
+            t0 = time.perf_counter_ns()
+            found = self._delete_impl(key)
+            ti = self._d._table_index(key)
+            self._shards[ti].record_locked(
+                "delete", time.perf_counter_ns() - t0
+            )
+            return found
+        return self._delete_impl(key)
+
+    def _delete_impl(self, key: int) -> bool:
         d = self._d
         d._check_key(key)
         ti = d._table_index(key)
@@ -242,6 +321,28 @@ class ConcurrentDyTIS:
                             d._size -= 1
                         return True
                     return False
+
+    def count_range(self, low: int, high: int) -> int:
+        """Number of keys with low <= key < high (API parity with DyTIS).
+
+        Counted from bounded :meth:`scan` batches under the same
+        one-segment-at-a-time locking; unlike the single-threaded
+        metadata fast path this materialises batches, trading speed for
+        the consistency model every other concurrent read uses.
+        """
+        self._d._check_key(low)
+        count = 0
+        cursor = low
+        while cursor < high:
+            batch = self.scan(cursor, 512)
+            if not batch:
+                break
+            for key, _ in batch:
+                if key >= high:
+                    return count
+                count += 1
+            cursor = batch[-1][0] + 1
+        return count
 
     def scan_range(self, low: int, high: int) -> List[Tuple[int, Any]]:
         """Thread-safe closed-open range scan (API parity with DyTIS).
@@ -267,9 +368,26 @@ class ConcurrentDyTIS:
 
     def scan(self, start_key: int, count: int) -> List[Tuple[int, Any]]:
         """Thread-safe range scan, locking segments one by one (§3.4)."""
+        if self._obs is None:
+            return self._scan_impl(start_key, count)
+        t0 = time.perf_counter_ns()
+        hops = [0]
+        out = self._scan_impl(start_key, count, hops)
+        ns = time.perf_counter_ns() - t0
+        shard = self._shards[self._d._table_index(start_key)]
+        with shard.lock:
+            shard.record("scan", ns)
+            shard.probes.scans += 1
+            shard.probes.scan_segment_hops += hops[0]
+        return out
+
+    def _scan_impl(
+        self, start_key: int, count: int, hops: Optional[List[int]] = None
+    ) -> List[Tuple[int, Any]]:
         d = self._d
         d._check_key(start_key)
         out: List[Tuple[int, Any]] = []
+        segments_visited = 0
         table_idx = d._table_index(start_key)
         first = True
         while len(out) < count and table_idx < len(d._tables):
@@ -287,6 +405,7 @@ class ConcurrentDyTIS:
                 else:
                     seg = table.dir[0]
                 while seg is not None and len(out) < count:
+                    segments_visited += 1
                     with seg.lock:
                         source = (
                             seg.iter_from(start_key) if first else seg.items()
@@ -299,4 +418,6 @@ class ConcurrentDyTIS:
                     seg = seg.sibling
             table_idx += 1
             first = False
+        if hops is not None:
+            hops[0] = max(0, segments_visited - 1)
         return out

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import time
 from bisect import bisect_left
+from time import perf_counter_ns as _now
 from typing import Any, Iterator, List, Optional, Tuple
 
 import numpy as np
@@ -35,6 +36,14 @@ from repro.core.segment import (
     plan_split,
 )
 from repro.core.stats import OperationStats
+from repro.obs.events import (
+    DirectoryResizeEvent,
+    DoublingEvent,
+    ExpandEvent,
+    MergeEvent,
+    RemapEvent,
+    SplitEvent,
+)
 
 
 class _EHTable:
@@ -74,9 +83,28 @@ class DyTIS:
     ``insert`` updates in place when the key exists (paper §3.3).
     """
 
-    def __init__(self, config: Optional[DyTISConfig] = None):
+    def __init__(self, config: Optional[DyTISConfig] = None, obs=None):
         self.config = config or DyTISConfig()
         self.stats = OperationStats()
+        #: Optional :class:`repro.obs.Observability` collector.  Hot
+        #: paths branch once on ``self._obs``; a disabled collector is
+        #: normalized to None here so they pay nothing else.
+        self.obs = obs
+        self._obs = obs if (obs is not None and obs.enabled) else None
+        # Bound per-op recorders: one closure call per observed
+        # operation, straight into the histogram's pending buffer (see
+        # Observability.recorder); None doubles as the disabled flag so
+        # hot paths pay exactly one load + branch.
+        if self._obs is not None:
+            self._rec_get = self._obs.recorder("get")
+            self._rec_insert = self._obs.recorder("insert")
+            self._rec_delete = self._obs.recorder("delete")
+            self._rec_scan = self._obs.recorder("scan")
+        else:
+            self._rec_get = None
+            self._rec_insert = None
+            self._rec_delete = None
+            self._rec_scan = None
         self._m = self.config.eh_key_bits
         self._local_mask = (1 << self._m) - 1
         self._key_limit = 1 << self.config.key_bits
@@ -116,11 +144,38 @@ class DyTIS:
 
     def get(self, key: int) -> Optional[Any]:
         """Value stored under ``key``, or None ('not exist')."""
+        if self._obs is not None:
+            return self._get_observed(key)
         self._check_key(key)
         table = self._table(key, create=False)
         if table is None:
             return None
         return table.segment_for(key & self._local_mask, self._m).get(key)
+
+    def _get_observed(self, key: int) -> Optional[Any]:
+        """``get`` with latency + probe-depth recording (same semantics)."""
+        obs = self._obs
+        t0 = _now()
+        self._check_key(key)
+        probes = obs.probes
+        probes.gets += 1
+        table = self._table(key, create=False)
+        if table is None:
+            self._rec_get(_now() - t0)
+            return None
+        bucket = table.segment_for(key & self._local_mask, self._m).bucket_for(
+            key
+        )
+        probes.buckets_probed += 1
+        i = bucket.find(key)
+        if i >= 0:
+            probes.plr_hits += 1
+            value = bucket.values[i]
+        else:
+            probes.plr_misses += 1
+            value = None
+        self._rec_get(_now() - t0)
+        return value
 
     def __contains__(self, key: int) -> bool:
         self._check_key(key)
@@ -131,6 +186,15 @@ class DyTIS:
 
     def insert(self, key: int, value: Any) -> None:
         """Insert ``key`` or update its value in place (Algorithm 1)."""
+        rec = self._rec_insert
+        if rec is not None:
+            t0 = _now()
+            self._insert_impl(key, value)
+            rec(_now() - t0)
+            return
+        self._insert_impl(key, value)
+
+    def _insert_impl(self, key: int, value: Any) -> None:
         self._check_key(key)
         table = self._table(key, create=True)
         local = key & self._local_mask
@@ -151,6 +215,15 @@ class DyTIS:
         fewer buckets) -- 'similar to remapping but in the opposite
         direction'.
         """
+        rec = self._rec_delete
+        if rec is not None:
+            t0 = _now()
+            found = self._delete_impl(key)
+            rec(_now() - t0)
+            return found
+        return self._delete_impl(key)
+
+    def _delete_impl(self, key: int) -> bool:
         self._check_key(key)
         table = self._table(key, create=False)
         if table is None:
@@ -175,6 +248,8 @@ class DyTIS:
         Walks buckets within the start segment, then sibling segments,
         then subsequent first-level EH tables (paper §3.3 Scan).
         """
+        if self._obs is not None:
+            return self._scan_observed(start_key, count)
         self._check_key(start_key)
         if count <= 0:
             return []
@@ -183,6 +258,22 @@ class DyTIS:
             out.append(pair)
             if len(out) >= count:
                 break
+        return out
+
+    def _scan_observed(self, start_key: int, count: int) -> List[Tuple[int, Any]]:
+        """``scan`` with latency + sibling-hop recording (same semantics)."""
+        obs = self._obs
+        t0 = _now()
+        self._check_key(start_key)
+        out: List[Tuple[int, Any]] = []
+        if count > 0:
+            probes = obs.probes
+            probes.scans += 1
+            for pair in self._iter_from(start_key, probes):
+                out.append(pair)
+                if len(out) >= count:
+                    break
+        self._rec_scan(_now() - t0)
         return out
 
     def scan_range(self, low: int, high: int) -> List[Tuple[int, Any]]:
@@ -194,21 +285,38 @@ class DyTIS:
         self._check_key(low)
         if high <= low:
             return []
+        obs = self._obs
+        probes = None
+        if obs is not None:
+            t0 = _now()
+            probes = obs.probes
+            probes.scans += 1
         out: List[Tuple[int, Any]] = []
-        for key, value in self._iter_from(low):
+        for key, value in self._iter_from(low, probes):
             if key >= high:
                 break
             out.append((key, value))
+        if obs is not None:
+            self._rec_scan(_now() - t0)
         return out
 
-    def _iter_from(self, start_key: int) -> Iterator[Tuple[int, Any]]:
-        """Lazily yield pairs with key >= start_key, ascending."""
+    def _iter_from(
+        self, start_key: int, probes=None
+    ) -> Iterator[Tuple[int, Any]]:
+        """Lazily yield pairs with key >= start_key, ascending.
+
+        ``probes`` (an :class:`repro.obs.ProbeCounters`) counts the
+        sibling-chain hops actually consumed: one per segment visited
+        after the first.
+        """
         table_idx = self._table_index(start_key)
         table = self._tables[table_idx]
         seg: Optional[Segment] = None
+        visited = False
         if table is not None:
             seg = table.segment_for(start_key & self._local_mask, self._m)
             yield from seg.iter_from(start_key)
+            visited = True
             seg = seg.sibling
         while True:
             while seg is None:
@@ -218,6 +326,9 @@ class DyTIS:
                 table = self._tables[table_idx]
                 if table is not None:
                     seg = table.dir[0]
+            if probes is not None and visited:
+                probes.scan_segment_hops += 1
+            visited = True
             yield from seg.items()
             seg = seg.sibling
 
@@ -426,10 +537,24 @@ class DyTIS:
                     prev.sibling = seg
                 prev = seg
             self._tables[int(tid)] = table
+            if self._obs is not None:
+                self._obs.events.emit(
+                    DirectoryResizeEvent(
+                        local_depth=0,
+                        global_depth=gd,
+                        keys_moved=hi - lo,
+                        duration_ns=0,
+                        old_size=0,
+                        new_size=len(table.dir),
+                    )
+                )
         self._size = int(sk.size)
         self.stats.bulk_loads += 1
         self.stats.keys_bulk_loaded += int(sk.size)
-        self.stats.bulk_load_time += time.perf_counter() - t0
+        dt = time.perf_counter() - t0
+        self.stats.bulk_load_time += dt
+        if self._obs is not None:
+            self._obs.record("bulk_load", int(dt * 1e9))
 
     def get_many(self, keys) -> List[Optional[Any]]:
         """Batched point lookups; returns values aligned with ``keys``.
@@ -625,10 +750,29 @@ class DyTIS:
 
     def _double_directory(self, table: _EHTable) -> None:
         t0 = time.perf_counter()
+        old_size = len(table.dir)
         table.dir = [s for s in table.dir for _ in range(2)]
         table.global_depth += 1
         self.stats.doublings += 1
-        self.stats.doubling_time += time.perf_counter() - t0
+        dt = time.perf_counter() - t0
+        self.stats.doubling_time += dt
+        if self._obs is not None:
+            gd = table.global_depth
+            ns = int(dt * 1e9)
+            bus = self._obs.events
+            bus.emit(
+                DoublingEvent(
+                    local_depth=gd - 1, global_depth=gd,
+                    keys_moved=0, duration_ns=ns,
+                )
+            )
+            bus.emit(
+                DirectoryResizeEvent(
+                    local_depth=gd - 1, global_depth=gd,
+                    keys_moved=0, duration_ns=ns,
+                    old_size=old_size, new_size=len(table.dir),
+                )
+            )
 
     def _wire(
         self,
@@ -708,7 +852,15 @@ class DyTIS:
         self._wire(table, seg, start, span, [left, right])
         self.stats.splits += 1
         self.stats.keys_moved += len(keys)
-        self.stats.split_time += time.perf_counter() - t0
+        dt = time.perf_counter() - t0
+        self.stats.split_time += dt
+        if self._obs is not None:
+            self._obs.events.emit(
+                SplitEvent(
+                    local_depth=ld, global_depth=table.global_depth,
+                    keys_moved=len(keys), duration_ns=int(dt * 1e9),
+                )
+            )
         self._record_window_op(ld, "split")
 
     def _expand(self, table: _EHTable, seg: Segment, local: int) -> bool:
@@ -731,7 +883,15 @@ class DyTIS:
         self._wire(table, seg, start, span, [new_seg])
         self.stats.expansions += 1
         self.stats.keys_moved += len(keys)
-        self.stats.expansion_time += time.perf_counter() - t0
+        dt = time.perf_counter() - t0
+        self.stats.expansion_time += dt
+        if self._obs is not None:
+            self._obs.events.emit(
+                ExpandEvent(
+                    local_depth=ld, global_depth=table.global_depth,
+                    keys_moved=len(keys), duration_ns=int(dt * 1e9),
+                )
+            )
         self._record_window_op(ld, "expansion")
         return True
 
@@ -758,11 +918,20 @@ class DyTIS:
         self._wire(table, seg, start, span, [new_seg])
         self.stats.remappings += 1
         self.stats.keys_moved += len(keys)
-        self.stats.remap_time += time.perf_counter() - t0
+        dt = time.perf_counter() - t0
+        self.stats.remap_time += dt
+        if self._obs is not None:
+            self._obs.events.emit(
+                RemapEvent(
+                    local_depth=ld, global_depth=table.global_depth,
+                    keys_moved=len(keys), duration_ns=int(dt * 1e9),
+                )
+            )
         return True
 
     def _merge_down(self, table: _EHTable, seg: Segment, local: int) -> None:
         """Shrink an under-utilized segment after deletes (paper §3.3)."""
+        t0 = time.perf_counter()
         cfg = self.config
         target = max(
             1,
@@ -787,6 +956,15 @@ class DyTIS:
         self._wire(table, seg, start, span, [new_seg])
         self.stats.merges += 1
         self.stats.keys_moved += len(keys)
+        if self._obs is not None:
+            self._obs.events.emit(
+                MergeEvent(
+                    local_depth=seg.local_depth,
+                    global_depth=table.global_depth,
+                    keys_moved=len(keys),
+                    duration_ns=int((time.perf_counter() - t0) * 1e9),
+                )
+            )
 
     def _try_buddy_merge(self, table: _EHTable, seg: Segment, local: int) -> None:
         """Merge ``seg`` with its buddy into one depth-1 segment.
@@ -796,6 +974,7 @@ class DyTIS:
         LD-1 prefix are both under-utilized, they collapse back into a
         single segment covering the parent span.
         """
+        t0 = time.perf_counter()
         cfg = self.config
         ld = seg.local_depth
         if ld < 1 or ld > table.global_depth:
@@ -853,6 +1032,15 @@ class DyTIS:
                 prev.sibling = merged
         self.stats.merges += 1
         self.stats.keys_moved += len(keys)
+        if self._obs is not None:
+            self._obs.events.emit(
+                MergeEvent(
+                    local_depth=ld - 1,
+                    global_depth=table.global_depth,
+                    keys_moved=len(keys),
+                    duration_ns=int((time.perf_counter() - t0) * 1e9),
+                )
+            )
 
     # -- introspection -----------------------------------------------------------
 

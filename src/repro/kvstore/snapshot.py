@@ -71,6 +71,6 @@ def load_snapshot(store: KVStore, path: Union[str, Path]) -> int:
         for line in f:
             record = json.loads(line)
             ns = store.namespace(record["ns"])
-            ns.put(ns.codec.decode(record["key"]), record["value"])
+            ns.insert(ns.codec.decode(record["key"]), record["value"])
             count += 1
     return count

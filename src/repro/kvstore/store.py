@@ -10,10 +10,11 @@ embedded-store layout (think column families over one keyspace).
 from __future__ import annotations
 
 import threading
+import warnings
 from typing import Any, Iterator, List, Optional, Tuple
 
 from repro.core import ConcurrentDyTIS, DyTIS, DyTISConfig
-from repro.kvstore.codec import KeyCodec, UintCodec
+from repro.kvstore.codec import CodecError, KeyCodec, UintCodec
 
 _NAMESPACE_BITS = 8  # up to 256 namespaces per store
 
@@ -108,13 +109,27 @@ class Namespace:
     def _encode(self, key) -> int:
         return self._base | self.codec.encode(key)
 
+    def _upper_bound(self, high) -> int:
+        """Encode an *exclusive* range bound, saturating at the span end.
+
+        Closed-open ranges need ``high`` one past the last wanted key,
+        which for the namespace's maximum key is not codec-encodable;
+        an unrepresentable ``high`` therefore means "to the end of the
+        namespace".
+        """
+        try:
+            off = self.codec.encode(high)
+        except CodecError:
+            return self._base + self._span
+        return self._base + min(off, self._span)
+
     def __len__(self) -> int:
         return self._count
 
     # -- operations -----------------------------------------------------
 
-    def put(self, key, value: Any) -> None:
-        """Insert or overwrite ``key``."""
+    def insert(self, key, value: Any) -> None:
+        """Insert or overwrite ``key`` (IndexProtocol naming)."""
         full = self._encode(key)
         existed = full in self.store.index
         self.store.index.insert(full, value)
@@ -122,9 +137,49 @@ class Namespace:
             with self._count_lock:
                 self._count += 1
 
+    def put(self, key, value: Any) -> None:
+        """Deprecated alias for :meth:`insert` (pre-protocol naming)."""
+        warnings.warn(
+            "Namespace.put is deprecated; use Namespace.insert",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.insert(key, value)
+
     def get(self, key, default: Any = None) -> Any:
         found = self.store.index.get(self._encode(key))
         return default if found is None else found
+
+    def get_many(self, keys) -> List[Any]:
+        """Batched lookups, None for absent keys.
+
+        Delegates to the index's vectorised ``get_many`` when it has
+        one (DyTIS's batch layer), else loops.
+        """
+        index = self.store.index
+        encoded = [self._encode(k) for k in keys]
+        if hasattr(index, "get_many"):
+            return index.get_many(encoded)
+        return [index.get(full) for full in encoded]
+
+    def insert_many(self, pairs) -> None:
+        """Batched insert-or-update of ``(key, value)`` pairs.
+
+        Keeps the namespace counter exact by pre-checking existence,
+        then hands the encoded batch to the index's ``insert_many``
+        when available.
+        """
+        encoded = [(self._encode(k), v) for k, v in pairs]
+        index = self.store.index
+        new = len({full for full, _ in encoded if full not in index})
+        if hasattr(index, "insert_many"):
+            index.insert_many(encoded)
+        else:
+            for full, value in encoded:
+                index.insert(full, value)
+        if new:
+            with self._count_lock:
+                self._count += new
 
     def __contains__(self, key) -> bool:
         return self._encode(key) in self.store.index
@@ -150,6 +205,50 @@ class Namespace:
                 break
             out.append((self.codec.decode(full - self._base), value))
         return out
+
+    def scan_range(self, low, high) -> List[Tuple[Any, Any]]:
+        """All pairs with low <= key < high (decoded), in key order.
+
+        The bounds are namespace keys; the range is clipped to this
+        namespace's span so neighbours can never leak in.
+        """
+        lo = self._encode(low)
+        hi = self._upper_bound(high)
+        if hi <= lo:
+            return []
+        index = self.store.index
+        if hasattr(index, "scan_range"):
+            raw = index.scan_range(lo, hi)
+        else:
+            raw = []
+            cursor = lo
+            while cursor < hi:
+                batch = index.scan(cursor, 1024)
+                if not batch:
+                    break
+                for full, value in batch:
+                    if full >= hi:
+                        break
+                    raw.append((full, value))
+                else:
+                    cursor = batch[-1][0] + 1
+                    continue
+                break
+        return [
+            (self.codec.decode(full - self._base), value)
+            for full, value in raw
+        ]
+
+    def count_range(self, low, high) -> int:
+        """Number of keys with low <= key < high in this namespace."""
+        lo = self._encode(low)
+        hi = self._upper_bound(high)
+        if hi <= lo:
+            return 0
+        index = self.store.index
+        if hasattr(index, "count_range"):
+            return index.count_range(lo, hi)
+        return len(self.scan_range(low, high))
 
     def items(self) -> Iterator[Tuple[Any, Any]]:
         """Every pair of this namespace in ascending key order."""

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
+from repro.api import RangeOpsMixin
 from repro.learned.linear import LinearModel
 
 _MIN_NODE_SLOTS = 8
@@ -59,7 +60,7 @@ def _build_node(keys: Sequence[int], values: Sequence[Any]) -> _Node:
     return node
 
 
-class LippIndex:
+class LippIndex(RangeOpsMixin):
     """Updatable learned index where every lookup is search-free."""
 
     def __init__(self):

@@ -20,6 +20,7 @@ import threading
 from bisect import bisect_left
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.api import RangeOpsMixin
 from repro.learned.linear import LinearModel
 
 _TARGET_GROUP_SIZE = 2048
@@ -150,7 +151,7 @@ class _Tombstone:
 _TOMBSTONE = _Tombstone()
 
 
-class XIndex:
+class XIndex(RangeOpsMixin):
     """Two-level learned index with per-group delta buffers.
 
     Must be bulk loaded before use (paper: 70% of each dataset); inserts

@@ -1,0 +1,67 @@
+"""Observability layer: latency histograms, structural event hooks, metrics.
+
+The paper's §4.3 breakdown counts structure operations after the fact;
+a production index serving live traffic needs the distribution, not the
+sum -- per-operation latency histograms, structural events as they
+happen, and a machine-readable exposition external scrapers can consume.
+Everything here is allocation-light: recording a latency is two clock
+reads, one shift, and one list increment, so the instrumented hot path
+stays within a few percent of the bare one, and a disabled
+:class:`Observability` costs the caller exactly one branch.
+
+- :class:`LatencyHistogram` -- log-linear (HdrHistogram-style) buckets
+  with bounded relative error, percentiles, and exact merge.
+- :class:`EventBus` / :class:`RingBufferRecorder` -- typed structural
+  events (split, expand, remap, doubling, directory resize, merge) with
+  segment depth, keys moved, and duration; subscribable hooks.
+- :class:`Observability` -- the per-index collector: one histogram per
+  operation kind, probe-depth counters, the event bus, and mergeable
+  shards for concurrent writers.
+- :mod:`repro.obs.exposition` -- Prometheus text / JSON snapshots.
+"""
+
+from repro.obs.events import (
+    DirectoryResizeEvent,
+    DoublingEvent,
+    EventBus,
+    ExpandEvent,
+    MergeEvent,
+    RemapEvent,
+    RingBufferRecorder,
+    SplitEvent,
+    StructuralEvent,
+)
+from repro.obs.collector import (
+    OP_KINDS,
+    Observability,
+    ObsShard,
+    ProbeCounters,
+)
+from repro.obs.histogram import LatencyHistogram
+from repro.obs.exposition import (
+    parse_prometheus,
+    snapshot_to_json,
+    snapshot_to_prometheus,
+    write_snapshot,
+)
+
+__all__ = [
+    "LatencyHistogram",
+    "EventBus",
+    "RingBufferRecorder",
+    "StructuralEvent",
+    "SplitEvent",
+    "ExpandEvent",
+    "RemapEvent",
+    "DoublingEvent",
+    "DirectoryResizeEvent",
+    "MergeEvent",
+    "Observability",
+    "ObsShard",
+    "ProbeCounters",
+    "OP_KINDS",
+    "parse_prometheus",
+    "snapshot_to_json",
+    "snapshot_to_prometheus",
+    "write_snapshot",
+]

@@ -1,0 +1,200 @@
+"""Metrics exposition: Prometheus text format and JSON snapshots.
+
+Input is the dict produced by :meth:`repro.obs.Observability.snapshot`,
+so exposition is decoupled from collection: the bench harness snapshots
+once and writes both formats, and an external scraper endpoint would
+serve :func:`snapshot_to_prometheus` directly.
+
+The Prometheus rendering follows the text exposition format v0.0.4:
+histograms as cumulative ``_bucket{le="..."}`` series plus ``_sum`` and
+``_count``, counters as ``_total``.  :func:`parse_prometheus` is a
+minimal reader of that same format used by the CI smoke check (and any
+test) to assert a snapshot round-trips.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Tuple, Union
+
+_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+
+def _escape(value: str) -> str:
+    return "".join(_ESCAPES.get(c, c) for c in value)
+
+
+def _labels(**labels: str) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape(str(v))}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def snapshot_to_prometheus(snapshot: Dict, prefix: str = "dytis") -> str:
+    """Render a snapshot dict in the Prometheus text format."""
+    lines = []
+
+    # Per-operation latency histograms.
+    name = f"{prefix}_op_latency_ns"
+    lines.append(f"# HELP {name} Per-operation latency in nanoseconds.")
+    lines.append(f"# TYPE {name} histogram")
+    for op, h in snapshot.get("latency", {}).items():
+        cumulative = 0
+        for low, high, count in h.get("buckets", []):
+            cumulative += count
+            lines.append(
+                f"{name}_bucket{_labels(op=op, le=high)} {cumulative}"
+            )
+        lines.append(f'{name}_bucket{_labels(op=op, le="+Inf")} {h["count"]}')
+        lines.append(f"{name}_sum{_labels(op=op)} {h['sum_ns']}")
+        lines.append(f"{name}_count{_labels(op=op)} {h['count']}")
+    # Percentile gauges (pre-computed; Prometheus histograms quantile
+    # server-side, but the bench harness wants them greppable).
+    qname = f"{prefix}_op_latency_quantile_ns"
+    lines.append(f"# HELP {qname} Pre-computed latency percentiles (ns).")
+    lines.append(f"# TYPE {qname} gauge")
+    for op, h in snapshot.get("latency", {}).items():
+        for q, key in (("0.5", "p50_ns"), ("0.95", "p95_ns"), ("0.99", "p99_ns")):
+            lines.append(f"{qname}{_labels(op=op, quantile=q)} {h[key]}")
+        lines.append(f"{qname}{_labels(op=op, quantile='1.0')} {h['max_ns']}")
+
+    # Structural events.
+    events = snapshot.get("events", {})
+    ename = f"{prefix}_structural_events_total"
+    lines.append(f"# HELP {ename} Structure operations by kind.")
+    lines.append(f"# TYPE {ename} counter")
+    for kind, n in events.get("counts", {}).items():
+        lines.append(f"{ename}{_labels(kind=kind)} {n}")
+    kname = f"{prefix}_structural_keys_moved_total"
+    lines.append(f"# HELP {kname} Keys copied by structure operations.")
+    lines.append(f"# TYPE {kname} counter")
+    for kind, n in events.get("keys_moved", {}).items():
+        lines.append(f"{kname}{_labels(kind=kind)} {n}")
+    dname = f"{prefix}_structural_duration_ns_total"
+    lines.append(f"# HELP {dname} Time spent in structure operations (ns).")
+    lines.append(f"# TYPE {dname} counter")
+    for kind, n in events.get("duration_ns", {}).items():
+        lines.append(f"{dname}{_labels(kind=kind)} {n}")
+
+    # Probe-depth counters.
+    pname = f"{prefix}_probe"
+    lines.append(f"# HELP {pname} Probe-depth counters and ratios.")
+    lines.append(f"# TYPE {pname} gauge")
+    for key, value in snapshot.get("probes", {}).items():
+        lines.append(f"{pname}{_labels(counter=key)} {value}")
+
+    # OperationStats reconciliation block.
+    sname = f"{prefix}_op_stats"
+    if "op_stats" in snapshot:
+        lines.append(
+            f"# HELP {sname} OperationStats counters (reconciliation)."
+        )
+        lines.append(f"# TYPE {sname} gauge")
+        for key, value in snapshot["op_stats"].items():
+            lines.append(f"{sname}{_labels(counter=key)} {value}")
+
+    return "\n".join(lines) + "\n"
+
+
+def snapshot_to_json(snapshot: Dict, indent: int = 2) -> str:
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def write_snapshot(snapshot: Dict, base_path: Union[str, Path]) -> Tuple[Path, Path]:
+    """Write ``<base>.json`` and ``<base>.prom``; returns both paths."""
+    base = Path(base_path)
+    if base.suffix in (".json", ".prom"):
+        base = base.with_suffix("")
+    base.parent.mkdir(parents=True, exist_ok=True)
+    json_path = base.with_suffix(".json")
+    prom_path = base.with_suffix(".prom")
+    json_path.write_text(snapshot_to_json(snapshot) + "\n")
+    prom_path.write_text(snapshot_to_prometheus(snapshot))
+    return json_path, prom_path
+
+
+Sample = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def parse_prometheus(text: str) -> Dict[Sample, float]:
+    """Parse Prometheus text format into {(name, labels): value}.
+
+    ``labels`` is a sorted tuple of (key, value) pairs.  Supports the
+    subset this module emits (no timestamps, no exemplars); raises
+    ValueError on malformed lines so CI catches exposition regressions.
+    """
+    out: Dict[Sample, float] = {}
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        # <name>{labels} <value>   or   <name> <value>
+        if "{" in line:
+            name, rest = line.split("{", 1)
+            labels_part, _, value_part = rest.rpartition("} ")
+            if not _ or "{" in labels_part:
+                raise ValueError(f"line {lineno}: malformed labels: {raw!r}")
+            labels = []
+            for item in _split_labels(labels_part):
+                if "=" not in item:
+                    raise ValueError(f"line {lineno}: malformed label {item!r}")
+                k, v = item.split("=", 1)
+                if not (v.startswith('"') and v.endswith('"')):
+                    raise ValueError(f"line {lineno}: unquoted label {item!r}")
+                labels.append((k.strip(), _unescape(v[1:-1])))
+        else:
+            parts = line.rsplit(None, 1)
+            if len(parts) != 2:
+                raise ValueError(f"line {lineno}: malformed sample: {raw!r}")
+            name, value_part = parts
+            labels = []
+        try:
+            value = float(value_part)
+        except ValueError:
+            raise ValueError(f"line {lineno}: bad value {value_part!r}")
+        out[(name.strip(), tuple(sorted(labels)))] = value
+    return out
+
+
+def _split_labels(labels_part: str):
+    """Split 'a="x",b="y,z"' on commas outside quotes."""
+    items, buf, in_quotes, escaped = [], [], False, False
+    for c in labels_part:
+        if escaped:
+            buf.append(c)
+            escaped = False
+            continue
+        if c == "\\":
+            buf.append(c)
+            escaped = True
+            continue
+        if c == '"':
+            in_quotes = not in_quotes
+            buf.append(c)
+            continue
+        if c == "," and not in_quotes:
+            items.append("".join(buf))
+            buf = []
+            continue
+        buf.append(c)
+    if buf:
+        items.append("".join(buf))
+    return items
+
+
+def _unescape(value: str) -> str:
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def get_sample(
+    samples: Dict[Sample, float], name: str, **labels: str
+) -> float:
+    """Convenience lookup into :func:`parse_prometheus` output."""
+    key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+    return samples[key]

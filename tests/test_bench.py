@@ -137,3 +137,64 @@ class TestDeepSize:
         for k in rng.sample(range(2**31), 2000):
             adapter.insert(k, k)
         assert deep_size_bytes(adapter.index) > 0
+
+
+class TestUpdateSemantics:
+    """IndexAdapter.update routes through protocol insert-or-update."""
+
+    def test_update_replaces_value(self, rng):
+        adapter = make_adapter("DyTIS", CFG)
+        adapter.insert(10, "a")
+        adapter.update(10, "b")
+        assert adapter.get(10) == "b"
+        assert len(adapter) == 1
+
+    def test_update_on_absent_key_inserts(self):
+        # Protocol semantics: update == insert-or-update, so updating
+        # a missing key installs it instead of corrupting the trace.
+        adapter = make_adapter("B+-tree")
+        adapter.update(7, "v")
+        assert adapter.get(7) == "v"
+        assert len(adapter) == 1
+
+    def test_rmi_update_raises(self):
+        adapter = make_adapter("RMI")
+        adapter.bulk_load([1, 2, 3], [1, 2, 3])
+        with pytest.raises(NotImplementedError):
+            adapter.update(2, "x")
+
+
+class TestObsWiring:
+    """Observability threading through adapters and harness runners."""
+
+    def test_adapter_obs_passthrough(self, rng):
+        from repro.obs import Observability
+
+        obs = Observability(enabled=True)
+        adapter = make_adapter("DyTIS", CFG, obs=obs)
+        keys = rng.sample(range(2**31), 300)
+        result = run_load(adapter, keys, obs=obs)
+        assert result.n_ops == len(keys)
+        snap = result.extra["obs_snapshot"]
+        assert snap["latency"]["insert"]["count"] == len(keys)
+        assert snap["op_stats"]["splits"] == snap["events"]["counts"].get(
+            "split", 0
+        )
+
+    def test_run_ycsb_attaches_snapshot(self, rng):
+        from repro.obs import Observability
+
+        obs = Observability(enabled=True)
+        adapter = make_adapter("DyTIS", CFG, obs=obs)
+        keys = rng.sample(range(2**31), 400)
+        result = run_ycsb(
+            adapter, make_workload("C"), keys, n_ops=200, obs=obs
+        )
+        snap = result.extra["obs_snapshot"]
+        assert snap["latency"]["get"]["count"] >= 200
+
+    def test_baselines_ignore_obs(self):
+        # Baselines take no obs; make_adapter must not blow up on it.
+        adapter = make_adapter("B+-tree", obs=object())
+        adapter.insert(1, 1)
+        assert adapter.get(1) == 1

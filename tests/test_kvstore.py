@@ -99,7 +99,7 @@ class TestKVStore:
     def test_basic_put_get_delete(self):
         store = KVStore(CFG)
         users = store.namespace("users")
-        users.put(5, {"name": "ada"})
+        users.insert(5, {"name": "ada"})
         assert users.get(5) == {"name": "ada"}
         assert users.get(6, default="missing") == "missing"
         assert 5 in users and 6 not in users
@@ -111,8 +111,8 @@ class TestKVStore:
     def test_overwrite_does_not_double_count(self):
         store = KVStore(CFG)
         ns = store.namespace("n")
-        ns.put(1, "a")
-        ns.put(1, "b")
+        ns.insert(1, "a")
+        ns.insert(1, "b")
         assert len(ns) == 1
         assert ns.get(1) == "b"
 
@@ -121,8 +121,8 @@ class TestKVStore:
         a = store.namespace("a")
         b = store.namespace("b")
         for k in range(100):
-            a.put(k, f"a{k}")
-            b.put(k, f"b{k}")
+            a.insert(k, f"a{k}")
+            b.insert(k, f"b{k}")
         assert a.get(7) == "a7"
         assert b.get(7) == "b7"
         assert len(store) == 200
@@ -142,7 +142,7 @@ class TestKVStore:
         store = KVStore(CFG)
         words = store.namespace("words", codec=StringCodec(max_length=4))
         for w in ("pear", "fig", "apex", "plum", "kiwi"):
-            words.put(w, w.upper())
+            words.insert(w, w.upper())
         got = words.scan("f", 10)
         assert [k for k, _ in got] == ["fig", "kiwi", "pear", "plum"]
         assert words.get("fig") == "FIG"
@@ -153,7 +153,7 @@ class TestKVStore:
         reviews = store.namespace("reviews", codec=codec)
         for item in (3, 5):
             for user in range(4):
-                reviews.put((item, user), item * 100 + user)
+                reviews.insert((item, user), item * 100 + user)
         # Prefix scan: everything for item 3 comes out before item 5.
         got = reviews.scan((3, 0), 4)
         assert [k for k, _ in got] == [(3, 0), (3, 1), (3, 2), (3, 3)]
@@ -171,7 +171,7 @@ class TestKVStore:
         def worker(base):
             try:
                 for i in range(1500):
-                    ns.put(base + i, i)
+                    ns.insert(base + i, i)
                     assert ns.get(base + i) == i
             except Exception as exc:  # pragma: no cover
                 errors.append(exc)
@@ -214,6 +214,59 @@ class TestKVStore:
 
         store = KVStore(index=BTreeFacade())
         ns = store.namespace("n")
-        ns.put(1, "x")
+        ns.insert(1, "x")
         assert ns.get(1) == "x"
         assert [k for k, _ in ns.items()] == [1]
+
+
+class TestNamespaceProtocolAPI:
+    """The protocol-era Namespace surface: insert, batches, range ops."""
+
+    def test_put_is_deprecated_alias(self):
+        store = KVStore(config=CFG)
+        ns = store.namespace("n")
+        with pytest.warns(DeprecationWarning, match="Namespace.put"):
+            ns.put(1, "a")
+        assert ns.get(1) == "a"
+        ns.insert(1, "b")  # no warning on the new name
+        assert ns.get(1) == "b"
+        assert len(ns) == 1
+
+    def test_get_many_insert_many(self):
+        store = KVStore(config=CFG)
+        ns = store.namespace("n")
+        ns.insert_many([(k, k * 2) for k in range(10)])
+        assert len(ns) == 10
+        assert ns.get_many([3, 99, 7]) == [6, None, 14]
+        # Re-inserting existing keys (plus one duplicate new key twice)
+        # must not inflate the counter.
+        ns.insert_many([(3, 30), (100, 1), (100, 2)])
+        assert len(ns) == 11
+        assert ns.get(3) == 30
+        assert ns.get(100) == 2
+
+    def test_scan_range_and_count_range(self):
+        store = KVStore(config=CFG)
+        a = store.namespace("a")
+        b = store.namespace("b")
+        for k in range(0, 100, 2):
+            a.insert(k, k)
+            b.insert(k, -k)
+        assert a.scan_range(10, 20) == [(k, k) for k in range(10, 20, 2)]
+        assert a.count_range(10, 20) == 5
+        assert a.count_range(20, 10) == 0
+        assert a.scan_range(5, 5) == []
+        # Namespaces stay disjoint even for spanning ranges.
+        assert a.scan_range(90, 10**9) == [(k, k) for k in range(90, 100, 2)]
+        assert b.count_range(0, 10**9) == 50
+
+    def test_range_ops_on_string_codec(self):
+        store = KVStore(config=CFG)
+        words = store.namespace("w", codec=StringCodec(max_length=4))
+        for w in ["ant", "bee", "cat", "dog", "eel"]:
+            words.insert(w, w.upper())
+        assert words.scan_range("bee", "dog") == [
+            ("bee", "BEE"),
+            ("cat", "CAT"),
+        ]
+        assert words.count_range("a", "z") == 5

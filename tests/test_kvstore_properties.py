@@ -28,7 +28,7 @@ def test_namespaces_behave_like_independent_dicts(ops):
     for ns_name, op, key, value in ops:
         ns, model = spaces[ns_name], models[ns_name]
         if op == "put":
-            ns.put(key, value)
+            ns.insert(key, value)
             model[key] = value
         elif op == "get":
             assert ns.get(key) == model.get(key)
@@ -61,7 +61,7 @@ def test_string_namespace_scans_lexicographically(words):
     store = KVStore(CFG)
     ns = store.namespace("words", codec=StringCodec(max_length=4))
     for w in words:
-        ns.put(w, len(w))
+        ns.insert(w, len(w))
     ordered = sorted(words, key=lambda w: w.encode())
     assert [k for k, _ in ns.items()] == ordered
     got = ns.scan(ordered[0], len(words))
@@ -76,8 +76,8 @@ def test_scan_clipping_never_leaks(keys):
     first = store.namespace("first", codec=UintCodec(20))
     second = store.namespace("second", codec=UintCodec(20))
     for k in keys:
-        first.put(k, "f")
-        second.put(k, "s")
+        first.insert(k, "f")
+        second.insert(k, "s")
     got = first.scan(min(keys), len(keys) * 3)
     assert len(got) == len(keys)
     assert all(v == "f" for _, v in got)

@@ -1,0 +1,156 @@
+"""IndexProtocol conformance + cross-implementation differential tests.
+
+Every ordered index must satisfy ``repro.api.IndexProtocol``
+structurally, and the range operations (``scan_range``,
+``count_range``, ``delete_range``) must agree across implementations:
+DyTIS is the reference, the B+-tree and the RangeOpsMixin-backed
+learned indexes are checked against it on the same random workload.
+"""
+
+import random
+
+import pytest
+
+from repro.api import IndexProtocol, RangeOpsMixin, is_index
+from repro.btree.bptree import BPlusTree
+from repro.core.concurrent import ConcurrentDyTIS
+from repro.core.dytis import DyTIS
+from repro.learned.alex import AlexIndex
+from repro.learned.lipp import LippIndex
+from repro.learned.pgm import PGMIndex
+from repro.learned.rmi import RMIndex
+from repro.learned.xindex import XIndex
+
+ALL_INDEX_CLASSES = [
+    DyTIS,
+    ConcurrentDyTIS,
+    BPlusTree,
+    AlexIndex,
+    XIndex,
+    LippIndex,
+    PGMIndex,
+    RMIndex,
+]
+
+# Indexes supporting the full mutable workload (RMIndex is read-only
+# after bulk_load by design, so it is conformant but not differential).
+MUTABLE_CLASSES = [
+    DyTIS,
+    ConcurrentDyTIS,
+    BPlusTree,
+    AlexIndex,
+    XIndex,
+    LippIndex,
+    PGMIndex,
+]
+
+
+def _make(cls):
+    idx = cls()
+    if cls is XIndex:
+        # XIndex must be bulk loaded before serving; an empty load
+        # bootstraps one group so inserts can flow into its delta.
+        idx.bulk_load([], [])
+    return idx
+
+
+@pytest.mark.parametrize("cls", ALL_INDEX_CLASSES)
+def test_protocol_conformance(cls):
+    obj = cls()
+    assert isinstance(obj, IndexProtocol)
+    assert is_index(obj)
+
+
+def test_non_index_rejected():
+    assert not is_index(object())
+    assert not is_index({})
+
+
+def _workload(seed=11, n=4000, span=200_000):
+    rng = random.Random(seed)
+    keys = rng.sample(range(1, span), n)
+    return keys
+
+
+@pytest.mark.parametrize("cls", MUTABLE_CLASSES)
+def test_scan_range_matches_dytis(cls):
+    keys = _workload()
+    ref = DyTIS()
+    idx = _make(cls)
+    for k in keys:
+        ref.insert(k, k * 3)
+        idx.insert(k, k * 3)
+    for lo, hi in [
+        (0, 1),
+        (7, 7),
+        (10, 5),
+        (100, 50_000),
+        (1, 300_000),
+        (150_000, 160_000),
+        (199_999, 200_001),
+    ]:
+        assert idx.scan_range(lo, hi) == ref.scan_range(lo, hi)
+        assert idx.count_range(lo, hi) == ref.count_range(lo, hi)
+
+
+def test_bptree_delete_range_matches_dytis():
+    keys = _workload(seed=23)
+    ref = DyTIS()
+    bt = BPlusTree()
+    for k in keys:
+        ref.insert(k, k)
+        bt.insert(k, k)
+    n_ref = ref.delete_range(40_000, 90_000)
+    n_bt = bt.delete_range(40_000, 90_000)
+    assert n_bt == n_ref
+    assert len(bt) == len(ref)
+    assert list(bt.items()) == list(ref.items())
+    # Deleting an empty range is a no-op.
+    assert bt.delete_range(40_000, 40_000) == 0
+    assert bt.delete_range(90_000, 40_000) == 0
+
+
+def test_bptree_count_range_boundary_leaves():
+    """count_range must bisect both boundary leaves, not just the first."""
+    bt = BPlusTree(fanout=4)  # tiny fanout: ranges span many leaves
+    for k in range(0, 1000, 2):
+        bt.insert(k, k)
+    assert bt.count_range(0, 1000) == 500
+    assert bt.count_range(1, 999) == 499
+    assert bt.count_range(10, 11) == 1
+    assert bt.count_range(11, 12) == 0
+    assert bt.count_range(998, 10_000) == 1
+    assert bt.scan_range(100, 110) == [(k, k) for k in range(100, 110, 2)]
+
+
+def test_range_ops_mixin_pages_past_batch_size():
+    """The mixin must page correctly when a range exceeds one batch."""
+
+    class TinyBatch(RangeOpsMixin):
+        _RANGE_BATCH = 16
+
+        def __init__(self, pairs):
+            self._pairs = sorted(pairs)
+
+        def scan(self, start_key, count):
+            out = [p for p in self._pairs if p[0] >= start_key]
+            return out[:count]
+
+    pairs = [(k, -k) for k in range(0, 500, 3)]
+    t = TinyBatch(pairs)
+    assert t.scan_range(0, 500) == pairs
+    assert t.count_range(0, 500) == len(pairs)
+    assert t.scan_range(10, 100) == [p for p in pairs if 10 <= p[0] < 100]
+    assert t.count_range(499, 499) == 0
+
+
+def test_insert_is_update_across_indexes():
+    """Protocol semantics: insert on an existing key replaces the value."""
+    for cls in MUTABLE_CLASSES:
+        idx = _make(cls)
+        idx.insert(5, "a")
+        idx.insert(5, "b")
+        assert idx.get(5) == "b"
+        assert len(idx) == 1
+        assert 5 in idx
+        assert idx.get(6) is None

@@ -25,10 +25,10 @@ def _populated_store():
         "pairs", codec=CompositeCodec(UintCodec(10), UintCodec(10))
     )
     for i in range(200):
-        users.put(i, {"n": i})
+        users.insert(i, {"n": i})
     for word in ("abc", "xyz", "m"):
-        tags.put(word, word.upper())
-    pairs.put((3, 4), [3, 4])
+        tags.insert(word, word.upper())
+    pairs.insert((3, 4), [3, 4])
     return store
 
 

@@ -41,6 +41,7 @@ from repro.bench.experiments import (
     scan_sweep,
     table1_datasets,
     table2_latency,
+    wal_overhead,
     zipf_sweep,
 )
 
@@ -66,6 +67,7 @@ EXPERIMENTS = {
     "scan-sweep": scan_sweep,
     "zipf-sweep": zipf_sweep,
     "batch-ops": batch_ops,
+    "wal-overhead": wal_overhead,
 }
 
 

@@ -1,0 +1,137 @@
+"""WAL overhead: fsync policies vs. the bare in-memory store, + replay.
+
+Durability is bought with writes to stable storage; this driver prices
+it.  One insert workload (namespace-encoded uniform keys) runs against
+the bare :class:`~repro.kvstore.store.KVStore` and against
+:class:`~repro.wal.store.DurableKVStore` under each fsync policy --
+``never`` (OS writeback), ``batch`` (group commit), ``always`` (fsync
+per acknowledged write) -- all on the real filesystem, and reports
+throughput plus the overhead factor against the bare store.  The bench
+then reopens the ``batch`` store so recovery replays the full n-write
+log, timing the replay rate, and takes a checkpoint to time the
+snapshot+truncate path.
+
+Acceptance shape (asserted by ``benchmarks/bench_wal_overhead.py``):
+``batch`` group commit stays under 2x the bare store on the insert
+workload, and recovery of the full log completes.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.bench.experiments.scale import ExperimentScale, default_scale
+
+#: (row label, DurableKVStore fsync spec or None for the bare store)
+POLICIES = (
+    ("bare", None),
+    ("wal/never", "never"),
+    ("wal/batch", "batch(256,0.01)"),
+    ("wal/always", "always"),
+)
+
+
+@dataclass(frozen=True)
+class WalOverheadRow:
+    """One policy's cost on the insert workload (or the recovery row)."""
+
+    label: str
+    n_ops: int
+    seconds: float
+    kops_per_s: float
+    overhead_x: float  # vs. the bare store; 0 for the recovery rows
+
+
+def _insert_workload(store_ns, keys) -> float:
+    t0 = time.perf_counter()
+    for k in keys:
+        store_ns.insert(k, k & 0xFFFF)
+    return time.perf_counter() - t0
+
+
+def run(
+    scale: Optional[ExperimentScale] = None,
+    directory: Optional[str] = None,
+) -> List[WalOverheadRow]:
+    import random
+
+    from repro.kvstore import KVStore, UintCodec
+    from repro.wal import DurableKVStore
+
+    scale = scale or default_scale()
+    n = scale.n_keys
+    rng = random.Random(scale.seed)
+    keys = rng.sample(range(1 << 40), n)
+    codec = UintCodec(48)
+
+    workdir = directory or tempfile.mkdtemp(prefix="wal_overhead_")
+    rows: List[WalOverheadRow] = []
+    bare_s = None
+    batch_dir = None
+    try:
+        for label, fsync in POLICIES:
+            if fsync is None:
+                store = KVStore()
+                ns = store.namespace("bench", codec)
+                seconds = _insert_workload(ns, keys)
+                close = None
+            else:
+                policy_dir = f"{workdir}/{label.split('/')[-1]}"
+                store = DurableKVStore(policy_dir, fsync=fsync)
+                ns = store.namespace("bench", codec)
+                seconds = _insert_workload(ns, keys)
+                close = store.close
+                if fsync.startswith("batch"):
+                    batch_dir = policy_dir
+            if close:
+                close()
+            if bare_s is None:
+                bare_s = seconds
+            rows.append(
+                WalOverheadRow(
+                    label, n, seconds, n / seconds / 1e3, seconds / bare_s
+                )
+            )
+
+        # Recovery: reopen the batch store -- the whole n-write log
+        # replays through the index -- then price a checkpoint.
+        t0 = time.perf_counter()
+        recovered = DurableKVStore(batch_dir, codecs={"bench": codec})
+        replay_s = time.perf_counter() - t0
+        replayed = recovered.metrics.records_replayed_total
+        rows.append(
+            WalOverheadRow(
+                "recovery/replay", replayed, replay_s,
+                replayed / replay_s / 1e3, 0.0,
+            )
+        )
+        t0 = time.perf_counter()
+        recovered.checkpoint()
+        ckpt_s = time.perf_counter() - t0
+        rows.append(
+            WalOverheadRow("checkpoint", n, ckpt_s, n / ckpt_s / 1e3, 0.0)
+        )
+        recovered.close()
+    finally:
+        if directory is None:
+            shutil.rmtree(workdir, ignore_errors=True)
+    return rows
+
+
+def format_table(rows: List[WalOverheadRow]) -> str:
+    lines = ["WAL overhead by fsync policy (insert workload) + recovery"]
+    lines.append(
+        f"{'policy':<16} {'ops':>8} {'time(s)':>8} {'kops/s':>8} "
+        f"{'overhead':>9}"
+    )
+    for r in rows:
+        overhead = f"{r.overhead_x:>8.2f}x" if r.overhead_x else f"{'-':>9}"
+        lines.append(
+            f"{r.label:<16} {r.n_ops:>8} {r.seconds:>8.3f} "
+            f"{r.kops_per_s:>8.1f} {overhead}"
+        )
+    return "\n".join(lines)

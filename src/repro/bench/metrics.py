@@ -5,9 +5,12 @@ mixed workload (bulk load, inserts, point gets -- present and absent --
 scans, deletes) and returns the collector snapshot, with the index's
 own ``OperationStats`` embedded so consumers can reconcile
 structural-event counts against the counters the index maintains
-independently.  ``python -m repro.bench --metrics-out PATH`` writes the
-snapshot as ``PATH.json`` + ``PATH.prom``; CI parses the Prometheus
-text back to assert the exposition stays well-formed.
+independently.  The snapshot also carries a ``"wal"`` block from a
+durable-store workout (write, reopen/replay, checkpoint, all on the
+in-memory ``SimFS`` so no disk is touched), which the exposition
+renders as ``wal_*`` series.  ``python -m repro.bench --metrics-out
+PATH`` writes the snapshot as ``PATH.json`` + ``PATH.prom``; CI parses
+the Prometheus text back to assert the exposition stays well-formed.
 """
 
 from __future__ import annotations
@@ -21,6 +24,57 @@ from repro.obs import Observability
 #: Required op kinds in the exported snapshot (acceptance criterion:
 #: p50/p95/p99 present for each).
 REQUIRED_OPS = ("get", "insert", "scan")
+
+#: WAL counters that must be non-zero after the durable workout; the
+#: CI crash-recovery job asserts the matching ``dytis_wal_*`` series.
+REQUIRED_WAL = (
+    "appends_total",
+    "ops_logged_total",
+    "bytes_written_total",
+    "fsyncs_total",
+    "checkpoints_total",
+    "replays_total",
+    "records_replayed_total",
+)
+
+
+def run_wal_smoke(n: int = 500, seed: int = 42) -> Dict:
+    """Exercise the durable store end to end; returns a WalMetrics dict.
+
+    Writes through every logged operation, closes, reopens (replay),
+    checkpoints, writes past the checkpoint, and reopens once more so
+    the replay counters reflect a checkpoint + tail recovery.
+    """
+    from repro.kvstore import UintCodec
+    from repro.wal import DurableKVStore, SimFS, WalMetrics
+
+    rng = random.Random(seed)
+    fs = SimFS()
+    codecs = {"kv": UintCodec(32)}
+    shared = WalMetrics()  # one counter set across the reopen cycles
+    with DurableKVStore(
+        "/smoke", fs=fs, fsync="batch(32,0.01)", segment_size=16 << 10,
+        codecs=codecs, metrics=shared,
+    ) as store:
+        ns = store.namespace("kv", codecs["kv"])
+        keys = rng.sample(range(1 << 30), n)
+        for k in keys[: n // 2]:
+            ns.insert(k, k % 97)
+        ns.insert_many([(k, k % 97) for k in keys[n // 2 :]])
+        for k in rng.sample(keys, n // 10):
+            ns.delete(k)
+        ns.delete_range(0, 1 << 20)
+    with DurableKVStore(
+        "/smoke", fs=fs, codecs=codecs, metrics=shared
+    ) as store:
+        store.checkpoint()
+        ns = store.namespace("kv")
+        for k in rng.sample(range(1 << 30), n // 10):
+            ns.insert(k, 0)
+    with DurableKVStore(
+        "/smoke", fs=fs, codecs=codecs, metrics=shared
+    ) as store:
+        return store.metrics.to_dict()
 
 
 def run_metrics_smoke(
@@ -58,6 +112,7 @@ def run_metrics_smoke(
     snapshot = obs.snapshot(
         op_stats=index.stats, extra={"n_keys": n, "seed": seed}
     )
+    snapshot["wal"] = run_wal_smoke(n=max(200, n // 6), seed=seed)
     return snapshot, obs, index
 
 
@@ -74,6 +129,12 @@ def check_snapshot(snapshot: Dict) -> None:
         for q in ("p50_ns", "p95_ns", "p99_ns"):
             if hist[q] <= 0:
                 raise AssertionError(f"{op!r} {q} missing from snapshot")
+    wal = snapshot.get("wal")
+    if wal is None:
+        raise AssertionError("snapshot lacks the wal metrics block")
+    for key in REQUIRED_WAL:
+        if wal.get(key, 0) <= 0:
+            raise AssertionError(f"wal metric {key!r} missing or zero")
     stats = snapshot.get("op_stats")
     if stats is not None:
         counts = snapshot["events"]["counts"]

@@ -234,10 +234,17 @@ class DyTIS:
             return False
         self._size -= 1
         if seg.utilization() < 0.25 * self.config.util_threshold:
+            if seg.merge_backoff is not None and seg.total_keys > seg.merge_backoff:
+                return True
+            before = seg
             if seg.n_buckets > 1:
                 self._merge_down(table, seg, local)
                 seg = table.segment_for(local, self._m)
             self._try_buddy_merge(table, seg, local)
+            if table.segment_for(local, self._m) is before:
+                # No merge was feasible; feasibility only improves as
+                # keys leave, so wait for half of them before retrying.
+                before.merge_backoff = before.total_keys // 2
         return True
 
     # -- scans ---------------------------------------------------------------
@@ -1021,7 +1028,10 @@ class DyTIS:
         merged = build_fitting(
             ld - 1, initial, capacity, keys, values,
             parent_cap, cfg.max_piece_bits,
+            max_total_buckets=4 * parent_cap,
         )
+        if merged is None:  # no compact layout at the parent depth
+            return
         parent_start = min(start, buddy_start)
         merged.sibling = right_seg.sibling
         for i in range(parent_start, parent_start + 2 * span):

@@ -50,6 +50,7 @@ class Segment:
         "total_keys",
         "bucket_capacity",
         "sibling",
+        "merge_backoff",
         "lock",
         "_mask",
     )
@@ -68,6 +69,9 @@ class Segment:
         self.total_keys = 0
         #: Next segment in key order within the same EH (paper §3.2).
         self.sibling: Optional["Segment"] = None
+        #: After a failed merge, skip retries until ``total_keys`` drops
+        #: to this value; any rebuild makes a new segment, resetting it.
+        self.merge_backoff: Optional[int] = None
         #: Segment-level lock for the concurrent wrapper (paper §3.4).
         self.lock = threading.Lock()
         self._mask = (1 << remap.domain_bits) - 1
@@ -378,7 +382,8 @@ def build_fitting(
     values: Sequence[Any],
     cap: int,
     max_piece_bits: int,
-) -> Segment:
+    max_total_buckets: Optional[int] = None,
+) -> Optional[Segment]:
     """Build a segment for the items, adjusting the layout until it fits.
 
     Tries ``initial_remap`` first, then refines sub-ranges and grows the
@@ -386,6 +391,16 @@ def build_fitting(
     valve the cap is ignored rather than losing keys -- an over-cap
     segment simply fails its next remap/expansion, pushing Algorithm 1
     toward a split, so the policy is preserved.
+
+    ``max_total_buckets`` bounds the safety valve for best-effort
+    callers (buddy merge): once the grown bucket count exceeds it the
+    build gives up and returns ``None`` instead of chasing a layout
+    that may not exist at any feasible size.  Dense keys in a widened
+    domain are the degenerate case: every key falls in one piece whose
+    intra-piece offsets are minuscule relative to the piece shift, so
+    no allocation spreads them and unbounded growth diverges.  Mandatory
+    callers (split, expansion, bulk load) leave it ``None`` and keep
+    the always-succeeds contract.
     """
     domain_bits = initial_remap.domain_bits
     mask = np.uint64((1 << domain_bits) - 1)
@@ -409,3 +424,5 @@ def build_fitting(
             continue
         # Grow; past the cap this is the safety valve (see docstring).
         n_buckets += max(1, n_buckets // 4)
+        if max_total_buckets is not None and n_buckets > max_total_buckets:
+            return None

@@ -20,7 +20,15 @@ from repro.kvstore.codec import (
     CodecError,
 )
 from repro.kvstore.store import KVStore, Namespace
-from repro.kvstore.snapshot import save_snapshot, load_snapshot
+from repro.kvstore.snapshot import (
+    SnapshotCorruptError,
+    SnapshotError,
+    dump_snapshot_bytes,
+    load_snapshot,
+    load_snapshot_bytes,
+    read_snapshot_header,
+    save_snapshot,
+)
 
 __all__ = [
     "KVStore",
@@ -32,4 +40,9 @@ __all__ = [
     "CodecError",
     "save_snapshot",
     "load_snapshot",
+    "dump_snapshot_bytes",
+    "load_snapshot_bytes",
+    "read_snapshot_header",
+    "SnapshotError",
+    "SnapshotCorruptError",
 ]

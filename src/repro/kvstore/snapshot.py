@@ -5,72 +5,180 @@ every namespace's records to a JSONL file and restore them into a fresh
 store.  Values must be JSON-serialisable (the usual embedded-store
 contract); keys round-trip through each namespace's codec.
 
-Format: a header line (version, namespace table), then one line per
-record carrying the namespace id and the *encoded* integer key, which
-is codec-independent and order-preserving.
+Format (version 2): a header line carrying the format version, the
+namespace table, the record count, and a CRC32 over the entire body,
+then one line per record with the namespace id and the *encoded*
+integer key (codec-independent and order-preserving).  The checksum
+means a truncated or bit-rotted snapshot is rejected up front with
+:class:`SnapshotCorruptError` instead of failing (or worse, partially
+loading) midway through.  Older files still load:
+
+- version 1 -- header without ``crc32``/``records``; read unverified.
+- version 0 ("headerless") -- no header line at all, every line a
+  record; read unverified into already-open namespaces.
+
+Future versions are rejected with a clear error naming both versions.
+
+The byte-level pair :func:`dump_snapshot_bytes` /
+:func:`load_snapshot_bytes` exists so other layers (the WAL's
+checkpointer) can route snapshots through their own storage -- the
+file functions are thin wrappers over it.
 """
 
 from __future__ import annotations
 
 import json
+import zlib
 from pathlib import Path
-from typing import Union
+from typing import Dict, Optional, Union
 
 from repro.kvstore.store import KVStore
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+
+
+class SnapshotError(ValueError):
+    """A snapshot file cannot be loaded."""
+
+
+class SnapshotCorruptError(SnapshotError):
+    """The snapshot's checksum (or structure) does not verify."""
+
+
+def dump_snapshot_bytes(
+    store: KVStore, extra_header: Optional[Dict] = None
+) -> bytes:
+    """Serialise every namespace's records; see the module format notes.
+
+    ``extra_header`` entries are merged into the header line (the WAL
+    checkpointer stamps ``checkpoint_lsn`` this way); unknown header
+    fields are ignored on load, so they never break older readers.
+    """
+    lines = []
+    for name in store.namespaces():
+        ns = store.namespace(name)
+        for key, value in ns.items():
+            record = {
+                "ns": name,
+                "key": ns.codec.encode(key),
+                "value": value,
+            }
+            lines.append(json.dumps(record) + "\n")
+    body = "".join(lines).encode("utf-8")
+    header = {
+        "version": _FORMAT_VERSION,
+        "namespaces": store.namespaces(),
+        "records": len(lines),
+        "crc32": zlib.crc32(body) & 0xFFFFFFFF,
+    }
+    if extra_header:
+        header.update(extra_header)
+    return json.dumps(header).encode("utf-8") + b"\n" + body
+
+
+def read_snapshot_header(data: bytes, source: str = "snapshot") -> Dict:
+    """The parsed header of serialised snapshot bytes.
+
+    Headerless v0 files yield a synthesised ``{"version": 0}`` header
+    with no namespace table.  Raises :class:`SnapshotError` for empty
+    input, unparseable first lines, and future format versions.
+    """
+    first, _, _ = data.partition(b"\n")
+    if not first.strip():
+        raise SnapshotError(f"{source}: empty snapshot")
+    try:
+        parsed = json.loads(first)
+    except json.JSONDecodeError as exc:
+        raise SnapshotCorruptError(
+            f"{source}: first line is neither a header nor a record: {exc}"
+        ) from None
+    if not isinstance(parsed, dict):
+        raise SnapshotCorruptError(f"{source}: malformed first line")
+    if "version" not in parsed:
+        if "ns" in parsed and "key" in parsed:
+            return {"version": 0}  # headerless v0: first line is a record
+        raise SnapshotCorruptError(f"{source}: malformed header {parsed!r}")
+    version = parsed["version"]
+    if not isinstance(version, int) or version < 0:
+        raise SnapshotCorruptError(f"{source}: bad version {version!r}")
+    if version > _FORMAT_VERSION:
+        raise SnapshotError(
+            f"{source}: snapshot format v{version} is newer than this "
+            f"build supports (v{_FORMAT_VERSION}); upgrade to read it"
+        )
+    return parsed
+
+
+def load_snapshot_bytes(store: KVStore, data: bytes, source: str = "snapshot") -> int:
+    """Restore serialised snapshot bytes into ``store``.
+
+    Namespaces must be opened first with the same codecs (codec choice
+    is not serialisable).  Returns the record count.  Verifies the v2
+    whole-body checksum and record count *before* applying anything, so
+    a corrupt snapshot never half-loads.
+    """
+    header = read_snapshot_header(data, source)
+    version = header["version"]
+    if version == 0:
+        body = data
+    else:
+        _, _, body = data.partition(b"\n")
+
+    if version >= 2:
+        crc = zlib.crc32(body) & 0xFFFFFFFF
+        if crc != header.get("crc32"):
+            raise SnapshotCorruptError(
+                f"{source}: body checksum {crc:#010x} does not match "
+                f"header ({header.get('crc32', 0):#010x}); snapshot is "
+                f"truncated or corrupt"
+            )
+
+    if "namespaces" in header:
+        missing = [
+            n for n in header["namespaces"] if n not in store.namespaces()
+        ]
+        if missing:
+            raise SnapshotError(
+                f"open these namespaces (with their codecs) before "
+                f"loading: {missing}"
+            )
+
+    records = []
+    for lineno, line in enumerate(body.splitlines(), 2 if version else 1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+            records.append((record["ns"], record["key"], record["value"]))
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise SnapshotCorruptError(
+                f"{source}: bad record on line {lineno}: {exc}"
+            ) from None
+    if version >= 2 and header.get("records") != len(records):
+        raise SnapshotCorruptError(
+            f"{source}: header promises {header.get('records')} records, "
+            f"body holds {len(records)}"
+        )
+
+    for ns_name, key, value in records:
+        if ns_name not in store.namespaces():
+            raise SnapshotError(
+                f"open namespace {ns_name!r} (with its codec) before loading"
+            )
+        ns = store.namespace(ns_name)
+        ns.insert(ns.codec.decode(key), value)
+    return len(records)
 
 
 def save_snapshot(store: KVStore, path: Union[str, Path]) -> int:
     """Write every namespace's records; returns the record count."""
     path = Path(path)
-    count = 0
-    with path.open("w") as f:
-        header = {
-            "version": _FORMAT_VERSION,
-            "namespaces": store.namespaces(),
-        }
-        f.write(json.dumps(header) + "\n")
-        for name in store.namespaces():
-            ns = store.namespace(name)
-            for key, value in ns.items():
-                record = {
-                    "ns": name,
-                    "key": ns.codec.encode(key),
-                    "value": value,
-                }
-                f.write(json.dumps(record) + "\n")
-                count += 1
-    return count
+    data = dump_snapshot_bytes(store)
+    path.write_bytes(data)
+    return data.count(b"\n") - 1  # minus the header line
 
 
 def load_snapshot(store: KVStore, path: Union[str, Path]) -> int:
-    """Restore records into ``store``; namespaces must be opened first
-    with the same codecs (codec choice is not serialisable).  Returns
-    the record count.
-    """
+    """Restore records from ``path``; see :func:`load_snapshot_bytes`."""
     path = Path(path)
-    with path.open() as f:
-        header_line = f.readline()
-        if not header_line:
-            raise ValueError(f"{path}: empty snapshot")
-        header = json.loads(header_line)
-        if header.get("version") != _FORMAT_VERSION:
-            raise ValueError(
-                f"{path}: unsupported snapshot version {header.get('version')!r}"
-            )
-        missing = [
-            n for n in header["namespaces"] if n not in store.namespaces()
-        ]
-        if missing:
-            raise ValueError(
-                f"open these namespaces (with their codecs) before loading: "
-                f"{missing}"
-            )
-        count = 0
-        for line in f:
-            record = json.loads(line)
-            ns = store.namespace(record["ns"])
-            ns.insert(ns.codec.decode(record["key"]), record["value"])
-            count += 1
-    return count
+    return load_snapshot_bytes(store, path.read_bytes(), source=str(path))

@@ -130,7 +130,10 @@ class Namespace:
 
     def insert(self, key, value: Any) -> None:
         """Insert or overwrite ``key`` (IndexProtocol naming)."""
-        full = self._encode(key)
+        self._insert_full(self._encode(key), value)
+
+    def _insert_full(self, full: int, value: Any) -> None:
+        """Insert by already-encoded key (WAL wrapper hot path)."""
         existed = full in self.store.index
         self.store.index.insert(full, value)
         if not existed:
@@ -140,7 +143,8 @@ class Namespace:
     def put(self, key, value: Any) -> None:
         """Deprecated alias for :meth:`insert` (pre-protocol naming)."""
         warnings.warn(
-            "Namespace.put is deprecated; use Namespace.insert",
+            "Namespace.put is deprecated and will be removed in repro 2.0; "
+            "use Namespace.insert",
             DeprecationWarning,
             stacklevel=2,
         )
@@ -190,6 +194,49 @@ class Namespace:
                 self._count -= 1
             return True
         return False
+
+    def delete_range(self, low, high) -> int:
+        """Delete every key with low <= key < high; returns the count.
+
+        Bounds are namespace keys, clipped to this namespace's span
+        (like :meth:`scan_range`), so a spanning range can never reach
+        a neighbour's records.
+        """
+        lo = self._encode(low)
+        hi = self._upper_bound(high)
+        if hi <= lo:
+            return 0
+        index = self.store.index
+        if hasattr(index, "delete_range"):
+            removed = index.delete_range(lo, hi)
+        else:
+            # scan_range handles scan-only indexes by paging; re-encode
+            # the decoded keys rather than duplicating that logic here.
+            doomed = [
+                self._encode(k) for k, _ in self.scan_range(low, high)
+            ]
+            removed = sum(1 for full in doomed if index.delete(full))
+        if removed:
+            with self._count_lock:
+                self._count -= removed
+        return removed
+
+    def _resync_count(self) -> int:
+        """Recount this namespace's live keys from the index.
+
+        Recovery layers (snapshot load into a pre-populated store, WAL
+        replay applying encoded keys directly) can outdate the view
+        counter; this restores it from the authoritative index.
+        """
+        index = self.store.index
+        end = self._base + self._span
+        if hasattr(index, "count_range"):
+            n = index.count_range(self._base, end)
+        else:
+            n = sum(1 for _ in self.items())
+        with self._count_lock:
+            self._count = n
+        return n
 
     def scan(self, start_key, count: int) -> List[Tuple[Any, Any]]:
         """Up to ``count`` pairs with key >= start_key, decoded, in order.

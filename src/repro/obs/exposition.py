@@ -87,6 +87,16 @@ def snapshot_to_prometheus(snapshot: Dict, prefix: str = "dytis") -> str:
     for key, value in snapshot.get("probes", {}).items():
         lines.append(f"{pname}{_labels(counter=key)} {value}")
 
+    # WAL durability counters (snapshot["wal"] is a WalMetrics dict;
+    # see repro.wal.metrics).  Each key becomes its own wal_* series:
+    # *_total keys render as counters, the rest as gauges.
+    for key, value in snapshot.get("wal", {}).items():
+        wname = f"{prefix}_wal_{key}"
+        kind = "counter" if key.endswith("_total") else "gauge"
+        lines.append(f"# HELP {wname} Write-ahead log: {key.replace('_', ' ')}.")
+        lines.append(f"# TYPE {wname} {kind}")
+        lines.append(f"{wname} {value}")
+
     # OperationStats reconciliation block.
     sname = f"{prefix}_op_stats"
     if "op_stats" in snapshot:

@@ -1,0 +1,311 @@
+"""The segmented append-only write-ahead log.
+
+A :class:`WriteAheadLog` owns a directory of ``wal-<seqno>.log``
+segments.  Appends go to the active segment and rotate to a fresh one
+at ``segment_size`` bytes; every record carries a monotonic LSN and a
+CRC32 (:mod:`repro.wal.record`).  Durability is delegated to an
+:class:`~repro.wal.policy.FsyncPolicy` -- ``always`` syncs per append,
+``batch`` group-commits, ``never`` trusts OS writeback.
+
+Opening an existing directory never appends to the old tail segment:
+its last records may be torn from a crash, and a valid record appended
+after garbage would be unreachable (replay stops at the first bad
+record).  Instead the log scans the tail for the last valid LSN and
+starts a *new* segment at ``last + 1`` -- crash-safe and O(tail), not
+O(log).
+
+``replay`` yields every record after a caller-supplied LSN across all
+segments, validating CRCs and LSN continuity, and stops cleanly at the
+first damaged record.  Damage in the middle of the log (not the tail)
+raises :class:`RecoveryError`, as does a log whose retained segments
+start after the requested replay point -- both mean acknowledged
+durable history is missing, which must never be papered over.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.wal import record as rec
+from repro.wal.faultfs import (
+    OsFS,
+    join,
+    segment_files,
+    segment_name,
+    segment_seqno,
+)
+from repro.wal.metrics import WalMetrics
+from repro.wal.policy import FsyncPolicy, monotonic, parse_policy
+
+DEFAULT_SEGMENT_SIZE = 1 << 20
+
+
+class RecoveryError(RuntimeError):
+    """Durable history needed for recovery is missing or damaged."""
+
+
+class WriteAheadLog:
+    """Segmented append-only log with CRC-framed, LSN-stamped records.
+
+    ``append`` acknowledges according to the fsync policy; ``replay``
+    yields history after a given LSN; ``truncate_upto`` drops segments
+    a checkpoint has made dead.  See the module docstring for the
+    crash-safety rules.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        fs=None,
+        policy="always",
+        segment_size: int = DEFAULT_SEGMENT_SIZE,
+        metrics: Optional[WalMetrics] = None,
+    ):
+        if segment_size < rec.SEGMENT_HEADER_SIZE + rec.RECORD_HEADER_SIZE:
+            raise ValueError("segment_size too small for even one record")
+        self.directory = str(directory)
+        self.fs = fs if fs is not None else OsFS()
+        self.policy: FsyncPolicy = parse_policy(policy)
+        self._policy_timed = getattr(self.policy, "max_interval", None) is not None
+        self.segment_size = segment_size
+        self.metrics = metrics if metrics is not None else WalMetrics()
+
+        self.fs.makedirs(self.directory)
+        self._handle = None
+        self._segment_bytes = 0
+        self._pending = 0  # records appended since the last fsync
+        self._last_sync = monotonic()
+        self._closed = False
+
+        last_lsn, next_seqno = self._scan_existing()
+        self.last_lsn = last_lsn  # highest LSN ever acknowledged
+        self.durable_lsn = last_lsn  # highest LSN known fsync-durable
+        self._live_segments = len(segment_files(self.fs, self.directory))
+        self._open_segment(next_seqno, base_lsn=last_lsn + 1)
+        self._update_gauges()
+
+    # -- startup --------------------------------------------------------
+
+    def _scan_existing(self) -> Tuple[int, int]:
+        """(last valid LSN, next segment seqno) from the directory.
+
+        Walks backwards from the tail: a crash can leave *several*
+        trailing segments headless (e.g. a rotation with nothing
+        pending opens a new segment without syncing it, then the crash
+        tears both its header and the sealed-but-unsynced one before
+        it).  A headless segment was never synced, so it holds nothing
+        fsync-durable; the newest segment with a verifiable header
+        carries the last acknowledged LSN.
+        """
+        names = segment_files(self.fs, self.directory)
+        if not names:
+            return 0, 1
+        next_seqno = segment_seqno(names[-1]) + 1
+        for name in reversed(names):
+            buf = self.fs.read_bytes(join(self.directory, name))
+            try:
+                _, base_lsn = rec.decode_segment_header(buf)
+            except rec.WalFormatError:
+                continue
+            records, _ = rec.decode_records(
+                buf, rec.SEGMENT_HEADER_SIZE, prev_lsn=base_lsn - 1
+            )
+            # An empty segment's base still names the predecessor's
+            # last record, so base_lsn - 1 is exact either way.
+            return (
+                records[-1].lsn if records else base_lsn - 1
+            ), next_seqno
+        return 0, next_seqno
+
+    def _open_segment(self, seqno: int, base_lsn: int) -> None:
+        path = join(self.directory, segment_name(seqno))
+        self._handle = self.fs.open_append(path)
+        header = rec.encode_segment_header(seqno, base_lsn)
+        self._handle.append(header)
+        # Surface the header past the user-space buffer so readers
+        # (truncation, replay of a live log) can identify the segment.
+        self._handle.flush()
+        self._segment_bytes = len(header)
+        self._seqno = seqno
+        self._live_segments += 1
+        self.metrics.bytes_written_total += len(header)
+
+    # -- appending ------------------------------------------------------
+
+    def append(self, op: int, payload: bytes, ops: int = 1) -> int:
+        """Append one record; returns its LSN after the policy's sync.
+
+        ``ops`` is the number of logical operations the record carries
+        (a batch record logs many), feeding the metrics only.
+        """
+        if self._closed:
+            raise ValueError("log is closed")
+        lsn = self.last_lsn + 1
+        data = rec.encode_record(lsn, op, payload)
+        if self._segment_bytes + len(data) > self.segment_size:
+            self._rotate(next_base_lsn=lsn)
+        self._handle.append(data)
+        self._segment_bytes += len(data)
+        self.last_lsn = lsn
+        self._pending += 1
+        m = self.metrics
+        m.appends_total += 1
+        m.ops_logged_total += ops
+        m.bytes_written_total += len(data)
+        # Clock reads cost as much as the rest of the append path;
+        # only interval-based policies need one.
+        now = monotonic() if self._policy_timed else 0.0
+        if self.policy.should_sync(self._pending, now, self._last_sync):
+            self.sync()
+        self._update_gauges()
+        return lsn
+
+    def sync(self) -> None:
+        """fsync the active segment; everything appended so far is durable."""
+        if self._pending == 0 and self.durable_lsn == self.last_lsn:
+            return
+        t0 = monotonic()
+        self._handle.sync()
+        self.metrics.fsyncs_total += 1
+        self.metrics.fsync_ns_total += int((monotonic() - t0) * 1e9)
+        self.durable_lsn = self.last_lsn
+        self._pending = 0
+        self._last_sync = monotonic()
+        self._update_gauges()
+
+    def rotate(self) -> None:
+        """Seal the active segment and start a fresh one at the next LSN
+        (checkpointing rotates so dead segments become removable)."""
+        self._rotate(next_base_lsn=self.last_lsn + 1)
+
+    def _rotate(self, next_base_lsn: int) -> None:
+        """Seal the active segment (fsync) and open the next one.
+
+        Sealing must sync: a sealed segment is immutable history and
+        replay treats damage inside it as fatal rather than as a tail.
+        """
+        self.sync()
+        self._handle.close()
+        self.metrics.rotations_total += 1
+        self._open_segment(self._seqno + 1, base_lsn=next_base_lsn)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.sync()
+        self._handle.close()
+        self._closed = True
+
+    # -- reading --------------------------------------------------------
+
+    def segments(self) -> List[str]:
+        return segment_files(self.fs, self.directory)
+
+    def replay(self, after_lsn: int = 0) -> Iterator[rec.WalRecord]:
+        """Yield records with ``lsn > after_lsn`` in order.
+
+        Stops cleanly at a damaged *tail* (torn/CRC-failed final
+        records -- the expected post-crash state) and raises
+        :class:`RecoveryError` when damage hides acknowledged durable
+        history: a gap before the first retained segment, a bad segment
+        header, or a broken record followed by further segments.
+        """
+        names = segment_files(self.fs, self.directory)
+        prev_lsn: Optional[int] = None
+        for i, name in enumerate(names):
+            final = i == len(names) - 1
+            buf = self.fs.read_bytes(join(self.directory, name))
+            try:
+                _, base_lsn = rec.decode_segment_header(buf)
+            except rec.WalFormatError as exc:
+                # A header-less segment was created but never synced; it
+                # holds nothing acknowledged.  Legal as the tail, and
+                # legal mid-log only if the next readable segment
+                # continues from ``prev_lsn`` (checked on its header).
+                self.metrics.torn_tails_total += 1
+                if final:
+                    break
+                continue
+            if prev_lsn is None:
+                if base_lsn > after_lsn + 1:
+                    raise RecoveryError(
+                        f"log starts at LSN {base_lsn} but replay needs "
+                        f"LSN {after_lsn + 1}: segments were truncated "
+                        f"past the requested point"
+                    )
+                prev_lsn = base_lsn - 1
+            elif base_lsn != prev_lsn + 1:
+                raise RecoveryError(
+                    f"{name}: base LSN {base_lsn} does not continue "
+                    f"from {prev_lsn}"
+                )
+            records, tail = rec.decode_records(
+                buf, rec.SEGMENT_HEADER_SIZE, prev_lsn=prev_lsn
+            )
+            for r in records:
+                if r.lsn > after_lsn:
+                    yield r
+            if records:
+                prev_lsn = records[-1].lsn
+            if not tail.clean:
+                # Damage past the last valid record.  As the tail this
+                # is the expected post-crash state; mid-log it is legal
+                # only when it is provably dead garbage, i.e. the next
+                # segment's base LSN continues exactly from prev_lsn
+                # (which the header check above enforces on the next
+                # iteration).  A continuity break there means durable
+                # acknowledged history was damaged, and raises.
+                if tail.reason == "crc":
+                    self.metrics.crc_failures_total += 1
+                self.metrics.torn_tails_total += 1
+                if final:
+                    break
+
+    # -- truncation -----------------------------------------------------
+
+    def truncate_upto(self, lsn: int) -> int:
+        """Drop segments whose every record has ``lsn <= lsn``.
+
+        A segment is dead when the *next* segment's base LSN is at most
+        ``lsn + 1`` (so nothing after ``lsn`` lives in it).  The active
+        segment is never removed.  Returns the number removed.
+        """
+        names = segment_files(self.fs, self.directory)
+        bases = []
+        for name in names:
+            buf = self.fs.read_bytes(join(self.directory, name))
+            try:
+                bases.append(rec.decode_segment_header(buf)[1])
+            except rec.WalFormatError:
+                bases.append(None)  # header-less: holds nothing valid
+        removed = 0
+        for i, name in enumerate(names):
+            if segment_seqno(name) == self._seqno:
+                break  # never the active segment
+            if bases[i] is None or (
+                i + 1 < len(names)
+                and bases[i + 1] is not None
+                and bases[i + 1] <= lsn + 1
+            ):
+                self.fs.remove(join(self.directory, name))
+                removed += 1
+            else:
+                break  # later segments are younger still (or unprovable)
+        self._live_segments -= removed
+        self.metrics.segments_truncated_total += removed
+        self._update_gauges()
+        return removed
+
+    # -- misc -----------------------------------------------------------
+
+    def _update_gauges(self) -> None:
+        m = self.metrics
+        m.last_lsn = self.last_lsn
+        m.durable_lsn = self.durable_lsn
+        m.live_segments = self._live_segments
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,50 @@
+"""WAL metrics: throughput, fsync, checkpoint, and replay counters.
+
+One :class:`WalMetrics` travels with one :class:`~repro.wal.log.
+WriteAheadLog` (and is shared with the wrapping ``DurableKVStore``).
+The counters feed the observability exposition: a snapshot carrying a
+``"wal"`` block renders as ``<prefix>_wal_*`` Prometheus series (see
+:func:`repro.obs.exposition.snapshot_to_prometheus`), which the CI
+crash-recovery job parses back to assert the series exist.
+
+Keys ending in ``_total`` are rendered as Prometheus counters, the
+rest as gauges -- keep that convention when adding fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict
+
+
+@dataclass
+class WalMetrics:
+    #: Appended WAL records / logical operations inside them (a batch
+    #: record counts once in ``appends_total`` and N times here).
+    appends_total: int = 0
+    ops_logged_total: int = 0
+    bytes_written_total: int = 0
+    #: fsync calls issued and wall time spent inside them.
+    fsyncs_total: int = 0
+    fsync_ns_total: int = 0
+    #: Segment lifecycle.
+    rotations_total: int = 0
+    segments_truncated_total: int = 0
+    #: Checkpoints taken (snapshot written + dead segments dropped).
+    checkpoints_total: int = 0
+    checkpoint_ns_total: int = 0
+    #: Recovery: replays run, records applied, time spent, and how the
+    #: log tail looked (a torn tail after a crash is *expected*; a CRC
+    #: failure in the middle of a synced region is not).
+    replays_total: int = 0
+    records_replayed_total: int = 0
+    replay_ns_total: int = 0
+    torn_tails_total: int = 0
+    crc_failures_total: int = 0
+    #: Point-in-time state (gauges).
+    last_lsn: int = 0
+    durable_lsn: int = 0
+    live_segments: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -1,0 +1,108 @@
+"""Fsync (group-commit) policies for the WAL.
+
+A policy answers one question after every append: *sync now?*  The
+three shipped answers span the durability/throughput trade-off the
+bench quantifies (``benchmarks/bench_wal_overhead.py``):
+
+- :class:`AlwaysFsync` -- every acknowledged write is durable; one
+  fsync per append.
+- :class:`BatchFsync` -- group commit: sync once per ``max_records``
+  appends or once ``max_interval`` seconds have passed since the last
+  sync, whichever comes first.  Acknowledged-but-unsynced writes can be
+  lost in a crash, but recovery always yields a clean *prefix* of the
+  acknowledged history (bounded, ordered loss -- the classic
+  ``everysec``-style contract).
+- :class:`NeverFsync` -- leave durability to the OS writeback.  Data
+  survives a process kill (the bytes reached the kernel) but not a
+  power cut.
+
+``parse_policy`` accepts the config-friendly spellings ``"always"``,
+``"never"``, ``"batch"``, and ``"batch(n,interval)"``.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+
+
+class FsyncPolicy:
+    """Decide whether the log must fsync after the latest append."""
+
+    name = "abstract"
+
+    def should_sync(self, pending_records: int, now: float, last_sync: float) -> bool:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+class AlwaysFsync(FsyncPolicy):
+    """Fsync on every append: acknowledged means durable."""
+
+    name = "always"
+
+    def should_sync(self, pending_records: int, now: float, last_sync: float) -> bool:
+        return True
+
+
+class NeverFsync(FsyncPolicy):
+    """Never fsync from the hot path: durability rides OS writeback."""
+
+    name = "never"
+
+    def should_sync(self, pending_records: int, now: float, last_sync: float) -> bool:
+        return False
+
+
+class BatchFsync(FsyncPolicy):
+    """Group commit: fsync per ``max_records`` appends or ``max_interval`` s."""
+
+    name = "batch"
+
+    def __init__(self, max_records: int = 64, max_interval: float = 0.01):
+        if max_records < 1:
+            raise ValueError("max_records must be >= 1")
+        if max_interval < 0:
+            raise ValueError("max_interval must be >= 0")
+        self.max_records = max_records
+        self.max_interval = max_interval
+
+    def should_sync(self, pending_records: int, now: float, last_sync: float) -> bool:
+        if pending_records >= self.max_records:
+            return True
+        return (now - last_sync) >= self.max_interval
+
+    def describe(self) -> str:
+        return f"batch({self.max_records},{self.max_interval:g}s)"
+
+
+_BATCH_RE = re.compile(r"^batch\((\d+)\s*,\s*([0-9.]+)\)$")
+
+
+def parse_policy(spec) -> FsyncPolicy:
+    """Accept an :class:`FsyncPolicy` or a string spelling of one."""
+    if isinstance(spec, FsyncPolicy):
+        return spec
+    if not isinstance(spec, str):
+        raise ValueError(f"not an fsync policy: {spec!r}")
+    text = spec.strip().lower()
+    if text == "always":
+        return AlwaysFsync()
+    if text == "never":
+        return NeverFsync()
+    if text == "batch":
+        return BatchFsync()
+    m = _BATCH_RE.match(text)
+    if m:
+        return BatchFsync(int(m.group(1)), float(m.group(2)))
+    raise ValueError(
+        f"unknown fsync policy {spec!r}; expected 'always', 'never', "
+        f"'batch', or 'batch(n,interval)'"
+    )
+
+
+def monotonic() -> float:
+    """Clock used for group-commit intervals (patchable in tests)."""
+    return time.monotonic()

@@ -1,0 +1,333 @@
+"""``DurableKVStore``: the embedded store with a write-ahead log.
+
+The wrapper owns a plain :class:`~repro.kvstore.store.KVStore` and a
+:class:`~repro.wal.log.WriteAheadLog` in one directory.  Every mutation
+-- ``insert``, ``insert_many``, ``delete``, ``delete_range``, and
+namespace creation -- is logged *before* it is applied, and the call
+returns ("acknowledges") only after the log append and the fsync
+policy's decision.  With ``fsync='always'`` an acknowledged write is on
+stable storage; ``'batch'`` group-commits with bounded, prefix-ordered
+loss; ``'never'`` trusts OS writeback (survives a process kill, not a
+power cut).
+
+Construction *is* recovery: the newest checkpoint whose checksum
+verifies is loaded (corrupt ones are skipped), then the WAL tail past
+its LSN replays, stopping cleanly at torn or bit-flipped records.
+Codecs are not serialisable, so non-default namespace codecs are handed
+back at open time via ``codecs={'name': codec}`` -- the same contract
+the snapshot layer has always had.
+
+Replay applies records straight to the inner index (records carry the
+full namespace-prefixed integer key), then resyncs each namespace's
+live-key counter from the index, so the recovered store is
+indistinguishable from one that never crashed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.kvstore import KVStore, SnapshotCorruptError, load_snapshot_bytes
+from repro.kvstore.codec import KeyCodec
+from repro.kvstore.snapshot import read_snapshot_header
+from repro.wal import checkpoint as ckpt
+from repro.wal import record as rec
+from repro.wal.faultfs import OsFS
+from repro.wal.log import RecoveryError, WriteAheadLog
+from repro.wal.metrics import WalMetrics
+
+
+class DurableKVStore:
+    """A :class:`KVStore` whose writes survive crashes.
+
+    Parameters mirror ``KVStore`` (``config``/``thread_safe``/``index``)
+    plus the durability knobs: ``fsync`` policy, WAL ``segment_size``,
+    the ``fs`` backend (real disk by default, :class:`~repro.wal.
+    faultfs.SimFS` under fault injection), and ``codecs`` for recovering
+    namespaces that were opened with non-default codecs.
+    """
+
+    def __init__(
+        self,
+        directory,
+        *,
+        config=None,
+        thread_safe: bool = False,
+        index=None,
+        codecs: Optional[Dict[str, KeyCodec]] = None,
+        fsync="always",
+        segment_size: int = 1 << 20,
+        fs=None,
+        metrics: Optional[WalMetrics] = None,
+    ):
+        self.directory = str(directory)
+        self.fs = fs if fs is not None else OsFS()
+        # Pass a shared WalMetrics to keep counters across close/reopen
+        # cycles (each recovery otherwise starts a fresh set).
+        self.metrics = metrics if metrics is not None else WalMetrics()
+        self._codecs = dict(codecs or {})
+        self._kv = KVStore(config=config, thread_safe=thread_safe, index=index)
+        self._durable_ns: Dict[str, DurableNamespace] = {}
+        self._lock = threading.Lock()  # writes never nest it
+        self._closed = False
+
+        self.fs.makedirs(self.directory)
+        recovered_lsn = self._load_newest_checkpoint()
+        self.wal = WriteAheadLog(
+            self.directory,
+            fs=self.fs,
+            policy=fsync,
+            segment_size=segment_size,
+            metrics=self.metrics,
+        )
+        self._replay(recovered_lsn)
+
+    # -- recovery -------------------------------------------------------
+
+    def _load_newest_checkpoint(self) -> int:
+        """Load the newest verifiable checkpoint; returns its LSN."""
+        errors = []
+        for lsn in reversed(ckpt.checkpoint_lsns(self.fs, self.directory)):
+            data = ckpt.read_checkpoint(self.fs, self.directory, lsn)
+            source = ckpt.checkpoint_name(lsn)
+            try:
+                header = read_snapshot_header(data, source)
+                for name in header.get("namespaces", []):
+                    self._kv.namespace(name, self._codecs.get(name))
+                load_snapshot_bytes(self._kv, data, source)
+                return lsn
+            except SnapshotCorruptError as exc:
+                # Skipped, not fatal: the WAL may still hold the full
+                # history (crash before truncation) or an older
+                # checkpoint may verify.
+                errors.append(str(exc))
+        self._checkpoint_errors = errors
+        return 0
+
+    def _replay(self, after_lsn: int) -> None:
+        t0 = time.perf_counter()
+        n = 0
+        index = self._kv.index
+        try:
+            for r in self.wal.replay(after_lsn):
+                n += 1
+                if r.op == rec.OP_INSERT:
+                    key, value = rec.decode_insert(r.payload)
+                    index.insert(key, value)
+                elif r.op == rec.OP_BATCH:
+                    pairs = rec.decode_batch(r.payload)
+                    if hasattr(index, "insert_many"):
+                        index.insert_many(pairs)
+                    else:
+                        for key, value in pairs:
+                            index.insert(key, value)
+                elif r.op == rec.OP_DELETE:
+                    index.delete(rec.decode_delete(r.payload))
+                elif r.op == rec.OP_DELETE_RANGE:
+                    low, high = rec.decode_delete_range(r.payload)
+                    if hasattr(index, "delete_range"):
+                        index.delete_range(low, high)
+                    else:
+                        for key, _ in list(index.scan_range(low, high)):
+                            index.delete(key)
+                elif r.op == rec.OP_NS_OPEN:
+                    name = rec.decode_ns_open(r.payload)
+                    self._kv.namespace(name, self._codecs.get(name))
+                else:
+                    raise RecoveryError(
+                        f"LSN {r.lsn}: unknown WAL op {r.op}"
+                    )
+        except RecoveryError:
+            if getattr(self, "_checkpoint_errors", None):
+                raise RecoveryError(
+                    "no checkpoint verified "
+                    f"({'; '.join(self._checkpoint_errors)}) and the WAL "
+                    "alone cannot rebuild the store"
+                )
+            raise
+        for name in self._kv.namespaces():
+            self._kv.namespace(name)._resync_count()
+        m = self.metrics
+        m.replays_total += 1
+        m.records_replayed_total += n
+        m.replay_ns_total += int((time.perf_counter() - t0) * 1e9)
+
+    # -- store surface --------------------------------------------------
+
+    @property
+    def index(self):
+        return self._kv.index
+
+    @property
+    def kv(self) -> KVStore:
+        """The wrapped in-memory store (reads bypass the WAL anyway)."""
+        return self._kv
+
+    def __len__(self) -> int:
+        return len(self._kv)
+
+    def namespaces(self) -> List[str]:
+        return self._kv.namespaces()
+
+    def namespace(
+        self, name: str, codec: Optional[KeyCodec] = None
+    ) -> "DurableNamespace":
+        """Get or create the durable view of namespace ``name``.
+
+        Creation is itself a logged event, so recovery reproduces the
+        namespace table (and its id assignment order) exactly.
+        """
+        with self._lock:
+            if name in self._durable_ns:
+                # Delegate codec mismatch checks to the inner store.
+                self._kv.namespace(name, codec)
+                return self._durable_ns[name]
+            is_new = name not in self._kv.namespaces()
+            # Create first, log second: creation can fail validation
+            # (codec width, namespace limit) and a ghost NS_OPEN record
+            # would shift namespace-id assignment at replay.  The write
+            # lock totally orders this append before any write through
+            # the namespace, so the log can never hold a write without
+            # its NS_OPEN.
+            inner = self._kv.namespace(name, codec)
+            if is_new:
+                self.wal.append(rec.OP_NS_OPEN, rec.encode_ns_open(name))
+            if codec is not None:
+                self._codecs.setdefault(name, codec)
+            dns = DurableNamespace(self, inner)
+            self._durable_ns[name] = dns
+            return dns
+
+    # -- durability control ---------------------------------------------
+
+    @property
+    def last_lsn(self) -> int:
+        return self.wal.last_lsn
+
+    @property
+    def durable_lsn(self) -> int:
+        return self.wal.durable_lsn
+
+    def flush(self) -> None:
+        """Force-fsync the WAL: everything acknowledged becomes durable."""
+        with self._lock:
+            self.wal.sync()
+
+    def checkpoint(self) -> int:
+        """Snapshot the store, then truncate dead WAL segments.
+
+        Returns the checkpoint LSN.  Taken under the write lock: the
+        snapshot is a consistent cut at ``last_lsn``.
+        """
+        with self._lock:
+            t0 = time.perf_counter()
+            lsn = self.wal.last_lsn
+            ckpt.write_checkpoint(self._kv, lsn, self.fs, self.directory)
+            # Rotate so the active segment starts past the checkpoint;
+            # every earlier segment is then provably dead.
+            self.wal.rotate()
+            self.wal.truncate_upto(lsn)
+            m = self.metrics
+            m.checkpoints_total += 1
+            m.checkpoint_ns_total += int((time.perf_counter() - t0) * 1e9)
+            return lsn
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        with self._lock:
+            self.wal.close()
+            self._closed = True
+
+    def __enter__(self) -> "DurableKVStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class DurableNamespace:
+    """Namespace view that logs every mutation before applying it.
+
+    Reads delegate straight to the in-memory namespace; writes append
+    one WAL record carrying the *encoded* (namespace-prefixed) key, so
+    replay needs no codec.
+    """
+
+    def __init__(self, store: DurableKVStore, inner):
+        self._store = store
+        self._ns = inner
+
+    @property
+    def name(self) -> str:
+        return self._ns.name
+
+    @property
+    def codec(self):
+        return self._ns.codec
+
+    # -- logged mutations -----------------------------------------------
+
+    def insert(self, key, value: Any) -> None:
+        full = self._ns._encode(key)
+        with self._store._lock:
+            self._store.wal.append(
+                rec.OP_INSERT, rec.encode_insert(full, value)
+            )
+            self._ns._insert_full(full, value)
+
+    def insert_many(self, pairs) -> None:
+        pairs = list(pairs)
+        if not pairs:
+            return
+        encoded = [(self._ns._encode(k), v) for k, v in pairs]
+        with self._store._lock:
+            self._store.wal.append(
+                rec.OP_BATCH, rec.encode_batch(encoded), ops=len(encoded)
+            )
+            self._ns.insert_many(pairs)
+
+    def delete(self, key) -> bool:
+        full = self._ns._encode(key)
+        with self._store._lock:
+            self._store.wal.append(rec.OP_DELETE, rec.encode_delete(full))
+            return self._ns.delete(key)
+
+    def delete_range(self, low, high) -> int:
+        lo = self._ns._encode(low)
+        hi = self._ns._upper_bound(high)
+        if hi <= lo:
+            return 0
+        with self._store._lock:
+            self._store.wal.append(
+                rec.OP_DELETE_RANGE, rec.encode_delete_range(lo, hi)
+            )
+            return self._ns.delete_range(low, high)
+
+    # -- reads (pass-through) -------------------------------------------
+
+    def get(self, key, default: Any = None) -> Any:
+        return self._ns.get(key, default)
+
+    def get_many(self, keys) -> List[Any]:
+        return self._ns.get_many(keys)
+
+    def scan(self, start_key, count: int) -> List[Tuple[Any, Any]]:
+        return self._ns.scan(start_key, count)
+
+    def scan_range(self, low, high) -> List[Tuple[Any, Any]]:
+        return self._ns.scan_range(low, high)
+
+    def count_range(self, low, high) -> int:
+        return self._ns.count_range(low, high)
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        return self._ns.items()
+
+    def __contains__(self, key) -> bool:
+        return key in self._ns
+
+    def __len__(self) -> int:
+        return len(self._ns)

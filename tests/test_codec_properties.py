@@ -1,9 +1,10 @@
 """Property-based tests for the order-preserving key codecs."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.kvstore import CompositeCodec, StringCodec, UintCodec
+from repro.kvstore import CodecError, CompositeCodec, StringCodec, UintCodec
 
 _short_text = st.text(
     alphabet=st.characters(min_codepoint=1, max_codepoint=0x7F),
@@ -54,3 +55,114 @@ def test_uint_codec_identity(value):
     codec = UintCodec(20)
     assert codec.encode(value) == value
     assert codec.decode(value) == value
+
+
+# ---------------------------------------------------------------------------
+# Boundary widths, empty strings, and rejection properties
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(1, 64), st.data())
+@settings(max_examples=200, deadline=None)
+def test_uint_codec_roundtrip_any_width(bits, data):
+    """Round-trip holds at every width, including the 1- and 64-bit ends."""
+    codec = UintCodec(bits)
+    value = data.draw(st.integers(0, 2**bits - 1))
+    assert codec.decode(codec.encode(value)) == value
+
+
+@pytest.mark.parametrize("bits", [1, 64])
+def test_uint_codec_boundary_widths(bits):
+    codec = UintCodec(bits)
+    top = 2**bits - 1
+    assert codec.encode(0) == 0
+    assert codec.decode(codec.encode(top)) == top
+    with pytest.raises(CodecError):
+        codec.encode(2**bits)
+
+
+@given(st.integers())
+@settings(max_examples=200, deadline=None)
+def test_uint_codec_rejects_out_of_range(value):
+    codec = UintCodec(16)
+    if 0 <= value < 2**16:
+        assert codec.encode(value) == value
+    else:
+        with pytest.raises(CodecError):
+            codec.encode(value)
+
+
+def test_uint_codec_rejects_non_ints():
+    codec = UintCodec(16)
+    for bad in ("7", 7.0, True, None):
+        with pytest.raises(CodecError):
+            codec.encode(bad)
+
+
+def test_string_codec_empty_string_roundtrip():
+    """The empty string is a legal key and sorts before everything."""
+    codec = StringCodec(max_length=4)
+    assert codec.encode("") == 0
+    assert codec.decode(codec.encode("")) == ""
+    assert codec.encode("") < codec.encode("\x01")
+
+
+@given(st.integers(1, 8), st.data())
+@settings(max_examples=200, deadline=None)
+def test_string_codec_roundtrip_any_max_length(max_length, data):
+    codec = StringCodec(max_length=max_length)
+    word = data.draw(
+        st.text(
+            alphabet=st.characters(min_codepoint=1, max_codepoint=0x7F),
+            max_size=max_length,
+        )
+    )
+    assert codec.decode(codec.encode(word)) == word
+
+
+@given(st.text(min_size=5))
+@settings(max_examples=100, deadline=None)
+def test_string_codec_rejects_over_length(word):
+    codec = StringCodec(max_length=4)
+    with pytest.raises(CodecError):
+        codec.encode(word)
+
+
+def test_string_codec_rejects_embedded_nul():
+    with pytest.raises(CodecError):
+        StringCodec(max_length=4).encode("a\x00b")
+
+
+def test_composite_codec_boundary_components():
+    """Components at their extremes round-trip and order correctly."""
+    codec = CompositeCodec(UintCodec(1), UintCodec(63))
+    lo, hi = (0, 0), (1, 2**63 - 1)
+    assert codec.decode(codec.encode(lo)) == lo
+    assert codec.decode(codec.encode(hi)) == hi
+    assert codec.encode(lo) < codec.encode((0, 2**63 - 1)) < codec.encode((1, 0))
+
+
+@given(st.tuples(st.integers(), st.integers()))
+@settings(max_examples=200, deadline=None)
+def test_composite_codec_rejects_out_of_range_components(t):
+    codec = CompositeCodec(UintCodec(12), UintCodec(12))
+    in_range = all(0 <= part < 2**12 for part in t)
+    if in_range:
+        assert codec.decode(codec.encode(t)) == t
+    else:
+        with pytest.raises(CodecError):
+            codec.encode(t)
+
+
+def test_composite_codec_rejects_wrong_arity():
+    codec = CompositeCodec(UintCodec(12), UintCodec(12))
+    with pytest.raises(CodecError):
+        codec.encode((1,))
+    with pytest.raises(CodecError):
+        codec.encode((1, 2, 3))
+
+
+def test_composite_with_empty_string_component():
+    codec = CompositeCodec(StringCodec(max_length=2), UintCodec(8))
+    key = ("", 255)
+    assert codec.decode(codec.encode(key)) == key

@@ -199,6 +199,21 @@ class TestDelete:
         assert index.stats.merges > 0
         assert index.bucket_count() < buckets_before
 
+    def test_dense_delete_terminates(self):
+        """Regression: buddy-merging to a shallower depth widens the key
+        domain, and for dense keys no compact layout exists at *any*
+        bucket count -- the bounded rebuild must give up (returning the
+        segments unmerged) rather than growing forever.  Default config
+        so the 64-bit domain makes the merge infeasible."""
+        index = DyTIS()
+        for k in range(2000):
+            index.insert(k, k)
+        for k in range(1000, 1500):
+            assert index.delete(k)
+        assert index.delete_range(0, 500) == 500
+        index.check_invariants()
+        assert len(index) == 1000
+
     def test_delete_then_reinsert(self, index):
         index.insert(9, "a")
         index.delete(9)

@@ -13,7 +13,12 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).parent.parent / "examples"
-FAST = ["quickstart.py", "characterize_dataset.py", "embedded_store.py"]
+FAST = [
+    "quickstart.py",
+    "characterize_dataset.py",
+    "embedded_store.py",
+    "durable_store.py",
+]
 
 
 @pytest.mark.parametrize("script", FAST)

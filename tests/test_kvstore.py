@@ -225,7 +225,9 @@ class TestNamespaceProtocolAPI:
     def test_put_is_deprecated_alias(self):
         store = KVStore(config=CFG)
         ns = store.namespace("n")
-        with pytest.warns(DeprecationWarning, match="Namespace.put"):
+        # The warning must name the removal version so callers can
+        # plan the migration (satellite of the durability PR).
+        with pytest.warns(DeprecationWarning, match=r"removed in repro 2\.0"):
             ns.put(1, "a")
         assert ns.get(1) == "a"
         ns.insert(1, "b")  # no warning on the new name
@@ -270,3 +272,46 @@ class TestNamespaceProtocolAPI:
             ("cat", "CAT"),
         ]
         assert words.count_range("a", "z") == 5
+
+
+class TestDeleteRange:
+    def test_deletes_half_open_range(self):
+        store = KVStore(config=CFG)
+        ns = store.namespace("n")
+        for i in range(20):
+            ns.insert(i, i)
+        assert ns.delete_range(5, 15) == 10
+        assert len(ns) == 10
+        assert sorted(k for k, _ in ns.items()) == list(range(5)) + list(
+            range(15, 20)
+        )
+        assert 5 not in ns and 14 not in ns and 4 in ns and 15 in ns
+
+    def test_empty_and_inverted_ranges(self):
+        store = KVStore(config=CFG)
+        ns = store.namespace("n")
+        ns.insert(1, 1)
+        assert ns.delete_range(5, 5) == 0
+        assert ns.delete_range(9, 2) == 0
+        assert len(ns) == 1
+
+    def test_range_clipped_to_namespace(self):
+        store = KVStore(config=CFG)
+        a = store.namespace("a")
+        b = store.namespace("b")
+        for i in range(10):
+            a.insert(i, "a")
+            b.insert(i, "b")
+        # An over-wide bound saturates at the namespace span: the
+        # neighbour's records are untouchable.
+        assert a.delete_range(0, 2**CFG.key_bits - 1) == 10
+        assert len(a) == 0
+        assert len(b) == 10
+
+    def test_string_codec_range(self):
+        store = KVStore(config=CFG)
+        ns = store.namespace("words", codec=StringCodec(max_length=4))
+        for word in ("ant", "bee", "cat", "dog", "eel"):
+            ns.insert(word, word)
+        assert ns.delete_range("bee", "dog") == 2  # bee, cat; dog excluded
+        assert [k for k, _ in ns.items()] == ["ant", "dog", "eel"]

@@ -326,3 +326,39 @@ class TestExposition:
     def test_parse_rejects_garbage(self):
         with pytest.raises(ValueError):
             parse_prometheus("this is not prometheus text\n")
+
+
+class TestWalExposition:
+    """The durability layer's ``wal_*`` series in the Prometheus text."""
+
+    def _snapshot_with_wal(self):
+        from repro.bench.metrics import REQUIRED_WAL, run_wal_smoke
+
+        obs = Observability()
+        snap = obs.snapshot()
+        snap["wal"] = run_wal_smoke(n=60, seed=3)
+        return snap, REQUIRED_WAL
+
+    def test_wal_series_rendered_and_parse_back(self):
+        snap, required = self._snapshot_with_wal()
+        text = snapshot_to_prometheus(snap)
+        samples = parse_prometheus(text)
+        for key in required:
+            assert samples[(f"dytis_wal_{key}", ())] > 0, key
+        # Gauges (no _total suffix) render too, typed as gauges.
+        assert (f"dytis_wal_last_lsn", ()) in samples
+        assert "# TYPE dytis_wal_appends_total counter" in text
+        assert "# TYPE dytis_wal_last_lsn gauge" in text
+
+    def test_wal_counters_reconcile_with_snapshot(self):
+        snap, _ = self._snapshot_with_wal()
+        samples = parse_prometheus(snapshot_to_prometheus(snap))
+        for key, value in snap["wal"].items():
+            assert samples[(f"dytis_wal_{key}", ())] == value
+
+    def test_metrics_smoke_includes_wal_block(self):
+        from repro.bench.metrics import check_snapshot, run_metrics_smoke
+
+        snapshot, _, _ = run_metrics_smoke(n=300, seed=1)
+        check_snapshot(snapshot)  # raises if any wal series is missing
+        assert snapshot["wal"]["replays_total"] >= 2

@@ -50,6 +50,14 @@ PUBLIC_SURFACE = {
     "repro.kvstore": [
         "KVStore", "Namespace", "UintCodec", "StringCodec",
         "CompositeCodec", "CodecError", "save_snapshot", "load_snapshot",
+        "dump_snapshot_bytes", "load_snapshot_bytes",
+        "read_snapshot_header", "SnapshotError", "SnapshotCorruptError",
+    ],
+    "repro.wal": [
+        "DurableKVStore", "DurableNamespace", "WriteAheadLog",
+        "RecoveryError", "WalMetrics", "FsyncPolicy", "AlwaysFsync",
+        "BatchFsync", "NeverFsync", "parse_policy", "OsFS", "SimFS",
+        "FaultSpec", "SimulatedCrash",
     ],
     "repro.bench": [
         "make_adapter", "run_load", "run_operations", "run_ycsb",

@@ -1,0 +1,273 @@
+"""Unit tests for the segmented WAL: framing, rotation, replay, truncation.
+
+These run on :class:`SimFS` for determinism, with a couple of real-disk
+smoke checks via ``tmp_path`` (the two backends share every code path
+above the file handle).
+"""
+
+import pytest
+
+from repro.wal import (
+    OP_DELETE,
+    OP_INSERT,
+    AlwaysFsync,
+    BatchFsync,
+    NeverFsync,
+    RecoveryError,
+    SimFS,
+    WalFormatError,
+    WriteAheadLog,
+    parse_policy,
+)
+from repro.wal import record as rec
+from repro.wal.faultfs import join, segment_files
+
+
+def _payload(i):
+    return rec.encode_insert(i, i)
+
+
+def _fill(log, n, start=0):
+    for i in range(start, start + n):
+        log.append(OP_INSERT, _payload(i))
+
+
+# ---------------------------------------------------------------------------
+# Record framing
+# ---------------------------------------------------------------------------
+
+
+def test_record_roundtrip_and_crc():
+    data = rec.encode_record(7, OP_INSERT, b"payload")
+    records, tail = rec.decode_records(data)
+    assert tail.clean and tail.reason == "end"
+    assert records == [rec.WalRecord(7, OP_INSERT, b"payload")]
+
+    flipped = bytearray(data)
+    flipped[-1] ^= 0x01
+    records, tail = rec.decode_records(bytes(flipped))
+    assert records == [] and tail.reason == "crc"
+
+
+def test_decode_stops_at_torn_tail():
+    a = rec.encode_record(1, OP_INSERT, b"aa")
+    b = rec.encode_record(2, OP_DELETE, b"bb")
+    records, tail = rec.decode_records(a + b[:-3])
+    assert [r.lsn for r in records] == [1]
+    assert not tail.clean and tail.reason == "torn"
+    assert tail.offset == len(a)
+
+
+def test_decode_detects_lsn_gap():
+    buf = rec.encode_record(1, OP_INSERT, b"") + rec.encode_record(
+        3, OP_INSERT, b""
+    )
+    records, tail = rec.decode_records(buf)
+    assert [r.lsn for r in records] == [1]
+    assert tail.reason == "lsn_gap"
+
+
+def test_segment_header_roundtrip_and_corruption():
+    hdr = rec.encode_segment_header(seqno=3, base_lsn=101)
+    assert rec.decode_segment_header(hdr) == (3, 101)
+    bad = bytearray(hdr)
+    bad[7] ^= 0x10  # flip inside seqno: the header CRC must catch it
+    with pytest.raises(WalFormatError):
+        rec.decode_segment_header(bytes(bad))
+    with pytest.raises(WalFormatError):
+        rec.decode_segment_header(b"NOPE" + hdr[4:])
+    with pytest.raises(WalFormatError):
+        rec.decode_segment_header(hdr[:10])
+
+
+def test_value_encoding_int_fast_path_matches_json():
+    for value in (0, -17, 2**63, "text", {"k": [1, None, True]}, False):
+        payload = rec.encode_insert(5, value)
+        assert rec.decode_insert(payload) == (5, value)
+
+
+# ---------------------------------------------------------------------------
+# Fsync policies
+# ---------------------------------------------------------------------------
+
+
+def test_parse_policy_forms():
+    assert isinstance(parse_policy("always"), AlwaysFsync)
+    assert isinstance(parse_policy("never"), NeverFsync)
+    batch = parse_policy("batch(16,0.5)")
+    assert isinstance(batch, BatchFsync)
+    assert batch.max_records == 16 and batch.max_interval == 0.5
+    assert isinstance(parse_policy("batch"), BatchFsync)
+    existing = NeverFsync()
+    assert parse_policy(existing) is existing
+    with pytest.raises(ValueError):
+        parse_policy("sometimes")
+
+
+def test_policy_controls_durable_lsn():
+    fs = SimFS()
+    log = WriteAheadLog("w", fs=fs, policy="never")
+    _fill(log, 5)
+    assert log.last_lsn == 5 and log.durable_lsn == 0
+    log.sync()
+    assert log.durable_lsn == 5
+
+    log2 = WriteAheadLog("w2", fs=fs, policy="always")
+    _fill(log2, 3)
+    assert log2.durable_lsn == 3
+
+    log3 = WriteAheadLog("w3", fs=fs, policy="batch(2,100)")
+    log3.append(OP_INSERT, _payload(0))
+    assert log3.durable_lsn == 0  # below the group-commit threshold
+    log3.append(OP_INSERT, _payload(1))
+    assert log3.durable_lsn == 2
+
+
+# ---------------------------------------------------------------------------
+# The log proper
+# ---------------------------------------------------------------------------
+
+
+def test_lsns_are_monotonic_and_gapless():
+    log = WriteAheadLog("w", fs=SimFS())
+    lsns = [log.append(OP_INSERT, _payload(i)) for i in range(20)]
+    assert lsns == list(range(1, 21))
+
+
+def test_replay_returns_everything_after_lsn():
+    fs = SimFS()
+    log = WriteAheadLog("w", fs=fs)
+    _fill(log, 10)
+    assert [r.lsn for r in log.replay()] == list(range(1, 11))
+    assert [r.lsn for r in log.replay(after_lsn=7)] == [8, 9, 10]
+    got = next(iter(log.replay(after_lsn=4)))
+    assert rec.decode_insert(got.payload) == (4, 4)
+
+
+def test_rotation_at_segment_size():
+    fs = SimFS()
+    log = WriteAheadLog("w", fs=fs, segment_size=256)
+    _fill(log, 50)
+    names = segment_files(fs, "w")
+    assert len(names) > 1
+    assert log.metrics.rotations_total == len(names) - 1
+    # Records split across segments still replay as one stream.
+    assert [r.lsn for r in log.replay()] == list(range(1, 51))
+
+
+def test_reopen_starts_a_new_segment_and_continues_lsns():
+    fs = SimFS()
+    log = WriteAheadLog("w", fs=fs)
+    _fill(log, 5)
+    log.close()
+    log2 = WriteAheadLog("w", fs=fs)
+    assert log2.last_lsn == 5
+    assert len(segment_files(fs, "w")) == 2  # never appends to the old tail
+    assert log2.append(OP_INSERT, _payload(5)) == 6
+    assert [r.lsn for r in log2.replay()] == list(range(1, 7))
+
+
+def test_reopen_after_unsynced_tail_restarts_at_durable_lsn():
+    fs = SimFS()
+    log = WriteAheadLog("w", fs=fs, policy="never")
+    _fill(log, 5)
+    log.sync()
+    _fill(log, 3, start=5)  # acknowledged but volatile
+    fs.reboot()  # power cut: unsynced tail gone
+    log2 = WriteAheadLog("w", fs=fs)
+    assert log2.last_lsn == 5
+    assert [r.lsn for r in log2.replay()] == [1, 2, 3, 4, 5]
+
+
+def test_replay_stops_cleanly_at_torn_tail():
+    fs = SimFS()
+    log = WriteAheadLog("w", fs=fs)
+    _fill(log, 5)
+    name = segment_files(fs, "w")[-1]
+    path = join("w", name)
+    f = fs._file(path)
+    f.durable = f.durable[:-3]  # tear the final record
+    assert [r.lsn for r in log.replay()] == [1, 2, 3, 4]
+    assert log.metrics.torn_tails_total == 1
+
+
+def test_replay_raises_on_midlog_damage():
+    fs = SimFS()
+    log = WriteAheadLog("w", fs=fs, segment_size=256)
+    _fill(log, 50)
+    assert len(segment_files(fs, "w")) >= 3
+    victim = join("w", segment_files(fs, "w")[1])
+    f = fs._file(victim)
+    f.durable[rec.SEGMENT_HEADER_SIZE + 5] ^= 0xFF  # corrupt sealed history
+    with pytest.raises(RecoveryError):
+        list(log.replay())
+    assert log.metrics.crc_failures_total == 1
+
+
+def test_replay_raises_when_history_truncated_past_request():
+    fs = SimFS()
+    log = WriteAheadLog("w", fs=fs, segment_size=256)
+    _fill(log, 50)
+    fs.remove(join("w", segment_files(fs, "w")[0]))
+    with pytest.raises(RecoveryError, match="truncated past"):
+        list(log.replay(after_lsn=0))
+
+
+def test_truncate_upto_keeps_live_segments():
+    fs = SimFS()
+    log = WriteAheadLog("w", fs=fs, segment_size=256)
+    _fill(log, 50)
+    mid = 25
+    log.rotate()  # seal the tail so truncation has a boundary
+    removed = log.truncate_upto(mid)
+    assert removed > 0
+    # Everything after the truncation point must still replay.
+    assert [r.lsn for r in log.replay(after_lsn=mid)] == list(range(26, 51))
+    # But history before it is (legitimately) gone.
+    with pytest.raises(RecoveryError):
+        list(log.replay(after_lsn=0))
+
+
+def test_truncate_never_removes_active_segment():
+    fs = SimFS()
+    log = WriteAheadLog("w", fs=fs)
+    _fill(log, 5)
+    assert log.truncate_upto(log.last_lsn) == 0
+    assert len(segment_files(fs, "w")) == 1
+
+
+def test_append_after_close_rejected():
+    log = WriteAheadLog("w", fs=SimFS())
+    log.close()
+    with pytest.raises(ValueError):
+        log.append(OP_INSERT, b"")
+
+
+def test_segment_size_floor():
+    with pytest.raises(ValueError):
+        WriteAheadLog("w", fs=SimFS(), segment_size=8)
+
+
+def test_metrics_counters_track_appends_and_syncs():
+    fs = SimFS()
+    log = WriteAheadLog("w", fs=fs, policy="always")
+    _fill(log, 4)
+    m = log.metrics
+    assert m.appends_total == 4
+    assert m.ops_logged_total == 4
+    assert m.fsyncs_total >= 4
+    assert m.last_lsn == 4 and m.durable_lsn == 4
+    assert m.bytes_written_total > 0
+    d = m.to_dict()
+    assert d["appends_total"] == 4 and "live_segments" in d
+
+
+def test_real_disk_roundtrip(tmp_path):
+    d = str(tmp_path / "wal")
+    log = WriteAheadLog(d, policy="batch(8,0.01)", segment_size=512)
+    _fill(log, 40)
+    log.close()
+    log2 = WriteAheadLog(d)
+    assert log2.last_lsn == 40
+    assert [r.lsn for r in log2.replay()] == list(range(1, 41))
+    log2.close()

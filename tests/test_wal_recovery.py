@@ -1,0 +1,227 @@
+"""Crash-consistency property: every acknowledged write survives recovery.
+
+The sweep runs one mixed workload (inserts, a batch, deletes, a range
+delete, a mid-stream checkpoint, two namespaces) on :class:`SimFS`,
+crashes it at *every* syscall of the fault-free execution under each
+tail-settle mode, reboots, recovers, and checks the recovered store
+against a differential shadow dict:
+
+- the recovered state must equal some prefix of the acknowledged
+  operation sequence (operations are atomic records -- no partial op
+  is ever visible), and
+- under ``fsync='always'`` that prefix must include *every*
+  acknowledged operation (the durability contract), while ``batch`` /
+  ``never`` permit bounded, prefix-ordered loss.
+
+A dedicated test also sweeps the checkpoint window itself, covering
+the crash-between-checkpoint-and-truncate interleaving.
+"""
+
+import copy
+
+import pytest
+
+from repro.wal import DurableKVStore, FaultSpec, SimFS, SimulatedCrash
+
+SEGMENT_SIZE = 384  # small: the workload spans several segments
+
+#: The workload script: every entry is one acknowledged operation.
+OPS = (
+    [("insert", "alpha", i, i * 10) for i in range(6)]
+    + [
+        ("insert_many", "beta", [(j, j + 100) for j in range(4)]),
+        ("delete", "alpha", 2),
+        ("checkpoint",),
+    ]
+    + [("insert", "alpha", i, i * 10) for i in range(6, 10)]
+    + [
+        ("delete_range", "alpha", 3, 8),
+        ("insert", "beta", 50, 5),
+        ("insert", "alpha", 11, 110),
+    ]
+)
+
+
+def _apply_shadow(state, op):
+    kind = op[0]
+    if kind == "insert":
+        _, ns, key, value = op
+        state[(ns, key)] = value
+    elif kind == "insert_many":
+        _, ns, pairs = op
+        for key, value in pairs:
+            state[(ns, key)] = value
+    elif kind == "delete":
+        _, ns, key = op
+        state.pop((ns, key), None)
+    elif kind == "delete_range":
+        _, ns, low, high = op
+        for key in [k for n, k in state if n == ns and low <= k < high]:
+            del state[(ns, key)]
+    elif kind != "checkpoint":
+        raise AssertionError(f"unknown op {kind}")
+
+
+def _apply_store(store, op):
+    kind = op[0]
+    if kind == "checkpoint":
+        store.checkpoint()
+        return
+    ns = store.namespace(op[1])
+    if kind == "insert":
+        ns.insert(op[2], op[3])
+    elif kind == "insert_many":
+        ns.insert_many(op[2])
+    elif kind == "delete":
+        ns.delete(op[2])
+    elif kind == "delete_range":
+        ns.delete_range(op[2], op[3])
+
+
+def _run_until_crash(fs, policy):
+    """Execute OPS until done or the armed crash fires.
+
+    Returns (shadow states after 0..k acknowledged ops, acked count).
+    """
+    shadow = {}
+    states = [dict(shadow)]
+    acked = 0
+    try:
+        store = DurableKVStore(
+            "db", fs=fs, fsync=policy, segment_size=SEGMENT_SIZE
+        )
+        for op in OPS:
+            _apply_store(store, op)
+            _apply_shadow(shadow, op)
+            states.append(dict(shadow))
+            acked += 1
+        store.close()
+    except SimulatedCrash:
+        pass
+    return states, acked
+
+
+def _read_state(store):
+    out = {}
+    for name in store.namespaces():
+        for key, value in store.namespace(name).items():
+            out[(name, key)] = value
+    return out
+
+
+def _baseline_syscalls(policy):
+    fs = SimFS()
+    states, acked = _run_until_crash(fs, policy)
+    assert acked == len(OPS), "fault-free run must complete"
+    return fs.syscalls
+
+
+def _allowed_states(states, acked):
+    """Prefix states a crash at this point may legally recover to.
+
+    Every state after 0..acked acknowledged ops, plus the state with
+    the one in-flight (unacknowledged) op applied -- a record can reach
+    disk in the same syscall that crashes.
+    """
+    allowed = list(states)
+    if acked < len(OPS):
+        nxt = dict(states[-1])
+        _apply_shadow(nxt, OPS[acked])
+        allowed.append(nxt)
+    return allowed
+
+
+def _sweep(policy, tail_mode, require_all_acked):
+    total = _baseline_syscalls(policy)
+    assert total > 15  # the sweep is meaningfully wide
+    for crash_at in range(1, total + 1):
+        fs = SimFS(FaultSpec(crash_at, tail_mode=tail_mode, seed=crash_at))
+        states, acked = _run_until_crash(fs, policy)
+        assert acked < len(OPS) or crash_at == total
+        fs.reboot()
+        recovered = DurableKVStore("db", fs=fs, segment_size=SEGMENT_SIZE)
+        got = _read_state(recovered)
+        allowed = _allowed_states(states, acked)
+        assert got in allowed, (
+            f"{policy}/{tail_mode} crash@{crash_at}: recovered state is "
+            f"not a prefix of the acknowledged history ({got})"
+        )
+        if require_all_acked:
+            # 'always': the prefix must contain every acknowledged op.
+            matches = [i for i, s in enumerate(allowed) if s == got]
+            assert max(matches) >= acked, (
+                f"always/{tail_mode} crash@{crash_at}: acknowledged "
+                f"write lost (recovered {max(matches)} of {acked} ops)"
+            )
+        # Recovery leaves a writable store: the log tail is usable.
+        recovered.namespace("alpha").insert(999, 1)
+        assert recovered.namespace("alpha").get(999) == 1
+        recovered.close()
+
+
+@pytest.mark.parametrize("tail_mode", ["drop", "torn", "flip"])
+def test_crash_sweep_fsync_always(tail_mode):
+    """Acknowledged == durable at every crash point, every tail mode."""
+    _sweep("always", tail_mode, require_all_acked=True)
+
+
+@pytest.mark.parametrize("tail_mode", ["drop", "torn", "flip"])
+def test_crash_sweep_fsync_batch(tail_mode):
+    """Group commit: bounded loss, always a prefix, never corruption."""
+    _sweep("batch(4,1000)", tail_mode, require_all_acked=False)
+
+
+@pytest.mark.parametrize("tail_mode", ["drop", "torn"])
+def test_crash_sweep_fsync_never(tail_mode):
+    _sweep("never", tail_mode, require_all_acked=False)
+
+
+def test_crash_between_checkpoint_and_truncate():
+    """Sweep every syscall of the checkpoint itself.
+
+    The checkpoint writes the snapshot atomically, rotates, then
+    truncates dead segments; a crash anywhere in that window (snapshot
+    tmp write, rename, old-checkpoint removal, rotation, each segment
+    unlink) must recover the full pre-checkpoint state.
+    """
+    fs0 = SimFS()
+    states, acked = _run_until_crash(fs0, "always")
+    assert acked == len(OPS)
+    expected = states[-1]
+
+    # Measure the checkpoint window on a throwaway copy.
+    probe = copy.deepcopy(fs0)
+    store = DurableKVStore("db", fs=probe, segment_size=SEGMENT_SIZE)
+    before = probe.syscalls
+    store.checkpoint()
+    window = probe.syscalls - before
+    assert window >= 4  # write_atomic(2) + rotate + at least one unlink
+
+    for k in range(1, window + 1):
+        fs = copy.deepcopy(fs0)
+        store = DurableKVStore("db", fs=fs, segment_size=SEGMENT_SIZE)
+        assert _read_state(store) == expected
+        fs.fault = FaultSpec(fs.syscalls + k, tail_mode="torn", seed=k)
+        with pytest.raises(SimulatedCrash):
+            store.checkpoint()
+        fs.reboot()
+        recovered = DurableKVStore("db", fs=fs, segment_size=SEGMENT_SIZE)
+        assert _read_state(recovered) == expected, f"checkpoint crash@{k}"
+        # And the half-finished checkpoint must not wedge the next one.
+        recovered.checkpoint()
+        recovered.close()
+        reopened = DurableKVStore("db", fs=fs, segment_size=SEGMENT_SIZE)
+        assert _read_state(reopened) == expected
+        reopened.close()
+
+
+def test_recovered_store_metrics_report_replay():
+    fs = SimFS()
+    _run_until_crash(fs, "always")
+    fs.reboot()
+    store = DurableKVStore("db", fs=fs, segment_size=SEGMENT_SIZE)
+    m = store.metrics
+    assert m.replays_total == 1
+    assert m.records_replayed_total > 0
+    assert m.replay_ns_total > 0
+    store.close()

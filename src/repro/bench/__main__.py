@@ -39,6 +39,7 @@ from repro.bench.experiments import (
     params_ablation,
     related_work,
     scan_sweep,
+    storage_engines,
     table1_datasets,
     table2_latency,
     wal_overhead,
@@ -67,6 +68,7 @@ EXPERIMENTS = {
     "scan-sweep": scan_sweep,
     "zipf-sweep": zipf_sweep,
     "batch-ops": batch_ops,
+    "storage-engines": storage_engines,
     "wal-overhead": wal_overhead,
 }
 

@@ -17,7 +17,14 @@ from repro.bench.harness import run_load
 from repro.bench.memory import deep_size_bytes
 from repro.datasets import generate
 
-INDEXES = ("DyTIS", "ALEX-10", "ALEX-70", "XIndex", "B+-tree")
+INDEXES = (
+    "DyTIS",
+    "DyTIS-columnar",
+    "ALEX-10",
+    "ALEX-70",
+    "XIndex",
+    "B+-tree",
+)
 
 
 @dataclass(frozen=True)
@@ -50,10 +57,10 @@ def run(
 
 def format_table(rows: List[MemoryRow]) -> str:
     lines = ["Memory usage after load (deep size)",
-             f"{'dataset':<8} {'index':<9} {'MiB':>10} {'vs DyTIS':>9}"]
+             f"{'dataset':<8} {'index':<15} {'MiB':>10} {'vs DyTIS':>9}"]
     for r in rows:
         lines.append(
-            f"{r.dataset:<8} {r.index:<9} {r.bytes_used / 2**20:>10.2f} "
+            f"{r.dataset:<8} {r.index:<15} {r.bytes_used / 2**20:>10.2f} "
             f"{r.relative_to_dytis:>9.2f}"
         )
     return "\n".join(lines)

@@ -1,0 +1,168 @@
+"""Storage-engine comparison: list-of-buckets vs columnar segments.
+
+Runs the same preload + workload against two DyTIS instances that
+differ only in ``DyTISConfig.storage`` and reports per-operation wall
+time plus resident storage bytes.  The columnar engine's wins come
+from vectorised batch search (one ``searchsorted`` per bucket run in
+``get_many``), bulk run copies in scans, and the unboxed key column;
+scalar operations stay within noise because they run C ``bisect`` on
+the flat key array.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, replace
+from typing import List, Sequence, Tuple
+
+from repro.bench.experiments.scale import ExperimentScale, default_scale
+
+ENGINES = ("lists", "columnar")
+
+
+@dataclass(frozen=True)
+class StorageEngineRow:
+    """One operation, both engines.  For the memory row the ``*_s``
+    fields carry MiB instead of seconds; ``speedup`` is always the
+    lists/columnar ratio (> 1 means columnar wins)."""
+
+    op: str
+    lists_s: float
+    columnar_s: float
+    speedup: float
+
+
+def _workloads(scale: ExperimentScale, dataset: str, batch_size: int):
+    """Deterministic shared workloads so both engines see identical ops."""
+    from repro.datasets import generate
+
+    n = scale.n_keys
+    keys = [int(k) for k in generate(dataset, n * 2, scale.seed)]
+    preload, fresh = keys[:n], keys[n:]
+    rng = random.Random(scale.seed + 1)
+
+    n_ops = scale.n_ops
+    probe_keys = [preload[rng.randrange(n)] for _ in range(n_ops)]
+    batch_reps = max(3, n_ops // batch_size)
+    batches = [
+        [preload[rng.randrange(n)] for _ in range(batch_size)]
+        for _ in range(batch_reps)
+    ]
+    sorted_keys = sorted(set(preload))
+    span = max(64, n // 100)
+    n_scans = max(5, min(200, n_ops // 10))
+    scan_bounds: List[Tuple[int, int]] = []
+    for _ in range(n_scans):
+        i = rng.randrange(max(1, len(sorted_keys) - span))
+        j = min(i + span, len(sorted_keys) - 1)
+        scan_bounds.append((sorted_keys[i], sorted_keys[j] + 1))
+    insert_keys = fresh[:n_ops]
+    insert_pairs = [(k, k) for k in insert_keys]
+    chunks = [
+        insert_pairs[lo : lo + batch_size]
+        for lo in range(0, len(insert_pairs), batch_size)
+    ]
+    return preload, probe_keys, batches, scan_bounds, span, insert_keys, chunks
+
+
+def run(
+    scale: ExperimentScale = None,
+    dataset: str = "MM",
+    batch_size: int = 1024,
+) -> List[StorageEngineRow]:
+    """Time every hot path under both engines on identical workloads."""
+    from repro.core import DyTIS
+
+    scale = scale or default_scale()
+    preload, probe_keys, batches, scan_bounds, span, insert_keys, chunks = (
+        _workloads(scale, dataset, batch_size)
+    )
+
+    def best(fn, reps=3):
+        """Min wall time over ``reps`` passes: damps scheduler noise on
+        shared machines without changing what is measured."""
+        t = float("inf")
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            fn()
+            t = min(t, time.perf_counter() - t0)
+        return t
+
+    per_engine = {}
+    for engine in ENGINES:
+        cfg = replace(scale.dytis_config(), storage=engine)
+        timings = {}
+
+        ix = DyTIS(cfg)
+        ix.bulk_load(preload, preload)
+        # Resident storage right after load: the engines' footprint
+        # before any read-side caches (e.g. the columnar fused column)
+        # have been materialised.
+        timings["memory_mib"] = ix.memory_bytes() / 2**20
+
+        def do_get():
+            get = ix.get
+            for k in probe_keys:
+                get(k)
+
+        def do_get_many():
+            for batch in batches:
+                ix.get_many(batch)
+
+        def do_scan_range():
+            for lo, hi in scan_bounds:
+                ix.scan_range(lo, hi)
+
+        def do_scan():
+            for lo, _ in scan_bounds:
+                ix.scan(lo, span)
+
+        timings["get"] = best(do_get)
+        timings[f"get_many[{batch_size}]"] = best(do_get_many)
+        timings["scan_range"] = best(do_scan_range)
+        timings[f"scan[{span}]"] = best(do_scan)
+
+        # Inserts mutate, so each timed pass gets a freshly loaded
+        # index (a second pass over the same keys would be updates).
+        t_ins = t_insb = float("inf")
+        for _ in range(2):
+            ins = DyTIS(cfg)
+            ins.bulk_load(preload, preload)
+            t0 = time.perf_counter()
+            insert = ins.insert
+            for k in insert_keys:
+                insert(k, k)
+            t_ins = min(t_ins, time.perf_counter() - t0)
+
+            insb = DyTIS(cfg)
+            insb.bulk_load(preload, preload)
+            t0 = time.perf_counter()
+            for chunk in chunks:
+                insb.insert_many(chunk)
+            t_insb = min(t_insb, time.perf_counter() - t0)
+        timings["insert"] = t_ins
+        timings[f"insert_many[{batch_size}]"] = t_insb
+
+        per_engine[engine] = timings
+
+    rows: List[StorageEngineRow] = []
+    for op in per_engine["lists"]:
+        ls, cs = per_engine["lists"][op], per_engine["columnar"][op]
+        rows.append(StorageEngineRow(op, ls, cs, ls / cs if cs else float("inf")))
+    return rows
+
+
+def format_table(rows: Sequence[StorageEngineRow]) -> str:
+    lines = [
+        "Storage engines: lists vs columnar (same DyTIS, same workload)",
+        f"{'op':<18} {'lists':>10} {'columnar':>10} {'lists/col':>10}",
+    ]
+    for r in rows:
+        unit = "MiB" if r.op == "memory_mib" else "s"
+        lines.append(
+            f"{r.op:<18} {r.lists_s:>9.3f}{unit[0]} {r.columnar_s:>9.3f}{unit[0]} "
+            f"{r.speedup:>9.2f}x"
+        )
+    lines.append("(speedup > 1: columnar faster / smaller)")
+    return "\n".join(lines)

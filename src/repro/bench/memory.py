@@ -13,6 +13,8 @@ import threading
 from types import FunctionType, ModuleType
 from typing import Any
 
+import numpy as np
+
 _ATOMIC = (str, bytes, bytearray, int, float, bool, complex, type(None))
 _SKIP = (type, ModuleType, FunctionType, threading.Lock().__class__)
 
@@ -39,6 +41,15 @@ def deep_size_bytes(obj: Any) -> int:
             continue
         total += sys.getsizeof(o, 0)
         if isinstance(o, _ATOMIC):
+            continue
+        if isinstance(o, np.ndarray):
+            # getsizeof covers the data buffer only for owning arrays;
+            # a view (e.g. the columnar engine's frombuffer key view)
+            # charges its buffer to the base object, walked instead.
+            if o.base is not None:
+                stack.append(o.base)
+            if o.dtype == object:
+                stack.extend(o.ravel().tolist())
             continue
         if isinstance(o, dict):
             stack.extend(o.keys())

@@ -19,8 +19,10 @@ Public API:
 
 from repro.core.config import DyTISConfig
 from repro.core.bucket import Bucket
+from repro.core.invariants import InvariantViolation, check_invariants
 from repro.core.remap import PiecewiseRemap
 from repro.core.segment import Segment
+from repro.core.storage import ColumnarStorage, ListStorage, make_storage
 from repro.core.dytis import DyTIS
 from repro.core.concurrent import ConcurrentDyTIS
 from repro.core.stats import OperationStats
@@ -32,5 +34,10 @@ __all__ = [
     "Bucket",
     "PiecewiseRemap",
     "Segment",
+    "ListStorage",
+    "ColumnarStorage",
+    "make_storage",
+    "InvariantViolation",
+    "check_invariants",
     "OperationStats",
 ]

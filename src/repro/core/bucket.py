@@ -11,6 +11,8 @@ from __future__ import annotations
 from bisect import bisect_left
 from typing import Any, Iterator, List, Optional, Tuple
 
+from repro.core.invariants import require
+
 
 class Bucket:
     """Fixed-capacity sorted run of key/value pairs."""
@@ -94,6 +96,11 @@ class Bucket:
         return zip(self.keys, self.values)
 
     def check_invariants(self) -> None:
-        assert len(self.keys) == len(self.values)
-        assert len(self.keys) <= self.capacity
-        assert all(a < b for a, b in zip(self.keys, self.keys[1:]))
+        require(
+            len(self.keys) == len(self.values), "keys/values length mismatch"
+        )
+        require(len(self.keys) <= self.capacity, "bucket over capacity")
+        require(
+            all(a < b for a, b in zip(self.keys, self.keys[1:])),
+            "bucket keys not strictly ascending",
+        )

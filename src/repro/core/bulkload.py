@@ -128,7 +128,7 @@ def _unit_remap(domain_bits: int) -> PiecewiseRemap:
 def build_segment(
     local_depth: int,
     local: np.ndarray,
-    keys: List[int],
+    keys: Sequence[int],
     values: List[Any],
     m: int,
     config: DyTISConfig,
@@ -137,8 +137,9 @@ def build_segment(
     """Build one segment bottom-up from its sorted key group.
 
     ``local`` holds the group's ``m``-bit local keys (high bits are the
-    group's prefix); ``keys``/``values`` the full keys and payloads as
-    fresh lists the segment may take ownership of.  Small groups skip
+    group's prefix); ``keys``/``values`` the full keys and payloads (a
+    list, or for the columnar engine an ascending ``uint64`` array the
+    fill copies without boxing).  Small groups skip
     planning entirely (one sorted bucket *is* the segment); larger ones
     get a PLR-planned remap and are filled by slice, falling back to
     :func:`build_fitting`'s refine-and-grow loop only when the planned
@@ -146,15 +147,14 @@ def build_segment(
     """
     domain_bits = m - local_depth
     capacity = config.bucket_capacity
+    storage = config.storage
     n = len(keys)
     if n == 0:
-        return Segment(local_depth, _unit_remap(domain_bits), capacity)
+        return Segment(local_depth, _unit_remap(domain_bits), capacity, storage)
     if n <= capacity:
         # One sorted bucket holds the whole group: no model to plan.
-        seg = Segment(local_depth, _unit_remap(domain_bits), capacity)
-        bucket = seg.buckets[0]
-        bucket.keys = keys
-        bucket.values = values
+        seg = Segment(local_depth, _unit_remap(domain_bits), capacity, storage)
+        seg.store.fill_sorted((n,), keys, values)
         seg.piece_counts = [n]
         seg.total_keys = n
         return seg
@@ -176,18 +176,10 @@ def build_segment(
         # incremental-path rebuild loop (refine sub-ranges, grow).
         return build_fitting(
             local_depth, remap, capacity, keys, values,
-            cap, config.max_piece_bits,
+            cap, config.max_piece_bits, storage=storage,
         )
-    seg = Segment(local_depth, remap, capacity)
-    bounds = np.concatenate([[0], np.cumsum(per_bucket_counts)]).tolist()
-    seg_buckets = seg.buckets
-    for b in range(remap.n_buckets):
-        lo, hi = bounds[b], bounds[b + 1]
-        if lo == hi:
-            continue
-        bucket = seg_buckets[b]
-        bucket.keys = keys[lo:hi]
-        bucket.values = values[lo:hi]
+    seg = Segment(local_depth, remap, capacity, storage)
+    seg.store.fill_sorted(per_bucket_counts, keys, values)
     seg.piece_counts = counts.tolist()
     seg.total_keys = n
     return seg

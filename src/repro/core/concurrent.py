@@ -214,12 +214,8 @@ class ConcurrentDyTIS:
             if table is not None:
                 seg = table.segment_for(key & d._local_mask, d._m)
                 with seg.lock:
-                    bucket = seg.bucket_for(key)
                     probed = True
-                    i = bucket.find(key)
-                    if i >= 0:
-                        found = True
-                        value = bucket.values[i]
+                    found, value = seg.probe(key)
         ns = time.perf_counter_ns() - t0
         with shard.lock:
             shard.record("get", ns)
@@ -406,18 +402,19 @@ class ConcurrentDyTIS:
                     seg = table.dir[0]
                 while seg is not None and len(out) < count:
                     segments_visited += 1
+                    # Copy the segment's contiguous runs in bulk while
+                    # its lock is held; overshoot is trimmed below.
                     with seg.lock:
-                        source = (
-                            seg.iter_from(start_key) if first else seg.items()
-                        )
-                        for pair in source:
-                            out.append(pair)
-                            if len(out) >= count:
-                                break
+                        if first:
+                            seg.extend_from(out, start_key, count)
+                        else:
+                            seg.extend_items(out, count)
                     first = False
                     seg = seg.sibling
             table_idx += 1
             first = False
         if hops is not None:
             hops[0] = max(0, segments_visited - 1)
+        if len(out) > count:
+            del out[count:]
         return out

@@ -2,7 +2,20 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
+
+#: Valid values for :attr:`DyTISConfig.storage`.
+STORAGE_KINDS = ("lists", "columnar")
+
+
+def _default_storage() -> str:
+    """Default engine: the ``DYTIS_STORAGE`` env var, else ``"lists"``.
+
+    The env override lets CI run the whole suite per engine without
+    touching every config construction site.
+    """
+    return os.environ.get("DYTIS_STORAGE", "lists")
 
 
 @dataclass(frozen=True)
@@ -43,6 +56,11 @@ class DyTISConfig:
     #: Cap on remapping-function granularity: at most 2^max_piece_bits
     #: sub-ranges per segment.
     max_piece_bits: int = 12
+    #: Per-segment storage engine: "lists" (one Bucket of parallel
+    #: Python lists per bucket) or "columnar" (structure-of-arrays --
+    #: one contiguous uint64 key array per segment with gapped slack).
+    #: Defaults from the DYTIS_STORAGE environment variable.
+    storage: str = field(default_factory=_default_storage)
 
     def __post_init__(self):
         if not 1 <= self.key_bits <= 64:
@@ -59,6 +77,10 @@ class DyTISConfig:
             raise ValueError("segment limit factors must be >= 1")
         if self.max_piece_bits < 0:
             raise ValueError("max_piece_bits must be >= 0")
+        if self.storage not in STORAGE_KINDS:
+            raise ValueError(
+                f"storage must be one of {STORAGE_KINDS}, got {self.storage!r}"
+            )
 
     @property
     def eh_key_bits(self) -> int:

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core import bulkload
 from repro.core.config import DyTISConfig
+from repro.core.invariants import require
 from repro.core.remap import PiecewiseRemap, proportional_allocs
 from repro.core.segment import (
     Segment,
@@ -51,9 +52,13 @@ class _EHTable:
 
     __slots__ = ("global_depth", "dir")
 
-    def __init__(self, eh_key_bits: int, bucket_capacity: int):
+    def __init__(
+        self, eh_key_bits: int, bucket_capacity: int, storage: str = "lists"
+    ):
         self.global_depth = 0
-        root = Segment(0, PiecewiseRemap(eh_key_bits, [1]), bucket_capacity)
+        root = Segment(
+            0, PiecewiseRemap(eh_key_bits, [1]), bucket_capacity, storage
+        )
         self.dir: List[Segment] = [root]
 
     def dir_index(self, local_key: int, eh_key_bits: int) -> int:
@@ -108,10 +113,24 @@ class DyTIS:
         self._m = self.config.eh_key_bits
         self._local_mask = (1 << self._m) - 1
         self._key_limit = 1 << self.config.key_bits
+        self._storage = self.config.storage
+        self._columnar = self._storage == "columnar"
         self._tables: List[Optional[_EHTable]] = [None] * (
             1 << self.config.first_level_bits
         )
         self._size = 0
+        # Fused read column (columnar engine only): every segment's key
+        # column concatenated in global key order, rebuilt lazily and
+        # invalidated by bumping ``_mut_epoch`` on any mutation.
+        self._mut_epoch = 0
+        self._fused: Optional[
+            Tuple[int, np.ndarray, np.ndarray, np.ndarray]
+        ] = None
+        # Live-compacted companion (slack slots squeezed out): serves
+        # scans and range counts with two searchsorteds and a C zip.
+        self._fused_live: Optional[
+            Tuple[int, np.ndarray, np.ndarray]
+        ] = None
         # Segment-size-limit escalation state (§3.3).
         self._boost_decided = False
         self._boosted = False
@@ -136,7 +155,7 @@ class DyTIS:
         i = self._table_index(key)
         table = self._tables[i]
         if table is None and create:
-            table = _EHTable(self._m, self.config.bucket_capacity)
+            table = _EHTable(self._m, self.config.bucket_capacity, self._storage)
             self._tables[i] = table
         return table
 
@@ -163,17 +182,13 @@ class DyTIS:
         if table is None:
             self._rec_get(_now() - t0)
             return None
-        bucket = table.segment_for(key & self._local_mask, self._m).bucket_for(
-            key
-        )
+        seg = table.segment_for(key & self._local_mask, self._m)
         probes.buckets_probed += 1
-        i = bucket.find(key)
-        if i >= 0:
+        found, value = seg.probe(key)
+        if found:
             probes.plr_hits += 1
-            value = bucket.values[i]
         else:
             probes.plr_misses += 1
-            value = None
         self._rec_get(_now() - t0)
         return value
 
@@ -195,6 +210,7 @@ class DyTIS:
         self._insert_impl(key, value)
 
     def _insert_impl(self, key: int, value: Any) -> None:
+        self._mut_epoch += 1
         self._check_key(key)
         table = self._table(key, create=True)
         local = key & self._local_mask
@@ -224,6 +240,7 @@ class DyTIS:
         return self._delete_impl(key)
 
     def _delete_impl(self, key: int) -> bool:
+        self._mut_epoch += 1
         self._check_key(key)
         table = self._table(key, create=False)
         if table is None:
@@ -260,11 +277,14 @@ class DyTIS:
         self._check_key(start_key)
         if count <= 0:
             return []
+        if self._columnar:
+            kl, vl = self._fused_live_arrays()
+            a = int(kl.searchsorted(np.uint64(start_key), side="left"))
+            b = a + count
+            return list(zip(kl[a:b].tolist(), vl[a:b].tolist()))
         out: List[Tuple[int, Any]] = []
-        for pair in self._iter_from(start_key):
-            out.append(pair)
-            if len(out) >= count:
-                break
+        self._scan_collect(start_key, count, out, None)
+        del out[count:]
         return out
 
     def _scan_observed(self, start_key: int, count: int) -> List[Tuple[int, Any]]:
@@ -276,10 +296,8 @@ class DyTIS:
         if count > 0:
             probes = obs.probes
             probes.scans += 1
-            for pair in self._iter_from(start_key, probes):
-                out.append(pair)
-                if len(out) >= count:
-                    break
+            self._scan_collect(start_key, count, out, probes)
+            del out[count:]
         self._rec_scan(_now() - t0)
         return out
 
@@ -293,28 +311,37 @@ class DyTIS:
         if high <= low:
             return []
         obs = self._obs
+        if obs is None and self._columnar:
+            kl, vl = self._fused_live_arrays()
+            a = int(kl.searchsorted(np.uint64(low), side="left"))
+            if high >= self._key_limit:
+                b = kl.size
+            else:
+                b = int(kl.searchsorted(np.uint64(high), side="left"))
+            return list(zip(kl[a:b].tolist(), vl[a:b].tolist()))
         probes = None
         if obs is not None:
             t0 = _now()
             probes = obs.probes
             probes.scans += 1
         out: List[Tuple[int, Any]] = []
-        for key, value in self._iter_from(low, probes):
-            if key >= high:
-                break
-            out.append((key, value))
+        self._scan_range_collect(low, high, out, probes)
         if obs is not None:
             self._rec_scan(_now() - t0)
         return out
 
-    def _iter_from(
-        self, start_key: int, probes=None
-    ) -> Iterator[Tuple[int, Any]]:
-        """Lazily yield pairs with key >= start_key, ascending.
+    def _scan_collect(
+        self, start_key: int, limit: int, out: List[Tuple[int, Any]], probes
+    ) -> None:
+        """Append >= ``limit`` pairs with key >= ``start_key`` to ``out``.
 
-        ``probes`` (an :class:`repro.obs.ProbeCounters`) counts the
-        sibling-chain hops actually consumed: one per segment visited
-        after the first.
+        Walks the start segment, then sibling segments, then subsequent
+        first-level EH tables (paper §3.3 Scan), copying each segment's
+        contiguous runs in bulk instead of materialising per-bucket
+        iterators; ``out`` may overshoot ``limit`` by part of a bucket,
+        which callers trim.  ``probes`` counts sibling-chain hops: one
+        per segment visited after the first, exactly as the lazy walk
+        consumed them (a segment is never visited once ``limit`` is met).
         """
         table_idx = self._table_index(start_key)
         table = self._tables[table_idx]
@@ -322,7 +349,9 @@ class DyTIS:
         visited = False
         if table is not None:
             seg = table.segment_for(start_key & self._local_mask, self._m)
-            yield from seg.iter_from(start_key)
+            seg.extend_from(out, start_key, limit)
+            if len(out) >= limit:
+                return
             visited = True
             seg = seg.sibling
         while True:
@@ -336,7 +365,38 @@ class DyTIS:
             if probes is not None and visited:
                 probes.scan_segment_hops += 1
             visited = True
-            yield from seg.items()
+            seg.extend_items(out, limit)
+            if len(out) >= limit:
+                return
+            seg = seg.sibling
+
+    def _scan_range_collect(
+        self, low: int, high: int, out: List[Tuple[int, Any]], probes
+    ) -> None:
+        """Append every pair with low <= key < high to ``out`` (in order)."""
+        table_idx = self._table_index(low)
+        table = self._tables[table_idx]
+        seg: Optional[Segment] = None
+        visited = False
+        if table is not None:
+            seg = table.segment_for(low & self._local_mask, self._m)
+            if seg.extend_range(out, low, high, route_low=True):
+                return
+            visited = True
+            seg = seg.sibling
+        while True:
+            while seg is None:
+                table_idx += 1
+                if table_idx >= len(self._tables):
+                    return
+                table = self._tables[table_idx]
+                if table is not None:
+                    seg = table.dir[0]
+            if probes is not None and visited:
+                probes.scan_segment_hops += 1
+            visited = True
+            if seg.extend_range(out, low, high):
+                return
             seg = seg.sibling
 
     def items(self) -> Iterator[Tuple[int, Any]]:
@@ -368,10 +428,9 @@ class DyTIS:
         table = self._table(key, create=False)
         if table is not None:
             seg = table.segment_for(key & self._local_mask, self._m)
-            bucket = seg.bucket_for(key)
-            i = bucket.find(key)
-            if i >= 0:
-                return bucket.values[i]
+            found, value = seg.probe(key)
+            if found:
+                return value
         raise KeyError(key)
 
     def __setitem__(self, key: int, value: Any) -> None:
@@ -392,13 +451,22 @@ class DyTIS:
         self._check_key(low)
         if high <= low:
             return 0
+        fl = self._fused_live
+        if fl is not None and fl[0] == self._mut_epoch:
+            # Warm fused column: the count is a searchsorted difference.
+            # (Not built here -- a count alone doesn't justify the
+            # column's construction cost the way a scan's output does.)
+            kl = fl[1]
+            a = int(kl.searchsorted(np.uint64(low), side="left"))
+            if high >= self._key_limit:
+                return int(kl.size) - a
+            return int(kl.searchsorted(np.uint64(high), side="left")) - a
         count = 0
         table_idx = self._table_index(low)
         table = self._tables[table_idx]
         seg: Optional[Segment] = None
-        entry: Optional[Segment] = None
         if table is not None:
-            seg = entry = table.segment_for(low & self._local_mask, self._m)
+            seg = table.segment_for(low & self._local_mask, self._m)
         while True:
             while seg is None:
                 table_idx += 1
@@ -407,10 +475,10 @@ class DyTIS:
                 table = self._tables[table_idx]
                 if table is not None:
                     seg = table.dir[0]
-            first_key = self._segment_min_key(seg)
+            first_key = seg.min_key()
             if first_key is not None and first_key >= high:
                 return count
-            last_key = self._segment_max_key(seg)
+            last_key = seg.max_key()
             if (
                 first_key is not None
                 and first_key >= low
@@ -418,34 +486,12 @@ class DyTIS:
                 and last_key < high
             ):
                 count += seg.total_keys  # fully inside: metadata only
-            elif seg is entry:
-                # Low-boundary segment: seek directly to ``low`` instead
-                # of rescanning the segment from its first bucket.
-                for k, _ in seg.iter_from(low):
-                    if k >= high:
-                        return count
-                    count += 1
             else:
-                for k, _ in seg.items():
-                    if k >= high:
-                        return count
-                    if k >= low:
-                        count += 1
+                # Boundary segment: count via per-bucket binary searches.
+                count += seg.count_between(low, high)
+                if last_key is not None and last_key >= high:
+                    return count
             seg = seg.sibling
-
-    @staticmethod
-    def _segment_min_key(seg: Segment) -> Optional[int]:
-        for bucket in seg.buckets:
-            if bucket.keys:
-                return bucket.keys[0]
-        return None
-
-    @staticmethod
-    def _segment_max_key(seg: Segment) -> Optional[int]:
-        for bucket in reversed(seg.buckets):
-            if bucket.keys:
-                return bucket.keys[-1]
-        return None
 
     def delete_range(self, low: int, high: int) -> int:
         """Delete every key with low <= key < high; return the count.
@@ -507,6 +553,7 @@ class DyTIS:
         """
         if self._size:
             raise ValueError("bulk_load requires an empty index")
+        self._mut_epoch += 1
         values = list(values)
         try:
             arr = np.asarray(
@@ -524,7 +571,9 @@ class DyTIS:
         self._check_batch_keys(arr)
         t0 = time.perf_counter()
         sk, src, _ = self._sorted_batch(arr)
-        key_list = sk.tolist()
+        # The columnar engine fills buckets straight from uint64 array
+        # slices; only the list engine needs every key boxed up front.
+        key_list = sk if self._columnar else sk.tolist()
         vals = [values[i] for i in src.tolist()]
         table_ids, starts = np.unique(sk >> np.uint64(self._m), return_index=True)
         bounds = np.append(starts, sk.size).tolist()
@@ -534,7 +583,7 @@ class DyTIS:
             segments, gd = bulkload.build_table_segments(
                 sk, key_list, vals, lo, hi, self._m, cfg, self._boosted
             )
-            table = _EHTable(self._m, cfg.bucket_capacity)
+            table = _EHTable(self._m, cfg.bucket_capacity, self._storage)
             table.global_depth = gd
             table.dir = []
             prev: Optional[Segment] = None
@@ -585,6 +634,8 @@ class DyTIS:
         if n == 0:
             return out
         self._check_batch_keys(arr)
+        if self._columnar:
+            return self._get_many_columnar(arr, out)
         order = np.argsort(arr, kind="stable").tolist()
         key_list = arr.tolist()
         m = self._m
@@ -613,7 +664,7 @@ class DyTIS:
                     seg = table.dir[di]
                     span = 1 << (gd - seg.local_depth)
                     end_di = (di // span) * span + span
-                    seg_upper = (ti << m) | (end_di << (m - gd))
+                    seg_upper = (ti << m) + (end_di << (m - gd))
                 else:
                     seg = table.dir[0]
                     seg_upper = (ti + 1) << m
@@ -624,7 +675,7 @@ class DyTIS:
                 dmask = seg._mask
                 offmask = (1 << shift) - 1
                 last_bucket = cum[-1] - 1
-                buckets = seg.buckets
+                buckets = seg.store.buckets
             elif in_gap:
                 continue
             lk = key & dmask
@@ -638,6 +689,134 @@ class DyTIS:
             if idx < len(bkeys) and bkeys[idx] == key:
                 out[pos] = bucket.values[idx]
         return out
+
+    def _build_fused(self) -> Tuple[int, np.ndarray, np.ndarray, np.ndarray]:
+        """(Re)build the fused read column for the columnar engine.
+
+        Concatenates every segment's sentinel-padded key column in
+        global key order (tables by high bits, segments by directory
+        slot), then repairs cross-segment padding with one vectorised
+        suffix-minimum pass: a segment's trailing MAX-key slack must not
+        exceed the next segment's first key or the fused column would
+        not be non-decreasing.  The suffix minimum never changes a live
+        key -- every slot to the right of a live key holds a key or
+        padding value >= it -- and rewrites each slack slot to the next
+        live key overall, which is exactly the single-segment padding
+        policy applied globally.  Values are fused too, as an object
+        ndarray of references aligned slot-for-slot with the key column
+        (slack slots hold None), so a whole batch of hits resolves with
+        one fancy-index gather; every mutation -- including in-place
+        value updates -- bumps the epoch, so a valid cache never holds
+        a stale reference.
+        """
+        epoch = self._mut_epoch
+        cap = self.config.bucket_capacity
+        cols: List[np.ndarray] = []
+        cnts: List[np.ndarray] = []
+        flat: List[Any] = []
+        pad = [None] * cap
+        for table in self._tables:
+            if table is None:
+                continue
+            for seg in table.unique_segments():
+                st = seg.store
+                cols.append(st.keys)
+                cnts.append(st._counts_array())
+                for vlist in st.values:
+                    flat += vlist
+                    flat += pad[len(vlist):]
+        if cols:
+            keys_col = np.concatenate(cols)
+            rev = keys_col[::-1]
+            np.minimum.accumulate(rev, out=rev)
+            counts_col = np.concatenate(cnts)
+            # fromiter keeps each element as an opaque reference;
+            # ndarray assignment would try to broadcast sequence values.
+            vals_col = np.fromiter(flat, dtype=object, count=len(flat))
+        else:
+            keys_col = np.empty(0, dtype=np.uint64)
+            counts_col = np.empty(0, dtype=np.int64)
+            vals_col = np.empty(0, dtype=object)
+        fused = (epoch, keys_col, counts_col, vals_col)
+        self._fused = fused
+        return fused
+
+    def _fused_live_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Live-compacted fused column: slack slots squeezed out.
+
+        ``keys`` is strictly increasing (live keys are unique) and
+        ``vals`` is slot-aligned with it, so a scan is two binary
+        searches plus one C-level zip over the slice -- no segment
+        walk, no per-bucket dispatch.  Derived from the padded fused
+        column with one boolean mask (slot offset < bucket count) and
+        shares its epoch invalidation.
+        """
+        fl = self._fused_live
+        if fl is None or fl[0] != self._mut_epoch:
+            fused = self._fused
+            if fused is None or fused[0] != self._mut_epoch:
+                fused = self._build_fused()
+            epoch, keys_col, counts_col, vals_col = fused
+            if keys_col.size:
+                cap = self.config.bucket_capacity
+                mask = (
+                    np.arange(keys_col.size, dtype=np.int64) % cap
+                    < counts_col.repeat(cap)
+                )
+                fl = (epoch, keys_col[mask], vals_col[mask])
+            else:
+                fl = (epoch, keys_col, vals_col)
+            self._fused_live = fl
+        return fl[1], fl[2]
+
+    def _get_many_columnar(
+        self, arr: np.ndarray, out: List[Optional[Any]]
+    ) -> List[Optional[Any]]:
+        """Vectorised ``get_many`` over the fused read column.
+
+        One ``searchsorted`` resolves the whole batch: sentinel padding
+        makes the fused column globally non-decreasing, so the last slot
+        <= key either holds the key (hit) or proves its absence.  A hit
+        is genuine iff the slot falls inside its bucket's live prefix
+        (``slot % capacity < count``); an equal slack slot can only
+        happen for the 2^64-1 sentinel used as a real key, which falls
+        back to a scalar probe.  No per-segment dispatch, no argsort:
+        on dispersed batches (hundreds of segments per 1024 keys) this
+        is what beats the list engine's per-key routing.
+        """
+        fused = self._fused
+        if fused is None or fused[0] != self._mut_epoch:
+            fused = self._build_fused()
+        _, keys_col, counts_col, vals_col = fused
+        if not keys_col.size:
+            return out
+        cap = self.config.bucket_capacity
+        # Sorting the batch halves searchsorted's cost: numpy narrows
+        # the binary-search window as ascending needles advance.
+        order = np.argsort(arr, kind="stable")
+        sk = arr[order]
+        pos = keys_col.searchsorted(sk, side="right") - 1
+        valid = pos >= 0
+        posc = np.where(valid, pos, 0)
+        eq = (keys_col[posc] == sk) & valid
+        if not eq.any():
+            return out
+        live = eq & (posc % cap < counts_col[posc // cap])
+        outa = np.full(arr.size, None, dtype=object)
+        outa[order[live]] = vals_col[posc[live]]
+        fix = eq & ~live
+        if fix.any():
+            m = self._m
+            local_mask = self._local_mask
+            tables = self._tables
+            for si in np.flatnonzero(fix).tolist():
+                key = int(sk[si])
+                table = tables[key >> m]
+                if table is not None:
+                    outa[int(order[si])] = table.segment_for(
+                        key & local_mask, m
+                    ).get(key)
+        return outa.tolist()
 
     def insert_many(self, pairs) -> None:
         """Insert a batch of (key, value) pairs (order-equivalent).
@@ -653,6 +832,7 @@ class DyTIS:
         pairs = list(pairs)
         if not pairs:
             return
+        self._mut_epoch += 1
         n = len(pairs)
         try:
             arr = np.fromiter((p[0] for p in pairs), dtype=np.uint64, count=n)
@@ -669,6 +849,9 @@ class DyTIS:
         sk, src, _ = self._sorted_batch(arr)
         key_list = sk.tolist()
         vals = [pairs[i][1] for i in src.tolist()]
+        if self._columnar:
+            self._insert_many_columnar(key_list, vals)
+            return
         m = self._m
         local_mask = self._local_mask
         tables = self._tables
@@ -682,7 +865,7 @@ class DyTIS:
                 ti = key >> m
                 table = tables[ti]
                 if table is None:
-                    table = _EHTable(m, capacity)
+                    table = _EHTable(m, capacity, self._storage)
                     tables[ti] = table
                 gd = table.global_depth
                 local = key & local_mask
@@ -691,7 +874,7 @@ class DyTIS:
                     seg = table.dir[di]
                     span = 1 << (gd - seg.local_depth)
                     end_di = (di // span) * span + span
-                    seg_upper = (ti << m) | (end_di << (m - gd))
+                    seg_upper = (ti << m) + (end_di << (m - gd))
                 else:
                     seg = table.dir[0]
                     seg_upper = (ti + 1) << m
@@ -702,7 +885,7 @@ class DyTIS:
                 dmask = seg._mask
                 offmask = (1 << shift) - 1
                 last_bucket = cum[-1] - 1
-                buckets = seg.buckets
+                buckets = seg.store.buckets
                 piece_counts = seg.piece_counts
             lk = key & dmask
             i = lk >> shift
@@ -726,6 +909,66 @@ class DyTIS:
                 self.insert(key, vals[p])
                 seg_upper = -1
         return
+
+    def _insert_many_columnar(self, key_list: List[int], vals: List[Any]) -> None:
+        """Columnar ``insert_many``: cached routing + storage inserts.
+
+        Same per-segment routing cache as the list path; each key then
+        goes through the storage engine's scalar insert (C bisect on
+        the key column, shift bounded by the bucket's slot span).  Full
+        buckets fall back to scalar :meth:`insert` and invalidate the
+        cache, so structural behaviour matches sequential insertion.
+        """
+        m = self._m
+        local_mask = self._local_mask
+        tables = self._tables
+        capacity = self.config.bucket_capacity
+        seg_upper = -1
+        seg = store = piece_counts = None
+        cum = allocs = None
+        shift = dmask = offmask = last_bucket = 0
+        for p, key in enumerate(key_list):
+            if key >= seg_upper:
+                ti = key >> m
+                table = tables[ti]
+                if table is None:
+                    table = _EHTable(m, capacity, self._storage)
+                    tables[ti] = table
+                gd = table.global_depth
+                local = key & local_mask
+                if gd:
+                    di = local >> (m - gd)
+                    seg = table.dir[di]
+                    span = 1 << (gd - seg.local_depth)
+                    end_di = (di // span) * span + span
+                    seg_upper = (ti << m) + (end_di << (m - gd))
+                else:
+                    seg = table.dir[0]
+                    seg_upper = (ti + 1) << m
+                remap = seg.remap
+                cum = remap._cum
+                allocs = remap.allocs
+                shift = remap._shift
+                dmask = seg._mask
+                offmask = (1 << shift) - 1
+                last_bucket = cum[-1] - 1
+                store = seg.store
+                piece_counts = seg.piece_counts
+            lk = key & dmask
+            i = lk >> shift
+            b = cum[i] + ((allocs[i] * (lk & offmask)) >> shift)
+            if b > last_bucket:
+                b = last_bucket
+            result = store.insert(b, key, vals[p])
+            if result == "inserted":
+                piece_counts[i] += 1
+                seg.total_keys += 1
+                self._size += 1
+            elif result == "full":
+                # Full bucket: Algorithm 1 may rewrite this table's
+                # directory, so run the scalar path and re-resolve.
+                self.insert(key, vals[p])
+                seg_upper = -1
 
     # -- Algorithm 1 ------------------------------------------------------------
 
@@ -836,7 +1079,7 @@ class DyTIS:
         """Split ``seg`` into two depth+1 children (paper §3.3 Split)."""
         t0 = time.perf_counter()
         ld = seg.local_depth
-        assert ld < table.global_depth, "split requires LD < GD"
+        require(ld < table.global_depth, "split requires LD < GD")
         cap_child = self._cap(ld + 1)
         left_remap, right_remap = plan_split(seg, cap_child)
         keys, values = seg.collect()
@@ -846,12 +1089,12 @@ class DyTIS:
         left = build_fitting(
             ld + 1, left_remap, cfg.bucket_capacity,
             keys[:split_at], values[:split_at],
-            cap_child, cfg.max_piece_bits,
+            cap_child, cfg.max_piece_bits, storage=self._storage,
         )
         right = build_fitting(
             ld + 1, right_remap, cfg.bucket_capacity,
             keys[split_at:], values[split_at:],
-            cap_child, cfg.max_piece_bits,
+            cap_child, cfg.max_piece_bits, storage=self._storage,
         )
         idx = table.dir_index(local, self._m)
         start = table.span_start(idx, ld)
@@ -882,7 +1125,7 @@ class DyTIS:
         keys, values = seg.collect()
         new_seg = build_fitting(
             ld, new_remap, cfg.bucket_capacity, keys, values,
-            self._cap(ld), cfg.max_piece_bits,
+            self._cap(ld), cfg.max_piece_bits, storage=self._storage,
         )
         idx = table.dir_index(local, self._m)
         start = table.span_start(idx, ld)
@@ -918,7 +1161,9 @@ class DyTIS:
             self.stats.remap_failures += 1
             return False
         keys, values = seg.collect()
-        new_seg = Segment.build(ld, plan, cfg.bucket_capacity, keys, values)
+        new_seg = Segment.build(
+            ld, plan, cfg.bucket_capacity, keys, values, self._storage
+        )
         idx = table.dir_index(local, self._m)
         start = table.span_start(idx, ld)
         span = 1 << (table.global_depth - ld)
@@ -955,7 +1200,8 @@ class DyTIS:
         if not layout_fits(candidate, local_keys, cfg.bucket_capacity):
             return  # keep the larger layout; merging is best-effort
         new_seg = Segment.build(
-            seg.local_depth, candidate, cfg.bucket_capacity, keys, values
+            seg.local_depth, candidate, cfg.bucket_capacity, keys, values,
+            self._storage,
         )
         idx = table.dir_index(local, self._m)
         start = table.span_start(idx, seg.local_depth)
@@ -1010,7 +1256,10 @@ class DyTIS:
         right_seg = table.dir[max(start, buddy_start)]
         keys, values = left_seg.collect()
         rk, rv = right_seg.collect()
-        keys.extend(rk)
+        if isinstance(keys, np.ndarray):
+            keys = np.concatenate([keys, rk])
+        else:
+            keys.extend(rk)
         values.extend(rv)
         domain_bits = self._m - (ld - 1)
         initial = PiecewiseRemap(
@@ -1028,7 +1277,7 @@ class DyTIS:
         merged = build_fitting(
             ld - 1, initial, capacity, keys, values,
             parent_cap, cfg.max_piece_bits,
-            max_total_buckets=4 * parent_cap,
+            max_total_buckets=4 * parent_cap, storage=self._storage,
         )
         if merged is None:  # no compact layout at the parent depth
             return
@@ -1085,6 +1334,31 @@ class DyTIS:
             return 0.0
         return self._size / (buckets * self.config.bucket_capacity)
 
+    def memory_bytes(self) -> int:
+        """Resident bytes of segment key/value storage (value payloads
+        excluded -- they are the same objects under either engine).
+
+        Engine-aware: the list engine counts bucket objects, per-bucket
+        lists, and boxed int keys; the columnar engine counts the flat
+        key arrays (slack slots included) plus value-pointer lists, and
+        a currently-valid fused read column is counted on top (honest
+        accounting for the ``get_many`` cache; the per-bucket value
+        lists it references are already counted by their segments).
+        """
+        total = sum(
+            seg.memory_bytes()
+            for t in self._tables
+            if t is not None
+            for seg in t.unique_segments()
+        )
+        fused = self._fused
+        if fused is not None and fused[0] == self._mut_epoch:
+            total += fused[1].nbytes + fused[2].nbytes + fused[3].nbytes
+        fl = self._fused_live
+        if fl is not None and fl[0] == self._mut_epoch:
+            total += fl[1].nbytes + fl[2].nbytes
+        return total
+
     def describe(self) -> str:
         """Human-readable structural summary (debugging / ops tooling)."""
         lines = [
@@ -1094,6 +1368,8 @@ class DyTIS:
             f"segments={self.segment_count()} buckets={self.bucket_count()} "
             f"models={self.model_count()} load_factor={self.load_factor():.2f} "
             f"boosted={self._boosted}",
+            f"storage={self._storage}: {self.memory_bytes():,} resident "
+            f"bytes in segment key/value storage",
             f"ops: {self.stats.splits} splits, {self.stats.expansions} "
             f"expansions, {self.stats.remappings} remappings, "
             f"{self.stats.doublings} doublings, {self.stats.merges} merges",
@@ -1116,38 +1392,48 @@ class DyTIS:
         return "\n".join(lines)
 
     def check_invariants(self) -> None:
-        """Raise AssertionError on any structural inconsistency (test hook)."""
+        """Raise :class:`InvariantViolation` on any structural
+        inconsistency (test hook; survives ``python -O``)."""
         total = 0
         for ti, table in enumerate(self._tables):
             if table is None:
                 continue
             gd = table.global_depth
-            assert len(table.dir) == 1 << gd
+            require(len(table.dir) == 1 << gd, "directory size != 2^GD")
             chain = []
             seen = set()
             i = 0
             while i < len(table.dir):
                 seg = table.dir[i]
-                assert id(seg) not in seen, "segment spans not contiguous"
+                require(id(seg) not in seen, "segment spans not contiguous")
                 seen.add(id(seg))
                 ld = seg.local_depth
-                assert ld <= gd
+                require(ld <= gd, "local depth exceeds global depth")
                 span = 1 << (gd - ld)
-                assert i % span == 0, "segment span misaligned"
+                require(i % span == 0, "segment span misaligned")
                 for j in range(i, i + span):
-                    assert table.dir[j] is seg
+                    require(table.dir[j] is seg, "directory span not uniform")
+                require(
+                    seg.store.kind == self._storage,
+                    "segment uses storage engine %r, config says %r",
+                    seg.store.kind,
+                    self._storage,
+                )
                 prefix = i >> (gd - ld) if gd > ld else i
                 for k, _ in seg.items():
                     lk = k & self._local_mask
-                    assert k >> self._m == ti, "key in wrong EH table"
+                    require(k >> self._m == ti, "key in wrong EH table")
                     if ld:
-                        assert lk >> (self._m - ld) == prefix, "key in wrong segment"
+                        require(
+                            lk >> (self._m - ld) == prefix,
+                            "key in wrong segment",
+                        )
                 seg.check_invariants()
                 chain.append(seg)
                 total += seg.total_keys
                 i += span
             # Sibling chain must equal directory order, ending with None.
             for a, b in zip(chain, chain[1:]):
-                assert a.sibling is b, "sibling chain broken"
-            assert chain[-1].sibling is None
-        assert total == self._size
+                require(a.sibling is b, "sibling chain broken")
+            require(chain[-1].sibling is None, "sibling chain must end the table")
+        require(total == self._size, "size counter out of sync")

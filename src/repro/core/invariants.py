@@ -1,0 +1,43 @@
+"""Invariant checking that survives ``python -O``.
+
+The structural ``check_invariants`` hooks originally used bare
+``assert`` statements, which the interpreter strips under ``-O`` --
+turning every differential-test safety net into a no-op exactly when
+someone benchmarks with optimizations on.  This module provides the
+exception type and the ``require`` helper those hooks now use, plus
+the single entry point the differential tests drive.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class InvariantViolation(AssertionError):
+    """A structural invariant does not hold.
+
+    Subclasses :class:`AssertionError` so callers (and tests) that
+    treated invariant failures as assertion failures keep working, but
+    is raised explicitly -- ``python -O`` cannot strip it.
+    """
+
+
+def require(condition: Any, message: str, *args: Any) -> None:
+    """Raise :class:`InvariantViolation` unless ``condition`` is truthy.
+
+    ``args`` are lazily ``%``-formatted into ``message`` only on
+    failure, so hot check loops pay no formatting cost.
+    """
+    if not condition:
+        raise InvariantViolation(message % args if args else message)
+
+
+def check_invariants(index: Any) -> Any:
+    """Run ``index.check_invariants()`` and return the index.
+
+    The one helper the differential/property tests call, so every
+    suite exercises invariants the same way (and a stripped-``assert``
+    build still gets real exceptions).
+    """
+    index.check_invariants()
+    return index

@@ -27,8 +27,9 @@ from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.bucket import Bucket
+from repro.core.invariants import require
 from repro.core.remap import PiecewiseRemap, proportional_allocs
+from repro.core.storage import make_storage
 
 
 class SegmentOverflow(Exception):
@@ -45,7 +46,7 @@ class Segment:
     __slots__ = (
         "local_depth",
         "remap",
-        "buckets",
+        "store",
         "piece_counts",
         "total_keys",
         "bucket_capacity",
@@ -60,11 +61,12 @@ class Segment:
         local_depth: int,
         remap: PiecewiseRemap,
         bucket_capacity: int,
+        storage: str = "lists",
     ):
         self.local_depth = local_depth
         self.remap = remap
         self.bucket_capacity = bucket_capacity
-        self.buckets = [Bucket(bucket_capacity) for _ in range(remap.n_buckets)]
+        self.store = make_storage(storage, remap.n_buckets, bucket_capacity)
         self.piece_counts = [0] * remap.n_pieces
         self.total_keys = 0
         #: Next segment in key order within the same EH (paper §3.2).
@@ -97,30 +99,46 @@ class Segment:
         allocated = max(self.remap.allocs[piece], 1) * self.bucket_capacity
         return self.piece_counts[piece] / allocated
 
+    @property
+    def storage(self) -> str:
+        """Name of the storage engine backing this segment."""
+        return self.store.kind
+
     # -- point operations -------------------------------------------------
 
     def bucket_index_for(self, key: int) -> int:
         return self.remap.bucket_of(key & self._mask)
 
-    def bucket_for(self, key: int) -> Bucket:
-        return self.buckets[self.remap.bucket_of(key & self._mask)]
+    def probe(self, key: int) -> Tuple[bool, Any]:
+        """(found, value) for ``key``: routed bucket lookup (lists) or
+        one binary search over the padded key column (columnar)."""
+        store = self.store
+        if store.needs_routing:
+            return store.probe(self.remap.bucket_of(key & self._mask), key)
+        return store.probe_key(key)
 
     def get(self, key: int) -> Optional[Any]:
-        return self.bucket_for(key).get(key)
+        store = self.store
+        if store.needs_routing:
+            return store.get(self.remap.bucket_of(key & self._mask), key)
+        found, value = store.probe_key(key)
+        return value if found else None
 
     def contains(self, key: int) -> bool:
-        return self.bucket_for(key).find(key) >= 0
+        return self.probe(key)[0]
 
     def insert(self, key: int, value: Any) -> str:
         """Sorted insert-or-update; 'inserted', 'updated', or 'full'."""
-        result = self.bucket_for(key).insert(key, value)
+        result = self.store.insert(
+            self.remap.bucket_of(key & self._mask), key, value
+        )
         if result == "inserted":
             self.total_keys += 1
             self.piece_counts[self.remap.piece_of(key & self._mask)] += 1
         return result
 
     def delete(self, key: int) -> bool:
-        if self.bucket_for(key).delete(key):
+        if self.store.delete(self.remap.bucket_of(key & self._mask), key):
             self.total_keys -= 1
             self.piece_counts[self.remap.piece_of(key & self._mask)] -= 1
             return True
@@ -130,26 +148,82 @@ class Segment:
 
     def items(self) -> Iterator[Tuple[int, Any]]:
         """All (full key, value) pairs in ascending key order."""
-        for bucket in self.buckets:
-            yield from bucket.items()
+        return self.store.items()
 
     def iter_from(self, key: int) -> Iterator[Tuple[int, Any]]:
         """Pairs with key >= ``key``, ascending (``key`` must route here)."""
-        start = self.remap.bucket_of(key & self._mask)
-        bucket = self.buckets[start]
-        i = bucket.lower_bound(key)
-        yield from zip(bucket.keys[i:], bucket.values[i:])
-        for bucket in self.buckets[start + 1 :]:
-            yield from bucket.items()
+        return self.store.iter_from(self.remap.bucket_of(key & self._mask), key)
 
-    def collect(self) -> Tuple[List[int], List[Any]]:
-        """All keys and values as parallel ascending lists (rebuild input)."""
-        keys: List[int] = []
-        values: List[Any] = []
-        for bucket in self.buckets:
-            keys.extend(bucket.keys)
-            values.extend(bucket.values)
-        return keys, values
+    def min_key(self) -> Optional[int]:
+        """Smallest key in the segment, or None when empty."""
+        return self.store.min_key()
+
+    def max_key(self) -> Optional[int]:
+        """Largest key in the segment, or None when empty."""
+        return self.store.max_key()
+
+    def extend_items(self, out: list, limit: Optional[int] = None) -> None:
+        """Append all pairs to ``out`` (may overshoot ``limit`` slightly)."""
+        self.store.extend_items(out, limit)
+
+    def extend_from(self, out: list, key: int, limit: Optional[int] = None) -> None:
+        """Append pairs with key >= ``key`` (``key`` must route here)."""
+        store = self.store
+        start = (
+            self.remap.bucket_of(key & self._mask) if store.needs_routing else 0
+        )
+        store.extend_from(out, start, key, limit)
+
+    def extend_range(
+        self, out: list, low: int, high: int, route_low: bool = False
+    ) -> bool:
+        """Append pairs with low <= key < high; True when a key >= high exists.
+
+        ``route_low=True`` starts from the bucket ``low`` routes to,
+        valid only when ``low`` lies in this segment's key range (all
+        earlier buckets then hold keys < ``low``).  The columnar engine
+        locates the start via its sorted column and ignores the hint.
+        """
+        store = self.store
+        start = (
+            self.remap.bucket_of(low & self._mask)
+            if route_low and store.needs_routing
+            else 0
+        )
+        return store.extend_range(out, start, low, high)
+
+    def count_between(self, low: int, high: int) -> int:
+        """Number of keys with low <= key < high."""
+        return self.store.count_between(low, high)
+
+    def find_many(self, sorted_keys: np.ndarray, out: list, out_idx) -> None:
+        """Batched lookups: ascending uint64 keys routing to this segment.
+
+        Found values land at ``out[out_idx[i]]``; misses leave ``out``
+        untouched.  The list engine routes the group with one vectorised
+        ``bucket_indices`` pass and bisects per key; the columnar engine
+        resolves the whole group with a single ``searchsorted`` against
+        its padded sorted column, no routing at all.
+        """
+        store = self.store
+        if store.needs_routing:
+            lk = sorted_keys & np.uint64(self._mask)
+            store.find_many(self.remap.bucket_indices(lk), sorted_keys, out, out_idx)
+        else:
+            store.find_many_sorted(sorted_keys, out, out_idx)
+
+    def collect(self) -> Tuple[Sequence[int], List[Any]]:
+        """All keys and values as parallel ascending runs (rebuild input).
+
+        Engine-native: the list engine returns Python lists, the
+        columnar engine an ascending ``uint64`` array -- both forms are
+        accepted by :meth:`build` / :func:`build_fitting`.
+        """
+        return self.store.collect()
+
+    def memory_bytes(self) -> int:
+        """Resident bytes of this segment's key/value storage."""
+        return self.store.memory_bytes()
 
     def local_keys_array(self, keys: Optional[Sequence[int]] = None) -> np.ndarray:
         """Segment-local keys as an ascending uint64 array (planner input)."""
@@ -168,16 +242,19 @@ class Segment:
         bucket_capacity: int,
         keys: Sequence[int],
         values: Sequence[Any],
+        storage: str = "lists",
     ) -> "Segment":
         """Build a segment from ascending ``keys`` and parallel ``values``.
 
         Vectorised: one pass computes every key's bucket, a bincount
-        checks capacity, and buckets are filled by slice.  Raises
+        checks capacity, and the storage fills buckets by slice (``keys``
+        may be a list or a ``uint64`` array; the columnar engine copies
+        an array without boxing a single key).  Raises
         :class:`SegmentOverflow` when some bucket would exceed capacity
         under ``remap``; callers pre-check with :func:`layout_fits` or
         use :func:`build_fitting`.
         """
-        seg = cls(local_depth, remap, bucket_capacity)
+        seg = cls(local_depth, remap, bucket_capacity, storage)
         n = len(keys)
         if n == 0:
             return seg
@@ -186,16 +263,7 @@ class Segment:
         counts = np.bincount(idx, minlength=remap.n_buckets)
         if counts.max(initial=0) > bucket_capacity:
             raise SegmentOverflow(int(counts.argmax()))
-        bounds = np.concatenate([[0], np.cumsum(counts)])
-        values = list(values)
-        keys = list(keys)
-        for b in range(remap.n_buckets):
-            lo, hi = int(bounds[b]), int(bounds[b + 1])
-            if lo == hi:
-                continue
-            bucket = seg.buckets[b]
-            bucket.keys = keys[lo:hi]
-            bucket.values = values[lo:hi]
+        seg.store.fill_sorted(counts, keys, values)
         shift = remap.domain_bits - remap.piece_bits
         pc = np.bincount(
             (lk >> np.uint64(shift)).astype(np.int64), minlength=remap.n_pieces
@@ -205,23 +273,29 @@ class Segment:
         return seg
 
     def check_invariants(self) -> None:
-        """Raise AssertionError on internal inconsistencies (test hook)."""
+        """Raise :class:`InvariantViolation` on inconsistencies (test hook)."""
         self.remap.check_invariants()
-        assert len(self.buckets) == self.remap.n_buckets
+        require(
+            self.store.n_buckets == self.remap.n_buckets,
+            "storage bucket count disagrees with remap",
+        )
+        self.store.check_invariants()
         total = 0
         last_key = -1
         counts = [0] * self.remap.n_pieces
-        for bi, bucket in enumerate(self.buckets):
-            bucket.check_invariants()
-            for k in bucket.keys:
-                assert k > last_key, "keys out of order across buckets"
+        for bi in range(self.remap.n_buckets):
+            bkeys = self.store.bucket_keys(bi)
+            for k in bkeys:
+                require(k > last_key, "keys out of order across buckets")
                 last_key = k
                 local = k & self._mask
-                assert self.remap.bucket_of(local) == bi, "key in wrong bucket"
+                require(
+                    self.remap.bucket_of(local) == bi, "key in wrong bucket"
+                )
                 counts[self.remap.piece_of(local)] += 1
-            total += len(bucket)
-        assert total == self.total_keys
-        assert counts == self.piece_counts
+            total += len(bkeys)
+        require(total == self.total_keys, "total_keys out of sync")
+        require(counts == self.piece_counts, "piece_counts out of sync")
 
 
 # -- planners ---------------------------------------------------------------
@@ -383,6 +457,7 @@ def build_fitting(
     cap: int,
     max_piece_bits: int,
     max_total_buckets: Optional[int] = None,
+    storage: str = "lists",
 ) -> Optional[Segment]:
     """Build a segment for the items, adjusting the layout until it fits.
 
@@ -406,7 +481,9 @@ def build_fitting(
     mask = np.uint64((1 << domain_bits) - 1)
     local_keys = np.asarray(keys, dtype=np.uint64) & mask
     if layout_fits(initial_remap, local_keys, bucket_capacity):
-        return Segment.build(local_depth, initial_remap, bucket_capacity, keys, values)
+        return Segment.build(
+            local_depth, initial_remap, bucket_capacity, keys, values, storage
+        )
     max_bits = min(max_piece_bits, domain_bits)
     piece_bits = min(initial_remap.piece_bits, max_bits)
     n_buckets = initial_remap.n_buckets
@@ -417,7 +494,7 @@ def build_fitting(
         candidate = PiecewiseRemap(domain_bits, allocs)
         if layout_fits(candidate, local_keys, bucket_capacity):
             return Segment.build(
-                local_depth, candidate, bucket_capacity, keys, values
+                local_depth, candidate, bucket_capacity, keys, values, storage
             )
         if piece_bits < max_bits and int(counts.max(initial=0)) > bucket_capacity:
             piece_bits += 1

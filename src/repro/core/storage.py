@@ -1,0 +1,669 @@
+"""Per-segment storage engines: list-of-buckets and columnar (SoA).
+
+A DyTIS segment needs a container for its buckets' sorted key/value
+runs.  Two interchangeable engines implement that contract:
+
+``ListStorage`` (``storage="lists"``)
+    The original layout -- one :class:`repro.core.bucket.Bucket` per
+    bucket, each holding two parallel Python lists.  Every key is a
+    boxed ``int`` and every hot-path probe walks Python objects.
+
+``ColumnarStorage`` (``storage="columnar"``)
+    Structure-of-arrays: one contiguous ``uint64`` key array for the
+    whole segment (an ``array('Q')`` sharing its buffer with a numpy
+    view, so scalar probes use C ``bisect`` while batch operations use
+    vectorised numpy), plus per-bucket object lists for the values.
+    Bucket ``b`` owns the fixed slot span ``[b*capacity, (b+1)*capacity)``
+    with its ``counts[b]`` keys packed at the front and the remaining
+    slots as *gapped slack*: an insert shifts at most one bucket's span,
+    never the whole segment, and structure operations move keys as
+    whole-array slice copies instead of per-key Python tuples.
+
+    Slack slots are not dead space -- they hold *sentinel padding*
+    (a following key, or ``2^64 - 1`` past the last one) chosen so the
+    entire key column stays non-decreasing.  Point lookups therefore
+    skip bucket routing entirely: one ``bisect_right`` over the whole
+    column lands on the last slot ``<= key``, and a slot is a genuine
+    hit only when it lies inside its bucket's live prefix
+    (``slot - b*capacity < counts[b]``) -- padding can duplicate a key
+    but always *before* its live slot, never shadow it.  Batch lookups
+    are the same probe vectorised: a single ``searchsorted`` against
+    the column resolves an arbitrarily large sorted query group.
+
+Both engines expose the same duck-typed interface (scalar ops, sorted
+iteration, batched ``find_many``/``extend_*``/``fill_sorted``/``collect``,
+memory accounting, invariant checks); :class:`repro.core.segment.Segment`
+routes keys to buckets and delegates the storage here.
+"""
+
+from __future__ import annotations
+
+import sys
+from array import array
+from bisect import bisect_left, bisect_right
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.bucket import Bucket
+from repro.core.invariants import require
+
+STORAGE_KINDS = ("lists", "columnar")
+
+#: Approximate bytes for one boxed Python int key (64-bit CPython).
+_BOXED_INT_BYTES = 32
+
+#: Sentinel padding past the last live key (also a legal user key; the
+#: live-prefix check keeps lookups correct either way).
+_MAX_KEY = (1 << 64) - 1
+
+
+def make_storage(kind: str, n_buckets: int, capacity: int):
+    """Construct a storage engine by config name."""
+    if kind == "columnar":
+        return ColumnarStorage(n_buckets, capacity)
+    if kind == "lists":
+        return ListStorage(n_buckets, capacity)
+    raise ValueError(f"unknown storage engine {kind!r}; choose from {STORAGE_KINDS}")
+
+
+class ListStorage:
+    """The original list-of-``Bucket`` layout behind the engine interface."""
+
+    kind = "lists"
+    #: Callers must resolve a key's bucket (via the segment's remap)
+    #: before scalar/batch lookups; the columnar engine finds keys by
+    #: binary search over its sorted column instead.
+    needs_routing = True
+
+    __slots__ = ("capacity", "buckets")
+
+    def __init__(self, n_buckets: int, capacity: int):
+        self.capacity = capacity
+        self.buckets: List[Bucket] = [Bucket(capacity) for _ in range(n_buckets)]
+
+    @property
+    def n_buckets(self) -> int:
+        return len(self.buckets)
+
+    # -- scalar operations ------------------------------------------------
+
+    def bucket_len(self, b: int) -> int:
+        return len(self.buckets[b].keys)
+
+    def bucket_keys(self, b: int) -> Sequence[int]:
+        return self.buckets[b].keys
+
+    def probe(self, b: int, key: int) -> Tuple[bool, Any]:
+        bucket = self.buckets[b]
+        i = bucket.find(key)
+        if i >= 0:
+            return True, bucket.values[i]
+        return False, None
+
+    def get(self, b: int, key: int) -> Optional[Any]:
+        return self.buckets[b].get(key)
+
+    def insert(self, b: int, key: int, value: Any) -> str:
+        return self.buckets[b].insert(key, value)
+
+    def delete(self, b: int, key: int) -> bool:
+        return self.buckets[b].delete(key)
+
+    # -- iteration ---------------------------------------------------------
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        for bucket in self.buckets:
+            yield from zip(bucket.keys, bucket.values)
+
+    def iter_from(self, b: int, key: int) -> Iterator[Tuple[int, Any]]:
+        bucket = self.buckets[b]
+        i = bucket.lower_bound(key)
+        yield from zip(bucket.keys[i:], bucket.values[i:])
+        for bucket in self.buckets[b + 1 :]:
+            yield from zip(bucket.keys, bucket.values)
+
+    def min_key(self) -> Optional[int]:
+        for bucket in self.buckets:
+            if bucket.keys:
+                return bucket.keys[0]
+        return None
+
+    def max_key(self) -> Optional[int]:
+        for bucket in reversed(self.buckets):
+            if bucket.keys:
+                return bucket.keys[-1]
+        return None
+
+    # -- batch operations ---------------------------------------------------
+
+    def collect(self) -> Tuple[List[int], List[Any]]:
+        """All keys and values as ascending parallel runs (engine-native)."""
+        keys: List[int] = []
+        values: List[Any] = []
+        for bucket in self.buckets:
+            keys.extend(bucket.keys)
+            values.extend(bucket.values)
+        return keys, values
+
+    def fill_sorted(self, counts, keys, values) -> None:
+        """Fill fresh buckets by slice from ascending ``keys``/``values``.
+
+        ``counts[b]`` keys go to bucket ``b``; the storage must be empty.
+        """
+        if isinstance(keys, np.ndarray):
+            keys = keys.tolist()
+        elif not isinstance(keys, list):
+            keys = list(keys)
+        if not isinstance(values, list):
+            values = list(values)
+        buckets = self.buckets
+        lo = 0
+        for b, c in enumerate(counts.tolist() if isinstance(counts, np.ndarray) else counts):
+            if not c:
+                continue
+            bucket = buckets[b]
+            bucket.keys = keys[lo : lo + c]
+            bucket.values = values[lo : lo + c]
+            lo += c
+
+    def find_many(self, bidx, qkeys, out: list, out_idx: Sequence[int]) -> None:
+        """Batched probes: write found values to ``out[out_idx[i]]``.
+
+        ``qkeys`` is the ascending uint64 query array and ``bidx`` the
+        per-key bucket index (non-decreasing).
+        """
+        buckets = self.buckets
+        for i, (b, k) in enumerate(zip(bidx.tolist(), qkeys.tolist())):
+            bkeys = buckets[b].keys
+            j = bisect_left(bkeys, k)
+            if j < len(bkeys) and bkeys[j] == k:
+                out[out_idx[i]] = buckets[b].values[j]
+
+    def extend_items(self, out: list, limit: Optional[int] = None) -> None:
+        """Append every pair in key order, stopping once ``limit`` is met."""
+        append = out.append
+        if limit is None:
+            for pair in self.items():
+                append(pair)
+            return
+        size = len(out)
+        for pair in self.items():
+            append(pair)
+            size += 1
+            if size >= limit:
+                return
+
+    def extend_from(
+        self, out: list, b: int, key: int, limit: Optional[int] = None
+    ) -> None:
+        """Append pairs with key >= ``key`` starting in bucket ``b``."""
+        append = out.append
+        if limit is None:
+            for pair in self.iter_from(b, key):
+                append(pair)
+            return
+        size = len(out)
+        for pair in self.iter_from(b, key):
+            append(pair)
+            size += 1
+            if size >= limit:
+                return
+
+    def extend_range(self, out: list, b: int, low: int, high: int) -> bool:
+        """Append pairs with low <= key < high from bucket ``b`` on.
+
+        Returns True when this segment holds a key >= ``high`` (the
+        caller's range walk is complete).
+        """
+        append = out.append
+        for k, v in self.iter_from(b, low):
+            if k >= high:
+                return True
+            append((k, v))
+        return False
+
+    def count_between(self, low: int, high: int) -> int:
+        """Number of keys with low <= key < high."""
+        count = 0
+        for bucket in self.buckets:
+            bkeys = bucket.keys
+            if not bkeys or bkeys[-1] < low:
+                continue
+            if bkeys[0] >= high:
+                break
+            count += bisect_left(bkeys, high) - bisect_left(bkeys, low)
+        return count
+
+    # -- accounting ----------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        """Resident bytes of the storage itself (value payloads excluded).
+
+        Counts the bucket objects, both per-bucket lists, and the boxed
+        int key objects -- the costs the columnar engine avoids.
+        """
+        total = sys.getsizeof(self.buckets)
+        for bucket in self.buckets:
+            total += (
+                sys.getsizeof(bucket)
+                + sys.getsizeof(bucket.keys)
+                + sys.getsizeof(bucket.values)
+                + _BOXED_INT_BYTES * len(bucket.keys)
+            )
+        return total
+
+    def check_invariants(self) -> None:
+        for b, bucket in enumerate(self.buckets):
+            require(
+                len(bucket.keys) == len(bucket.values),
+                "bucket %d: keys/values length mismatch", b,
+            )
+            require(
+                len(bucket.keys) <= self.capacity,
+                "bucket %d over capacity", b,
+            )
+            bucket.check_invariants()
+
+
+class ColumnarStorage:
+    """Structure-of-arrays bucket storage with gapped slack.
+
+    Keys live in one flat ``array('Q')`` (``_karr``); ``keys`` is a
+    zero-copy numpy ``uint64`` view over the same buffer, so scalar
+    probes run C ``bisect`` on the array while batch operations slice
+    the numpy view.  Bucket ``b``'s keys occupy slots
+    ``[b*capacity, b*capacity + counts[b])``; the tail of each span is
+    free slack, so an insert shifts at most ``capacity`` slots.  Values
+    are per-bucket Python lists aligned with the key slots (Python
+    objects are pointers either way; per-bucket lists give C-speed
+    shifts and slicing).
+    """
+
+    kind = "columnar"
+    #: Lookups binary-search the sorted key column directly; no remap
+    #: routing needed (inserts/deletes still route, to place new keys).
+    needs_routing = False
+
+    __slots__ = (
+        "capacity",
+        "n_buckets",
+        "_karr",
+        "keys",
+        "values",
+        "counts",
+        "_counts_np",
+    )
+
+    def __init__(self, n_buckets: int, capacity: int):
+        self.capacity = capacity
+        self.n_buckets = n_buckets
+        # All slots start as MAX-sentinel padding (b'\xff' * 8 each), the
+        # empty case of the column-wide sorted invariant.
+        self._karr = array("Q", b"\xff" * (8 * n_buckets * capacity))
+        self.keys = np.frombuffer(self._karr, dtype=np.uint64)
+        self.values: List[List[Any]] = [[] for _ in range(n_buckets)]
+        self.counts: List[int] = [0] * n_buckets
+        #: Lazy int64 mirror of ``counts`` for vectorised live-prefix
+        #: checks; invalidated (None) by any mutation.
+        self._counts_np: Optional[np.ndarray] = None
+
+    # -- scalar operations ------------------------------------------------
+
+    def bucket_len(self, b: int) -> int:
+        return self.counts[b]
+
+    def bucket_keys(self, b: int) -> Sequence[int]:
+        off = b * self.capacity
+        return self._karr[off : off + self.counts[b]]
+
+    def probe(self, b: int, key: int) -> Tuple[bool, Any]:
+        off = b * self.capacity
+        cnt = self.counts[b]
+        karr = self._karr
+        i = bisect_left(karr, key, off, off + cnt)
+        if i < off + cnt and karr[i] == key:
+            return True, self.values[b][i - off]
+        return False, None
+
+    def get(self, b: int, key: int) -> Optional[Any]:
+        off = b * self.capacity
+        cnt = self.counts[b]
+        karr = self._karr
+        i = bisect_left(karr, key, off, off + cnt)
+        if i < off + cnt and karr[i] == key:
+            return self.values[b][i - off]
+        return None
+
+    def probe_key(self, key: int) -> Tuple[bool, Any]:
+        """(found, value) by binary search over the whole key column.
+
+        ``bisect_right - 1`` lands on the last slot <= ``key``; the hit
+        is genuine only inside its bucket's live prefix.  A slot equal
+        to ``key`` outside the prefix is padding: the live slot, if any,
+        lies among the preceding duplicates (padding never shadows a
+        live key from the left), so walk back over equal slots.
+        """
+        karr = self._karr
+        pos = bisect_right(karr, key) - 1
+        if pos < 0 or karr[pos] != key:
+            return False, None
+        cap = self.capacity
+        counts = self.counts
+        while pos >= 0 and karr[pos] == key:
+            b = pos // cap
+            i = pos - b * cap
+            if i < counts[b]:
+                return True, self.values[b][i]
+            pos -= 1
+        return False, None
+
+    def insert(self, b: int, key: int, value: Any) -> str:
+        cap = self.capacity
+        off = b * cap
+        cnt = self.counts[b]
+        karr = self._karr
+        end = off + cnt
+        i = bisect_left(karr, key, off, end)
+        if i < end and karr[i] == key:
+            self.values[b][i - off] = value
+            return "updated"
+        if cnt >= cap:
+            return "full"
+        if i < end:
+            # Shift only within this bucket's slot span (gapped slack);
+            # the slack slot absorbing the old maximum was padding >= it.
+            karr[i + 1 : end + 1] = karr[i:end]
+        karr[i] = key
+        if i == off:
+            # New bucket minimum: padding before the span may duplicate
+            # the *old* minimum and now exceed the key; rewrite those
+            # slots so the column stays non-decreasing.  Live keys of
+            # earlier buckets are < key by routing, stopping the walk.
+            j = off - 1
+            while j >= 0 and karr[j] > key:
+                karr[j] = key
+                j -= 1
+        self.values[b].insert(i - off, value)
+        self.counts[b] = cnt + 1
+        self._counts_np = None
+        return "inserted"
+
+    def delete(self, b: int, key: int) -> bool:
+        cap = self.capacity
+        off = b * cap
+        cnt = self.counts[b]
+        karr = self._karr
+        end = off + cnt
+        i = bisect_left(karr, key, off, end)
+        if i >= end or karr[i] != key:
+            return False
+        if i < end - 1:
+            karr[i : end - 1] = karr[i + 1 : end]
+        # The freed slot becomes padding: copy its right neighbour
+        # (itself padding or a later live key) to stay non-decreasing.
+        karr[end - 1] = karr[end] if end < len(karr) else _MAX_KEY
+        self.values[b].pop(i - off)
+        self.counts[b] = cnt - 1
+        self._counts_np = None
+        return True
+
+    # -- iteration ---------------------------------------------------------
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        karr = self._karr
+        cap = self.capacity
+        for b, cnt in enumerate(self.counts):
+            if cnt:
+                off = b * cap
+                yield from zip(karr[off : off + cnt], self.values[b])
+
+    def iter_from(self, b: int, key: int) -> Iterator[Tuple[int, Any]]:
+        karr = self._karr
+        cap = self.capacity
+        off = b * cap
+        cnt = self.counts[b]
+        i = bisect_left(karr, key, off, off + cnt)
+        if i < off + cnt:
+            yield from zip(karr[i : off + cnt], self.values[b][i - off :])
+        for bi in range(b + 1, self.n_buckets):
+            cnt = self.counts[bi]
+            if cnt:
+                off = bi * cap
+                yield from zip(karr[off : off + cnt], self.values[bi])
+
+    def min_key(self) -> Optional[int]:
+        for b, cnt in enumerate(self.counts):
+            if cnt:
+                return self._karr[b * self.capacity]
+        return None
+
+    def max_key(self) -> Optional[int]:
+        for b in range(self.n_buckets - 1, -1, -1):
+            cnt = self.counts[b]
+            if cnt:
+                return self._karr[b * self.capacity + cnt - 1]
+        return None
+
+    # -- batch operations ---------------------------------------------------
+
+    def collect(self) -> Tuple[np.ndarray, List[Any]]:
+        """All keys (ascending ``uint64`` array) and values (flat list).
+
+        One vectorised mask-gather for the keys; values concatenate by
+        whole-bucket list extends -- no per-key Python round-trip.
+        """
+        counts_np = np.asarray(self.counts, dtype=np.int64)
+        total = int(counts_np.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.uint64), []
+        mask = (
+            np.arange(self.capacity, dtype=np.int64)[None, :] < counts_np[:, None]
+        ).ravel()
+        keys = self.keys[mask]
+        values: List[Any] = []
+        for b, cnt in enumerate(self.counts):
+            if cnt:
+                values.extend(self.values[b])
+        return keys, values
+
+    def fill_sorted(self, counts, keys, values) -> None:
+        """Fill fresh spans by slice copies from ascending ``keys``/``values``."""
+        if not isinstance(keys, np.ndarray):
+            keys = np.asarray(keys, dtype=np.uint64)
+        elif keys.dtype != np.uint64:
+            keys = keys.astype(np.uint64)
+        if not isinstance(values, list):
+            values = list(values)
+        cap = self.capacity
+        keys_np = self.keys
+        lo = 0
+        for b, c in enumerate(counts.tolist() if isinstance(counts, np.ndarray) else counts):
+            if not c:
+                continue
+            off = b * cap
+            keys_np[off : off + c] = keys[lo : lo + c]
+            self.values[b] = values[lo : lo + c]
+            self.counts[b] = c
+            lo += c
+        self._counts_np = None
+        # Padding sweep: every slack slot takes the next live key (MAX
+        # past the last), restoring the column-wide sorted invariant.
+        nxt = _MAX_KEY
+        karr = self._karr
+        for b in range(self.n_buckets - 1, -1, -1):
+            off = b * cap
+            c = self.counts[b]
+            if c < cap:
+                keys_np[off + c : off + cap] = nxt
+            if c:
+                nxt = karr[off]
+
+    def _counts_array(self) -> np.ndarray:
+        ca = self._counts_np
+        if ca is None:
+            ca = np.asarray(self.counts, dtype=np.int64)
+            self._counts_np = ca
+        return ca
+
+    def find_many_sorted(self, qkeys, out: list, out_idx: Sequence[int]) -> None:
+        """Batched probes over an ascending uint64 query array.
+
+        Found values land at ``out[out_idx[i]]``; misses leave ``out``
+        untouched.  One ``searchsorted`` against the padded sorted
+        column resolves the whole group; small groups use the scalar C
+        bisect instead (numpy's fixed per-call cost would dominate).
+        """
+        n = int(qkeys.size)
+        if n == 0:
+            return
+        karr = self._karr
+        cap = self.capacity
+        counts = self.counts
+        values = self.values
+        if n <= 16:
+            for qi, k in enumerate(qkeys.tolist()):
+                pos = bisect_right(karr, k) - 1
+                while pos >= 0 and karr[pos] == k:
+                    b = pos // cap
+                    i = pos - b * cap
+                    if i < counts[b]:
+                        out[out_idx[qi]] = values[b][i]
+                        break
+                    pos -= 1
+            return
+        pos = self.keys.searchsorted(qkeys, side="right").astype(np.int64) - 1
+        valid = pos >= 0
+        posc = np.where(valid, pos, 0)
+        eq = (self.keys[posc] == qkeys) & valid
+        if not eq.any():
+            return
+        bpos = posc // cap
+        live = eq & (posc - bpos * cap < self._counts_array()[bpos])
+        for qi, p, b in zip(
+            np.flatnonzero(live).tolist(),
+            posc[live].tolist(),
+            bpos[live].tolist(),
+        ):
+            out[out_idx[qi]] = values[b][p - b * cap]
+        # Rare: the last slot <= key is a padding duplicate (stale dup,
+        # or a live MAX-sentinel key); resolve those scalars precisely.
+        fix = eq & ~live
+        if fix.any():
+            for qi in np.flatnonzero(fix).tolist():
+                found, val = self.probe_key(int(qkeys[qi]))
+                if found:
+                    out[out_idx[qi]] = val
+
+    def extend_items(self, out: list, limit: Optional[int] = None) -> None:
+        karr = self._karr
+        cap = self.capacity
+        for b, cnt in enumerate(self.counts):
+            if limit is not None and len(out) >= limit:
+                return
+            if cnt:
+                off = b * cap
+                out.extend(zip(karr[off : off + cnt], self.values[b]))
+
+    def extend_from(
+        self, out: list, b: int, key: int, limit: Optional[int] = None
+    ) -> None:
+        """Append pairs with key >= ``key`` (``b`` unused: the padded
+        sorted column locates the start bucket directly)."""
+        karr = self._karr
+        cap = self.capacity
+        counts = self.counts
+        first = True
+        for bi in range(bisect_left(karr, key) // cap, self.n_buckets):
+            if limit is not None and len(out) >= limit:
+                return
+            cnt = counts[bi]
+            if not cnt:
+                continue
+            off = bi * cap
+            if first:
+                first = False
+                i = bisect_left(karr, key, off, off + cnt)
+                if i == off + cnt:
+                    continue
+            else:
+                i = off
+            out.extend(zip(karr[i : off + cnt], self.values[bi][i - off :]))
+
+    def extend_range(self, out: list, b: int, low: int, high: int) -> bool:
+        """Append pairs with low <= key < high (``b`` unused, as above)."""
+        karr = self._karr
+        cap = self.capacity
+        counts = self.counts
+        for bi in range(bisect_left(karr, low) // cap, self.n_buckets):
+            cnt = counts[bi]
+            if not cnt:
+                continue
+            off = bi * cap
+            end = off + cnt
+            if karr[end - 1] < low:
+                continue
+            lo_i = bisect_left(karr, low, off, end) if karr[off] < low else off
+            if karr[end - 1] >= high:
+                hi_i = bisect_left(karr, high, off, end)
+                if lo_i < hi_i:
+                    out.extend(
+                        zip(karr[lo_i:hi_i], self.values[bi][lo_i - off : hi_i - off])
+                    )
+                return True
+            out.extend(zip(karr[lo_i:end], self.values[bi][lo_i - off :]))
+        return False
+
+    def count_between(self, low: int, high: int) -> int:
+        karr = self._karr
+        cap = self.capacity
+        count = 0
+        for b in range(bisect_left(karr, low) // cap, self.n_buckets):
+            cnt = self.counts[b]
+            if not cnt:
+                continue
+            off = b * cap
+            if karr[off + cnt - 1] < low:
+                continue
+            if karr[off] >= high:
+                break
+            count += bisect_left(karr, high, off, off + cnt) - bisect_left(
+                karr, low, off, off + cnt
+            )
+        return count
+
+    # -- accounting ----------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        """Resident bytes of the storage itself (value payloads excluded).
+
+        The key column is unboxed (8 bytes per *slot*, slack included);
+        value-pointer lists and bookkeeping are counted via
+        ``sys.getsizeof``.
+        """
+        total = (
+            sys.getsizeof(self._karr)
+            + sys.getsizeof(self.keys)
+            + sys.getsizeof(self.counts)
+            + sys.getsizeof(self.values)
+        )
+        for vals in self.values:
+            total += sys.getsizeof(vals)
+        return total
+
+    def check_invariants(self) -> None:
+        cap = self.capacity
+        karr = self._karr
+        require(
+            bool(np.all(self.keys[1:] >= self.keys[:-1])),
+            "key column not non-decreasing (sentinel padding broken)",
+        )
+        for b, cnt in enumerate(self.counts):
+            require(0 <= cnt <= cap, "bucket %d count out of range", b)
+            require(
+                len(self.values[b]) == cnt,
+                "bucket %d: values misaligned with count", b,
+            )
+            off = b * cap
+            for i in range(off + 1, off + cnt):
+                require(karr[i - 1] < karr[i], "bucket %d keys out of order", b)

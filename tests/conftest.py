@@ -7,11 +7,20 @@ import pytest
 from repro.core import DyTISConfig
 
 
-@pytest.fixture
-def small_config():
-    """DyTIS config scaled for fast tests: tiny buckets, early remapping."""
+@pytest.fixture(params=["lists", "columnar"])
+def small_config(request):
+    """DyTIS config scaled for fast tests: tiny buckets, early remapping.
+
+    Parametrized over both storage engines so every test that builds an
+    index through this fixture exercises the list-of-buckets reference
+    engine and the columnar structure-of-arrays engine alike.
+    """
     return DyTISConfig(
-        key_bits=32, first_level_bits=4, bucket_capacity=8, l_start=2
+        key_bits=32,
+        first_level_bits=4,
+        bucket_capacity=8,
+        l_start=2,
+        storage=request.param,
     )
 
 

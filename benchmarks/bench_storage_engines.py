@@ -27,6 +27,23 @@ def test_storage_engines(benchmark, bench_scale, record_table):
     # The vectorised paths must never lose, even at smoke scale.
     assert by_op["get_many[1024]"].speedup >= 1.0
     assert by_op["scan_range"].speedup >= 1.0
+    # The batched write path: columnar fresh-insert batches run at
+    # ~0.7x of the list engine (``list.insert`` on small ref lists is
+    # hard to beat, and splits rebuild real arrays); the batch-path
+    # wins are against columnar's own scalar loop and on every read
+    # cell.  Pre-splice this cell was 0.58x and regressing further
+    # should fail loudly.  The workload doubles the index, so the cell
+    # is restructure-heavy and noisy (0.4-0.7x across scales and runs);
+    # only catastrophic floors are asserted here -- the tight batch-vs-
+    # scalar write bars live in bench_batch_ops where both sides run
+    # the same engine.
+    assert by_op["insert_many[1024]"].speedup >= 0.35
+    if bench_scale.n_keys >= 8000:
+        assert by_op["insert_many[1024]"].speedup >= 0.5
+    # Mixed read/write (YCSB-A): incremental fused-column repair keeps
+    # reads vectorised between updates instead of rebuilding the column
+    # after every write.
+    assert by_op["ycsb_a[mixed]"].speedup >= 0.8
     # Scalar paths: generous noise floor at any scale.
     assert by_op["get"].speedup >= 0.5
     assert by_op["insert"].speedup >= 0.5

@@ -12,8 +12,8 @@ speedup.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import List, Sequence
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
 
 from repro.bench.experiments.scale import ExperimentScale, default_scale
 
@@ -31,25 +31,51 @@ class BatchOpRow:
     speedup: float
 
 
+@dataclass(frozen=True)
+class BulkCompareRow:
+    """Batched inserts vs. ``bulk_load`` building the same index.
+
+    ``ratio`` is bulk over batch throughput (1.0 would mean batched
+    inserts match the offline build; the write path's target is to stay
+    within ~2x of it)."""
+
+    storage: str
+    n_keys: int
+    batch_size: int
+    bulk_keys_per_s: float
+    batch_keys_per_s: float
+    ratio: float
+
+
 def _repeats(batch_size: int, n_ops: int) -> int:
     """Enough repetitions per cell to make the timing stable."""
     return max(3, n_ops // batch_size)
+
+
+def _make_index(scale: ExperimentScale, storage: Optional[str]):
+    from repro.core import DyTIS
+
+    if storage is None:
+        return DyTIS()
+    return DyTIS(replace(scale.dytis_config(), storage=storage))
 
 
 def run(
     scale: ExperimentScale = None,
     dataset: str = "MM",
     batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
+    storage: Optional[str] = None,
 ) -> List[BatchOpRow]:
     """Time scalar loops vs. batch calls over ``batch_sizes``.
 
     Lookups run against a preloaded index; inserts measure fresh keys
     drawn from the same distribution (each repeat inserts a disjoint
-    slice so no cell degenerates into pure updates).
+    slice so no cell degenerates into pure updates).  ``storage`` pins
+    a segment engine (``"lists"``/``"columnar"``); None keeps the
+    process default.
     """
     import random
 
-    from repro.core import DyTIS
     from repro.datasets import generate
 
     scale = scale or default_scale()
@@ -62,7 +88,7 @@ def run(
         reps = _repeats(batch_size, scale.n_ops)
 
         # -- get_many: identical random probe batches, scalar vs. batch.
-        base = DyTIS()
+        base = _make_index(scale, storage)
         base.bulk_load(preload, preload)
         batches = [
             [preload[rng.randrange(len(preload))] for _ in range(batch_size)]
@@ -85,23 +111,27 @@ def run(
         )
 
         # -- insert_many: disjoint fresh slices into two equal preloads.
+        # Inserts mutate, so each timed pass rebuilds its index; min of
+        # two passes damps scheduler noise without changing the work.
         slices = []
         for i in range(reps):
             lo = (i * batch_size) % max(1, len(fresh) - batch_size)
             slices.append(fresh[lo : lo + batch_size])
-        scalar_ix = DyTIS()
-        scalar_ix.bulk_load(preload, preload)
-        t0 = time.perf_counter()
-        for chunk in slices:
-            for k in chunk:
-                scalar_ix.insert(k, k)
-        scalar_s = time.perf_counter() - t0
-        batch_ix = DyTIS()
-        batch_ix.bulk_load(preload, preload)
-        t0 = time.perf_counter()
-        for chunk in slices:
-            batch_ix.insert_many([(k, k) for k in chunk])
-        batch_s = time.perf_counter() - t0
+        scalar_s = batch_s = float("inf")
+        for _ in range(2):
+            scalar_ix = _make_index(scale, storage)
+            scalar_ix.bulk_load(preload, preload)
+            t0 = time.perf_counter()
+            for chunk in slices:
+                for k in chunk:
+                    scalar_ix.insert(k, k)
+            scalar_s = min(scalar_s, time.perf_counter() - t0)
+            batch_ix = _make_index(scale, storage)
+            batch_ix.bulk_load(preload, preload)
+            t0 = time.perf_counter()
+            for chunk in slices:
+                batch_ix.insert_many([(k, k) for k in chunk])
+            batch_s = min(batch_s, time.perf_counter() - t0)
         rows.append(
             BatchOpRow(
                 "insert_many", batch_size, scalar_s, batch_s,
@@ -109,6 +139,47 @@ def run(
             )
         )
     return rows
+
+
+def bulk_compare(
+    scale: ExperimentScale = None,
+    dataset: str = "MM",
+    batch_size: int = 1024,
+    storage: Optional[str] = None,
+) -> BulkCompareRow:
+    """Build one index via ``bulk_load`` and one via ``insert_many``.
+
+    Both consume the same keys; the batched build feeds them in
+    arrival order, ``batch_size`` at a time, into an initially empty
+    index -- the online counterpart of the offline bulk build.  The
+    reported ratio is how much slower the online batched path is.
+    """
+    from repro.datasets import generate
+
+    scale = scale or default_scale()
+    keys = [int(k) for k in generate(dataset, scale.n_keys, scale.seed)]
+
+    bulk_s = batch_s = float("inf")
+    for _ in range(2):
+        ix = _make_index(scale, storage)
+        t0 = time.perf_counter()
+        ix.bulk_load(keys, keys)
+        bulk_s = min(bulk_s, time.perf_counter() - t0)
+
+        ix = _make_index(scale, storage)
+        pairs = [(k, k) for k in keys]
+        t0 = time.perf_counter()
+        for lo in range(0, len(pairs), batch_size):
+            ix.insert_many(pairs[lo : lo + batch_size])
+        batch_s = min(batch_s, time.perf_counter() - t0)
+
+    n = len(keys)
+    bulk_tp = n / bulk_s if bulk_s else float("inf")
+    batch_tp = n / batch_s if batch_s else float("inf")
+    return BulkCompareRow(
+        storage or "default", n, batch_size, bulk_tp, batch_tp,
+        bulk_tp / batch_tp if batch_tp else float("inf"),
+    )
 
 
 def format_table(rows: List[BatchOpRow]) -> str:
@@ -121,5 +192,20 @@ def format_table(rows: List[BatchOpRow]) -> str:
         lines.append(
             f"{r.op:<12} {r.batch_size:>6} {r.scalar_s:>10.3f} "
             f"{r.batch_s:>9.3f} {r.speedup:>7.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def format_bulk_compare(rows: Sequence[BulkCompareRow]) -> str:
+    lines = [
+        "insert_many vs bulk_load building the same index",
+        f"{'storage':<10} {'keys':>8} {'batch':>6} {'bulk k/s':>10} "
+        f"{'batch k/s':>10} {'bulk/batch':>10}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.storage:<10} {r.n_keys:>8} {r.batch_size:>6} "
+            f"{r.bulk_keys_per_s:>10.0f} {r.batch_keys_per_s:>10.0f} "
+            f"{r.ratio:>9.2f}x"
         )
     return "\n".join(lines)

@@ -41,10 +41,39 @@ from repro.obs.events import (
     DirectoryResizeEvent,
     DoublingEvent,
     ExpandEvent,
+    FusedPatchEvent,
+    FusedRebuildEvent,
     MergeEvent,
     RemapEvent,
     SplitEvent,
 )
+
+#: One past the largest representable key; ``searchsorted`` guards
+#: against group upper bounds that overflow uint64.
+_KEY_SPACE = 1 << 64
+
+
+class _FusedColumn:
+    """The fused read column plus the bookkeeping to patch it in place.
+
+    ``keys``/``counts``/``vals`` are the concatenated per-segment
+    arrays (see :meth:`DyTIS._build_fused`); ``slots`` maps a segment's
+    ``id()`` to its ``(slot_offset, n_slots)`` region so a
+    segment-local write batch can overwrite just that slice.  ``epoch``
+    is the *structural* epoch the column was built at: any operation
+    that changes the segment set (split, merge, expansion, remapping,
+    directory rebuild, bulk load) invalidates the whole column, while
+    segment-local mutations only mark their segment dirty.
+    """
+
+    __slots__ = ("epoch", "keys", "counts", "vals", "slots")
+
+    def __init__(self, epoch, keys, counts, vals, slots):
+        self.epoch = epoch
+        self.keys = keys
+        self.counts = counts
+        self.vals = vals
+        self.slots = slots
 
 
 class _EHTable:
@@ -120,12 +149,18 @@ class DyTIS:
         )
         self._size = 0
         # Fused read column (columnar engine only): every segment's key
-        # column concatenated in global key order, rebuilt lazily and
-        # invalidated by bumping ``_mut_epoch`` on any mutation.
+        # column concatenated in global key order, rebuilt lazily.
+        # ``_mut_epoch`` is the *structural* epoch -- bumped only when
+        # the segment set changes, which discards the whole column;
+        # segment-local mutations instead register in ``_fused_dirty``
+        # and are patched into the column slice-by-slice on next read.
+        # ``_gen`` counts every mutation (it versions the derived
+        # live-compacted companion, whose compaction shifts on any
+        # insert or delete).
         self._mut_epoch = 0
-        self._fused: Optional[
-            Tuple[int, np.ndarray, np.ndarray, np.ndarray]
-        ] = None
+        self._gen = 0
+        self._fused: Optional[_FusedColumn] = None
+        self._fused_dirty: dict = {}
         # Live-compacted companion (slack slots squeezed out): serves
         # scans and range counts with two searchsorteds and a C zip.
         self._fused_live: Optional[
@@ -157,7 +192,22 @@ class DyTIS:
         if table is None and create:
             table = _EHTable(self._m, self.config.bucket_capacity, self._storage)
             self._tables[i] = table
+            # A new root segment exists that the fused column has no
+            # slot region for: structural change, invalidate wholesale.
+            self._mut_epoch += 1
         return table
+
+    def _note_write(self, seg: Segment) -> None:
+        """Record a segment-local mutation (keys and/or values changed).
+
+        Bumps the mutation generation (the live-compacted fused view is
+        always derived per generation) and, when a fused column exists,
+        marks ``seg``'s slice dirty so the next fused read patches it
+        in place instead of rebuilding the concatenation.
+        """
+        self._gen += 1
+        if self._fused is not None:
+            self._fused_dirty[id(seg)] = seg
 
     # -- point operations ------------------------------------------------------
 
@@ -210,7 +260,6 @@ class DyTIS:
         self._insert_impl(key, value)
 
     def _insert_impl(self, key: int, value: Any) -> None:
-        self._mut_epoch += 1
         self._check_key(key)
         table = self._table(key, create=True)
         local = key & self._local_mask
@@ -219,8 +268,12 @@ class DyTIS:
             result = seg.insert(key, value)
             if result == "inserted":
                 self._size += 1
+                self._note_write(seg)
                 return
             if result == "updated":
+                # Value-only write: the fused value refs for this
+                # segment are patched, never rebuilt.
+                self._note_write(seg)
                 return
             self._handle_full(table, seg, local)
 
@@ -240,7 +293,6 @@ class DyTIS:
         return self._delete_impl(key)
 
     def _delete_impl(self, key: int) -> bool:
-        self._mut_epoch += 1
         self._check_key(key)
         table = self._table(key, create=False)
         if table is None:
@@ -250,9 +302,17 @@ class DyTIS:
         if not seg.delete(key):
             return False
         self._size -= 1
+        self._note_write(seg)
+        self._maybe_merge_after_delete(table, seg, local)
+        return True
+
+    def _maybe_merge_after_delete(
+        self, table: _EHTable, seg: Segment, local: int
+    ) -> None:
+        """Merge ``seg`` down when deletes left it badly under-utilized."""
         if seg.utilization() < 0.25 * self.config.util_threshold:
             if seg.merge_backoff is not None and seg.total_keys > seg.merge_backoff:
-                return True
+                return
             before = seg
             if seg.n_buckets > 1:
                 self._merge_down(table, seg, local)
@@ -262,7 +322,6 @@ class DyTIS:
                 # No merge was feasible; feasibility only improves as
                 # keys leave, so wait for half of them before retrying.
                 before.merge_backoff = before.total_keys // 2
-        return True
 
     # -- scans ---------------------------------------------------------------
 
@@ -452,7 +511,7 @@ class DyTIS:
         if high <= low:
             return 0
         fl = self._fused_live
-        if fl is not None and fl[0] == self._mut_epoch:
+        if fl is not None and fl[0] == self._gen:
             # Warm fused column: the count is a searchsorted difference.
             # (Not built here -- a count alone doesn't justify the
             # column's construction cost the way a scan's output does.)
@@ -498,13 +557,96 @@ class DyTIS:
 
         Keys are collected first (deleting while iterating a structure
         that merges segments underneath the iterator is undefined), then
-        removed through the normal delete path so under-utilized
-        segments still merge down.
+        removed through :meth:`delete_many`, so the columnar engine
+        applies one splice per bucket and under-utilized segments still
+        merge down.  The columnar victim list comes straight from the
+        live-compacted fused column -- two binary searches, no pair
+        materialisation.
         """
+        self._check_key(low)
+        if high <= low:
+            return 0
+        if self._columnar and self._obs is None:
+            kl, _ = self._fused_live_arrays()
+            a = int(kl.searchsorted(np.uint64(low), side="left"))
+            if high >= self._key_limit:
+                b = int(kl.size)
+            else:
+                b = int(kl.searchsorted(np.uint64(high), side="left"))
+            if a == b:
+                return 0
+            return self.delete_many(kl[a:b].copy())
         victims = [k for k, _ in self.scan_range(low, high)]
-        for k in victims:
-            self.delete(k)
-        return len(victims)
+        if not victims:
+            return 0
+        return self.delete_many(victims)
+
+    def delete_many(self, keys) -> int:
+        """Batched delete; returns how many keys were present.
+
+        The batch is sorted and deduplicated once, partitioned per
+        segment with the same cached routing as :meth:`insert_many`,
+        and each segment's group is removed with one splice per bucket
+        (columnar) or a bucket-delete loop (lists).  After each
+        segment's group the usual post-delete merge policy runs, so
+        structural behaviour matches a sequence of scalar deletes to
+        within merge timing.
+        """
+        if not isinstance(keys, np.ndarray):
+            keys = list(keys)
+        try:
+            arr = np.asarray(keys, dtype=np.uint64)
+        except (OverflowError, TypeError) as exc:
+            raise ValueError(f"keys must be non-negative integers: {exc}")
+        if arr.ndim != 1:
+            raise ValueError("keys must be one-dimensional")
+        if arr.size == 0:
+            return 0
+        self._check_batch_keys(arr)
+        sk = np.unique(arr)
+        m = self._m
+        local_mask = self._local_mask
+        tables = self._tables
+        removed = 0
+        n = int(sk.size)
+        i = 0
+        while i < n:
+            key = int(sk[i])
+            ti = key >> m
+            table = tables[ti]
+            if table is None:
+                upper = (ti + 1) << m
+                i = (
+                    n
+                    if upper >= _KEY_SPACE
+                    else int(sk.searchsorted(np.uint64(upper), side="left"))
+                )
+                continue
+            gd = table.global_depth
+            local = key & local_mask
+            if gd:
+                di = local >> (m - gd)
+                seg = table.dir[di]
+                span = 1 << (gd - seg.local_depth)
+                end_di = (di // span) * span + span
+                seg_upper = (ti << m) + (end_di << (m - gd))
+            else:
+                seg = table.dir[0]
+                seg_upper = (ti + 1) << m
+            j = (
+                n
+                if seg_upper >= _KEY_SPACE
+                else int(sk.searchsorted(np.uint64(seg_upper), side="left"))
+            )
+            hits = seg.delete_batch(sk[i:j])
+            gone = int(hits.sum())
+            if gone:
+                removed += gone
+                self._size -= gone
+                self._note_write(seg)
+                self._maybe_merge_after_delete(table, seg, local)
+            i = j
+        return removed
 
     # -- batch operations --------------------------------------------------
 
@@ -554,6 +696,7 @@ class DyTIS:
         if self._size:
             raise ValueError("bulk_load requires an empty index")
         self._mut_epoch += 1
+        self._gen += 1
         values = list(values)
         try:
             arr = np.asarray(
@@ -635,6 +778,15 @@ class DyTIS:
             return out
         self._check_batch_keys(arr)
         if self._columnar:
+            # Cost gate for mixed read/write traffic: patching the
+            # fused column costs ~O(dirty segments), a routed probe
+            # ~O(batch).  When interleaved writes keep re-dirtying
+            # many segments and the batch is small (YCSB-A style),
+            # probe the live stores directly and leave the patch to
+            # the next large read.  Read-only streams always take the
+            # fused path, so the column still amortises across batches.
+            if self._fused_dirty and len(self._fused_dirty) * 16 > n:
+                return self._get_many_routed_columnar(arr, out)
             return self._get_many_columnar(arr, out)
         order = np.argsort(arr, kind="stable").tolist()
         key_list = arr.tolist()
@@ -690,7 +842,7 @@ class DyTIS:
                 out[pos] = bucket.values[idx]
         return out
 
-    def _build_fused(self) -> Tuple[int, np.ndarray, np.ndarray, np.ndarray]:
+    def _build_fused(self) -> _FusedColumn:
         """(Re)build the fused read column for the columnar engine.
 
         Concatenates every segment's sentinel-padded key column in
@@ -705,22 +857,31 @@ class DyTIS:
         policy applied globally.  Values are fused too, as an object
         ndarray of references aligned slot-for-slot with the key column
         (slack slots hold None), so a whole batch of hits resolves with
-        one fancy-index gather; every mutation -- including in-place
-        value updates -- bumps the epoch, so a valid cache never holds
-        a stale reference.
+        one fancy-index gather.
+
+        Each segment's slot region is recorded in the column's ``slots``
+        map; segment-local mutations are then patched into their region
+        by :meth:`_patch_fused`, and only structural operations (which
+        bump ``_mut_epoch``) pay this full rebuild again.
         """
+        t0 = time.perf_counter()
         epoch = self._mut_epoch
         cap = self.config.bucket_capacity
         cols: List[np.ndarray] = []
         cnts: List[np.ndarray] = []
         flat: List[Any] = []
+        slots: dict = {}
         pad = [None] * cap
+        off = 0
         for table in self._tables:
             if table is None:
                 continue
             for seg in table.unique_segments():
                 st = seg.store
-                cols.append(st.keys)
+                k = st.keys
+                slots[id(seg)] = (off, int(k.size))
+                off += int(k.size)
+                cols.append(k)
                 cnts.append(st._counts_array())
                 for vlist in st.values:
                     flat += vlist
@@ -737,8 +898,110 @@ class DyTIS:
             keys_col = np.empty(0, dtype=np.uint64)
             counts_col = np.empty(0, dtype=np.int64)
             vals_col = np.empty(0, dtype=object)
-        fused = (epoch, keys_col, counts_col, vals_col)
+        fused = _FusedColumn(epoch, keys_col, counts_col, vals_col, slots)
         self._fused = fused
+        self._fused_dirty.clear()
+        if self._obs is not None:
+            self._obs.events.emit(
+                FusedRebuildEvent(
+                    local_depth=0, global_depth=0,
+                    keys_moved=int(keys_col.size),
+                    duration_ns=int((time.perf_counter() - t0) * 1e9),
+                )
+            )
+        return fused
+
+    def _get_fused(self) -> _FusedColumn:
+        """The fused column, synced: rebuilt on structural staleness,
+        patched in place for pending segment-local writes."""
+        fused = self._fused
+        if fused is None or fused.epoch != self._mut_epoch:
+            return self._build_fused()
+        if self._fused_dirty:
+            return self._patch_fused(fused)
+        return fused
+
+    def _patch_fused(self, fused: _FusedColumn) -> _FusedColumn:
+        """Patch dirty segments' slices into the fused column in place.
+
+        For each dirty segment: copy its (already sentinel-padded) key
+        column, bucket counts, and slot-aligned value refs over its
+        recorded region, then re-run the cross-segment padding repair
+        *only* over that region -- clamp its trailing MAX slack to the
+        first slot of the next region (one vectorised ``minimum``), and
+        lower any stale padding to the left of the region down to the
+        region's new first key (chunked backward walk, almost always
+        one comparison).  Falls back to a full rebuild when a dirty
+        segment has no recorded region (e.g. it was created after the
+        column was built).
+        """
+        t0 = time.perf_counter()
+        dirty = self._fused_dirty
+        regions: List[Tuple[int, int, Any]] = []
+        for sid, seg in dirty.items():
+            ent = fused.slots.get(sid)
+            st = seg.store
+            if ent is None or ent[1] != int(st.keys.size):
+                return self._build_fused()
+            regions.append((ent[0], ent[1], st))
+        regions.sort()
+        cap = self.config.bucket_capacity
+        keys_col = fused.keys
+        counts_col = fused.counts
+        vals_col = fused.vals
+        pad = [None] * cap
+        slots_patched = 0
+        for off, nslots, st in regions:
+            keys_col[off : off + nslots] = st.keys
+            counts_col[off // cap : (off + nslots) // cap] = st._counts_array()
+            flat: List[Any] = []
+            for vlist in st.values:
+                flat += vlist
+                flat += pad[len(vlist):]
+            vals_col[off : off + nslots] = np.fromiter(
+                flat, dtype=object, count=nslots
+            )
+            slots_patched += nslots
+        size = int(keys_col.size)
+        # Right boundary, back to front so an adjacent dirty region
+        # reads its successor's already-clamped first slot: trailing
+        # MAX slack must not exceed the next region's first key.
+        for off, nslots, _ in reversed(regions):
+            end = off + nslots
+            if end < size:
+                np.minimum(
+                    keys_col[off:end], keys_col[end], out=keys_col[off:end]
+                )
+        # Left boundary: padding before the region duplicated its old
+        # first key; a batch that inserted a new minimum (or emptied
+        # the region) leaves that padding too high.
+        for off, _, _ in regions:
+            if off == 0:
+                continue
+            first = keys_col[off]
+            if keys_col[off - 1] <= first:
+                continue
+            j = off
+            while j > 0:
+                lo = max(0, j - 1024)
+                chunk = keys_col[lo:j]
+                good = chunk <= first
+                if not good.any():
+                    chunk[:] = first
+                    j = lo
+                    continue
+                chunk[int(np.flatnonzero(good)[-1]) + 1 :] = first
+                break
+        dirty.clear()
+        if self._obs is not None:
+            self._obs.events.emit(
+                FusedPatchEvent(
+                    local_depth=0, global_depth=0,
+                    keys_moved=slots_patched,
+                    duration_ns=int((time.perf_counter() - t0) * 1e9),
+                    segments=len(regions),
+                )
+            )
         return fused
 
     def _fused_live_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
@@ -748,26 +1011,91 @@ class DyTIS:
         ``vals`` is slot-aligned with it, so a scan is two binary
         searches plus one C-level zip over the slice -- no segment
         walk, no per-bucket dispatch.  Derived from the padded fused
-        column with one boolean mask (slot offset < bucket count) and
-        shares its epoch invalidation.
+        column with one boolean mask (slot offset < bucket count);
+        versioned by the mutation generation, since any insert or
+        delete shifts the compaction.
         """
         fl = self._fused_live
-        if fl is None or fl[0] != self._mut_epoch:
-            fused = self._fused
-            if fused is None or fused[0] != self._mut_epoch:
-                fused = self._build_fused()
-            epoch, keys_col, counts_col, vals_col = fused
+        if fl is None or fl[0] != self._gen:
+            fused = self._get_fused()
+            keys_col = fused.keys
             if keys_col.size:
                 cap = self.config.bucket_capacity
                 mask = (
                     np.arange(keys_col.size, dtype=np.int64) % cap
-                    < counts_col.repeat(cap)
+                    < fused.counts.repeat(cap)
                 )
-                fl = (epoch, keys_col[mask], vals_col[mask])
+                fl = (self._gen, keys_col[mask], fused.vals[mask])
             else:
-                fl = (epoch, keys_col, vals_col)
+                fl = (self._gen, keys_col, fused.vals)
             self._fused_live = fl
         return fl[1], fl[2]
+
+    def _get_many_routed_columnar(
+        self, arr: np.ndarray, out: List[Optional[Any]]
+    ) -> List[Optional[Any]]:
+        """Routed ``get_many`` against the live key columns.
+
+        Mirrors the list engine's cached-routing walk but probes each
+        segment's key column with a bounded C ``bisect``; used when the
+        fused column is dirty and the batch is too small to justify
+        patching it (see the gate in :meth:`get_many`).
+        """
+        order = np.argsort(arr, kind="stable").tolist()
+        key_list = arr.tolist()
+        m = self._m
+        local_mask = self._local_mask
+        tables = self._tables
+        seg_upper = -1
+        in_gap = False
+        cum = allocs = karr = counts = store_vals = None
+        shift = dmask = offmask = last_bucket = cap = 0
+        for pos in order:
+            key = key_list[pos]
+            if key >= seg_upper:
+                ti = key >> m
+                table = tables[ti]
+                if table is None:
+                    seg_upper = (ti + 1) << m
+                    in_gap = True
+                    continue
+                in_gap = False
+                gd = table.global_depth
+                local = key & local_mask
+                if gd:
+                    di = local >> (m - gd)
+                    seg = table.dir[di]
+                    span = 1 << (gd - seg.local_depth)
+                    end_di = (di // span) * span + span
+                    seg_upper = (ti << m) + (end_di << (m - gd))
+                else:
+                    seg = table.dir[0]
+                    seg_upper = (ti + 1) << m
+                remap = seg.remap
+                cum = remap._cum
+                allocs = remap.allocs
+                shift = remap._shift
+                dmask = seg._mask
+                offmask = (1 << shift) - 1
+                last_bucket = cum[-1] - 1
+                store = seg.store
+                karr = store._karr
+                counts = store.counts
+                store_vals = store.values
+                cap = store.capacity
+            elif in_gap:
+                continue
+            lk = key & dmask
+            i = lk >> shift
+            b = cum[i] + ((allocs[i] * (lk & offmask)) >> shift)
+            if b > last_bucket:
+                b = last_bucket
+            off = b * cap
+            end = off + counts[b]
+            idx = bisect_left(karr, key, off, end)
+            if idx < end and karr[idx] == key:
+                out[pos] = store_vals[b][idx - off]
+        return out
 
     def _get_many_columnar(
         self, arr: np.ndarray, out: List[Optional[Any]]
@@ -784,10 +1112,10 @@ class DyTIS:
         on dispersed batches (hundreds of segments per 1024 keys) this
         is what beats the list engine's per-key routing.
         """
-        fused = self._fused
-        if fused is None or fused[0] != self._mut_epoch:
-            fused = self._build_fused()
-        _, keys_col, counts_col, vals_col = fused
+        fused = self._get_fused()
+        keys_col = fused.keys
+        counts_col = fused.counts
+        vals_col = fused.vals
         if not keys_col.size:
             return out
         cap = self.config.bucket_capacity
@@ -832,7 +1160,6 @@ class DyTIS:
         pairs = list(pairs)
         if not pairs:
             return
-        self._mut_epoch += 1
         n = len(pairs)
         try:
             arr = np.fromiter((p[0] for p in pairs), dtype=np.uint64, count=n)
@@ -847,11 +1174,11 @@ class DyTIS:
                 self.insert(key, value)
             return
         sk, src, _ = self._sorted_batch(arr)
-        key_list = sk.tolist()
         vals = [pairs[i][1] for i in src.tolist()]
         if self._columnar:
-            self._insert_many_columnar(key_list, vals)
+            self._insert_many_columnar(sk, vals)
             return
+        key_list = sk.tolist()
         m = self._m
         local_mask = self._local_mask
         tables = self._tables
@@ -910,65 +1237,151 @@ class DyTIS:
                 seg_upper = -1
         return
 
-    def _insert_many_columnar(self, key_list: List[int], vals: List[Any]) -> None:
-        """Columnar ``insert_many``: cached routing + storage inserts.
+    def _insert_many_columnar(self, sk: np.ndarray, vals: List[Any]) -> None:
+        """Columnar ``insert_many``: planned splices, one per segment.
 
-        Same per-segment routing cache as the list path; each key then
-        goes through the storage engine's scalar insert (C bisect on
-        the key column, shift bounded by the bucket's slot span).  Full
-        buckets fall back to scalar :meth:`insert` and invalidate the
-        cache, so structural behaviour matches sequential insertion.
+        The ascending deduplicated batch is partitioned into per-segment
+        groups by the routing cache (one directory resolution per group,
+        one ``searchsorted`` for the group's end), and each group is
+        applied with :meth:`Segment.insert_batch` -- a vectorised
+        ``bucket_indices`` pass plus one gap-aware splice per touched
+        bucket, with the sentinel padding repaired once per segment.
+        Keys whose bucket is full spill to the scalar :meth:`insert`
+        path, which runs Algorithm 1's restructures exactly as
+        sequential insertion would; the next group re-resolves the
+        directory, so it sees any rewiring.
+
+        Dispersed batches land only a handful of keys per segment; for
+        those groups numpy's fixed per-call cost exceeds the work, so
+        small groups apply with the scalar C-bisect store path under
+        the same cached routing (the win over per-key ``insert`` is the
+        one directory resolution per group either way).
         """
         m = self._m
         local_mask = self._local_mask
         tables = self._tables
         capacity = self.config.bucket_capacity
-        seg_upper = -1
-        seg = store = piece_counts = None
-        cum = allocs = None
-        shift = dmask = offmask = last_bucket = 0
-        for p, key in enumerate(key_list):
-            if key >= seg_upper:
-                ti = key >> m
-                table = tables[ti]
-                if table is None:
-                    table = _EHTable(m, capacity, self._storage)
-                    tables[ti] = table
-                gd = table.global_depth
-                local = key & local_mask
-                if gd:
-                    di = local >> (m - gd)
-                    seg = table.dir[di]
-                    span = 1 << (gd - seg.local_depth)
-                    end_di = (di // span) * span + span
-                    seg_upper = (ti << m) + (end_di << (m - gd))
-                else:
-                    seg = table.dir[0]
-                    seg_upper = (ti + 1) << m
-                remap = seg.remap
-                cum = remap._cum
-                allocs = remap.allocs
-                shift = remap._shift
-                dmask = seg._mask
-                offmask = (1 << shift) - 1
-                last_bucket = cum[-1] - 1
+        key_list = sk.tolist()
+        n = len(key_list)
+        i = 0
+        while i < n:
+            key = key_list[i]
+            ti = key >> m
+            table = tables[ti]
+            if table is None:
+                table = _EHTable(m, capacity, self._storage)
+                tables[ti] = table
+                self._mut_epoch += 1  # new root segment: no fused slot region
+            gd = table.global_depth
+            local = key & local_mask
+            if gd:
+                di = local >> (m - gd)
+                seg = table.dir[di]
+                span = 1 << (gd - seg.local_depth)
+                end_di = (di // span) * span + span
+                seg_upper = (ti << m) + (end_di << (m - gd))
+            else:
+                seg = table.dir[0]
+                seg_upper = (ti + 1) << m
+            j = (
+                n
+                if seg_upper >= _KEY_SPACE
+                else bisect_left(key_list, seg_upper, i)
+            )
+            bail = -1
+            remap = seg.remap
+            cum = remap._cum
+            allocs = remap.allocs
+            shift = remap._shift
+            offmask = (1 << shift) - 1
+            last_bucket = cum[-1] - 1
+            dmask = seg._mask
+            g = j - i
+            if g > 32:
+                # Vectorised per-bucket splices only pay off when each
+                # touched bucket receives several keys; route the first
+                # and last key to bound the bucket span and estimate
+                # keys-per-bucket density.
+                lk = key_list[i] & dmask
+                pi = lk >> shift
+                b0 = cum[pi] + ((allocs[pi] * (lk & offmask)) >> shift)
+                lk = key_list[j - 1] & dmask
+                pi = lk >> shift
+                b1 = cum[pi] + ((allocs[pi] * (lk & offmask)) >> shift)
+                if b1 > last_bucket:
+                    b1 = last_bucket
+                if b0 > last_bucket:
+                    b0 = last_bucket
+                dense = g >= 6 * (b1 - b0 + 1)
+            else:
+                dense = False
+            if not dense:
+                # Sparse group: apply inline with C bisect on the key
+                # column (the splice plan's per-bucket numpy pass costs
+                # more than the work at a handful of keys per bucket).
+                # This duplicates ColumnarStorage.insert so the hot
+                # loop pays no per-key call/attribute overhead.
                 store = seg.store
-                piece_counts = seg.piece_counts
-            lk = key & dmask
-            i = lk >> shift
-            b = cum[i] + ((allocs[i] * (lk & offmask)) >> shift)
-            if b > last_bucket:
-                b = last_bucket
-            result = store.insert(b, key, vals[p])
-            if result == "inserted":
-                piece_counts[i] += 1
-                seg.total_keys += 1
-                self._size += 1
-            elif result == "full":
-                # Full bucket: Algorithm 1 may rewrite this table's
-                # directory, so run the scalar path and re-resolve.
-                self.insert(key, vals[p])
-                seg_upper = -1
+                pc = seg.piece_counts
+                karr = store._karr
+                store_vals = store.values
+                counts = store.counts
+                cap = store.capacity
+                grew = False
+                for p in range(i, j):
+                    k = key_list[p]
+                    lk = k & dmask
+                    pi = lk >> shift
+                    b = cum[pi] + ((allocs[pi] * (lk & offmask)) >> shift)
+                    if b > last_bucket:
+                        b = last_bucket
+                    off = b * cap
+                    cnt = counts[b]
+                    end = off + cnt
+                    idx = bisect_left(karr, k, off, end)
+                    if idx < end and karr[idx] == k:
+                        store_vals[b][idx - off] = vals[p]
+                    elif cnt >= cap:
+                        bail = p
+                        break
+                    else:
+                        if idx < end:
+                            karr[idx + 1 : end + 1] = karr[idx:end]
+                        karr[idx] = k
+                        if idx == off:
+                            # New bucket minimum: rewrite stale padding
+                            # before the span (see ColumnarStorage.insert).
+                            q = off - 1
+                            while q >= 0 and karr[q] > k:
+                                karr[q] = k
+                                q -= 1
+                        store_vals[b].insert(idx - off, vals[p])
+                        counts[b] = cnt + 1
+                        grew = True
+                        pc[pi] += 1
+                        seg.total_keys += 1
+                        self._size += 1
+                if grew:
+                    store._counts_np = None
+            else:
+                group = sk[i:j]
+                new_mask, seg_overflow = seg.insert_batch(group, vals[i:j])
+                self._size += int(new_mask.sum())
+                if seg_overflow:
+                    bail = i + seg_overflow[0]
+            self._note_write(seg)
+            if bail < 0:
+                i = j
+                continue
+            # Full bucket: run Algorithm 1's restructure for the first
+            # spilled key via the scalar path, then re-resolve routing
+            # and continue the batch against the rewritten layout (the
+            # rest of the group now lands in buckets with slack instead
+            # of spilling one key at a time).  Keys the splice already
+            # applied that re-enter the loop degrade to in-place
+            # updates, so replaying the tail is idempotent.
+            self._insert_impl(key_list[bail], vals[bail])
+            i = bail + 1
 
     # -- Algorithm 1 ------------------------------------------------------------
 
@@ -1037,7 +1450,11 @@ class DyTIS:
         ``replacements`` divide the span evenly and are chained in key
         order; the predecessor segment's sibling pointer is redirected
         (paper §3.4: sibling updates accompany directory updates).
+        Rewiring changes the segment set, so the fused read column's
+        structural epoch advances here -- the one choke point every
+        split/expansion/remapping/merge goes through.
         """
+        self._mut_epoch += 1
         per = span // len(replacements)
         for j, seg in enumerate(replacements):
             for i in range(start + j * per, start + (j + 1) * per):
@@ -1281,6 +1698,7 @@ class DyTIS:
         )
         if merged is None:  # no compact layout at the parent depth
             return
+        self._mut_epoch += 1  # segment set changes (manual wiring below)
         parent_start = min(start, buddy_start)
         merged.sibling = right_seg.sibling
         for i in range(parent_start, parent_start + 2 * span):
@@ -1352,10 +1770,12 @@ class DyTIS:
             for seg in t.unique_segments()
         )
         fused = self._fused
-        if fused is not None and fused[0] == self._mut_epoch:
-            total += fused[1].nbytes + fused[2].nbytes + fused[3].nbytes
+        if fused is not None and fused.epoch == self._mut_epoch:
+            total += (
+                fused.keys.nbytes + fused.counts.nbytes + fused.vals.nbytes
+            )
         fl = self._fused_live
-        if fl is not None and fl[0] == self._mut_epoch:
+        if fl is not None and fl[0] == self._gen:
             total += fl[1].nbytes + fl[2].nbytes
         return total
 

@@ -108,6 +108,25 @@ class PiecewiseRemap:
                 (self._allocs_np[pieces] * offsets) >> np.uint64(shift)
             )
             b = b.astype(np.int64)
+        elif shift >= 32 and max_alloc.bit_length() <= 25:
+            # 64-bit domains: ``alloc * offset`` would overflow uint64,
+            # but splitting the offset into 32-bit halves keeps every
+            # intermediate below 2**64 while staying exact:
+            #   a*off = (a*hi)*2**32 + a*lo
+            #         = (q*2**(s-32) + r)*2**32 + a*lo
+            #   (a*off) >> s = q + ((r << 32) + a*lo) >> s
+            # with a < 2**25, hi < 2**(s-32), lo < 2**32, r < 2**(s-32).
+            offsets = local_keys & np.uint64((1 << shift) - 1)
+            a = self._allocs_np[pieces]
+            hi = offsets >> np.uint64(32)
+            lo = offsets & np.uint64(0xFFFFFFFF)
+            t1 = a * hi
+            q = t1 >> np.uint64(shift - 32)
+            r = t1 & np.uint64((1 << (shift - 32)) - 1)
+            rem = (r << np.uint64(32)) + a * lo
+            b = (
+                self._cum_np[pieces] + q + (rem >> np.uint64(shift))
+            ).astype(np.int64)
         else:
             b = np.fromiter(
                 (self.bucket_of(int(k)) for k in local_keys),

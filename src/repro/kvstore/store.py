@@ -173,7 +173,12 @@ class Namespace:
         then hands the encoded batch to the index's ``insert_many``
         when available.
         """
-        encoded = [(self._encode(k), v) for k, v in pairs]
+        self._insert_many_full([(self._encode(k), v) for k, v in pairs])
+
+    def _insert_many_full(self, encoded) -> None:
+        """Batched insert by already-encoded keys (WAL wrapper hot path:
+        the durable layer encodes once for the log record and applies
+        the same list here, instead of re-encoding every key)."""
         index = self.store.index
         new = len({full for full, _ in encoded if full not in index})
         if hasattr(index, "insert_many"):

@@ -87,6 +87,32 @@ class MergeEvent(StructuralEvent):
     kind: ClassVar[str] = "merge"
 
 
+@dataclass(frozen=True)
+class FusedRebuildEvent(StructuralEvent):
+    """The fused read column was rebuilt from scratch.
+
+    Emitted when a structural operation (split, merge, expansion,
+    remapping, bulk load, directory change) invalidated the whole
+    column; ``keys_moved`` carries the number of slots rebuilt.
+    """
+
+    kind: ClassVar[str] = "fused_rebuild"
+
+
+@dataclass(frozen=True)
+class FusedPatchEvent(StructuralEvent):
+    """Dirty segment slices of the fused read column were patched in
+    place instead of rebuilding the concatenation.
+
+    ``keys_moved`` carries the number of slots patched; ``segments``
+    the number of dirty segments repaired in this pass.
+    """
+
+    kind: ClassVar[str] = "fused_patch"
+
+    segments: int = 0
+
+
 EVENT_KINDS = (
     "split",
     "expand",
@@ -94,6 +120,8 @@ EVENT_KINDS = (
     "doubling",
     "directory_resize",
     "merge",
+    "fused_rebuild",
+    "fused_patch",
 )
 
 Subscriber = Callable[[StructuralEvent], None]

@@ -35,6 +35,7 @@ from repro.wal.policy import (
 )
 from repro.wal.record import (
     OP_BATCH,
+    OP_BATCH2,
     OP_DELETE,
     OP_DELETE_RANGE,
     OP_INSERT,
@@ -65,5 +66,6 @@ __all__ = [
     "OP_DELETE",
     "OP_DELETE_RANGE",
     "OP_BATCH",
+    "OP_BATCH2",
     "OP_NS_OPEN",
 ]

@@ -33,6 +33,25 @@ def test_roundtrip_after_clean_close(tmp_path):
         assert [k for k, _ in ns.scan(0, 5)] == [0, 1, 2, 3, 4]
 
 
+def test_insert_many_is_one_wal_record(tmp_path):
+    """A whole batch costs one LSN (one columnar OP_BATCH2 record) and
+    replays identically, updates included."""
+    from repro.wal import OP_BATCH2
+
+    with _reopen(tmp_path) as store:
+        ns = store.namespace("t")
+        before = store.last_lsn
+        ns.insert_many([(i, i * 3) for i in range(500)] + [(0, "new")])
+        assert store.last_lsn == before + 1
+        ops = [r.op for r in store.wal.replay(before)]
+        assert ops == [OP_BATCH2]
+    with _reopen(tmp_path) as store:
+        ns = store.namespace("t")
+        assert len(ns) == 500
+        assert ns.get(0) == "new"
+        assert ns.get(499) == 499 * 3
+
+
 def test_recovery_without_close_replays_synced_writes(tmp_path):
     store = _reopen(tmp_path, fsync="always")
     ns = store.namespace("t")

@@ -64,7 +64,7 @@ def test_lockstep_fuzz_10k_ops():
     n_ops = 10_000
     for step in range(n_ops):
         r = rng.random()
-        if r < 0.45:  # insert / update
+        if r < 0.35:  # insert / update
             k = random_key()
             v = rng.randrange(1 << 30)
             for ix in engines.values():
@@ -72,7 +72,25 @@ def test_lockstep_fuzz_10k_ops():
             if k not in shadow:
                 live.append(k)
             shadow[k] = v
-        elif r < 0.60:  # get
+        elif r < 0.45:  # insert_many: splice planner vs per-bucket loop
+            batch = [
+                (random_key(), rng.randrange(1 << 30))
+                for _ in range(rng.randrange(1, 96))
+            ]
+            for ix in engines.values():
+                ix.insert_many(batch)
+            for k, v in batch:
+                if k not in shadow:
+                    live.append(k)
+                shadow[k] = v
+        elif r < 0.52:  # delete_many with hits and misses
+            batch = [random_key() for _ in range(rng.randrange(1, 48))]
+            expect = len({k for k in batch if k in shadow})
+            for name, ix in engines.items():
+                assert ix.delete_many(batch) == expect, (step, name)
+            for k in batch:
+                shadow.pop(k, None)
+        elif r < 0.62:  # get
             k = random_key()
             expect = shadow.get(k)
             for name, ix in engines.items():
@@ -83,19 +101,19 @@ def test_lockstep_fuzz_10k_ops():
             for name, ix in engines.items():
                 assert ix.delete(k) == expect, (step, name, k)
             shadow.pop(k, None)
-        elif r < 0.80:  # get_many with hits and misses
+        elif r < 0.78:  # get_many with hits and misses
             batch = [random_key() for _ in range(64)]
             expect = [shadow.get(k) for k in batch]
             for name, ix in engines.items():
                 assert ix.get_many(batch) == expect, (step, name)
-        elif r < 0.88:  # scan
+        elif r < 0.86:  # scan
             start = rng.randrange(KEY_SPACE)
             count = rng.randrange(1, 200)
             expect = sorted((k, v) for k, v in shadow.items() if k >= start)
             expect = expect[:count]
             for name, ix in engines.items():
                 assert ix.scan(start, count) == expect, (step, name)
-        elif r < 0.96:  # scan_range + count_range on the same bounds
+        elif r < 0.94:  # scan_range + count_range on the same bounds
             lo = rng.randrange(KEY_SPACE)
             hi = lo + rng.randrange(1, KEY_SPACE // 64)
             expect = sorted(
@@ -224,20 +242,153 @@ def test_columnar_gapped_slack_after_fill_sorted():
 
 
 # ---------------------------------------------------------------------------
-# Fused read column: epoch invalidation
+# Splice planner property tests
 # ---------------------------------------------------------------------------
 
 
-def test_fused_cache_invalidation_on_every_mutation(rng):
+def test_splice_partition_covers_each_key_exactly_once(rng):
+    """Every batch key is accounted for exactly once across segment
+    boundaries: inserted, updated in place, or spilled to overflow --
+    and the index afterwards holds exactly the shadow's content."""
+    ix = DyTIS(_config("columnar"))
+    seed = rng.sample(range(KEY_SPACE), 3000)
+    ix.bulk_load(seed, seed)
+    shadow = dict(zip(seed, seed))
+    for round_ in range(20):
+        # Mix fresh keys with updates so groups straddle many segments.
+        batch_keys = rng.sample(range(KEY_SPACE), 200) + rng.sample(seed, 100)
+        batch = [(k, (round_, k)) for k in batch_keys]
+        fresh = len(set(batch_keys) - shadow.keys())
+        before = len(ix)
+        ix.insert_many(batch)
+        for k, v in batch:
+            shadow[k] = v
+        # Size moved by exactly the genuinely-new keys: nothing was
+        # double-inserted at a segment boundary, nothing was dropped.
+        assert len(ix) - before == fresh, round_
+        assert len(ix) == len(shadow), round_
+        probe = batch_keys + rng.sample(range(KEY_SPACE), 50)
+        assert ix.get_many(probe) == [shadow.get(k) for k in probe], round_
+    check_invariants(ix)
+    assert sorted(shadow) == [k for k, _ in ix.scan_range(0, KEY_SPACE)]
+
+
+def test_splice_padding_invariant_after_every_batch(rng):
+    """The sentinel-padded key column stays non-decreasing after every
+    splice: check_invariants (which asserts exactly that, per segment)
+    runs after each batched insert and delete."""
+    ix = DyTIS(_config("columnar"))
+    keys = rng.sample(range(KEY_SPACE), 1500)
+    ix.bulk_load(keys, keys)
+    pool = list(keys)
+    for round_ in range(25):
+        batch = [
+            (k, k ^ round_)
+            for k in rng.sample(range(KEY_SPACE), 120) + rng.sample(pool, 40)
+        ]
+        ix.insert_many(batch)
+        pool.extend(k for k, _ in batch)
+        check_invariants(ix)
+        victims = rng.sample(pool, 60)
+        ix.delete_many(victims)
+        pool = [k for k in pool if k in ix]
+        check_invariants(ix)
+
+
+# ---------------------------------------------------------------------------
+# Fused read column: incremental repair vs structural invalidation
+# ---------------------------------------------------------------------------
+
+
+def _rebuild_patch_counts(ix):
+    bus = ix.obs.events
+    return bus.counts["fused_rebuild"], bus.counts["fused_patch"]
+
+
+def test_fused_column_patched_not_rebuilt_after_local_writes(rng):
+    """A segment-local write batch must NOT trigger a fused-column
+    rebuild: the affected slices are patched in place, counted via the
+    structural event bus."""
+    from repro.obs import Observability
+
+    obs = Observability(enabled=True)
+    ix = DyTIS(_config("columnar"), obs=obs)
+    keys = rng.sample(range(KEY_SPACE), 4000)
+    ix.bulk_load(keys, keys)
+    vmap = {k: k for k in keys}
+    big = keys[:2000]  # large batch: always worth patching for
+    probe = keys[:200]
+    assert ix.get_many(big) == big  # builds the fused column
+    rebuilds0, patches0 = _rebuild_patch_counts(ix)
+    assert rebuilds0 >= 1
+
+    # Value-only upsert batch: no new keys, nothing structural.
+    upd = [(k, -k) for k in probe[:50]]
+    ix.insert_many(upd)
+    vmap.update(dict(upd))
+    # A small read while many segments are dirty takes the routed
+    # probe path: fresh answers, but neither a patch nor a rebuild.
+    assert ix.get_many(probe[:20]) == [vmap[k] for k in probe[:20]]
+    assert _rebuild_patch_counts(ix) == (rebuilds0, patches0)
+    # A large read repairs the dirty slices in place -- no rebuild.
+    assert ix.get_many(big) == [vmap[k] for k in big]
+    rebuilds1, patches1 = _rebuild_patch_counts(ix)
+    assert rebuilds1 == rebuilds0, "value-only batch must not rebuild"
+    assert patches1 == patches0 + 1
+
+    # Small insert batch into existing segments, picking keys whose
+    # target bucket has slack so no restructure (and thus no rebuild)
+    # can fire.
+    room: dict = {}
+
+    def _absorbable(k):
+        table = ix._tables[k >> ix._m]
+        if table is None:
+            return False  # would create a table: structural
+        seg = table.segment_for(k & ix._local_mask, ix._m)
+        lk = np.uint64(k) & np.uint64(seg._mask)
+        b = int(seg.remap.bucket_indices(np.array([lk], dtype=np.uint64))[0])
+        slot = (id(seg), b)
+        left = room.setdefault(slot, seg.store.capacity - seg.store.counts[b])
+        if left <= 0:
+            return False
+        room[slot] = left - 1
+        return True
+
+    fresh = [
+        k
+        for k in rng.sample(range(KEY_SPACE), 600)
+        if k not in ix and _absorbable(k)
+    ][:40]
+    assert len(fresh) == 40
+    ix.insert_many([(k, k + 1) for k in fresh])
+    vmap.update((k, k + 1) for k in fresh)
+    assert ix.get_many(big) == [vmap[k] for k in big]  # patches
+    assert ix.get_many(fresh) == [k + 1 for k in fresh]  # now-clean fused
+    rebuilds2, patches2 = _rebuild_patch_counts(ix)
+    assert rebuilds2 == rebuilds0, "segment-local inserts must not rebuild"
+    assert patches2 == patches1 + 1
+
+    # Scalar delete: no rebuild either (no merge at this size).
+    ix.delete(probe[0])
+    assert ix.get_many(probe[:2]) == [None, vmap[probe[1]]]
+    rebuilds3, _ = _rebuild_patch_counts(ix)
+    assert rebuilds3 == rebuilds0
+    check_invariants(ix)
+
+
+def test_fused_cache_consistency_across_mutations(rng):
+    """The patched fused column serves exactly the same answers as a
+    cold rebuild across value updates, deletes, batches, and ranges."""
     ix = DyTIS(_config("columnar"))
     keys = rng.sample(range(KEY_SPACE), 2000)
     ix.bulk_load(keys, keys)
     probe = keys[:100]
     assert ix.get_many(probe) == probe  # builds the fused column
-    assert ix._fused is not None and ix._fused[0] == ix._mut_epoch
+    assert ix._fused is not None and ix._fused.epoch == ix._mut_epoch
 
-    ix.insert(keys[0], -1)  # in-place value update must invalidate
-    assert ix._fused[0] != ix._mut_epoch
+    ix.insert(keys[0], -1)  # in-place value update: patched, not rebuilt
+    assert ix._fused.epoch == ix._mut_epoch
     assert ix.get_many(probe) == [-1] + probe[1:]
 
     ix.delete(keys[1])
@@ -252,6 +403,11 @@ def test_fused_cache_invalidation_on_every_mutation(rng):
     hi = sorted(keys)[600]
     ix.delete_range(lo, hi)
     assert ix.count_range(lo, hi) == 0
+    # A cold index over the same content answers identically.
+    cold = DyTIS(_config("columnar"))
+    content = ix.scan_range(0, KEY_SPACE)
+    cold.bulk_load([k for k, _ in content], [v for _, v in content])
+    assert cold.get_many(probe) == ix.get_many(probe)
 
 
 # ---------------------------------------------------------------------------

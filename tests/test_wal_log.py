@@ -86,6 +86,19 @@ def test_value_encoding_int_fast_path_matches_json():
         assert rec.decode_insert(payload) == (5, value)
 
 
+def test_batch2_columnar_roundtrip():
+    keys = [0, 7, 2**64 - 1, 42]
+    values = [0, "text", {"k": [1, None]}, -5]
+    payload = rec.encode_batch2(keys, values)
+    assert rec.decode_batch2(payload) == (keys, values)
+    # Empty batch and single pair are well-formed too.
+    assert rec.decode_batch2(rec.encode_batch2([], [])) == ([], [])
+    assert rec.decode_batch2(rec.encode_batch2([9], ["v"])) == ([9], ["v"])
+    # The key column is one contiguous u64 block after the count.
+    assert payload[4:12] == (0).to_bytes(8, "little")
+    assert payload[12:20] == (7).to_bytes(8, "little")
+
+
 # ---------------------------------------------------------------------------
 # Fsync policies
 # ---------------------------------------------------------------------------

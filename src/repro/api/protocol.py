@@ -1,4 +1,13 @@
-"""``IndexProtocol``: the single contract every ordered index satisfies."""
+"""``IndexProtocol``: the single contract every ordered index satisfies.
+
+The batch forms (``get_many``/``insert_many``/``delete_range``) are part
+of the typed contract too -- :class:`BatchOpsProtocol` -- because the
+network layer maps wire opcodes 1:1 onto protocol methods: a server can
+only coalesce pipelined requests into one batch call if every backing
+index is guaranteed to have the batch call.  :class:`BatchOpsMixin`
+supplies loop-based defaults so conforming costs nothing for indexes
+without a vectorised path.
+"""
 
 from __future__ import annotations
 
@@ -66,49 +75,118 @@ def is_index(obj: Any) -> bool:
     return isinstance(obj, IndexProtocol)
 
 
+@runtime_checkable
+class BatchOpsProtocol(IndexProtocol, Protocol):
+    """``IndexProtocol`` plus the batch forms, as a typed contract.
+
+    The canonical batch-insert shape is two parallel sequences,
+    ``insert_many(keys, values)``, matching ``bulk_load``; the
+    pre-protocol single-iterable-of-pairs form ``insert_many(pairs)``
+    is still accepted everywhere (see :func:`batch_pairs`).
+
+    Semantics:
+
+    - ``get_many(keys)`` returns values aligned with ``keys`` (None for
+      absent), exactly equal to ``[self.get(k) for k in keys]``.
+    - ``insert_many`` is order-equivalent to sequential
+      insert-or-update; duplicate keys resolve to the last occurrence.
+    - ``delete_range(low, high)`` removes every key in [low, high) and
+      returns how many were removed.
+    """
+
+    def get_many(self, keys: Sequence[int]) -> List[Optional[Any]]: ...
+
+    def insert_many(
+        self, keys: Sequence[int], values: Optional[Sequence[Any]] = None
+    ) -> None: ...
+
+    def delete_range(self, low: int, high: int) -> int: ...
+
+
+def is_batch_index(obj: Any) -> bool:
+    """Does ``obj`` satisfy the full batch-first contract?"""
+    return isinstance(obj, BatchOpsProtocol)
+
+
+def batch_pairs(keys, values=None) -> List[Tuple[int, Any]]:
+    """Normalise the two accepted ``insert_many`` shapes to pairs.
+
+    ``insert_many(keys, values)`` (two parallel sequences, the typed
+    contract) and ``insert_many(pairs)`` (one iterable of ``(key,
+    value)`` tuples, the pre-protocol form) both funnel through here,
+    so every implementation supports both without duplicating the
+    dispatch.
+    """
+    if values is None:
+        return list(keys)
+    keys = list(keys)
+    values = list(values)
+    if len(keys) != len(values):
+        raise ValueError(
+            f"insert_many: {len(keys)} keys but {len(values)} values"
+        )
+    return list(zip(keys, values))
+
+
+class BatchOpsMixin:
+    """Loop-based defaults for the :class:`BatchOpsProtocol` methods.
+
+    Indexes with vectorised batch paths (DyTIS) override these; for
+    everything else the mixin makes the batch contract free, so the
+    server's coalescer can call ``get_many`` on any backing index
+    without probing.  ``delete_range`` collects the doomed keys first
+    (``scan_range`` then delete), so implementations whose scans would
+    be confused by concurrent structural changes stay correct.
+    """
+
+    def get_many(self, keys: Sequence[int]) -> List[Optional[Any]]:
+        return [self.get(k) for k in keys]
+
+    def insert_many(
+        self, keys: Sequence[int], values: Optional[Sequence[Any]] = None
+    ) -> None:
+        for key, value in batch_pairs(keys, values):
+            self.insert(key, value)
+
+    def delete_range(self, low: int, high: int) -> int:
+        doomed = [key for key, _ in self.scan_range(low, high)]
+        return sum(1 for key in doomed if self.delete(key))
+
+
 class RangeOpsMixin:
     """Default ``scan_range``/``count_range`` built on ``scan``.
 
     For indexes whose native range primitive is ``scan(start, count)``
-    (the learned baselines): pages through bounded batches so a huge
-    range never materialises more than ``_RANGE_BATCH`` extra pairs
-    past the high bound.
+    (the learned baselines): one shared cursor loop (:meth:`_iter_range`)
+    pages through bounded batches so a huge range never materialises
+    more than ``_RANGE_BATCH`` extra pairs past the high bound, and so
+    the scan/count variants cannot drift apart.
     """
 
     _RANGE_BATCH = 1024
 
-    def scan_range(self, low: int, high: int) -> List[Tuple[int, Any]]:
-        """All pairs with low <= key < high, in ascending key order."""
-        out: List[Tuple[int, Any]] = []
+    def _iter_range(self, low: int, high: int) -> Iterator[Tuple[int, Any]]:
+        """Yield pairs with low <= key < high by paging ``scan``."""
         if high <= low:
-            return out
+            return
+        batch_size = self._RANGE_BATCH
         cursor = low
         while True:
-            batch = self.scan(cursor, self._RANGE_BATCH)
+            batch = self.scan(cursor, batch_size)
             if not batch:
-                return out
+                return
             for key, value in batch:
                 if key >= high:
-                    return out
-                out.append((key, value))
-            if len(batch) < self._RANGE_BATCH:
-                return out
+                    return
+                yield key, value
+            if len(batch) < batch_size:
+                return
             cursor = batch[-1][0] + 1
+
+    def scan_range(self, low: int, high: int) -> List[Tuple[int, Any]]:
+        """All pairs with low <= key < high, in ascending key order."""
+        return list(self._iter_range(low, high))
 
     def count_range(self, low: int, high: int) -> int:
         """Number of keys with low <= key < high."""
-        count = 0
-        if high <= low:
-            return 0
-        cursor = low
-        while True:
-            batch = self.scan(cursor, self._RANGE_BATCH)
-            if not batch:
-                return count
-            for key, _ in batch:
-                if key >= high:
-                    return count
-                count += 1
-            if len(batch) < self._RANGE_BATCH:
-                return count
-            cursor = batch[-1][0] + 1
+        return sum(1 for _ in self._iter_range(low, high))

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Any, List, Optional, Sequence, Tuple
 
+from repro.api import BatchOpsProtocol, batch_pairs
 from repro.btree import BPlusTree
 from repro.core import ConcurrentDyTIS, DyTIS, DyTISConfig
 from repro.hashing import CCEH, ExtendibleHashing
@@ -66,6 +67,37 @@ class IndexAdapter:
 
     def delete(self, key: int) -> bool:
         return self.index.delete(key)
+
+    # -- batch forms: dispatched through the typed contract -------------
+    #
+    # Every ordered index satisfies BatchOpsProtocol (natively or via
+    # BatchOpsMixin), so the adapter delegates unconditionally instead
+    # of hasattr-probing for a vectorised path.  The hash baselines
+    # predate the ordered contract; they fall back to scalar loops.
+
+    def get_many(self, keys: Sequence[int]) -> List[Optional[Any]]:
+        index = self.index
+        if isinstance(index, BatchOpsProtocol):
+            return index.get_many(keys)
+        return [index.get(k) for k in keys]
+
+    def insert_many(
+        self, keys: Sequence[int], values: Optional[Sequence[Any]] = None
+    ) -> None:
+        index = self.index
+        if isinstance(index, BatchOpsProtocol):
+            index.insert_many(keys, values)
+            return
+        for key, value in batch_pairs(keys, values):
+            index.insert(key, value)
+
+    def delete_range(self, low: int, high: int) -> int:
+        index = self.index
+        if isinstance(index, BatchOpsProtocol):
+            return index.delete_range(low, high)
+        raise NotImplementedError(
+            f"{self.name} does not support range deletes"
+        )
 
     def __len__(self) -> int:
         return len(self.index)

@@ -11,6 +11,8 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from typing import Any, Iterator, List, Optional, Tuple
 
+from repro.api import BatchOpsMixin
+
 
 class _Node:
     __slots__ = ("keys",)
@@ -41,8 +43,12 @@ class _Internal(_Node):
         self.children: List[_Node] = []
 
 
-class BPlusTree:
-    """B+-tree supporting insert-or-update, get, delete, and ordered scan."""
+class BPlusTree(BatchOpsMixin):
+    """B+-tree supporting insert-or-update, get, delete, and ordered scan.
+
+    Batch ops come from :class:`BatchOpsMixin` (loop defaults) except
+    ``delete_range``, which walks the leaf chain natively.
+    """
 
     def __init__(self, fanout: int = 128):
         if fanout < 4:

@@ -25,6 +25,7 @@ import threading
 import time
 from typing import Any, List, Optional, Tuple
 
+from repro.api.protocol import batch_pairs
 from repro.core.config import DyTISConfig
 from repro.core.dytis import DyTIS
 
@@ -176,9 +177,13 @@ class ConcurrentDyTIS:
         """
         return [self.get(key) for key in keys]
 
-    def insert_many(self, pairs) -> None:
-        """Batched inserts through the locking :meth:`insert` path."""
-        for key, value in pairs:
+    def insert_many(self, keys, values=None) -> None:
+        """Batched inserts through the locking :meth:`insert` path.
+
+        Accepts ``(keys, values)`` parallel sequences (the typed
+        contract) or one iterable of pairs (the legacy form).
+        """
+        for key, value in batch_pairs(keys, values):
             self.insert(key, value)
 
     # -- operations --------------------------------------------------------------
@@ -317,6 +322,20 @@ class ConcurrentDyTIS:
                             d._size -= 1
                         return True
                     return False
+
+    def delete_range(self, low: int, high: int) -> int:
+        """Delete every key in [low, high); returns how many went.
+
+        Collects the doomed keys from a consistent-prefix
+        :meth:`scan_range` pass, then deletes each under the normal
+        two-level locking -- the same collect-then-delete shape as
+        :class:`repro.api.BatchOpsMixin`, but through the thread-safe
+        paths.  Concurrent writers may insert into the range between
+        the two phases (the method is not atomic, exactly like a
+        paged delete on any real store).
+        """
+        doomed = [key for key, _ in self.scan_range(low, high)]
+        return sum(1 for key in doomed if self.delete(key))
 
     def count_range(self, low: int, high: int) -> int:
         """Number of keys with low <= key < high (API parity with DyTIS).

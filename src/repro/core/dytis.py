@@ -24,6 +24,7 @@ from typing import Any, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.api.protocol import batch_pairs
 from repro.core import bulkload
 from repro.core.config import DyTISConfig
 from repro.core.invariants import require
@@ -1146,18 +1147,21 @@ class DyTIS:
                     ).get(key)
         return outa.tolist()
 
-    def insert_many(self, pairs) -> None:
-        """Insert a batch of (key, value) pairs (order-equivalent).
+    def insert_many(self, keys, values=None) -> None:
+        """Insert a batch of pairs (order-equivalent to scalar inserts).
 
-        The batch is sorted and deduplicated once (the last occurrence
-        of a key wins, exactly as sequential insert-or-update resolves
-        it), then applied in key order with the same per-segment cached
-        routing as :meth:`get_many`.  A full bucket -- the case that
-        triggers Algorithm 1 -- falls back to the scalar :meth:`insert`
-        for that key and invalidates the cached routing state, so
-        structural behaviour is identical to sequential insertion.
+        Accepts the typed-contract form ``insert_many(keys, values)``
+        (two parallel sequences, like ``bulk_load``) and the legacy
+        single-iterable-of-pairs form.  The batch is sorted and
+        deduplicated once (the last occurrence of a key wins, exactly
+        as sequential insert-or-update resolves it), then applied in
+        key order with the same per-segment cached routing as
+        :meth:`get_many`.  A full bucket -- the case that triggers
+        Algorithm 1 -- falls back to the scalar :meth:`insert` for that
+        key and invalidates the cached routing state, so structural
+        behaviour is identical to sequential insertion.
         """
-        pairs = list(pairs)
+        pairs = batch_pairs(keys, values)
         if not pairs:
             return
         n = len(pairs)

@@ -15,11 +15,32 @@ equals integer-order, so the index's scans remain meaningful.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple, Union
+import json
+from typing import Any, Sequence, Tuple, Union
 
 
 class CodecError(ValueError):
     """The application key cannot be represented by this codec."""
+
+
+def dump_value(value: Any) -> bytes:
+    """Canonical value encoding: compact JSON bytes.
+
+    This is the one value codec of the whole system -- the snapshot
+    layer, the WAL record format, and the network wire protocol all
+    carry values in exactly this encoding, so bytes can flow between
+    those layers without re-encoding.  Ints dominate KV benchmarks;
+    ``str(int)`` is valid JSON and ~3x cheaper than the encoder (bool
+    is excluded: ``str(True)`` is not).
+    """
+    if type(value) is int:
+        return str(value).encode("ascii")
+    return json.dumps(value, separators=(",", ":")).encode("utf-8")
+
+
+def load_value(data: bytes) -> Any:
+    """Inverse of :func:`dump_value`."""
+    return json.loads(data.decode("utf-8"))
 
 
 class KeyCodec:

@@ -13,6 +13,7 @@ import threading
 import warnings
 from typing import Any, Iterator, List, Optional, Tuple
 
+from repro.api import batch_pairs, is_batch_index
 from repro.core import ConcurrentDyTIS, DyTIS, DyTISConfig
 from repro.kvstore.codec import CodecError, KeyCodec, UintCodec
 
@@ -44,6 +45,13 @@ class KVStore:
         if key_bits <= _NAMESPACE_BITS:
             raise ValueError("index key space too small for namespaces")
         self._payload_bits = key_bits - _NAMESPACE_BITS
+        # Capability flags, resolved once: every in-tree index satisfies
+        # the full BatchOpsProtocol, but ``index=`` accepts any object
+        # with the five core methods, so the namespaces keep loop
+        # fallbacks for minimal (e.g. scan-only) indexes.
+        self._index_is_batch = is_batch_index(self._index)
+        self._index_has_scan_range = hasattr(self._index, "scan_range")
+        self._index_has_count_range = hasattr(self._index, "count_range")
         self._namespaces: dict = {}
         self._ns_lock = threading.Lock()
 
@@ -157,23 +165,27 @@ class Namespace:
     def get_many(self, keys) -> List[Any]:
         """Batched lookups, None for absent keys.
 
-        Delegates to the index's vectorised ``get_many`` when it has
-        one (DyTIS's batch layer), else loops.
+        Delegates to the index's vectorised ``get_many`` when it
+        satisfies :class:`repro.api.BatchOpsProtocol` (checked once at
+        store construction), else loops.
         """
         index = self.store.index
         encoded = [self._encode(k) for k in keys]
-        if hasattr(index, "get_many"):
+        if self.store._index_is_batch:
             return index.get_many(encoded)
         return [index.get(full) for full in encoded]
 
-    def insert_many(self, pairs) -> None:
-        """Batched insert-or-update of ``(key, value)`` pairs.
+    def insert_many(self, keys, values=None) -> None:
+        """Batched insert-or-update.
 
-        Keeps the namespace counter exact by pre-checking existence,
-        then hands the encoded batch to the index's ``insert_many``
-        when available.
+        Accepts ``(keys, values)`` parallel sequences (the typed
+        contract) or one iterable of pairs (the legacy form).  Keeps
+        the namespace counter exact by pre-checking existence, then
+        hands the encoded batch to the index's ``insert_many``.
         """
-        self._insert_many_full([(self._encode(k), v) for k, v in pairs])
+        self._insert_many_full(
+            [(self._encode(k), v) for k, v in batch_pairs(keys, values)]
+        )
 
     def _insert_many_full(self, encoded) -> None:
         """Batched insert by already-encoded keys (WAL wrapper hot path:
@@ -181,7 +193,7 @@ class Namespace:
         the same list here, instead of re-encoding every key)."""
         index = self.store.index
         new = len({full for full, _ in encoded if full not in index})
-        if hasattr(index, "insert_many"):
+        if self.store._index_is_batch:
             index.insert_many(encoded)
         else:
             for full, value in encoded:
@@ -212,7 +224,7 @@ class Namespace:
         if hi <= lo:
             return 0
         index = self.store.index
-        if hasattr(index, "delete_range"):
+        if self.store._index_is_batch:
             removed = index.delete_range(lo, hi)
         else:
             # scan_range handles scan-only indexes by paging; re-encode
@@ -235,7 +247,7 @@ class Namespace:
         """
         index = self.store.index
         end = self._base + self._span
-        if hasattr(index, "count_range"):
+        if self.store._index_has_count_range:
             n = index.count_range(self._base, end)
         else:
             n = sum(1 for _ in self.items())
@@ -269,7 +281,7 @@ class Namespace:
         if hi <= lo:
             return []
         index = self.store.index
-        if hasattr(index, "scan_range"):
+        if self.store._index_has_scan_range:
             raw = index.scan_range(lo, hi)
         else:
             raw = []
@@ -298,14 +310,14 @@ class Namespace:
         if hi <= lo:
             return 0
         index = self.store.index
-        if hasattr(index, "count_range"):
+        if self.store._index_has_count_range:
             return index.count_range(lo, hi)
         return len(self.scan_range(low, high))
 
     def items(self) -> Iterator[Tuple[Any, Any]]:
         """Every pair of this namespace in ascending key order."""
         index = self.store.index
-        if hasattr(index, "scan_range"):
+        if self.store._index_has_scan_range:
             pairs = index.scan_range(self._base, self._base + self._span)
         else:
             pairs = []

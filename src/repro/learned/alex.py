@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
-from repro.api import RangeOpsMixin
+from repro.api import BatchOpsMixin, RangeOpsMixin
 from repro.learned.gapped import GappedArray
 from repro.learned.linear import LinearModel
 
@@ -82,7 +82,7 @@ class _InternalNode:
         self.model = self.model.scaled(2.0)
 
 
-class AlexIndex(RangeOpsMixin):
+class AlexIndex(BatchOpsMixin, RangeOpsMixin):
     """Updatable adaptive learned index over integer keys.
 
     ``bulk_fraction`` of the paper's evaluation (ALEX-10 ... ALEX-90) is

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
-from repro.api import RangeOpsMixin
+from repro.api import BatchOpsMixin, RangeOpsMixin
 from repro.learned.linear import LinearModel
 
 _MIN_NODE_SLOTS = 8
@@ -60,7 +60,7 @@ def _build_node(keys: Sequence[int], values: Sequence[Any]) -> _Node:
     return node
 
 
-class LippIndex(RangeOpsMixin):
+class LippIndex(BatchOpsMixin, RangeOpsMixin):
     """Updatable learned index where every lookup is search-free."""
 
     def __init__(self):

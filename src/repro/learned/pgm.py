@@ -21,7 +21,7 @@ import heapq
 from bisect import bisect_left
 from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
-from repro.api import RangeOpsMixin
+from repro.api import BatchOpsMixin, RangeOpsMixin
 from repro.plr import fit_plr
 
 _EPSILON = 16
@@ -163,7 +163,7 @@ class StaticPGM:
         return sum(len(layer) for layer in self.layers)
 
 
-class PGMIndex(RangeOpsMixin):
+class PGMIndex(BatchOpsMixin, RangeOpsMixin):
     """Dynamic PGM: logarithmic-method levels of :class:`StaticPGM`.
 
     Level ``i`` holds a static PGM of at most ``buffer * 2^i`` records;

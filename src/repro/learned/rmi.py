@@ -17,11 +17,11 @@ from __future__ import annotations
 from bisect import bisect_left
 from typing import Any, List, Optional, Sequence, Tuple
 
-from repro.api import RangeOpsMixin
+from repro.api import BatchOpsMixin, RangeOpsMixin
 from repro.learned.linear import LinearModel
 
 
-class RMIndex(RangeOpsMixin):
+class RMIndex(BatchOpsMixin, RangeOpsMixin):
     """Read-only two-stage recursive model index over sorted records."""
 
     def __init__(self, branching: int = 64):

@@ -20,7 +20,7 @@ import threading
 from bisect import bisect_left
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.api import RangeOpsMixin
+from repro.api import BatchOpsMixin, RangeOpsMixin
 from repro.learned.linear import LinearModel
 
 _TARGET_GROUP_SIZE = 2048
@@ -151,7 +151,7 @@ class _Tombstone:
 _TOMBSTONE = _Tombstone()
 
 
-class XIndex(RangeOpsMixin):
+class XIndex(BatchOpsMixin, RangeOpsMixin):
     """Two-level learned index with per-group delta buffers.
 
     Must be bulk loaded before use (paper: 70% of each dataset); inserts

@@ -1,0 +1,27 @@
+"""``repro.server``: the index as a network service.
+
+An asyncio TCP server (:class:`IndexServer`) exposes the full
+:class:`~repro.api.BatchOpsProtocol` surface of a
+:class:`~repro.kvstore.KVStore` / :class:`~repro.wal.DurableKVStore`
+over a length-prefixed CRC-framed binary protocol, coalescing
+pipelined point ops into the store's batch calls.
+:class:`RemoteIndex` is the synchronous client that itself satisfies
+``IndexProtocol``.  Run one with ``python -m repro.server``.
+"""
+
+from repro.server import frame
+from repro.server.client import AsyncRemoteIndex, RemoteError, RemoteIndex
+from repro.server.metrics import ServerMetrics
+from repro.server.server import IndexServer, ServerConfig
+from repro.server.testing import ServerThread
+
+__all__ = [
+    "AsyncRemoteIndex",
+    "IndexServer",
+    "RemoteError",
+    "RemoteIndex",
+    "ServerConfig",
+    "ServerMetrics",
+    "ServerThread",
+    "frame",
+]

@@ -1,0 +1,98 @@
+"""``python -m repro.server``: run the index server from the shell.
+
+In-memory by default; ``--dir`` switches to a :class:`~repro.wal.
+DurableKVStore` (WAL + checkpoints) in that directory.  SIGINT and
+SIGTERM trigger the graceful shutdown sequence -- quiesce in-flight
+batches, checkpoint a durable store, close -- and the process exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+
+from repro.core import DyTISConfig
+from repro.kvstore import KVStore
+from repro.server.server import IndexServer, ServerConfig
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Serve a DyTIS-backed key-value store over TCP.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7407)
+    parser.add_argument(
+        "--admin-port", type=int, default=7408,
+        help="HTTP port for /metrics and /healthz (-1 disables)",
+    )
+    parser.add_argument(
+        "--dir", default=None,
+        help="durability directory (enables the WAL-backed store)",
+    )
+    parser.add_argument(
+        "--fsync", default="batch", choices=("always", "batch", "never"),
+        help="WAL fsync policy when --dir is set",
+    )
+    parser.add_argument(
+        "--storage", default="lists", choices=("lists", "columnar"),
+        help="DyTIS storage engine for the backing index",
+    )
+    parser.add_argument(
+        "--no-coalesce", action="store_true",
+        help="serve one request per call (the naive baseline)",
+    )
+    parser.add_argument("--max-batch", type=int, default=1024)
+    parser.add_argument(
+        "--max-delay", type=float, default=0.0,
+        help="seconds a drain tick lingers to grow batches",
+    )
+    return parser
+
+
+async def _serve(args) -> int:
+    dytis_config = DyTISConfig(storage=args.storage)
+    if args.dir:
+        from repro.wal import DurableKVStore
+
+        store = DurableKVStore(args.dir, config=dytis_config, fsync=args.fsync)
+    else:
+        store = KVStore(config=dytis_config)
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        admin_port=None if args.admin_port < 0 else args.admin_port,
+        coalesce=not args.no_coalesce,
+        max_batch=args.max_batch,
+        max_delay=args.max_delay,
+    )
+    server = IndexServer(store, config=config)
+    await server.start()
+
+    stop = asyncio.Event()
+    loop = asyncio.get_event_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(sig, stop.set)
+
+    mode = "coalescing" if config.coalesce else "naive"
+    print(
+        f"repro.server listening on {args.host}:{server.port} "
+        f"({mode}, admin={server.admin_port})",
+        flush=True,
+    )
+    await stop.wait()
+    print("repro.server shutting down", flush=True)
+    await server.shutdown()
+    return 0
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    return asyncio.run(_serve(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

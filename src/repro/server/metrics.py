@@ -1,0 +1,155 @@
+"""Server-side metrics: per-opcode latency, connections, coalescing.
+
+One :class:`ServerMetrics` travels with one :class:`~repro.server.
+server.IndexServer`.  Latency histograms reuse :class:`repro.obs.
+LatencyHistogram` (the same mergeable log-linear histogram the index
+layer records into), so server-side and index-side latencies are
+directly comparable; exposition reuses :func:`repro.obs.
+snapshot_to_prometheus` for the histogram block and appends the
+server-specific counter/gauge series, all scrapeable from the admin
+endpoint as one page.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+from repro.obs.exposition import snapshot_to_prometheus
+from repro.obs.histogram import LatencyHistogram
+
+from repro.server import frame
+
+#: Opcode metric names with a dedicated latency histogram (requests
+#: only -- replies are not timed separately).
+SERVER_OPS = tuple(frame.OP_NAMES.values())
+
+#: Ops the coalescer groups into batch calls.
+COALESCED_OPS = ("get", "insert")
+
+
+def _labels(**labels) -> str:
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}" if inner else ""
+
+
+class ServerMetrics:
+    """Counters, gauges, and per-opcode latency for one server.
+
+    All mutation happens on the server's event loop thread; the lone
+    lock only guards snapshot reads from other threads (tests, the
+    admin endpoint when served from a different loop).
+    """
+
+    def __init__(self) -> None:
+        self.latency: Dict[str, LatencyHistogram] = {
+            op: LatencyHistogram() for op in SERVER_OPS
+        }
+        self.requests_total: Dict[str, int] = {op: 0 for op in SERVER_OPS}
+        self.errors_total: Dict[str, int] = {}
+        self.connections_open = 0
+        self.connections_total = 0
+        #: Coalescing: how many batch calls were issued per op, how
+        #: many requests they covered, and the largest batch seen.
+        self.batches_total: Dict[str, int] = {op: 0 for op in COALESCED_OPS}
+        self.batched_requests_total: Dict[str, int] = {
+            op: 0 for op in COALESCED_OPS
+        }
+        self.batch_size_max: Dict[str, int] = {op: 0 for op in COALESCED_OPS}
+        self._lock = threading.Lock()
+
+    # -- recording ------------------------------------------------------
+
+    def record_request(self, op_name: str, ns: int) -> None:
+        self.requests_total[op_name] = self.requests_total.get(op_name, 0) + 1
+        hist = self.latency.get(op_name)
+        if hist is not None:
+            hist.record(ns)
+
+    def record_requests(self, op_name: str, samples_ns) -> None:
+        """Bulk form for coalesced runs: one call per batch, not per op."""
+        self.requests_total[op_name] = (
+            self.requests_total.get(op_name, 0) + len(samples_ns)
+        )
+        hist = self.latency.get(op_name)
+        if hist is not None:
+            hist.record_many(samples_ns)
+
+    def record_error(self, code: int) -> None:
+        name = frame.ERR_NAMES.get(code, str(code))
+        self.errors_total[name] = self.errors_total.get(name, 0) + 1
+
+    def record_batch(self, op_name: str, size: int) -> None:
+        self.batches_total[op_name] += 1
+        self.batched_requests_total[op_name] += size
+        if size > self.batch_size_max[op_name]:
+            self.batch_size_max[op_name] = size
+
+    # -- reading --------------------------------------------------------
+
+    def snapshot(self) -> Dict:
+        """JSON-ready dict; ``latency`` matches the obs snapshot shape."""
+        with self._lock:
+            return {
+                "latency": {
+                    op: h.to_dict() for op, h in self.latency.items()
+                },
+                "requests_total": dict(self.requests_total),
+                "errors_total": dict(self.errors_total),
+                "connections_open": self.connections_open,
+                "connections_total": self.connections_total,
+                "batches_total": dict(self.batches_total),
+                "batched_requests_total": dict(self.batched_requests_total),
+                "batch_size_max": dict(self.batch_size_max),
+            }
+
+    def mean_batch_size(self, op_name: str) -> float:
+        n = self.batches_total.get(op_name, 0)
+        return self.batched_requests_total.get(op_name, 0) / n if n else 0.0
+
+    def to_prometheus(self, prefix: str = "dytis_server") -> str:
+        """Prometheus text page: histogram block + server series."""
+        snap = self.snapshot()
+        lines = [
+            snapshot_to_prometheus({"latency": snap["latency"]}, prefix)
+            .rstrip("\n")
+        ]
+
+        name = f"{prefix}_requests_total"
+        lines.append(f"# HELP {name} Requests received, by opcode.")
+        lines.append(f"# TYPE {name} counter")
+        for op, n in sorted(snap["requests_total"].items()):
+            lines.append(f"{name}{_labels(op=op)} {n}")
+
+        name = f"{prefix}_errors_total"
+        lines.append(f"# HELP {name} Error replies sent, by code.")
+        lines.append(f"# TYPE {name} counter")
+        for code, n in sorted(snap["errors_total"].items()):
+            lines.append(f"{name}{_labels(code=code)} {n}")
+
+        for gauge, help_text in (
+            ("connections_open", "Currently open client connections."),
+            ("connections_total", "Client connections ever accepted."),
+        ):
+            name = f"{prefix}_{gauge}"
+            kind = "counter" if gauge.endswith("_total") else "gauge"
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            lines.append(f"{name} {snap[gauge]}")
+
+        for series, help_text, kind in (
+            ("batches_total", "Coalesced batch calls issued.", "counter"),
+            (
+                "batched_requests_total",
+                "Requests served through coalesced batches.",
+                "counter",
+            ),
+            ("batch_size_max", "Largest coalesced batch.", "gauge"),
+        ):
+            name = f"{prefix}_{series}"
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            for op, n in sorted(snap[series].items()):
+                lines.append(f"{name}{_labels(op=op)} {n}")
+
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,569 @@
+"""The asyncio TCP index server with request coalescing.
+
+One :class:`IndexServer` exposes a :class:`~repro.kvstore.KVStore` (or
+:class:`~repro.wal.DurableKVStore`, or any bare
+:class:`~repro.api.IndexProtocol` index, wrapped) over the framed
+binary protocol of :mod:`repro.server.frame`.
+
+The performance mechanism is *pipelining with read coalescing*.  Every
+data frame from every connection lands in one server-wide arrival
+queue; a drain task scheduled for the next event-loop tick walks the
+queue **in arrival order**, grouping maximal runs of consecutive
+same-namespace point gets into one ``get_many`` call (and runs of
+point inserts into one ``insert_many``, which on a durable store is a
+single WAL record and one group-committed fsync).  Because grouping
+never reorders the queue, per-connection request order is preserved
+exactly; read-heavy traffic (YCSB-B/C) forms long get runs across
+connections and collapses into a few fused-column ``get_many`` probes
+per tick, while each connection's replies for a tick leave in one
+socket write instead of one write per request.
+
+The coalescer's state machine::
+
+    IDLE --first frame enqueued--> SCHEDULED (drain task created)
+    SCHEDULED --tick (+max_delay)--> DRAINING
+    DRAINING: group runs (<= max_batch) -> execute -> buffer replies
+              -> one write+drain per connection -> queue empty?
+                 yes -> IDLE     no (frames arrived mid-drain) -> DRAINING
+
+``coalesce=False`` gives the naive one-request-per-call server: each
+frame is executed and its reply written (and flushed) immediately --
+the baseline ``bench_server_throughput.py`` measures against.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass
+from time import perf_counter_ns as _now
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.kvstore import KVStore
+from repro.server import frame
+from repro.server.metrics import ServerMetrics
+
+_NS_KEY_UNPACK = frame._NS_KEY.unpack
+
+
+@dataclass
+class ServerConfig:
+    """Knobs for :class:`IndexServer`.
+
+    ``port``/``admin_port`` of 0 bind ephemeral ports (read the bound
+    ones back from ``server.port``/``server.admin_port`` after
+    ``start``).  ``admin_port=None`` disables the admin endpoint.
+    ``max_delay`` is the seconds a scheduled drain lingers before
+    running, trading latency for bigger batches; 0 still yields one
+    event-loop tick so every connection that is already readable gets
+    to enqueue into the batch.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    admin_port: Optional[int] = None
+    coalesce: bool = True
+    max_batch: int = 1024
+    max_delay: float = 0.0
+    checkpoint_on_shutdown: bool = True
+
+
+class _Connection:
+    """Per-connection state: writer, decoder, and liveness flag."""
+
+    __slots__ = ("reader", "writer", "decoder", "alive")
+
+    def __init__(self, reader, writer):
+        self.reader = reader
+        self.writer = writer
+        self.decoder = frame.FrameDecoder()
+        self.alive = True
+
+
+#: One queued request: (conn, request_id, opcode, decoded args, t_enqueue_ns).
+_Entry = Tuple[_Connection, int, int, Any, int]
+
+
+class IndexServer:
+    """Asyncio TCP server mapping wire opcodes 1:1 onto the protocol."""
+
+    def __init__(
+        self,
+        store: Optional[Any] = None,
+        *,
+        index: Optional[Any] = None,
+        config: Optional[ServerConfig] = None,
+        metrics: Optional[ServerMetrics] = None,
+    ):
+        if store is not None and index is not None:
+            raise ValueError("pass either store= or index=, not both")
+        if store is None:
+            store = KVStore(index=index)  # index=None -> default DyTIS
+        self.store = store
+        self.config = config or ServerConfig()
+        self.metrics = metrics or ServerMetrics()
+        self.port: Optional[int] = None
+        self.admin_port: Optional[int] = None
+        self._ns_by_id: Dict[int, Any] = {}
+        self._ns_ids: Dict[str, int] = {}
+        self._queue: Deque[_Entry] = deque()
+        self._drain_task: Optional[asyncio.Task] = None
+        self._conn_tasks: set = set()
+        self._conns: set = set()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._admin_server: Optional[asyncio.AbstractServer] = None
+        self._shutting_down = False
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the data (and optional admin) listeners."""
+        cfg = self.config
+        self._server = await asyncio.start_server(
+            self._on_connection, cfg.host, cfg.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if cfg.admin_port is not None:
+            self._admin_server = await asyncio.start_server(
+                self._on_admin, cfg.host, cfg.admin_port
+            )
+            self.admin_port = self._admin_server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        await self._server.serve_forever()
+
+    async def shutdown(self) -> None:
+        """Graceful stop: quiesce in-flight batches, then checkpoint.
+
+        Sequence: stop accepting; let the drain task flush every queued
+        request and its replies; close client connections; close the
+        admin listener; checkpoint + close a durable store.
+        """
+        if self._closed:
+            return
+        self._shutting_down = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Quiesce: the drain task replies to everything already queued.
+        while self._drain_task is not None:
+            await self._drain_task
+        for conn in list(self._conns):
+            conn.alive = False
+            conn.writer.close()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        if self._admin_server is not None:
+            self._admin_server.close()
+            await self._admin_server.wait_closed()
+        store = self.store
+        if self.config.checkpoint_on_shutdown and hasattr(store, "checkpoint"):
+            store.checkpoint()
+        if hasattr(store, "close"):
+            store.close()
+        self._closed = True
+
+    # -- namespaces -----------------------------------------------------
+
+    def _open_namespace(self, name: str) -> int:
+        if name in self._ns_ids:
+            return self._ns_ids[name]
+        ns = self.store.namespace(name)
+        ns_id = len(self._ns_by_id)
+        self._ns_by_id[ns_id] = ns
+        self._ns_ids[name] = ns_id
+        return ns_id
+
+    def _ns(self, ns_id: int):
+        try:
+            return self._ns_by_id[ns_id]
+        except KeyError:
+            raise _RequestError(
+                frame.ERR_UNKNOWN_NS, f"namespace id {ns_id} is not open"
+            ) from None
+
+    # -- connection handling --------------------------------------------
+
+    async def _on_connection(self, reader, writer) -> None:
+        conn = _Connection(reader, writer)
+        m = self.metrics
+        m.connections_total += 1
+        m.connections_open += 1
+        self._conns.add(conn)
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        try:
+            await self._serve_connection(conn)
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            conn.alive = False
+            self._conns.discard(conn)
+            self._conn_tasks.discard(task)
+            m.connections_open -= 1
+            writer.close()
+
+    async def _serve_connection(self, conn: _Connection) -> None:
+        coalesce = self.config.coalesce
+        while True:
+            data = await conn.reader.read(65536)
+            if not data:
+                return
+            try:
+                frames = conn.decoder.feed(data)
+            except frame.FrameError as exc:
+                # A corrupt stream has no reliable frame boundaries
+                # left: one structured error reply, then hang up.
+                self.metrics.record_error(frame.ERR_BAD_FRAME)
+                conn.writer.write(
+                    frame.encode_frame(
+                        0,
+                        frame.OP_ERR,
+                        frame.encode_err(frame.ERR_BAD_FRAME, str(exc)),
+                    )
+                )
+                await conn.writer.drain()
+                return
+            if coalesce:
+                t0 = _now()
+                for request_id, opcode, payload in frames:
+                    self._enqueue(conn, request_id, opcode, payload, t0)
+            else:
+                for request_id, opcode, payload in frames:
+                    await self._handle_naive(conn, request_id, opcode, payload)
+
+    # -- naive (one-request-per-call) path ------------------------------
+
+    async def _handle_naive(
+        self, conn: _Connection, request_id: int, opcode: int, payload: bytes
+    ) -> None:
+        t0 = _now()
+        reply_op, reply_payload = self._execute(opcode, payload)
+        name = frame.OP_NAMES.get(opcode)
+        if name is not None:
+            self.metrics.record_request(name, _now() - t0)
+        conn.writer.write(frame.encode_frame(request_id, reply_op, reply_payload))
+        await conn.writer.drain()
+
+    # -- coalescing path ------------------------------------------------
+
+    def _enqueue(
+        self,
+        conn: _Connection,
+        request_id: int,
+        opcode: int,
+        payload: bytes,
+        t0: int,
+    ) -> None:
+        """Parse eagerly, queue in arrival order, schedule the drain."""
+        try:
+            if self._shutting_down:
+                raise _RequestError(
+                    frame.ERR_SHUTTING_DOWN, "server is shutting down"
+                )
+            # Fast path for the coalescer's bread and butter: a point
+            # get is a fixed 12-byte payload, no dispatch needed.
+            if opcode == frame.OP_GET and len(payload) == 12:
+                args = _NS_KEY_UNPACK(payload)
+            else:
+                args = self._parse(opcode, payload)
+        except _RequestError as exc:
+            self.metrics.record_error(exc.code)
+            conn.writer.write(
+                frame.encode_frame(
+                    request_id, frame.OP_ERR, frame.encode_err(exc.code, exc.msg)
+                )
+            )
+            return
+        self._queue.append((conn, request_id, opcode, args, t0))
+        if self._drain_task is None:
+            self._drain_task = asyncio.get_event_loop().create_task(
+                self._drain_loop()
+            )
+
+    async def _drain_loop(self) -> None:
+        try:
+            # Yield (at least) one tick so every connection that became
+            # readable in this event-loop pass contributes its frames
+            # to the batch; max_delay lingers longer for bigger runs.
+            await asyncio.sleep(self.config.max_delay)
+            while self._queue:
+                replies: Dict[_Connection, bytearray] = {}
+                self._drain_once(replies)
+                flushes = []
+                for conn, buf in replies.items():
+                    if conn.alive:
+                        conn.writer.write(bytes(buf))
+                        flushes.append(conn.writer.drain())
+                if flushes:
+                    await asyncio.gather(*flushes, return_exceptions=True)
+        finally:
+            self._drain_task = None
+            if self._queue:
+                # Frames raced in between the last emptiness check and
+                # task teardown; reschedule rather than strand them.
+                self._drain_task = asyncio.get_event_loop().create_task(
+                    self._drain_loop()
+                )
+
+    def _drain_once(self, replies: Dict[_Connection, bytearray]) -> None:
+        """Serve the queued requests, grouping maximal coalescable runs.
+
+        Processes the queue snapshot sequentially -- arrival order is
+        the execution order -- but a run of consecutive OP_GETs on one
+        namespace becomes a single ``get_many`` and a run of OP_INSERTs
+        a single ``insert_many`` (bounded by ``max_batch``).
+        """
+        queue = self._queue
+        max_batch = self.config.max_batch
+        metrics = self.metrics
+        while queue:
+            conn, request_id, opcode, args, t0 = queue.popleft()
+            if opcode == frame.OP_GET or opcode == frame.OP_INSERT:
+                run: List[_Entry] = [(conn, request_id, opcode, args, t0)]
+                ns_id = args[0]
+                while (
+                    queue
+                    and len(run) < max_batch
+                    and queue[0][2] == opcode
+                    and queue[0][3][0] == ns_id
+                ):
+                    run.append(queue.popleft())
+                self._serve_run(opcode, ns_id, run, replies)
+            else:
+                self._serve_single(
+                    conn, request_id, opcode, args, t0, replies
+                )
+
+    def _serve_run(
+        self,
+        opcode: int,
+        ns_id: int,
+        run: List[_Entry],
+        replies: Dict[_Connection, bytearray],
+    ) -> None:
+        metrics = self.metrics
+        op_name = "get" if opcode == frame.OP_GET else "insert"
+        try:
+            ns = self._ns(ns_id)
+            if opcode == frame.OP_GET:
+                values = ns.get_many([entry[3][1] for entry in run])
+                payloads = [frame.encode_value(v) for v in values]
+            else:
+                ns.insert_many(
+                    [entry[3][1] for entry in run],
+                    [entry[3][2] for entry in run],
+                )
+                payloads = [b""] * len(run)
+        except _RequestError as exc:
+            self._reply_run_error(run, exc.code, exc.msg, replies)
+            return
+        except Exception as exc:  # noqa: BLE001 -- op failure, not server
+            self._reply_run_error(
+                run, frame.ERR_OP_FAILED, repr(exc), replies
+            )
+            return
+        if len(run) > 1:
+            metrics.record_batch(op_name, len(run))
+        done = _now()
+        metrics.record_requests(op_name, [done - e[4] for e in run])
+        encode_into = frame.encode_frame_into
+        OP_OK = frame.OP_OK
+        for (conn, request_id, _, _, _), payload in zip(run, payloads):
+            buf = replies.get(conn)
+            if buf is None:
+                buf = replies[conn] = bytearray()
+            encode_into(buf, request_id, OP_OK, payload)
+
+    def _reply_run_error(
+        self,
+        run: List[_Entry],
+        code: int,
+        msg: str,
+        replies: Dict[_Connection, bytearray],
+    ) -> None:
+        payload = frame.encode_err(code, msg)
+        for conn, request_id, _, _, _ in run:
+            self.metrics.record_error(code)
+            replies.setdefault(conn, bytearray()).extend(
+                frame.encode_frame(request_id, frame.OP_ERR, payload)
+            )
+
+    def _serve_single(
+        self,
+        conn: _Connection,
+        request_id: int,
+        opcode: int,
+        args: Any,
+        t0: int,
+        replies: Dict[_Connection, bytearray],
+    ) -> None:
+        metrics = self.metrics
+        try:
+            reply_op, payload = self._execute_parsed(opcode, args)
+        except _RequestError as exc:
+            metrics.record_error(exc.code)
+            reply_op, payload = (
+                frame.OP_ERR,
+                frame.encode_err(exc.code, exc.msg),
+            )
+        except Exception as exc:  # noqa: BLE001
+            metrics.record_error(frame.ERR_OP_FAILED)
+            reply_op, payload = (
+                frame.OP_ERR,
+                frame.encode_err(frame.ERR_OP_FAILED, repr(exc)),
+            )
+        name = frame.OP_NAMES.get(opcode)
+        if name is not None and reply_op == frame.OP_OK:
+            metrics.record_request(name, _now() - t0)
+        replies.setdefault(conn, bytearray()).extend(
+            frame.encode_frame(request_id, reply_op, payload)
+        )
+
+    # -- request parsing and execution ----------------------------------
+
+    def _parse(self, opcode: int, payload: bytes) -> Any:
+        """Decode a request payload into an args tuple (ns id first)."""
+        try:
+            if opcode in (frame.OP_GET, frame.OP_DELETE, frame.OP_CONTAINS):
+                return frame.decode_key(payload)
+            if opcode == frame.OP_INSERT:
+                return frame.decode_key_value(payload)
+            if opcode == frame.OP_SCAN:
+                return frame.decode_scan(payload)
+            if opcode in (
+                frame.OP_SCAN_RANGE,
+                frame.OP_COUNT_RANGE,
+                frame.OP_DELETE_RANGE,
+            ):
+                return frame.decode_range(payload)
+            if opcode == frame.OP_GET_MANY:
+                return frame.decode_keys(payload)
+            if opcode == frame.OP_INSERT_MANY:
+                return frame.decode_batch(payload)
+            if opcode in (frame.OP_NS_CLOSE, frame.OP_LEN):
+                return (frame.decode_ns_id(payload),)
+            if opcode == frame.OP_NS_OPEN:
+                return (frame.decode_ns_open(payload),)
+            if opcode == frame.OP_PING:
+                return ()
+        except frame.PayloadError as exc:
+            raise _RequestError(frame.ERR_BAD_PAYLOAD, str(exc)) from None
+        raise _RequestError(frame.ERR_BAD_OPCODE, f"unknown opcode {opcode}")
+
+    def _execute(self, opcode: int, payload: bytes) -> Tuple[int, bytes]:
+        """Parse + execute one request (the naive path)."""
+        try:
+            args = self._parse(opcode, payload)
+            return self._execute_parsed(opcode, args)
+        except _RequestError as exc:
+            self.metrics.record_error(exc.code)
+            return frame.OP_ERR, frame.encode_err(exc.code, exc.msg)
+        except Exception as exc:  # noqa: BLE001
+            self.metrics.record_error(frame.ERR_OP_FAILED)
+            return frame.OP_ERR, frame.encode_err(
+                frame.ERR_OP_FAILED, repr(exc)
+            )
+
+    def _execute_parsed(self, opcode: int, args: Any) -> Tuple[int, bytes]:
+        """Execute a parsed request; opcodes map 1:1 onto protocol calls."""
+        if opcode == frame.OP_GET:
+            ns_id, key = args
+            return frame.OP_OK, frame.encode_value(self._ns(ns_id).get(key))
+        if opcode == frame.OP_INSERT:
+            ns_id, key, value = args
+            self._ns(ns_id).insert(key, value)
+            return frame.OP_OK, b""
+        if opcode == frame.OP_DELETE:
+            ns_id, key = args
+            return frame.OP_OK, frame.encode_bool(self._ns(ns_id).delete(key))
+        if opcode == frame.OP_CONTAINS:
+            ns_id, key = args
+            return frame.OP_OK, frame.encode_bool(key in self._ns(ns_id))
+        if opcode == frame.OP_SCAN:
+            ns_id, start_key, count = args
+            return frame.OP_OK, frame.encode_pairs(
+                self._ns(ns_id).scan(start_key, count)
+            )
+        if opcode == frame.OP_SCAN_RANGE:
+            ns_id, low, high = args
+            return frame.OP_OK, frame.encode_pairs(
+                self._ns(ns_id).scan_range(low, high)
+            )
+        if opcode == frame.OP_COUNT_RANGE:
+            ns_id, low, high = args
+            return frame.OP_OK, frame.encode_u64(
+                self._ns(ns_id).count_range(low, high)
+            )
+        if opcode == frame.OP_DELETE_RANGE:
+            ns_id, low, high = args
+            return frame.OP_OK, frame.encode_u64(
+                self._ns(ns_id).delete_range(low, high)
+            )
+        if opcode == frame.OP_GET_MANY:
+            ns_id, keys = args
+            return frame.OP_OK, frame.encode_values(
+                self._ns(ns_id).get_many(keys)
+            )
+        if opcode == frame.OP_INSERT_MANY:
+            ns_id, keys, values = args
+            self._ns(ns_id).insert_many(keys, values)
+            return frame.OP_OK, b""
+        if opcode == frame.OP_NS_OPEN:
+            (name,) = args
+            return frame.OP_OK, frame.encode_ns_id(self._open_namespace(name))
+        if opcode == frame.OP_NS_CLOSE:
+            (ns_id,) = args
+            self._ns(ns_id)  # validate; namespaces are shared, not owned
+            return frame.OP_OK, b""
+        if opcode == frame.OP_LEN:
+            (ns_id,) = args
+            return frame.OP_OK, frame.encode_u64(len(self._ns(ns_id)))
+        if opcode == frame.OP_PING:
+            return frame.OP_OK, b""
+        raise _RequestError(frame.ERR_BAD_OPCODE, f"unknown opcode {opcode}")
+
+    # -- admin endpoint -------------------------------------------------
+
+    async def _on_admin(self, reader, writer) -> None:
+        """Minimal HTTP/1.0 responder for /metrics and /healthz."""
+        try:
+            request_line = await reader.readline()
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.split()
+            path = parts[1].decode("latin-1") if len(parts) >= 2 else ""
+            if path.startswith("/metrics"):
+                status, ctype = "200 OK", "text/plain; version=0.0.4"
+                body = self.metrics.to_prometheus().encode("utf-8")
+            elif path.startswith("/healthz"):
+                status, ctype = "200 OK", "text/plain"
+                body = b"ok\n"
+            else:
+                status, ctype = "404 Not Found", "text/plain"
+                body = b"not found\n"
+            writer.write(
+                (
+                    f"HTTP/1.0 {status}\r\nContent-Type: {ctype}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode("latin-1")
+                + body
+            )
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+
+
+class _RequestError(Exception):
+    """A request that gets a structured error reply (not a crash)."""
+
+    def __init__(self, code: int, msg: str):
+        super().__init__(msg)
+        self.code = code
+        self.msg = msg

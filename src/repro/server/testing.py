@@ -1,0 +1,83 @@
+"""Test/bench harness: run an :class:`IndexServer` on a helper thread.
+
+The test suite and the throughput benchmark are synchronous, so
+:class:`ServerThread` hosts the server's event loop on a daemon thread
+and hands back the bound ports.  ``stop()`` runs the server's graceful
+shutdown *on the loop* (quiesce, checkpoint, close) before tearing the
+loop down, so a durable store's shutdown checkpoint is exercised
+exactly as ``python -m repro.server`` would on SIGTERM.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Optional
+
+from repro.server.server import IndexServer, ServerConfig
+
+
+class ServerThread:
+    """An :class:`IndexServer` running on its own event-loop thread."""
+
+    def __init__(
+        self,
+        store: Optional[Any] = None,
+        *,
+        index: Optional[Any] = None,
+        config: Optional[ServerConfig] = None,
+    ):
+        self.server = IndexServer(store, index=index, config=config)
+        self._loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="index-server", daemon=True
+        )
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        if not self._started.wait(timeout=10.0):
+            raise RuntimeError("server thread failed to start")
+        return self
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_until_complete(self.server.start())
+        self._started.set()
+        self._loop.run_forever()
+        # stop() resumes here: graceful shutdown on the (stopped) loop.
+        self._loop.run_until_complete(self.server.shutdown())
+        self._loop.close()
+
+    def stop(self) -> None:
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=30.0)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- conveniences ---------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self.server.config.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def admin_port(self) -> Optional[int]:
+        return self.server.admin_port
+
+    def run(self, coro):
+        """Run a coroutine on the server's loop from the calling thread."""
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result(
+            timeout=60.0
+        )

@@ -30,10 +30,11 @@ snapshot layer already imposes.
 
 from __future__ import annotations
 
-import json
 import struct
 import zlib
 from typing import Any, List, NamedTuple, Optional, Tuple
+
+from repro.kvstore.codec import dump_value, load_value
 
 SEGMENT_MAGIC = b"DWAL"
 FORMAT_VERSION = 1
@@ -163,16 +164,10 @@ def decode_segment_header(buf: bytes) -> Tuple[int, int]:
 # ---------------------------------------------------------------------------
 
 
-def _dump_value(value: Any) -> bytes:
-    # Ints dominate KV benchmarks; str(int) is valid JSON and ~3x
-    # cheaper than the encoder (bool is excluded: str(True) is not).
-    if type(value) is int:
-        return str(value).encode("ascii")
-    return json.dumps(value, separators=(",", ":")).encode("utf-8")
-
-
-def _load_value(data: bytes) -> Any:
-    return json.loads(data.decode("utf-8"))
+# The WAL shares the system-wide value codec (compact JSON) with the
+# snapshot layer and the network wire protocol; see repro.kvstore.codec.
+_dump_value = dump_value
+_load_value = load_value
 
 
 def encode_insert(key: int, value: Any) -> bytes:

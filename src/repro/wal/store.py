@@ -29,6 +29,7 @@ import threading
 import time
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from repro.api import batch_pairs, is_batch_index
 from repro.kvstore import KVStore, SnapshotCorruptError, load_snapshot_bytes
 from repro.kvstore.codec import KeyCodec
 from repro.kvstore.snapshot import read_snapshot_header
@@ -110,6 +111,9 @@ class DurableKVStore:
         t0 = time.perf_counter()
         n = 0
         index = self._kv.index
+        # One structural check instead of per-record hasattr probes:
+        # every in-tree index satisfies BatchOpsProtocol.
+        batch = is_batch_index(index)
         try:
             for r in self.wal.replay(after_lsn):
                 n += 1
@@ -118,15 +122,15 @@ class DurableKVStore:
                     index.insert(key, value)
                 elif r.op == rec.OP_BATCH:
                     pairs = rec.decode_batch(r.payload)
-                    if hasattr(index, "insert_many"):
+                    if batch:
                         index.insert_many(pairs)
                     else:
                         for key, value in pairs:
                             index.insert(key, value)
                 elif r.op == rec.OP_BATCH2:
                     keys, values = rec.decode_batch2(r.payload)
-                    if hasattr(index, "insert_many"):
-                        index.insert_many(zip(keys, values))
+                    if batch:
+                        index.insert_many(keys, values)
                     else:
                         for key, value in zip(keys, values):
                             index.insert(key, value)
@@ -134,7 +138,7 @@ class DurableKVStore:
                     index.delete(rec.decode_delete(r.payload))
                 elif r.op == rec.OP_DELETE_RANGE:
                     low, high = rec.decode_delete_range(r.payload)
-                    if hasattr(index, "delete_range"):
+                    if batch:
                         index.delete_range(low, high)
                     else:
                         for key, _ in list(index.scan_range(low, high)):
@@ -285,8 +289,8 @@ class DurableNamespace:
             )
             self._ns._insert_full(full, value)
 
-    def insert_many(self, pairs) -> None:
-        pairs = list(pairs)
+    def insert_many(self, keys, values=None) -> None:
+        pairs = batch_pairs(keys, values)
         if not pairs:
             return
         # Encode once: the same full keys feed the log record and the

@@ -1,0 +1,121 @@
+"""BatchOpsProtocol conformance: every index speaks the batch contract.
+
+The server's coalescer calls ``get_many``/``insert_many``/
+``delete_range`` on whatever index backs the store, so conformance is
+a correctness property of the whole service, not an optimisation.
+These tests assert (a) structural conformance for all eight ordered
+indexes, (b) batch-vs-scalar equivalence on each, (c) both accepted
+``insert_many`` shapes, and (d) the ``batch_pairs`` normaliser's error
+contract.
+"""
+
+import random
+
+import pytest
+
+from repro.api import (
+    BatchOpsMixin,
+    BatchOpsProtocol,
+    batch_pairs,
+    is_batch_index,
+)
+from repro.kvstore import KVStore
+from tests.test_protocol import ALL_INDEX_CLASSES, MUTABLE_CLASSES, _make
+
+
+@pytest.mark.parametrize("cls", ALL_INDEX_CLASSES)
+def test_batch_conformance(cls):
+    obj = _make(cls)
+    assert isinstance(obj, BatchOpsProtocol)
+    assert is_batch_index(obj)
+
+
+def test_non_batch_rejected():
+    from repro.hashing import ExtendibleHashing
+
+    assert not is_batch_index(object())
+    # Hash baselines predate the ordered contract: no range ops.
+    assert not is_batch_index(ExtendibleHashing())
+
+
+@pytest.mark.parametrize("cls", MUTABLE_CLASSES)
+def test_batch_matches_scalar(cls):
+    rng = random.Random(7)
+    keys = rng.sample(range(1, 100_000), 800)
+    idx = _make(cls)
+    ref = _make(cls)
+    idx.insert_many(keys, [k * 2 for k in keys])
+    for k in keys:
+        ref.insert(k, k * 2)
+    assert list(idx.items()) == list(ref.items())
+    probes = rng.sample(keys, 200) + [rng.randrange(100_000, 200_000)
+                                      for _ in range(200)]
+    assert idx.get_many(probes) == [ref.get(k) for k in probes]
+    lo, hi = 20_000, 70_000
+    expected = sum(1 for k in keys if lo <= k < hi)
+    assert idx.delete_range(lo, hi) == expected
+    assert idx.count_range(lo, hi) == 0
+    assert len(idx) == len(keys) - expected
+
+
+@pytest.mark.parametrize("cls", MUTABLE_CLASSES)
+def test_insert_many_both_shapes(cls):
+    pairs = [(3, "a"), (1, "b"), (2, "c")]
+    via_pairs = _make(cls)
+    via_pairs.insert_many(pairs)
+    via_columns = _make(cls)
+    via_columns.insert_many([k for k, _ in pairs], [v for _, v in pairs])
+    assert list(via_pairs.items()) == list(via_columns.items())
+
+
+def test_insert_many_duplicate_keys_last_wins():
+    for cls in MUTABLE_CLASSES:
+        idx = _make(cls)
+        idx.insert_many([5, 5, 5], ["a", "b", "c"])
+        assert idx.get(5) == "c", cls.__name__
+        assert len(idx) == 1
+
+
+def test_batch_pairs_normaliser():
+    assert batch_pairs([(1, "a")]) == [(1, "a")]
+    assert batch_pairs([1, 2], ["a", "b"]) == [(1, "a"), (2, "b")]
+    assert batch_pairs([], []) == []
+    assert batch_pairs(iter([1]), iter(["x"])) == [(1, "x")]
+    with pytest.raises(ValueError, match="2 keys but 1 values"):
+        batch_pairs([1, 2], ["a"])
+
+
+def test_mixin_defaults_are_the_scalar_loops():
+    class Tiny(BatchOpsMixin):
+        def __init__(self):
+            self.d = {}
+
+        def get(self, key):
+            return self.d.get(key)
+
+        def insert(self, key, value):
+            self.d[key] = value
+
+        def delete(self, key):
+            return self.d.pop(key, None) is not None
+
+        def scan_range(self, low, high):
+            return sorted(
+                (k, v) for k, v in self.d.items() if low <= k < high
+            )
+
+    t = Tiny()
+    t.insert_many([1, 2, 3], ["a", "b", "c"])
+    assert t.get_many([2, 9]) == ["b", None]
+    assert t.delete_range(1, 3) == 2
+    assert t.d == {3: "c"}
+
+
+def test_namespace_speaks_the_batch_contract():
+    """KVStore namespaces expose the same batch surface as the indexes."""
+    ns = KVStore().namespace("t")
+    ns.insert_many([4, 1, 9], ["d", "a", "i"])
+    ns.insert_many([(2, "b")])
+    assert ns.get_many([1, 2, 4, 9, 5]) == ["a", "b", "d", "i", None]
+    assert ns.delete_range(1, 5) == 3
+    assert list(ns.items()) == [(9, "i")]

@@ -94,3 +94,45 @@ def test_count_range_property(keys, a, b):
     lo, hi = min(a, b), max(a, b)
     expected = sum(1 for k in keys if lo <= k < hi)
     assert idx.count_range(lo, hi) == expected
+
+
+# -- cross-index property: range ops == items() slicing ----------------------
+#
+# The single reference semantics for scan_range/count_range (closed-open
+# [low, high), ascending) is "slice the sorted items".  Every index --
+# native range paths and RangeOpsMixin pagers alike -- must match it on
+# arbitrary random ranges, including boundaries sitting exactly on keys.
+
+from tests.test_protocol import ALL_INDEX_CLASSES, _make  # noqa: E402
+from repro.learned.rmi import RMIndex  # noqa: E402
+
+_SPAN = 2**18
+
+
+@pytest.mark.parametrize("cls", ALL_INDEX_CLASSES)
+@given(data=st.data())
+@settings(max_examples=20, deadline=None)
+def test_range_ops_match_items_slicing(cls, data):
+    keys = data.draw(
+        st.lists(
+            st.integers(0, _SPAN - 1), min_size=1, max_size=150, unique=True
+        )
+    )
+    idx = _make(cls)
+    if cls is RMIndex:  # read-only: populate through bulk_load
+        ordered = sorted(keys)
+        idx.bulk_load(ordered, [k * 7 for k in ordered])
+    else:
+        for k in keys:
+            idx.insert(k, k * 7)
+    ref = sorted((k, k * 7) for k in keys)
+    ref_keys = [k for k, _ in ref]
+    boundary = st.one_of(st.integers(0, _SPAN), st.sampled_from(keys))
+    for _ in range(5):
+        a = data.draw(boundary)
+        b = data.draw(boundary)
+        lo, hi = min(a, b), max(a, b)
+        i = bisect.bisect_left(ref_keys, lo)
+        j = bisect.bisect_left(ref_keys, hi)
+        assert idx.scan_range(lo, hi) == ref[i:j], (lo, hi)
+        assert idx.count_range(lo, hi) == j - i, (lo, hi)

@@ -1,0 +1,265 @@
+"""The network service: server, clients, coalescing, shutdown, metrics.
+
+The server runs on a helper thread (:class:`repro.server.testing.
+ServerThread`); tests talk to it over real sockets.  The headline
+property is that :class:`RemoteIndex` *is* an index -- it satisfies
+``IndexProtocol``/``BatchOpsProtocol`` structurally and agrees with a
+local DyTIS on the same workload -- and that the coalescing fast path
+is behaviourally invisible (same results, per-connection order
+preserved) while actually batching under pipelined load.
+"""
+
+import asyncio
+import random
+import urllib.request
+
+import pytest
+
+from repro.api import BatchOpsProtocol, IndexProtocol
+from repro.core import DyTIS
+from repro.kvstore import KVStore
+from repro.obs import parse_prometheus
+from repro.server import (
+    AsyncRemoteIndex,
+    RemoteError,
+    RemoteIndex,
+    ServerConfig,
+    ServerThread,
+    frame,
+)
+from repro.wal import DurableKVStore
+
+
+@pytest.fixture(params=[True, False], ids=["coalesce", "naive"])
+def server(request):
+    with ServerThread(
+        config=ServerConfig(coalesce=request.param, admin_port=0)
+    ) as st:
+        yield st
+
+
+@pytest.fixture
+def remote(server):
+    with RemoteIndex(server.host, server.port, "t") as idx:
+        yield idx
+
+
+class TestRemoteIndexIsAnIndex:
+    def test_satisfies_protocols(self, remote):
+        assert isinstance(remote, IndexProtocol)
+        assert isinstance(remote, BatchOpsProtocol)
+
+    def test_full_surface(self, remote):
+        remote.insert(5, "five")
+        remote.insert_many([1, 2, 3], ["a", "b", "c"])
+        assert remote.get(5) == "five"
+        assert remote.get(99) is None
+        assert remote.get_many([1, 3, 99]) == ["a", "c", None]
+        assert remote.scan(0, 2) == [(1, "a"), (2, "b")]
+        assert remote.scan_range(2, 5) == [(2, "b"), (3, "c")]
+        assert remote.count_range(0, 100) == 4
+        assert 3 in remote and 99 not in remote
+        assert len(remote) == 4
+        assert remote.delete(1) is True
+        assert remote.delete(1) is False
+        assert remote.delete_range(2, 4) == 2
+        assert list(remote.items()) == [(5, "five")]
+
+    def test_differential_vs_local_dytis(self, remote):
+        rng = random.Random(31)
+        keys = rng.sample(range(1, 200_000), 3000)
+        local = DyTIS()
+        remote.bulk_load(keys, [k * 3 for k in keys])
+        for k in keys:
+            local.insert(k, k * 3)
+        assert len(remote) == len(local)
+        probes = rng.sample(keys, 300) + [
+            rng.randrange(200_000, 400_000) for _ in range(100)
+        ]
+        assert remote.get_many(probes) == local.get_many(probes)
+        for lo, hi in [(0, 1), (7, 7), (100, 50_000), (150_000, 160_000)]:
+            assert remote.scan_range(lo, hi) == local.scan_range(lo, hi)
+            assert remote.count_range(lo, hi) == local.count_range(lo, hi)
+        assert remote.delete_range(40_000, 90_000) == local.delete_range(
+            40_000, 90_000
+        )
+        assert list(remote.items()) == list(local.items())
+
+    def test_namespaces_are_disjoint(self, server):
+        with RemoteIndex(server.host, server.port, "a") as a, RemoteIndex(
+            server.host, server.port, "b"
+        ) as b:
+            a.insert(1, "a1")
+            b.insert(1, "b1")
+            assert a.get(1) == "a1"
+            assert b.get(1) == "b1"
+            assert a.ns_id != b.ns_id
+
+    def test_ns_open_is_idempotent(self, server):
+        with RemoteIndex(server.host, server.port, "same") as a, RemoteIndex(
+            server.host, server.port, "same"
+        ) as b:
+            assert a.ns_id == b.ns_id
+            a.ping()
+
+
+class TestErrors:
+    def test_unknown_namespace(self, remote):
+        with pytest.raises(RemoteError) as exc:
+            remote._call(frame.OP_GET, frame.encode_key(999, 1))
+        assert exc.value.code == frame.ERR_UNKNOWN_NS
+
+    def test_bad_opcode(self, remote):
+        with pytest.raises(RemoteError) as exc:
+            remote._call(77, b"")
+        assert exc.value.code == frame.ERR_BAD_OPCODE
+
+    def test_bad_payload(self, remote):
+        with pytest.raises(RemoteError) as exc:
+            remote._call(frame.OP_GET, b"\x01\x02")
+        assert exc.value.code == frame.ERR_BAD_PAYLOAD
+
+    def test_connection_survives_structured_errors(self, remote):
+        for _ in range(3):
+            with pytest.raises(RemoteError):
+                remote._call(frame.OP_GET, frame.encode_key(999, 1))
+        remote.insert(1, "still alive")
+        assert remote.get(1) == "still alive"
+
+
+class TestCoalescing:
+    def _pipeline(self, server, coro_fn):
+        async def go():
+            client = await AsyncRemoteIndex.connect(
+                server.host, server.port, "p"
+            )
+            try:
+                return await coro_fn(client)
+            finally:
+                await client.close()
+
+        return server.run(go())
+
+    def test_pipelined_gets_are_batched(self):
+        with ServerThread(config=ServerConfig(coalesce=True)) as st:
+            async def go(client):
+                futs = [client.submit_insert(k, k) for k in range(300)]
+                await client._writer.drain()
+                await asyncio.gather(*futs)
+                futs = [client.submit_get(k) for k in range(300)]
+                await client._writer.drain()
+                payloads = await asyncio.gather(*futs)
+                return [frame.decode_value(p) for p in payloads]
+
+            values = self._pipeline(st, go)
+            assert values == list(range(300))
+            m = st.server.metrics
+            assert m.batches_total["get"] >= 1
+            assert m.batched_requests_total["get"] >= 300
+            assert m.mean_batch_size("get") > 1
+
+    def test_read_your_writes_order_preserved(self):
+        """Interleaved insert/get on one connection must never reorder."""
+        with ServerThread(config=ServerConfig(coalesce=True)) as st:
+            async def go(client):
+                futs = []
+                for generation in range(5):
+                    for k in range(50):
+                        futs.append(
+                            client.submit_insert(k, generation * 1000 + k)
+                        )
+                    for k in range(50):
+                        futs.append(client.submit_get(k))
+                await client._writer.drain()
+                return await asyncio.gather(*futs)
+
+            replies = self._pipeline(st, go)
+            # Each get must observe the insert batch just before it.
+            for generation in range(5):
+                block = replies[generation * 100 + 50 : generation * 100 + 100]
+                got = [frame.decode_value(p) for p in block]
+                assert got == [generation * 1000 + k for k in range(50)]
+
+    def test_multi_connection_batching(self):
+        with ServerThread(config=ServerConfig(coalesce=True)) as st:
+            async def go():
+                clients = [
+                    await AsyncRemoteIndex.connect(st.host, st.port, "p")
+                    for _ in range(4)
+                ]
+                await clients[0].insert_many(list(range(100)),
+                                             list(range(100)))
+
+                async def read_all(c):
+                    futs = [c.submit_get(k) for k in range(100)]
+                    await c._writer.drain()
+                    return await asyncio.gather(*futs)
+
+                results = await asyncio.gather(*(read_all(c) for c in clients))
+                for payloads in results:
+                    assert [frame.decode_value(p) for p in payloads] == list(
+                        range(100)
+                    )
+                for c in clients:
+                    await c.close()
+
+            st.run(go())
+
+
+class TestDurableShutdown:
+    def test_graceful_shutdown_checkpoints(self, tmp_path):
+        directory = tmp_path / "srv"
+        store = DurableKVStore(directory, fsync="never")
+        st = ServerThread(store, config=ServerConfig(coalesce=True)).start()
+        try:
+            with RemoteIndex(st.host, st.port, "t") as idx:
+                idx.insert_many(list(range(500)), [k * 2 for k in range(500)])
+                idx.insert(999_999, "last")
+        finally:
+            st.stop()
+        assert store.metrics.checkpoints_total >= 1
+        with DurableKVStore(directory, fsync="never") as reopened:
+            ns = reopened.namespace("t")
+            assert len(ns) == 501
+            assert ns.get(999_999) == "last"
+            assert ns.get_many([0, 250, 499]) == [0, 500, 998]
+
+
+class TestAdminEndpoint:
+    def test_metrics_scrape(self, server, remote):
+        remote.insert_many(list(range(50)), list(range(50)))
+        remote.get_many(list(range(50)))
+        remote.get(1)
+        url = f"http://{server.host}:{server.admin_port}"
+        page = urllib.request.urlopen(f"{url}/metrics").read().decode()
+        samples = parse_prometheus(page)
+        total = "dytis_server_requests_total"
+        assert samples[(total, (("op", "insert_many"),))] == 1
+        assert samples[(total, (("op", "get_many"),))] == 1
+        assert samples[(total, (("op", "get"),))] >= 1
+        assert samples[("dytis_server_connections_open", ())] >= 1
+        hist = "dytis_server_op_latency_ns_count"
+        assert samples[(hist, (("op", "get"),))] >= 1
+
+    def test_healthz_and_404(self, server):
+        url = f"http://{server.host}:{server.admin_port}"
+        assert urllib.request.urlopen(f"{url}/healthz").read() == b"ok\n"
+        with pytest.raises(urllib.error.HTTPError):
+            urllib.request.urlopen(f"{url}/nope")
+
+
+def test_server_wraps_bare_index():
+    """index= takes any IndexProtocol implementation directly."""
+    from repro.btree import BPlusTree
+
+    with ServerThread(index=BPlusTree(), config=ServerConfig()) as st:
+        with RemoteIndex(st.host, st.port, "t") as idx:
+            idx.insert_many([3, 1, 2], ["c", "a", "b"])
+            assert idx.scan_range(0, 10) == [(1, "a"), (2, "b"), (3, "c")]
+
+
+def test_server_refuses_store_and_index():
+    from repro.server import IndexServer
+
+    with pytest.raises(ValueError):
+        IndexServer(KVStore(), index=DyTIS())

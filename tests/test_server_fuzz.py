@@ -1,0 +1,165 @@
+"""Wire-protocol fuzzing: hostile bytes must never crash the server.
+
+The contract under test (ISSUE 7, satellite 4): for any byte stream --
+random garbage, truncated frames, bit-flipped valid frames, or valid
+frames with junk opcodes/payloads -- the server either sends a
+structured error reply or closes the connection cleanly, and it keeps
+serving well-formed clients afterwards.  The event loop itself must
+survive everything.
+"""
+
+import random
+import socket
+
+import pytest
+
+from repro.server import RemoteIndex, ServerConfig, ServerThread, frame
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServerThread(config=ServerConfig(coalesce=True)) as st:
+        yield st
+
+
+def _raw(server):
+    sock = socket.create_connection((server.host, server.port), timeout=5.0)
+    sock.settimeout(5.0)
+    return sock
+
+
+def _read_until_close(sock, limit=1 << 20):
+    """Drain whatever the server sends until it closes (or times out)."""
+    out = b""
+    try:
+        while len(out) < limit:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            out += chunk
+    except socket.timeout:
+        pass
+    return out
+
+
+def _assert_still_serving(server):
+    with RemoteIndex(server.host, server.port, "live") as idx:
+        idx.insert(1, "ok")
+        assert idx.get(1) == "ok"
+
+
+def test_random_garbage_streams(server):
+    rng = random.Random(0xFE)
+    for trial in range(20):
+        sock = _raw(server)
+        try:
+            sock.sendall(rng.randbytes(rng.randrange(1, 4096)))
+            sock.shutdown(socket.SHUT_WR)
+            data = _read_until_close(sock)
+        finally:
+            sock.close()
+        if data:
+            # Any reply must be a well-formed structured error frame.
+            frames = frame.FrameDecoder().feed(data)
+            for _, op, payload in frames:
+                assert op == frame.OP_ERR
+                code, _msg = frame.decode_err(payload)
+                assert code in frame.ERR_NAMES
+    _assert_still_serving(server)
+
+
+def test_truncated_frames(server):
+    rng = random.Random(0xAB)
+    whole = frame.encode_frame(1, frame.OP_GET, frame.encode_key(0, 5))
+    for cut in sorted(rng.sample(range(1, len(whole)), 8)):
+        sock = _raw(server)
+        try:
+            sock.sendall(whole[:cut])
+            sock.shutdown(socket.SHUT_WR)
+            # A partial frame is not an error: the server just sees EOF
+            # mid-frame and drops the connection without a reply.
+            data = _read_until_close(sock)
+        finally:
+            sock.close()
+        for _, op, _payload in frame.FrameDecoder().feed(data):
+            assert op == frame.OP_ERR
+    _assert_still_serving(server)
+
+
+def test_bit_flipped_frames(server):
+    rng = random.Random(0xC4)
+    with RemoteIndex(server.host, server.port, "fuzz") as idx:
+        ns_id = idx.ns_id
+    good = frame.encode_frame(7, frame.OP_GET, frame.encode_key(ns_id, 42))
+    for trial in range(30):
+        corrupt = bytearray(good)
+        pos = rng.randrange(len(corrupt))
+        corrupt[pos] ^= 1 << rng.randrange(8)
+        sock = _raw(server)
+        try:
+            sock.sendall(bytes(corrupt))
+            sock.shutdown(socket.SHUT_WR)
+            data = _read_until_close(sock, limit=1 << 16)
+        finally:
+            sock.close()
+        if data:
+            try:
+                frames = frame.FrameDecoder().feed(data)
+            except frame.FrameError:
+                continue  # reply got interleaved with closing; fine
+            for _, op, payload in frames:
+                if op == frame.OP_ERR:
+                    code, _msg = frame.decode_err(payload)
+                    assert code in frame.ERR_NAMES
+    _assert_still_serving(server)
+
+
+def test_valid_frames_random_opcodes_and_payloads(server):
+    """Well-framed junk: every frame gets a reply, none kills the loop."""
+    rng = random.Random(0x51)
+    sock = _raw(server)
+    decoder = frame.FrameDecoder()
+    try:
+        n_sent = 40
+        for rid in range(1, n_sent + 1):
+            opcode = rng.choice(
+                list(frame.OP_NAMES) + [0, 99, 200, 255]
+            )
+            payload = rng.randbytes(rng.randrange(0, 64))
+            sock.sendall(frame.encode_frame(rid, opcode, payload))
+        replies = []
+        while len(replies) < n_sent:
+            data = sock.recv(65536)
+            if not data:
+                break
+            replies.extend(decoder.feed(data))
+        assert len(replies) == n_sent
+        for rid, op, payload in replies:
+            assert op in (frame.OP_OK, frame.OP_ERR)
+            if op == frame.OP_ERR:
+                code, _msg = frame.decode_err(payload)
+                assert code in frame.ERR_NAMES
+    finally:
+        sock.close()
+    _assert_still_serving(server)
+
+
+def test_oversized_length_prefix(server):
+    sock = _raw(server)
+    try:
+        sock.sendall(b"\xff\xff\xff\xff" + b"x" * 64)
+        sock.shutdown(socket.SHUT_WR)
+        data = _read_until_close(sock, limit=1 << 16)
+    finally:
+        sock.close()
+    frames = frame.FrameDecoder().feed(data)
+    assert len(frames) == 1
+    _rid, op, payload = frames[0]
+    assert op == frame.OP_ERR
+    code, _msg = frame.decode_err(payload)
+    assert code == frame.ERR_BAD_FRAME
+    _assert_still_serving(server)
+
+
+def test_server_metrics_count_fuzz_errors(server):
+    assert sum(server.server.metrics.errors_total.values()) > 0

@@ -347,10 +347,14 @@ def decode_values(payload: bytes) -> List[Any]:
         for _ in range(n):
             (vlen,) = _U32.unpack_from(payload, offset)
             offset += 4
+            if offset + vlen > len(payload):
+                raise PayloadError("values reply: truncated value")
             out.append(load_value(payload[offset : offset + vlen]))
             offset += vlen
     except (struct.error, ValueError) as exc:
         raise PayloadError(f"bad values reply: {exc}") from None
+    if offset != len(payload):
+        raise PayloadError("values reply: trailing bytes")
     return out
 
 
@@ -378,10 +382,14 @@ def decode_pairs(payload: bytes) -> List[Tuple[int, Any]]:
         for i in range(n):
             (vlen,) = _U32.unpack_from(payload, offset)
             offset += 4
+            if offset + vlen > len(payload):
+                raise PayloadError("pairs reply: truncated value")
             out.append((keys[i], load_value(payload[offset : offset + vlen])))
             offset += vlen
     except (struct.error, ValueError) as exc:
         raise PayloadError(f"bad pairs reply: {exc}") from None
+    if offset != len(payload):
+        raise PayloadError("pairs reply: trailing bytes")
     return out
 
 

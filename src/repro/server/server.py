@@ -45,6 +45,10 @@ from repro.server.metrics import ServerMetrics
 
 _NS_KEY_UNPACK = frame._NS_KEY.unpack
 
+#: Per-read timeout and header-line cap for the admin HTTP endpoint.
+_ADMIN_READ_TIMEOUT = 5.0
+_ADMIN_MAX_HEADER_LINES = 100
+
 
 @dataclass
 class ServerConfig:
@@ -145,15 +149,22 @@ class IndexServer:
         self._shutting_down = True
         if self._server is not None:
             self._server.close()
-            await self._server.wait_closed()
         # Quiesce: the drain task replies to everything already queued.
         while self._drain_task is not None:
             await self._drain_task
+        # Tear down client connections *before* wait_closed(): on
+        # Python >= 3.12.1 wait_closed() also waits for the
+        # connection-handler tasks, which only return on client EOF,
+        # so awaiting it with clients still attached deadlocks.
         for conn in list(self._conns):
             conn.alive = False
             conn.writer.close()
+        for task in list(self._conn_tasks):
+            task.cancel()
         if self._conn_tasks:
             await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        if self._server is not None:
+            await self._server.wait_closed()
         if self._admin_server is not None:
             self._admin_server.close()
             await self._admin_server.wait_closed()
@@ -317,7 +328,6 @@ class IndexServer:
         """
         queue = self._queue
         max_batch = self.config.max_batch
-        metrics = self.metrics
         while queue:
             conn, request_id, opcode, args, t0 = queue.popleft()
             if opcode == frame.OP_GET or opcode == frame.OP_INSERT:
@@ -356,13 +366,15 @@ class IndexServer:
                     [entry[3][2] for entry in run],
                 )
                 payloads = [b""] * len(run)
-        except _RequestError as exc:
-            self._reply_run_error(run, exc.code, exc.msg, replies)
-            return
-        except Exception as exc:  # noqa: BLE001 -- op failure, not server
-            self._reply_run_error(
-                run, frame.ERR_OP_FAILED, repr(exc), replies
-            )
+        except Exception:  # noqa: BLE001 -- op failure, not server
+            # One bad request must not poison the whole coalesced run:
+            # requests from other connections land in the same batch.
+            # Re-execute the run per-request (matching the naive path)
+            # so only the offender gets an error reply.  Inserts that
+            # already applied before a partial insert_many failure are
+            # overwrites, so re-running them is idempotent.
+            for conn, request_id, op, args, t0 in run:
+                self._serve_single(conn, request_id, op, args, t0, replies)
             return
         if len(run) > 1:
             metrics.record_batch(op_name, len(run))
@@ -375,20 +387,6 @@ class IndexServer:
             if buf is None:
                 buf = replies[conn] = bytearray()
             encode_into(buf, request_id, OP_OK, payload)
-
-    def _reply_run_error(
-        self,
-        run: List[_Entry],
-        code: int,
-        msg: str,
-        replies: Dict[_Connection, bytearray],
-    ) -> None:
-        payload = frame.encode_err(code, msg)
-        for conn, request_id, _, _, _ in run:
-            self.metrics.record_error(code)
-            replies.setdefault(conn, bytearray()).extend(
-                frame.encode_frame(request_id, frame.OP_ERR, payload)
-            )
 
     def _serve_single(
         self,
@@ -414,8 +412,10 @@ class IndexServer:
                 frame.OP_ERR,
                 frame.encode_err(frame.ERR_OP_FAILED, repr(exc)),
             )
+        # Record error replies too, so requests_total and the latency
+        # histograms count the same population as the naive path.
         name = frame.OP_NAMES.get(opcode)
-        if name is not None and reply_op == frame.OP_OK:
+        if name is not None:
             metrics.record_request(name, _now() - t0)
         replies.setdefault(conn, bytearray()).extend(
             frame.encode_frame(request_id, reply_op, payload)
@@ -527,13 +527,24 @@ class IndexServer:
     # -- admin endpoint -------------------------------------------------
 
     async def _on_admin(self, reader, writer) -> None:
-        """Minimal HTTP/1.0 responder for /metrics and /healthz."""
+        """Minimal HTTP/1.0 responder for /metrics and /healthz.
+
+        Reads are bounded (timeout + header-line cap) so a silent or
+        header-spamming client cannot hold the handler task open and
+        stall shutdown.
+        """
         try:
-            request_line = await reader.readline()
-            while True:
-                line = await reader.readline()
+            request_line = await asyncio.wait_for(
+                reader.readline(), timeout=_ADMIN_READ_TIMEOUT
+            )
+            for _ in range(_ADMIN_MAX_HEADER_LINES):
+                line = await asyncio.wait_for(
+                    reader.readline(), timeout=_ADMIN_READ_TIMEOUT
+                )
                 if line in (b"\r\n", b"\n", b""):
                     break
+            else:
+                return
             parts = request_line.split()
             path = parts[1].decode("latin-1") if len(parts) >= 2 else ""
             if path.startswith("/metrics"):
@@ -554,7 +565,12 @@ class IndexServer:
                 + body
             )
             await writer.drain()
-        except (ConnectionResetError, BrokenPipeError):
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.TimeoutError,
+            ValueError,  # readline() overrunning the stream limit
+        ):
             pass
         finally:
             writer.close()

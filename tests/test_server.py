@@ -180,6 +180,31 @@ class TestCoalescing:
                 got = [frame.decode_value(p) for p in block]
                 assert got == [generation * 1000 + k for k in range(50)]
 
+    def test_bad_request_does_not_poison_batch(self):
+        """A failing request coalesced into a run must error alone.
+
+        2**63 is outside the default namespace codec's key range, so
+        the batched ``get_many`` raises mid-run; the server must fall
+        back to per-request execution (as the naive path would) rather
+        than failing every coalesced request.
+        """
+        with ServerThread(config=ServerConfig(coalesce=True)) as st:
+            async def go(client):
+                futs = [client.submit_insert(k, k) for k in range(20)]
+                await client._writer.drain()
+                await asyncio.gather(*futs)
+                futs = [client.submit_get(k) for k in range(10)]
+                bad = client.submit_get(2**63)
+                futs += [client.submit_get(k) for k in range(10, 20)]
+                await client._writer.drain()
+                good = await asyncio.gather(*futs)
+                with pytest.raises(RemoteError) as exc:
+                    await bad
+                assert exc.value.code == frame.ERR_OP_FAILED
+                return [frame.decode_value(p) for p in good]
+
+            assert self._pipeline(st, go) == list(range(20))
+
     def test_multi_connection_batching(self):
         with ServerThread(config=ServerConfig(coalesce=True)) as st:
             async def go():
@@ -223,6 +248,54 @@ class TestDurableShutdown:
             assert len(ns) == 501
             assert ns.get(999_999) == "last"
             assert ns.get_many([0, 250, 499]) == [0, 500, 998]
+
+
+    def test_shutdown_with_connected_clients(self):
+        """Shutdown must not wait for connected clients to hang up.
+
+        On Python >= 3.12.1 ``Server.wait_closed`` also waits for the
+        connection-handler tasks, so shutdown must tear down client
+        connections first or SIGTERM deadlocks with clients attached.
+        """
+        st = ServerThread(config=ServerConfig(coalesce=True)).start()
+        idx = RemoteIndex(st.host, st.port, "t")
+        try:
+            idx.insert(1, "one")
+            st.stop()
+            assert not st._thread.is_alive()
+        finally:
+            idx.close()
+
+
+class TestReplyDecoderBounds:
+    """Truncated reply payloads must raise, never silently mis-decode.
+
+    The regression: a value column truncated mid-value used to slice
+    short and ``json.loads`` could parse a prefix (``b"123456"`` ->
+    ``123``), returning wrong data instead of an error.
+    """
+
+    def test_values_reply_truncation_always_raises(self):
+        raw = frame.encode_values([123456, "abc", None])
+        assert frame.decode_values(raw) == [123456, "abc", None]
+        for cut in range(len(raw)):
+            with pytest.raises(frame.PayloadError):
+                frame.decode_values(raw[:cut])
+
+    def test_values_reply_trailing_bytes_raise(self):
+        with pytest.raises(frame.PayloadError):
+            frame.decode_values(frame.encode_values([1]) + b"x")
+
+    def test_pairs_reply_truncation_always_raises(self):
+        raw = frame.encode_pairs([(1, "a"), (2, 123456)])
+        assert frame.decode_pairs(raw) == [(1, "a"), (2, 123456)]
+        for cut in range(len(raw)):
+            with pytest.raises(frame.PayloadError):
+                frame.decode_pairs(raw[:cut])
+
+    def test_pairs_reply_trailing_bytes_raise(self):
+        with pytest.raises(frame.PayloadError):
+            frame.decode_pairs(frame.encode_pairs([(1, "a")]) + b"\x00")
 
 
 class TestAdminEndpoint:

@@ -1,9 +1,21 @@
-"""Figure 12: thread scaling, DyTIS vs XIndex (RL and TX).
+"""Figure 12: thread scaling, DyTIS vs XIndex (RL and TX), plus the
+process-scaling comparison the threaded rows motivate.
 
 Paper shape: DyTIS above XIndex at every thread count for insert,
-search, and scan.  CPython's GIL flattens absolute scaling (documented
-in EXPERIMENTS.md); the cross-index ordering is the reproducible part.
+search, and scan.  CPython's GIL flattens absolute thread scaling
+(documented in EXPERIMENTS.md, and now visible at a glance in the
+scaling-efficiency block of the recorded table); the cross-index
+ordering is the reproducible part.  The process-scaling test runs the
+same mixed batch trace through N shard *processes*
+(``repro.shard.ShardedIndex``) against N threads on the two-level
+locking wrapper -- the acceptance bar (>= 2.5x at 4 shard processes
+vs the 1-process baseline, threads ~1x) applies where it is
+physically meaningful: >= 4 cores and >= 50k keys.  The default smoke
+scale asserts only that every configuration completes with nonzero
+throughput.
 """
+
+import os
 
 from repro.bench.experiments import fig12_concurrency
 
@@ -23,3 +35,42 @@ def test_fig12_concurrency(benchmark, bench_scale, record_table):
         for t in (1, 2, 4, 8):
             assert cell[(ds, "DyTIS-MT", "search", t)] > 0
             assert cell[(ds, "XIndex", "search", t)] > 0
+    # Efficiency is reported for every multi-thread row and is bounded:
+    # a 1-worker baseline of 1.0, and no super-linear artifacts beyond
+    # timer noise.
+    eff = fig12_concurrency.scaling_efficiency(rows)
+    for ds in ("RL", "TX"):
+        for op in fig12_concurrency.OPERATIONS:
+            assert eff[(ds, "DyTIS-MT", op, 1)] == 1.0
+            for t in (2, 4, 8):
+                assert 0.0 < eff[(ds, "DyTIS-MT", op, t)] < 2.0
+
+
+def test_fig12_process_scaling(benchmark, bench_scale, record_table):
+    rows = benchmark.pedantic(
+        fig12_concurrency.run_process_scaling,
+        kwargs=dict(scale=bench_scale, worker_counts=(1, 2, 4)),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(
+        "fig12_process_scaling", fig12_concurrency.format_table(rows)
+    )
+    cell = {(r.index, r.threads): r.mops for r in rows}
+    for ix in ("DyTIS-MT", "Sharded"):
+        for w in (1, 2, 4):
+            assert cell[(ix, w)] > 0
+    # The acceptance bar needs real cores and enough work per RPC to
+    # amortize the control channel; below that, only completion and
+    # the recorded table are asserted (same gating convention as
+    # bench_server_throughput).
+    if (os.cpu_count() or 1) >= 4 and bench_scale.n_keys >= 50_000:
+        speedup = cell[("Sharded", 4)] / cell[("Sharded", 1)]
+        assert speedup >= 2.5, (
+            f"4 shard processes gave {speedup:.2f}x over 1 "
+            f"(expected >= 2.5x on >= 4 cores)"
+        )
+        threaded = cell[("DyTIS-MT", 4)] / cell[("DyTIS-MT", 1)]
+        assert threaded < 2.0, (
+            f"threaded control scaled {threaded:.2f}x -- GIL assumption broken?"
+        )

@@ -119,10 +119,34 @@ def run(
     return rows
 
 
+def scaling_efficiency(rows: List[Fig12Row]) -> dict:
+    """Per-row scaling efficiency: throughput / workers / 1-worker
+    throughput.
+
+    1.0 means perfect linear scaling, 1/N means flat absolute
+    throughput split N ways (the GIL signature).  Keyed by
+    ``(dataset, index, operation, threads)``; rows whose group lacks a
+    1-worker baseline are omitted.
+    """
+    base = {
+        (r.dataset, r.index, r.operation): r.mops
+        for r in rows
+        if r.threads == 1 and r.mops
+    }
+    return {
+        (r.dataset, r.index, r.operation, r.threads): (
+            r.mops / (r.threads * base[(r.dataset, r.index, r.operation)])
+        )
+        for r in rows
+        if (r.dataset, r.index, r.operation) in base
+    }
+
+
 def format_table(rows: List[Fig12Row]) -> str:
+    thread_counts = tuple(sorted({r.threads for r in rows})) or THREAD_COUNTS
     lines = ["Figure 12: throughput (M ops/s) over thread counts"]
     header = f"{'dataset':<8} {'index':<9} {'op':<7}" + "".join(
-        f"{t:>8}" for t in THREAD_COUNTS
+        f"{t:>8}" for t in thread_counts
     )
     lines.append(header)
     cells = {}
@@ -131,11 +155,146 @@ def format_table(rows: List[Fig12Row]) -> str:
     for (ds, ix, op), per_t in cells.items():
         lines.append(
             f"{ds:<8} {ix:<9} {op:<7}"
-            + "".join(f"{per_t.get(t, float('nan')):>8.3f}" for t in THREAD_COUNTS)
+            + "".join(f"{per_t.get(t, float('nan')):>8.3f}" for t in thread_counts)
         )
+    eff = scaling_efficiency(rows)
+    if eff:
+        lines.append(
+            "scaling efficiency (throughput / workers / 1-worker baseline)"
+        )
+        lines.append(header)
+        for (ds, ix, op) in cells:
+            lines.append(
+                f"{ds:<8} {ix:<9} {op:<7}"
+                + "".join(
+                    f"{eff.get((ds, ix, op, t), float('nan')):>8.2f}"
+                    for t in thread_counts
+                )
+            )
     locks = [r for r in rows if r.index == "DyTIS-MT" and r.operation == "insert"]
     if locks:
         lines.append("EH-write-lock escalation time during insert (s): " + ", ".join(
             f"{r.threads}T={r.lock_seconds:.3f}" for r in locks
         ))
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Process scaling: the sharded front-end vs the threaded wrapper
+# ---------------------------------------------------------------------------
+
+#: Worker counts for the process-scaling comparison.
+PROCESS_COUNTS = (1, 2, 4)
+#: Keys per batch operation in the mixed workload.
+MIXED_BATCH = 512
+
+
+def _mixed_batches(preload, future, n_ops: int, batch: int = MIXED_BATCH):
+    """The mixed batch trace: ~40% insert_many, ~50% get_many, ~10%
+    scans, as ``(kind, payload)`` tuples with ``n_ops`` total keys.
+
+    Built before the timed window so every configuration executes the
+    identical sequence; positions wrap so any ``n_ops`` works at any
+    scale.
+    """
+    import numpy as np
+
+    preload = np.asarray(preload, dtype=np.uint64)
+    future = np.asarray(future, dtype=np.uint64)
+    span = int(
+        (int(preload.max()) - int(preload.min())) * batch / max(1, preload.size)
+    )
+    batches = []
+    done = fpos = ppos = 0
+    while done < n_ops:
+        ins = np.take(
+            future, np.arange(fpos, fpos + batch), mode="wrap"
+        ).tolist()
+        fpos += batch
+        batches.append(("insert", ins))
+        done += batch
+        for _ in range(2):
+            get = np.take(
+                preload, np.arange(ppos, ppos + batch), mode="wrap"
+            ).tolist()
+            ppos += batch
+            batches.append(("get", get))
+            done += batch
+        lo = int(preload[ppos % preload.size])
+        batches.append(("scan", (lo, lo + span)))
+        done += batch // 4  # nominal cost of one range scan
+    return batches
+
+
+def _exec_batches(index, batches) -> None:
+    for kind, payload in batches:
+        if kind == "insert":
+            index.insert_many(payload, payload)
+        elif kind == "get":
+            index.get_many(payload)
+        else:
+            index.scan_range(*payload)
+
+
+def run_process_scaling(
+    scale: ExperimentScale = None,
+    worker_counts: Sequence[int] = PROCESS_COUNTS,
+    dataset: str = "RL",
+    mode: str = "hash",
+) -> List[Fig12Row]:
+    """Mixed-batch throughput over worker counts: N shard *processes*
+    (:class:`repro.shard.ShardedIndex`) vs N *threads* on the
+    two-level-locking wrapper.
+
+    The threaded rows are the GIL control: whatever they show is what
+    CPython gives one process.  The sharded rows run the identical
+    batch trace through the scatter-gather router, where each worker
+    owns a private index in its own interpreter -- on an N-core
+    machine this is where real scaling appears.  Rows reuse
+    :class:`Fig12Row` with ``operation="mixed"`` and ``threads`` as
+    the worker count, so :func:`scaling_efficiency` and
+    :func:`format_table` apply unchanged.
+    """
+    from repro.core import ConcurrentDyTIS
+    from repro.shard import ShardedIndex
+
+    scale = scale or default_scale()
+    keys = generate(dataset, scale.n_keys, scale.seed)
+    preload = keys[: int(len(keys) * 0.8)]
+    future = keys[int(len(keys) * 0.8):]
+    batches = _mixed_batches(preload, future, scale.n_ops)
+    n_keys_driven = sum(
+        len(p) if kind != "scan" else MIXED_BATCH // 4
+        for kind, p in batches
+    )
+    preload_list = [int(k) for k in preload]
+    rows: List[Fig12Row] = []
+    for w in worker_counts:
+        # Threads on the shared two-level-locking index.
+        mt = ConcurrentDyTIS(scale.dytis_config())
+        mt.bulk_load(preload_list, preload_list)
+        workers = [
+            (lambda chunk: (lambda: _exec_batches(mt, chunk)))(batches[i::w])
+            for i in range(w)
+        ]
+        seconds = _run_threads(w, workers)
+        rows.append(
+            Fig12Row(
+                dataset, "DyTIS-MT", "mixed", w,
+                n_keys_driven / seconds / 1e6 if seconds else 0.0,
+                getattr(mt, "structural_lock_time", 0.0),
+            )
+        )
+        # Shard processes behind the scatter-gather router.
+        with ShardedIndex(w, config=scale.dytis_config(), mode=mode) as idx:
+            idx.bulk_load(preload_list, preload_list)
+            t0 = perf_counter()
+            _exec_batches(idx, batches)
+            seconds = perf_counter() - t0
+        rows.append(
+            Fig12Row(
+                dataset, "Sharded", "mixed", w,
+                n_keys_driven / seconds / 1e6 if seconds else 0.0,
+            )
+        )
+    return rows

@@ -1032,6 +1032,28 @@ class DyTIS:
             self._fused_live = fl
         return fl[1], fl[2]
 
+    def export_read_column(self) -> Tuple[np.ndarray, List[Any]]:
+        """Snapshot the live index as ``(keys, values)`` in key order.
+
+        ``keys`` is a fresh strictly-increasing uint64 array and
+        ``values`` a slot-aligned list -- the layout shard workers
+        publish into shared memory so other processes can serve point
+        reads with a bisect against the column.  The columnar engine
+        compacts its fused column (no segment walk); the list engine
+        materializes :meth:`items`.  The arrays are copies: publishing
+        them never pins the index's internal caches.
+        """
+        if self._columnar:
+            kl, vl = self._fused_live_arrays()
+            return kl.astype(np.uint64, copy=True), vl.tolist()
+        pairs = list(self.items())
+        if not pairs:
+            return np.empty(0, dtype=np.uint64), []
+        keys = np.fromiter(
+            (k for k, _ in pairs), dtype=np.uint64, count=len(pairs)
+        )
+        return keys, [v for _, v in pairs]
+
     def _get_many_routed_columnar(
         self, arr: np.ndarray, out: List[Optional[Any]]
     ) -> List[Optional[Any]]:

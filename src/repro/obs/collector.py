@@ -15,6 +15,7 @@ primary + shards on *read*, which is the rare operation.
 
 from __future__ import annotations
 
+import struct
 import threading
 from dataclasses import dataclass, fields
 from typing import Dict, List, Optional
@@ -54,6 +55,37 @@ class ProbeCounters:
         for f in fields(self):
             setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
         return self
+
+    #: Wire magic: "DyTIS Probe Counters", format version 1.  The field
+    #: count travels in the frame so a frame from a build with a
+    #: different counter set fails loudly instead of misaligning.
+    _WIRE_MAGIC = b"DPC1"
+
+    def to_bytes(self) -> bytes:
+        """Serialize as magic | u32 n_fields | n x u64 (field order)."""
+        vals = [getattr(self, f.name) for f in fields(self)]
+        return self._WIRE_MAGIC + struct.pack(
+            f"<I{len(vals)}Q", len(vals), *vals
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ProbeCounters":
+        """Rebuild counters serialized by :meth:`to_bytes`."""
+        if data[:4] != cls._WIRE_MAGIC:
+            raise ValueError(f"bad probe-counter magic {data[:4]!r}")
+        names = [f.name for f in fields(cls)]
+        (n,) = struct.unpack_from("<I", data, 4)
+        if n != len(names):
+            raise ValueError(
+                f"probe-counter field count {n} != expected {len(names)}"
+            )
+        expected = 4 + 4 + 8 * n
+        if len(data) != expected:
+            raise ValueError(
+                f"probe-counter frame length {len(data)} != {expected}"
+            )
+        vals = struct.unpack_from(f"<{n}Q", data, 8)
+        return cls(**dict(zip(names, vals)))
 
     def to_dict(self) -> Dict[str, float]:
         out: Dict[str, float] = {

@@ -42,6 +42,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="DyTIS storage engine for the backing index",
     )
     parser.add_argument(
+        "--shards", type=int, default=0,
+        help="serve a multi-process ShardedIndex with N worker "
+        "processes (power of two; 0 serves a single in-process index)",
+    )
+    parser.add_argument(
+        "--shard-mode", default="hash", choices=("hash", "msb"),
+        help="shard routing: 'hash' balances any key distribution; "
+        "'msb' keeps shards range-contiguous",
+    )
+    parser.add_argument(
         "--no-coalesce", action="store_true",
         help="serve one request per call (the naive baseline)",
     )
@@ -55,7 +65,24 @@ def _build_parser() -> argparse.ArgumentParser:
 
 async def _serve(args) -> int:
     dytis_config = DyTISConfig(storage=args.storage)
-    if args.dir:
+    if args.shards:
+        from repro.kvstore.store import _NAMESPACE_BITS
+        from repro.shard import ShardedIndex
+
+        # The codec packs the namespace id into the key's top bits;
+        # MSB routing skips them so it splits on payload bits.  Note
+        # sharded durability covers index data only -- the namespace
+        # registry is rebuilt per session in open order.
+        index = ShardedIndex(
+            args.shards,
+            config=dytis_config,
+            mode=args.shard_mode,
+            skip_bits=_NAMESPACE_BITS if args.shard_mode == "msb" else 0,
+            durable_dir=args.dir,
+            fsync=args.fsync,
+        )
+        store = KVStore(index=index)
+    elif args.dir:
         from repro.wal import DurableKVStore
 
         store = DurableKVStore(args.dir, config=dytis_config, fsync=args.fsync)
@@ -78,6 +105,8 @@ async def _serve(args) -> int:
         loop.add_signal_handler(sig, stop.set)
 
     mode = "coalescing" if config.coalesce else "naive"
+    if args.shards:
+        mode += f", {args.shards} shard processes"
     print(
         f"repro.server listening on {args.host}:{server.port} "
         f"({mode}, admin={server.admin_port})",

@@ -169,10 +169,21 @@ class IndexServer:
             self._admin_server.close()
             await self._admin_server.wait_closed()
         store = self.store
-        if self.config.checkpoint_on_shutdown and hasattr(store, "checkpoint"):
-            store.checkpoint()
-        if hasattr(store, "close"):
-            store.close()
+        # A durable store checkpoints/closes itself; a plain KVStore
+        # over a lifecycle-owning index (e.g. a ShardedIndex and its
+        # worker fleet) delegates to the index instead.
+        ckpt = (
+            store
+            if hasattr(store, "checkpoint")
+            else getattr(store, "index", None)
+        )
+        if self.config.checkpoint_on_shutdown and hasattr(ckpt, "checkpoint"):
+            ckpt.checkpoint()
+        closer = (
+            store if hasattr(store, "close") else getattr(store, "index", None)
+        )
+        if hasattr(closer, "close"):
+            closer.close()
         self._closed = True
 
     # -- namespaces -----------------------------------------------------
@@ -549,7 +560,17 @@ class IndexServer:
             path = parts[1].decode("latin-1") if len(parts) >= 2 else ""
             if path.startswith("/metrics"):
                 status, ctype = "200 OK", "text/plain; version=0.0.4"
-                body = self.metrics.to_prometheus().encode("utf-8")
+                text = self.metrics.to_prometheus()
+                # Indexes with their own exposition (the sharded
+                # front-end's per-shard + merged series) share the page.
+                index_page = getattr(
+                    getattr(self.store, "index", None),
+                    "metrics_to_prometheus",
+                    None,
+                )
+                if index_page is not None:
+                    text += index_page()
+                body = text.encode("utf-8")
             elif path.startswith("/healthz"):
                 status, ctype = "200 OK", "text/plain"
                 body = b"ok\n"

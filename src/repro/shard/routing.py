@@ -1,0 +1,143 @@
+"""Key-to-shard routing: MSB ranges or a mixing hash.
+
+Two modes, both O(1) per key and vectorizable over a uint64 column:
+
+``msb``
+    The shard is the key's top ``shard_bits`` bits (after skipping
+    ``skip_bits`` -- e.g. the namespace byte the kvstore codec packs
+    into bits 63..56).  This is the paper's top-level extendible-hash
+    split promoted to a process boundary: with ``skip_bits=0`` the
+    shards partition the key space into contiguous ranges, so shard
+    *order* is key order -- range operations touch one contiguous run
+    of shards and their per-shard results concatenate into globally
+    sorted output with no merge.
+
+``hash``
+    A Fibonacci-multiplicative mix of the whole key picks the shard.
+    Load stays balanced whatever the key distribution (small dense
+    keys, namespace-prefixed keys), at the cost of range locality:
+    every range operation fans out to all shards and the router
+    re-merges by key.
+
+:meth:`ShardRouter.range_plan` captures the difference in one place:
+it returns both the shards a ``[low, high)`` range intersects and
+whether visiting them in the returned order yields globally sorted
+results (so the caller knows concatenate vs. heap-merge).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+#: 64-bit Fibonacci multiplier (2^64 / phi), the standard multiplicative
+#: mixing constant: consecutive keys land on well-spread shards.
+_HASH_MULT = 0x9E3779B97F4A7C15
+_U64_MASK = (1 << 64) - 1
+
+
+class ShardRouter:
+    """Maps keys (and key ranges) to shard ids.
+
+    ``n_shards`` must be a power of two so the shard id is a bit field
+    of the key (``msb``) or of its hash (``hash``) -- the same
+    prefix-addressing discipline as the index's top-level EH split.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        *,
+        key_bits: int = 64,
+        mode: str = "msb",
+        skip_bits: int = 0,
+    ):
+        if n_shards < 1 or n_shards & (n_shards - 1):
+            raise ValueError(f"n_shards must be a power of two, got {n_shards}")
+        if mode not in ("msb", "hash"):
+            raise ValueError(f"unknown routing mode {mode!r}")
+        self.n_shards = n_shards
+        self.mode = mode
+        self.key_bits = key_bits
+        self.skip_bits = skip_bits
+        self.shard_bits = n_shards.bit_length() - 1
+        if mode == "msb":
+            shift = key_bits - skip_bits - self.shard_bits
+            if shift < 0:
+                raise ValueError(
+                    f"key_bits={key_bits} too small for {n_shards} shards "
+                    f"after skipping {skip_bits} bits"
+                )
+            self._shift = shift
+        else:
+            self._shift = 64 - self.shard_bits
+        self._mask = n_shards - 1
+        self._key_limit = 1 << key_bits
+
+    @property
+    def ordered(self) -> bool:
+        """True when shard order is key order (concatenation merges)."""
+        return self.mode == "msb" and self.skip_bits == 0
+
+    # -- point routing --------------------------------------------------
+
+    def shard_of(self, key: int) -> int:
+        """Owning shard of ``key``.
+
+        Validates the key range here, at the router boundary, so every
+        point operation raises the same ``ValueError`` a local index
+        would -- before the key can reach a zero-copy column bisect
+        (where a negative would silently miss) or a worker round trip.
+        """
+        if not 0 <= key < self._key_limit:
+            raise ValueError(f"key {key} outside [0, 2^{self.key_bits})")
+        if self.n_shards == 1:
+            return 0
+        if self.mode == "msb":
+            return (key >> self._shift) & self._mask
+        return ((key * _HASH_MULT) & _U64_MASK) >> self._shift
+
+    def route_array(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`shard_of` over a uint64 key column."""
+        arr = np.asarray(keys, dtype=np.uint64)
+        if self.n_shards == 1:
+            return np.zeros(arr.shape, dtype=np.int64)
+        if self.mode == "msb":
+            out = (arr >> np.uint64(self._shift)) & np.uint64(self._mask)
+        else:
+            out = (arr * np.uint64(_HASH_MULT)) >> np.uint64(self._shift)
+        return out.astype(np.int64)
+
+    # -- range routing --------------------------------------------------
+
+    def range_plan(self, low: int, high: int) -> Tuple[List[int], bool]:
+        """Shards intersecting ``[low, high)`` and whether their order
+        is key order.
+
+        ``msb`` with ``skip_bits=0``: the contiguous shard run from
+        ``shard_of(low)`` to ``shard_of(high - 1)``, ordered.  ``msb``
+        with skipped prefix bits: still a contiguous ordered run *if*
+        the whole range shares one skipped prefix (the common case --
+        e.g. a range inside one namespace); otherwise all shards,
+        unordered.  ``hash``: all shards, unordered.
+        """
+        if high <= low:
+            return [], True
+        if self.n_shards == 1:
+            return [0], True
+        if self.mode == "msb":
+            prefix_shift = self.key_bits - self.skip_bits
+            if self.skip_bits == 0 or (
+                low >> prefix_shift == (high - 1) >> prefix_shift
+            ):
+                first = self.shard_of(low)
+                last = self.shard_of(high - 1)
+                return list(range(first, last + 1)), True
+        return list(range(self.n_shards)), False
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardRouter(n_shards={self.n_shards}, mode={self.mode!r}, "
+            f"key_bits={self.key_bits}, skip_bits={self.skip_bits})"
+        )

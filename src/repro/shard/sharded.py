@@ -1,0 +1,551 @@
+"""`ShardedIndex`: the multi-process index behind one IndexProtocol.
+
+The GIL caps every threaded wrapper in this repo at one core;
+``ShardedIndex`` escapes it with processes.  N workers each own a
+private :class:`DyTIS` (optionally WAL-backed) for one slice of the
+key space; the router -- this class, living in the caller's process --
+speaks :class:`~repro.api.protocol.IndexProtocol` +
+:class:`~repro.api.protocol.BatchOpsProtocol` so everything that
+serves an index today (the kvstore codec layer, ``repro.server``, the
+differential harness) can sit on a process fleet unchanged.
+
+Request flow:
+
+- **Point writes** route to the owning worker over its control pipe.
+- **Batch ops** scatter: one vectorized routing pass partitions the
+  key column by shard, each shard gets one RPC with its slice, and the
+  router restores caller order from the partition's index arrays.
+- **Range ops** consult :meth:`ShardRouter.range_plan`: ordered plans
+  concatenate per-shard results; unordered plans heap-merge by key.
+- **Point reads** try the shard's published shared-memory column
+  first: if the shard has seen no mutation since its column was
+  published, a NumPy bisect in-process answers without touching the
+  worker at all.  Any mutation marks the shard dirty and reads fall
+  through to the owner (always correct, never stale); once enough
+  fall-through reads accumulate the router asks the worker to
+  republish and goes back to zero-copy serving.
+
+Worker processes are daemonized children created at construction and
+reaped on :meth:`close` (also via ``weakref.finalize``, so a leaked
+index cannot orphan its fleet).  :meth:`restart_shard` kills and
+respawns one worker in place -- with a durable directory the
+replacement replays its own WAL and the other shards never notice.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing as mp
+import weakref
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.api.protocol import batch_pairs
+from repro.core import DyTISConfig
+from repro.shard import metrics as shard_metrics
+from repro.shard.routing import ShardRouter
+from repro.shard.shm import AttachedColumn
+from repro.shard.worker import ShardSpec, worker_main
+
+#: Fall-through reads tolerated on a dirty (or column-less) shard
+#: before the router asks for a republish.  Publishing costs O(shard
+#: size), so it must be amortized over a read run; scaling the bar
+#: with the write count since the last publish keeps a write-heavy
+#: phase from thrashing republishes it would immediately invalidate.
+_REPUBLISH_READS = 64
+
+
+class ShardError(RuntimeError):
+    """A shard's transport or runtime failed (dead pipe, crashed or
+    misbehaving worker).  Application errors a local index would raise
+    -- ``ValueError`` for a bad key, and friends -- are re-raised as
+    their original builtin type so ``ShardedIndex`` keeps the error
+    contract of the index it wraps."""
+
+
+def _raise_remote(shard: int, op: str, result: str) -> None:
+    """Re-raise a worker-reported ``"ExcType: message"`` error.
+
+    Builtin non-runtime exception types come back as themselves (error
+    parity with the in-process index: a bad key raises ``ValueError``
+    whether the index is local or a fleet); anything else -- unknown
+    types, OSError/RuntimeError families, malformed frames -- is an
+    infrastructure failure and surfaces as :class:`ShardError`.
+    """
+    import builtins
+
+    name, sep, msg = result.partition(": ")
+    exc_type = getattr(builtins, name, None) if sep else None
+    if (
+        isinstance(exc_type, type)
+        and issubclass(exc_type, Exception)
+        and not issubclass(exc_type, (RuntimeError, OSError))
+    ):
+        raise exc_type(f"shard {shard} {op}: {msg}")
+    raise ShardError(f"shard {shard} {op}: {result}")
+
+
+class ShardedIndex:
+    """A sharded, multi-process index satisfying the batch protocol."""
+
+    def __init__(
+        self,
+        n_shards: int = 2,
+        *,
+        config: Optional[DyTISConfig] = None,
+        mode: str = "msb",
+        skip_bits: int = 0,
+        durable_dir: Optional[str] = None,
+        fsync: str = "always",
+        obs: bool = True,
+        serve_columns: bool = True,
+        mp_context: Optional[str] = None,
+    ):
+        self.config = config or DyTISConfig()
+        self.router = ShardRouter(
+            n_shards,
+            key_bits=self.config.key_bits,
+            mode=mode,
+            skip_bits=skip_bits,
+        )
+        self.n_shards = n_shards
+        self._durable_dir = durable_dir
+        self._serve_columns = serve_columns
+        self._ctx = mp.get_context(mp_context) if mp_context else mp.get_context()
+        self._specs: List[ShardSpec] = [
+            ShardSpec(
+                shard_id=i,
+                config=self.config,
+                durable_dir=(
+                    f"{durable_dir}/shard-{i:03d}" if durable_dir else None
+                ),
+                fsync=fsync,
+                obs=obs,
+            )
+            for i in range(n_shards)
+        ]
+        self._pipes: List[Any] = [None] * n_shards
+        self._procs: List[Any] = [None] * n_shards
+        #: Mutations seen since the shard's column was last published.
+        self._dirty: List[int] = [0] * n_shards
+        #: Reads that had to fall through to the worker since then.
+        self._stale_reads: List[int] = [0] * n_shards
+        self._columns: List[Optional[AttachedColumn]] = [None] * n_shards
+        self._closed = False
+        for i in range(n_shards):
+            self._spawn(i)
+        self._finalizer = weakref.finalize(
+            self, _reap, self._pipes, self._procs
+        )
+
+    # -- process management ---------------------------------------------
+
+    def _spawn(self, shard: int) -> None:
+        parent, child = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(child, self._specs[shard]),
+            name=f"repro-shard-{shard}",
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        self._pipes[shard] = parent
+        self._procs[shard] = proc
+        self._dirty[shard] = 0
+        self._stale_reads[shard] = 0
+        old = self._columns[shard]
+        self._columns[shard] = None
+        if old is not None:
+            old.close()
+
+    def restart_shard(self, shard: int) -> None:
+        """Kill one worker and bring up a replacement in place.
+
+        With a durable directory the replacement recovers its slice
+        from its own checkpoint + WAL; in-memory shards come back
+        empty (the router's contract is then the caller's problem,
+        exactly like restarting an in-memory server).
+        """
+        proc, pipe = self._procs[shard], self._pipes[shard]
+        if pipe is not None:
+            pipe.close()
+        if proc is not None:
+            proc.terminate()
+            proc.join(timeout=10)
+        self._spawn(shard)
+
+    def close(self) -> None:
+        """Shut every worker down cleanly and reap the processes."""
+        if self._closed:
+            return
+        self._closed = True
+        self._finalizer.detach()
+        for col in self._columns:
+            if col is not None:
+                col.close()
+        self._columns = [None] * self.n_shards
+        for pipe in self._pipes:
+            if pipe is None:
+                continue
+            try:
+                pipe.send(("close", ()))
+            except (BrokenPipeError, OSError):
+                pass
+        for pipe in self._pipes:
+            if pipe is None:
+                continue
+            try:
+                pipe.recv()
+            except (EOFError, OSError):
+                pass
+            pipe.close()
+        for proc in self._procs:
+            if proc is None:
+                continue
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=10)
+        self._pipes = [None] * self.n_shards
+        self._procs = [None] * self.n_shards
+
+    def __enter__(self) -> "ShardedIndex":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- RPC ------------------------------------------------------------
+
+    def _call(self, shard: int, op: str, *args) -> Any:
+        pipe = self._pipes[shard]
+        if pipe is None:
+            raise ShardError(f"shard {shard} is not running")
+        try:
+            pipe.send((op, args))
+            ok, result = pipe.recv()
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            raise ShardError(f"shard {shard} died serving {op!r}") from exc
+        if not ok:
+            _raise_remote(shard, op, result)
+        return result
+
+    def _scatter(
+        self, requests: Sequence[Tuple[int, str, tuple]]
+    ) -> List[Any]:
+        """Issue several shard RPCs concurrently (send all, then recv).
+
+        Workers always drain a request before replying, so sending the
+        whole batch before collecting any reply cannot deadlock -- and
+        it is what lets N workers compute their slices in parallel.
+        """
+        for shard, op, args in requests:
+            pipe = self._pipes[shard]
+            if pipe is None:
+                raise ShardError(f"shard {shard} is not running")
+            try:
+                pipe.send((op, args))
+            except (BrokenPipeError, OSError) as exc:
+                raise ShardError(
+                    f"shard {shard} died serving {op!r}"
+                ) from exc
+        out = []
+        failed = None
+        for shard, op, _ in requests:
+            try:
+                ok, result = self._pipes[shard].recv()
+            except (EOFError, OSError) as exc:
+                raise ShardError(f"shard {shard} died serving {op!r}") from exc
+            if not ok and failed is None:
+                failed = (shard, op, result)
+            out.append(result)
+        if failed is not None:
+            # Every reply was drained first -- the pipes stay in sync
+            # and the fleet remains usable after the raise.
+            _raise_remote(*failed)
+        return out
+
+    # -- shared-memory column serving -----------------------------------
+
+    def _note_mutation(self, shard: int, n: int = 1) -> None:
+        self._dirty[shard] += n
+        self._stale_reads[shard] = 0
+
+    def refresh_column(self, shard: int) -> None:
+        """Ask ``shard`` to republish and attach the fresh column."""
+        name, _, _ = self._call(shard, "publish_column")
+        old = self._columns[shard]
+        self._columns[shard] = AttachedColumn(name)
+        if old is not None:
+            old.close()
+        self._dirty[shard] = 0
+        self._stale_reads[shard] = 0
+
+    def refresh_columns(self) -> None:
+        for shard in range(self.n_shards):
+            self.refresh_column(shard)
+
+    def _column_for_read(self, shard: int) -> Optional[AttachedColumn]:
+        """The shard's column iff it is exact, else None (and maybe
+        trigger a republish so the *next* read is zero-copy)."""
+        if not self._serve_columns:
+            return None
+        if self._dirty[shard] == 0 and self._columns[shard] is not None:
+            return self._columns[shard]
+        reads = self._stale_reads[shard] + 1
+        self._stale_reads[shard] = reads
+        if reads >= max(_REPUBLISH_READS, 4 * self._dirty[shard]):
+            self.refresh_column(shard)
+            return self._columns[shard]
+        return None
+
+    # -- point operations -----------------------------------------------
+
+    def get(self, key: int) -> Optional[Any]:
+        shard = self.router.shard_of(key)
+        col = self._column_for_read(shard)
+        if col is not None:
+            return col.get(key)
+        return self._call(shard, "get", key)
+
+    def insert(self, key: int, value: Any) -> None:
+        shard = self.router.shard_of(key)
+        self._call(shard, "insert", key, value)
+        self._note_mutation(shard)
+
+    def delete(self, key: int) -> bool:
+        shard = self.router.shard_of(key)
+        removed = self._call(shard, "delete", key)
+        self._note_mutation(shard)
+        return removed
+
+    def __contains__(self, key: int) -> bool:
+        shard = self.router.shard_of(key)
+        col = self._column_for_read(shard)
+        if col is not None:
+            return col.contains(key)
+        return self._call(shard, "contains", key)
+
+    def __len__(self) -> int:
+        return sum(
+            self._scatter(
+                [(s, "len", ()) for s in range(self.n_shards)]
+            )
+        )
+
+    # -- batch operations -----------------------------------------------
+
+    def _partition(
+        self, keys: Sequence[int]
+    ) -> List[Tuple[int, np.ndarray]]:
+        """``[(shard, positions)]`` for the non-empty shards, one
+        vectorized routing pass."""
+        try:
+            arr = np.asarray(list(keys), dtype=np.uint64)
+        except OverflowError:
+            bad = next(k for k in keys if not 0 <= k < 1 << 64)
+            raise ValueError(
+                f"key {bad} outside [0, 2^{self.router.key_bits})"
+            ) from None
+        shards = self.router.route_array(arr)
+        out = []
+        for s in range(self.n_shards):
+            pos = np.flatnonzero(shards == s)
+            if pos.size:
+                out.append((s, pos))
+        return out
+
+    def get_many(self, keys: Sequence[int]) -> List[Optional[Any]]:
+        keys = list(keys)
+        if not keys:
+            return []
+        out: List[Optional[Any]] = [None] * len(keys)
+        remote: List[Tuple[int, str, tuple]] = []
+        remote_pos: List[np.ndarray] = []
+        for shard, pos in self._partition(keys):
+            sub = [keys[int(i)] for i in pos]
+            col = self._column_for_read(shard)
+            if col is not None:
+                for i, v in zip(pos, col.get_many(sub)):
+                    out[int(i)] = v
+            else:
+                remote.append((shard, "get_many", (sub,)))
+                remote_pos.append(pos)
+        for (_, _, _), pos, vals in zip(
+            remote, remote_pos, self._scatter(remote) if remote else []
+        ):
+            for i, v in zip(pos, vals):
+                out[int(i)] = v
+        return out
+
+    def insert_many(
+        self, keys: Sequence[int], values: Optional[Sequence[Any]] = None
+    ) -> None:
+        pairs = batch_pairs(keys, values)
+        if not pairs:
+            return
+        ks = [k for k, _ in pairs]
+        vs = [v for _, v in pairs]
+        requests = []
+        for shard, pos in self._partition(ks):
+            requests.append(
+                (
+                    shard,
+                    "insert_many",
+                    (
+                        [ks[int(i)] for i in pos],
+                        [vs[int(i)] for i in pos],
+                    ),
+                )
+            )
+            self._note_mutation(shard, n=int(pos.size))
+        self._scatter(requests)
+
+    def bulk_load(self, keys: Sequence[int], values: Sequence[Any]) -> None:
+        """Partitioned bulk load; publishes every column afterwards so
+        the read phase that typically follows starts zero-copy."""
+        ks = list(keys)
+        vs = list(values)
+        if len(ks) != len(vs):
+            raise ValueError(f"bulk_load: {len(ks)} keys but {len(vs)} values")
+        requests = []
+        for shard, pos in self._partition(ks):
+            requests.append(
+                (
+                    shard,
+                    "bulk_load",
+                    (
+                        [ks[int(i)] for i in pos],
+                        [vs[int(i)] for i in pos],
+                    ),
+                )
+            )
+            self._note_mutation(shard, n=int(pos.size))
+        if requests:
+            self._scatter(requests)
+        if self._serve_columns:
+            self.refresh_columns()
+
+    def delete_range(self, low: int, high: int) -> int:
+        shards, _ = self.router.range_plan(low, high)
+        if not shards:
+            return 0
+        removed = self._scatter(
+            [(s, "delete_range", (low, high)) for s in shards]
+        )
+        for s in shards:
+            self._note_mutation(s)
+        return sum(removed)
+
+    # -- range operations -----------------------------------------------
+
+    def scan_range(self, low: int, high: int) -> List[Tuple[int, Any]]:
+        shards, ordered = self.router.range_plan(low, high)
+        if not shards:
+            return []
+        parts = self._scatter(
+            [(s, "scan_range", (low, high)) for s in shards]
+        )
+        if ordered:
+            out: List[Tuple[int, Any]] = []
+            for part in parts:
+                out.extend(part)
+            return out
+        return list(heapq.merge(*parts, key=lambda kv: kv[0]))
+
+    def count_range(self, low: int, high: int) -> int:
+        shards, _ = self.router.range_plan(low, high)
+        if not shards:
+            return 0
+        return sum(
+            self._scatter([(s, "count_range", (low, high)) for s in shards])
+        )
+
+    def scan(self, start_key: int, count: int) -> List[Tuple[int, Any]]:
+        """First ``count`` pairs with key >= ``start_key``.
+
+        Ordered routing walks shards in key order, asking each for
+        only what is still missing; hash routing asks every shard for
+        ``count`` candidates (each shard's own smallest) and merges.
+        """
+        if count <= 0:
+            return []
+        if self.router.ordered:
+            out: List[Tuple[int, Any]] = []
+            first = self.router.shard_of(start_key)
+            for shard in range(first, self.n_shards):
+                need = count - len(out)
+                if need <= 0:
+                    break
+                out.extend(self._call(shard, "scan", start_key, need))
+            return out
+        parts = self._scatter(
+            [(s, "scan", (start_key, count)) for s in range(self.n_shards)]
+        )
+        merged = heapq.merge(*parts, key=lambda kv: kv[0])
+        return [kv for _, kv in zip(range(count), merged)]
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        parts = self._scatter(
+            [(s, "items", ()) for s in range(self.n_shards)]
+        )
+        if self.router.ordered:
+            for part in parts:
+                yield from part
+        else:
+            yield from heapq.merge(*parts, key=lambda kv: kv[0])
+
+    # -- durability / metrics -------------------------------------------
+
+    def flush(self) -> None:
+        self._scatter([(s, "flush", ()) for s in range(self.n_shards)])
+
+    def checkpoint(self) -> List[int]:
+        """Checkpoint every durable shard; returns per-shard LSNs."""
+        return self._scatter(
+            [(s, "checkpoint", ()) for s in range(self.n_shards)]
+        )
+
+    def shard_metrics(self) -> List[shard_metrics.WorkerMetrics]:
+        """Scrape and decode every worker's metrics frame."""
+        return [
+            shard_metrics.load_worker_metrics(blob)
+            for blob in self._scatter(
+                [(s, "metrics", ()) for s in range(self.n_shards)]
+            )
+        ]
+
+    def metrics_to_prometheus(self, prefix: str = "dytis_shard") -> str:
+        """Per-shard + merged Prometheus page (see shard.metrics)."""
+        return shard_metrics.shards_to_prometheus(
+            self.shard_metrics(), prefix
+        )
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"ShardedIndex(n_shards={self.n_shards}, "
+            f"mode={self.router.mode!r}, {state})"
+        )
+
+
+def _reap(pipes: List[Any], procs: List[Any]) -> None:
+    """Finalizer: best-effort clean shutdown of a leaked fleet."""
+    for pipe in pipes:
+        if pipe is None:
+            continue
+        try:
+            pipe.send(("close", ()))
+        except Exception:
+            pass
+    for proc in procs:
+        if proc is None:
+            continue
+        try:
+            proc.join(timeout=2)
+            if proc.is_alive():
+                proc.terminate()
+        except Exception:
+            pass

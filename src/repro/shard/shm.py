@@ -1,0 +1,189 @@
+"""Shared-memory read columns: zero-copy point reads across processes.
+
+A shard worker owns the only mutable copy of its index.  After a batch
+of writes settles, the worker *publishes* a read column: its live keys
+(strictly increasing uint64) plus slot-aligned serialized values, laid
+out in one ``multiprocessing.shared_memory`` block.  The router -- or
+any future reader process -- attaches the block and serves point
+``get``/``get_many`` with a NumPy ``searchsorted`` against the mapped
+key column: no syscall, no worker round trip, no copy of the keys.
+
+Block layout (little-endian)::
+
+    header   magic 'DSC1' | u32 pad | u64 generation | u64 n_keys
+             | u64 blob_len
+    keys     n_keys * u64          (strictly increasing)
+    offsets  (n_keys + 1) * u64    (into the value blob)
+    blob     per-slot serialized values, back to back
+
+Values are pickled per slot (they already cross the control-channel
+pickle boundary; the column adds lazy *per-value* deserialization so a
+reader touching 3 keys out of a million pays for 3 loads).  Staleness
+is the router's problem, not this module's: the attached column is an
+immutable snapshot tagged with the generation it was published at, and
+the publisher unlinks superseded blocks (POSIX keeps existing mappings
+valid until the readers drop them).
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+_MAGIC = b"DSC1"
+_HEADER = struct.Struct("<4sIQQQ")
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Remove ``shm`` from this process's resource tracker.
+
+    Until Python 3.13 every ``SharedMemory`` -- created *or* attached
+    -- registers with the tracker, which then unlinks it at process
+    exit as if this process owned it.  Publisher and reader manage the
+    block's lifetime explicitly (see :func:`unlink_block`), and under
+    the default fork start method all processes share one tracker, so
+    an unbalanced register would make the tracker unlink a live block
+    or warn about an already-unlinked one.
+    """
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def unlink_block(shm: shared_memory.SharedMemory) -> None:
+    """Unlink a published block (re-balancing the tracker first:
+    ``unlink`` unregisters internally, and :func:`_untrack` already
+    removed the registration)."""
+    try:
+        resource_tracker.register(shm._name, "shared_memory")
+    except Exception:
+        pass
+    shm.unlink()
+
+
+def publish_column(
+    keys: np.ndarray, values: Sequence[Any], generation: int
+) -> shared_memory.SharedMemory:
+    """Write ``(keys, values)`` into a fresh shared-memory block.
+
+    Returns the open block (caller owns it: keeps it alive while
+    published, ``close()`` + ``unlink()`` when superseded).
+    """
+    keys = np.ascontiguousarray(keys, dtype=np.uint64)
+    n = int(keys.size)
+    blobs = [pickle.dumps(v, protocol=pickle.HIGHEST_PROTOCOL) for v in values]
+    if len(blobs) != n:
+        raise ValueError(f"{n} keys but {len(blobs)} values")
+    offsets = np.zeros(n + 1, dtype=np.uint64)
+    if n:
+        offsets[1:] = np.cumsum([len(b) for b in blobs], dtype=np.uint64)
+    blob_len = int(offsets[-1])
+    size = _HEADER.size + 8 * n + 8 * (n + 1) + blob_len
+    shm = shared_memory.SharedMemory(create=True, size=max(size, 1))
+    _untrack(shm)
+    buf = shm.buf
+    _HEADER.pack_into(buf, 0, _MAGIC, 0, generation, n, blob_len)
+    off = _HEADER.size
+    buf[off : off + 8 * n] = keys.tobytes()
+    off += 8 * n
+    buf[off : off + 8 * (n + 1)] = offsets.tobytes()
+    off += 8 * (n + 1)
+    for b in blobs:
+        buf[off : off + len(b)] = b
+        off += len(b)
+    return shm
+
+
+class AttachedColumn:
+    """A reader's view of one published column.
+
+    Wraps an attached block with zero-copy NumPy views over the key and
+    offset columns and a lazy per-slot value cache.  Close ordering
+    matters: NumPy views pin the exported buffer, so :meth:`close`
+    drops them before closing the mapping.
+    """
+
+    def __init__(self, name: str):
+        shm = shared_memory.SharedMemory(name=name)
+        # Attaching is borrowing, not owning: keep the tracker out of it.
+        _untrack(shm)
+        self._shm: Optional[shared_memory.SharedMemory] = shm
+        magic, _, gen, n, blob_len = _HEADER.unpack_from(shm.buf, 0)
+        if magic != _MAGIC:
+            shm.close()
+            self._shm = None
+            raise ValueError(f"bad column magic {magic!r} in block {name}")
+        self.name = name
+        self.generation = int(gen)
+        self.n_keys = int(n)
+        off = _HEADER.size
+        self._keys = np.frombuffer(shm.buf, dtype=np.uint64, count=n, offset=off)
+        off += 8 * n
+        self._offsets = np.frombuffer(
+            shm.buf, dtype=np.uint64, count=n + 1, offset=off
+        )
+        self._blob_start = off + 8 * (n + 1)
+        self._values: Dict[int, Any] = {}
+
+    # -- reads ----------------------------------------------------------
+
+    def _value_at(self, slot: int) -> Any:
+        cached = self._values
+        if slot in cached:
+            return cached[slot]
+        lo = self._blob_start + int(self._offsets[slot])
+        hi = self._blob_start + int(self._offsets[slot + 1])
+        value = pickle.loads(bytes(self._shm.buf[lo:hi]))
+        cached[slot] = value
+        return value
+
+    def get(self, key: int) -> Optional[Any]:
+        """Point lookup by bisect; None for absent keys."""
+        keys = self._keys
+        slot = int(np.searchsorted(keys, np.uint64(key)))
+        if slot >= self.n_keys or int(keys[slot]) != key:
+            return None
+        return self._value_at(slot)
+
+    def contains(self, key: int) -> bool:
+        keys = self._keys
+        slot = int(np.searchsorted(keys, np.uint64(key)))
+        return slot < self.n_keys and int(keys[slot]) == key
+
+    def get_many(self, keys: Sequence[int]) -> List[Optional[Any]]:
+        """Vectorized point lookups (one searchsorted for the batch)."""
+        arr = np.asarray(keys, dtype=np.uint64)
+        if not arr.size or not self.n_keys:
+            return [None] * len(arr)
+        slots = np.searchsorted(self._keys, arr)
+        np.minimum(slots, self.n_keys - 1, out=slots)
+        hits = self._keys[slots] == arr
+        out: List[Optional[Any]] = [None] * len(arr)
+        for i in np.flatnonzero(hits):
+            out[int(i)] = self._value_at(int(slots[i]))
+        return out
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        shm = self._shm
+        if shm is None:
+            return
+        # Views first: SharedMemory.close() raises BufferError while
+        # exported memoryviews are alive.
+        self._keys = None
+        self._offsets = None
+        self._values = {}
+        self._shm = None
+        shm.close()
+
+    def __del__(self):  # pragma: no cover - GC ordering best effort
+        try:
+            self.close()
+        except Exception:
+            pass

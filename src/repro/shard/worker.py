@@ -1,0 +1,151 @@
+"""The shard worker process: one index, one control channel, one loop.
+
+A worker owns exactly one index (a plain :class:`DyTIS` or a
+WAL-backed :class:`~repro.shard.durable.DurableShardIndex`) and serves
+a strict request/reply protocol over its end of a
+``multiprocessing.Pipe``: the router sends ``(op, args)``, the worker
+replies ``(True, result)`` or ``(False, repr(error))``.  The worker
+never initiates traffic, and it always drains a request before
+replying, so the router can scatter a batch to every shard before
+collecting any reply without deadlocking the pipes.
+
+The loop is deliberately synchronous and single-index: *processes* are
+the concurrency mechanism here (that is the whole point of the
+subsystem), so the worker needs no locks, no GIL games, and its
+index's single-writer invariants hold by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core import DyTIS, DyTISConfig
+from repro.obs import Observability
+from repro.shard import metrics as shard_metrics
+from repro.shard import shm as shard_shm
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything a worker needs to build its index (must pickle)."""
+
+    shard_id: int
+    config: DyTISConfig
+    #: Per-shard durability directory; None runs in memory.
+    durable_dir: Optional[str] = None
+    fsync: str = "always"
+    obs: bool = True
+
+
+def _build_index(spec: ShardSpec):
+    obs = Observability() if spec.obs else None
+    if spec.durable_dir is not None:
+        from repro.shard.durable import DurableShardIndex
+
+        return DurableShardIndex(
+            spec.durable_dir, config=spec.config, obs=obs, fsync=spec.fsync
+        )
+    return DyTIS(spec.config, obs=obs)
+
+
+def worker_main(conn, spec: ShardSpec) -> None:
+    """Entry point of one shard worker process.
+
+    Runs until the channel delivers ``close`` (acknowledged, clean
+    exit) or EOF (router died; exit quietly -- daemonized workers must
+    not outlive their router).
+    """
+    index = _build_index(spec)
+    published: Optional[Any] = None  # live SharedMemory block, if any
+
+    def _publish() -> Tuple[str, int, int]:
+        nonlocal published
+        keys, values = (
+            index.export_read_column()
+            if hasattr(index, "export_read_column")
+            else (None, None)
+        )
+        generation = getattr(
+            getattr(index, "index", index), "_gen", 0
+        )
+        block = shard_shm.publish_column(keys, values, generation)
+        if published is not None:
+            # POSIX semantics: readers holding the old mapping keep it
+            # until they drop it; unlink only removes the name.
+            published.close()
+            shard_shm.unlink_block(published)
+        published = block
+        return block.name, generation, int(keys.size)
+
+    def _metrics() -> bytes:
+        obs = getattr(index, "obs", None) or getattr(
+            getattr(index, "index", None), "obs", None
+        )
+        counters: Dict[str, int] = {"size": len(index)}
+        wal = getattr(index, "wal", None)
+        if wal is not None:
+            counters["wal_last_lsn"] = wal.last_lsn
+        if obs is None:
+            obs = Observability()
+        return shard_metrics.dump_worker_metrics(obs, counters)
+
+    handlers = {
+        "get": lambda key: index.get(key),
+        "get_many": lambda keys: index.get_many(keys),
+        "insert": lambda key, value: index.insert(key, value),
+        "insert_many": lambda keys, values: index.insert_many(keys, values),
+        "bulk_load": lambda keys, values: index.bulk_load(keys, values),
+        "delete": lambda key: index.delete(key),
+        "delete_range": lambda low, high: index.delete_range(low, high),
+        "scan": lambda start, count: index.scan(start, count),
+        "scan_range": lambda low, high: index.scan_range(low, high),
+        "count_range": lambda low, high: index.count_range(low, high),
+        "items": lambda: list(index.items()),
+        "len": lambda: len(index),
+        "contains": lambda key: key in index,
+        "publish_column": _publish,
+        "metrics": _metrics,
+        "checkpoint": lambda: (
+            index.checkpoint() if hasattr(index, "checkpoint") else 0
+        ),
+        "flush": lambda: (
+            index.flush() if hasattr(index, "flush") else None
+        ),
+        "ping": lambda: spec.shard_id,
+    }
+
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            op, args = msg
+            if op == "close":
+                if hasattr(index, "close"):
+                    try:
+                        index.close()
+                    except Exception:
+                        pass
+                conn.send((True, None))
+                break
+            handler = handlers.get(op)
+            if handler is None:
+                conn.send((False, f"unknown shard op {op!r}"))
+                continue
+            try:
+                conn.send((True, handler(*args)))
+            except Exception as exc:  # noqa: BLE001 - reply, don't die
+                conn.send((False, f"{type(exc).__name__}: {exc}"))
+    finally:
+        if published is not None:
+            try:
+                published.close()
+                shard_shm.unlink_block(published)
+            except Exception:
+                pass
+        try:
+            conn.close()
+        except Exception:
+            pass

@@ -1,0 +1,127 @@
+"""Round-trip + merge-commutativity properties of the obs wire frames.
+
+The sharded front-end ships histograms and probe counters between
+processes as self-describing byte frames (no pickle).  The contract
+these tests pin down: a round trip is lossless (every flushed field,
+every bucket), and merging is commutative across round trips --
+``merge(a, b) == merge(b, a)`` whether the operands traveled through
+bytes or not, which is what makes a metrics scrape independent of the
+order workers reply in.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import LatencyHistogram, ProbeCounters
+
+samples = st.lists(
+    st.integers(min_value=0, max_value=2**44), min_size=0, max_size=200
+)
+
+
+def _hist(values):
+    h = LatencyHistogram()
+    h.record_many(values)
+    return h
+
+
+def _state(h: LatencyHistogram):
+    return (h.counts[:], h.count, h.sum_ns, h.min_ns, h.max_ns)
+
+
+@given(samples)
+@settings(max_examples=60, deadline=None)
+def test_histogram_round_trip_is_lossless(values):
+    h = _hist(values)
+    back = LatencyHistogram.from_bytes(h.to_bytes())
+    assert _state(back) == _state(h)
+    # Round trip again: serialization is stable.
+    assert back.to_bytes() == h.to_bytes()
+
+
+@given(samples, samples)
+@settings(max_examples=60, deadline=None)
+def test_histogram_merge_commutes_after_round_trip(va, vb):
+    ab = LatencyHistogram.from_bytes(_hist(va).to_bytes()).merge_from(
+        LatencyHistogram.from_bytes(_hist(vb).to_bytes())
+    )
+    ba = LatencyHistogram.from_bytes(_hist(vb).to_bytes()).merge_from(
+        LatencyHistogram.from_bytes(_hist(va).to_bytes())
+    )
+    assert _state(ab) == _state(ba)
+    # And matches the merge that never touched bytes.
+    direct = _hist(va).merge_from(_hist(vb))
+    assert _state(ab) == _state(direct)
+
+
+def test_histogram_overflow_boundary_exponent():
+    """Values with exponent exactly _MAX_EXP land in the overflow
+    bucket (regression: they used to index past the bucket array, in
+    both the scalar and vectorized folds)."""
+    for n in (1, 100):  # scalar fold, then the vectorized one
+        h = LatencyHistogram()
+        h.record_many([2**40] * n + [2**40 + 5] * n + [2**41] * n)
+        assert h.count == 3 * n
+        assert h.max_ns == 2**41
+        back = LatencyHistogram.from_bytes(h.to_bytes())
+        assert _state(back) == _state(h)
+
+
+def test_histogram_to_bytes_flushes_pending():
+    h = LatencyHistogram()
+    h.record(5)  # sits in the pending buffer
+    back = LatencyHistogram.from_bytes(h.to_bytes())
+    assert back.count == 1
+    assert back.min_ns == 5
+
+
+def test_histogram_from_bytes_rejects_garbage():
+    h = _hist([1, 2, 3])
+    good = h.to_bytes()
+    with pytest.raises(ValueError):
+        LatencyHistogram.from_bytes(b"")
+    with pytest.raises(ValueError):
+        LatencyHistogram.from_bytes(b"NOPE" + good[4:])
+    with pytest.raises(ValueError):
+        LatencyHistogram.from_bytes(good + b"\x00")
+    with pytest.raises(ValueError):
+        LatencyHistogram.from_bytes(good[:-1])
+
+
+counters = st.builds(
+    ProbeCounters,
+    gets=st.integers(0, 2**40),
+    buckets_probed=st.integers(0, 2**40),
+    plr_hits=st.integers(0, 2**40),
+    plr_misses=st.integers(0, 2**40),
+    scans=st.integers(0, 2**40),
+    scan_segment_hops=st.integers(0, 2**40),
+)
+
+
+@given(counters)
+@settings(max_examples=60, deadline=None)
+def test_probe_counters_round_trip(pc):
+    back = ProbeCounters.from_bytes(pc.to_bytes())
+    assert back == pc
+
+
+@given(counters, counters)
+@settings(max_examples=60, deadline=None)
+def test_probe_counters_merge_commutes_after_round_trip(a, b):
+    ab = ProbeCounters.from_bytes(a.to_bytes()).merge_from(
+        ProbeCounters.from_bytes(b.to_bytes())
+    )
+    ba = ProbeCounters.from_bytes(b.to_bytes()).merge_from(
+        ProbeCounters.from_bytes(a.to_bytes())
+    )
+    assert ab == ba
+
+
+def test_probe_counters_rejects_garbage():
+    good = ProbeCounters(gets=1).to_bytes()
+    with pytest.raises(ValueError):
+        ProbeCounters.from_bytes(b"XXXX" + good[4:])
+    with pytest.raises(ValueError):
+        ProbeCounters.from_bytes(good[:-1])

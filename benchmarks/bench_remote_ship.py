@@ -1,0 +1,44 @@
+"""Remote shipping benchmark: write overhead, upload rate, attach time.
+
+Acceptance bar from the remote-shipping issue: inline checkpoint/segment
+shipping to a filesystem-backed remote stays within a small factor of
+the local-only ``batch`` write path (seals ship off the commit path, so
+the factor should be far from the retry-storm worst case), and a wiped
+replica attaches from every shipped checkpoint size.  Upload MB and
+attach latency are reported as the price curve.
+"""
+
+import os
+
+from repro.bench.experiments import remote_ship
+
+
+def test_remote_ship(benchmark, bench_scale, record_table):
+    rows = benchmark.pedantic(
+        remote_ship.run,
+        kwargs=dict(scale=bench_scale),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("remote_ship", remote_ship.format_table(rows))
+    by_label = {r.label: r for r in rows}
+    assert set(by_label) == {
+        "local-only", "ship/inline", "attach/small", "attach/half",
+        "attach/full",
+    }
+    # Every attach row restored a non-trivial store and shipped bytes.
+    for label in ("attach/small", "attach/half", "attach/full"):
+        row = by_label[label]
+        assert row.shipped_mb > 0
+        assert row.attach_s > 0
+    # Bigger checkpoints ship more bytes.
+    assert (
+        by_label["attach/small"].shipped_mb
+        < by_label["attach/full"].shipped_mb
+    )
+    # The headline bound only holds where timings are stable.
+    if int(os.environ.get("REPRO_BENCH_N", "8000")) >= 8000:
+        assert by_label["ship/inline"].overhead_x < 3.0, (
+            f"inline shipping costs "
+            f"{by_label['ship/inline'].overhead_x:.2f}x (bound: 3x)"
+        )

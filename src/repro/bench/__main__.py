@@ -38,6 +38,7 @@ from repro.bench.experiments import (
     memory_usage,
     params_ablation,
     related_work,
+    remote_ship,
     scan_sweep,
     storage_engines,
     table1_datasets,
@@ -70,6 +71,7 @@ EXPERIMENTS = {
     "batch-ops": batch_ops,
     "storage-engines": storage_engines,
     "wal-overhead": wal_overhead,
+    "remote-ship": remote_ship,
 }
 
 

@@ -1,0 +1,145 @@
+"""Remote shipping cost: write-path overhead, upload rate, attach time.
+
+Three questions, one driver:
+
+- What does shipping add to the group-commit write path?  The same
+  insert workload runs on a ``batch``-fsync :class:`DurableKVStore`
+  with no remote, then with a filesystem-backed remote attached (seal
+  ships inline), and reports the overhead factor -- the number to read
+  against ``wal_overhead.txt``'s local-only baseline.
+- How fast do checkpoints ship?  Upload MB/s from the uploader's byte
+  counters over the measured ship window.
+- How long does a replica take to attach?  For growing checkpoint
+  sizes, wipe-and-attach a second store from the shipped state and
+  time construction-to-serving (restore + recovery replay).
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.bench.experiments.scale import ExperimentScale, default_scale
+
+
+@dataclass(frozen=True)
+class RemoteShipRow:
+    """One configuration's shipping/attach cost."""
+
+    label: str
+    n_ops: int
+    seconds: float
+    kops_per_s: float
+    overhead_x: float  # vs. the no-remote store; 0 where n/a
+    shipped_mb: float
+    attach_s: float  # wipe-and-attach latency; 0 where n/a
+
+
+def _workload(ns, keys) -> float:
+    t0 = time.perf_counter()
+    for k in keys:
+        ns.insert(k, k & 0xFFFF)
+    return time.perf_counter() - t0
+
+
+def run(
+    scale: Optional[ExperimentScale] = None,
+    directory: Optional[str] = None,
+) -> List[RemoteShipRow]:
+    import random
+
+    from repro.kvstore import UintCodec
+    from repro.remote import LocalFsStorage, RetryPolicy
+    from repro.wal import DurableKVStore
+
+    scale = scale or default_scale()
+    n = scale.n_keys
+    rng = random.Random(scale.seed)
+    keys = rng.sample(range(1 << 40), n)
+    codec = UintCodec(48)
+    fsync = "batch(256,0.01)"
+
+    workdir = directory or tempfile.mkdtemp(prefix="remote_ship_")
+    rows: List[RemoteShipRow] = []
+    try:
+        # -- write-path overhead: no remote vs. inline shipping -------
+        store = DurableKVStore(f"{workdir}/local", fsync=fsync)
+        base_s = _workload(store.namespace("bench", codec), keys)
+        store.close()
+        rows.append(
+            RemoteShipRow(
+                "local-only", n, base_s, n / base_s / 1e3, 1.0, 0.0, 0.0
+            )
+        )
+
+        remote = LocalFsStorage(f"{workdir}/remote")
+        policy = RetryPolicy(base_delay=0.001)
+        store = DurableKVStore(
+            f"{workdir}/ship", fsync=fsync, remote=remote,
+            remote_policy=policy,
+        )
+        ship_s = _workload(store.namespace("bench", codec), keys)
+        store.wal.rotate()
+        store.ship()
+        shipped_mb = store.remote_metrics.upload_bytes_total / 1e6
+        store.close()
+        rows.append(
+            RemoteShipRow(
+                "ship/inline", n, ship_s, n / ship_s / 1e3,
+                ship_s / base_s, shipped_mb, 0.0,
+            )
+        )
+
+        # -- upload rate + attach latency vs. checkpoint size ---------
+        for frac, label in ((4, "small"), (2, "half"), (1, "full")):
+            size = max(1, n // frac)
+            remote = LocalFsStorage(f"{workdir}/remote-{label}")
+            store = DurableKVStore(
+                f"{workdir}/ckpt-{label}", fsync=fsync, remote=remote,
+                remote_policy=policy,
+            )
+            ns = store.namespace("bench", codec)
+            for k in keys[:size]:
+                ns.insert(k, k & 0xFFFF)
+            t0 = time.perf_counter()
+            store.checkpoint()  # snapshot + ship + manifest publish
+            ship_s = time.perf_counter() - t0
+            mb = store.remote_metrics.upload_bytes_total / 1e6
+            store.close()
+            t0 = time.perf_counter()
+            replica = DurableKVStore(
+                f"{workdir}/attach-{label}", remote=remote,
+                remote_policy=policy, codecs={"bench": codec},
+            )
+            attach_s = time.perf_counter() - t0
+            assert len(replica) == size, "attach must restore every key"
+            replica.close()
+            rows.append(
+                RemoteShipRow(
+                    f"attach/{label}", size, ship_s,
+                    size / ship_s / 1e3, 0.0, mb, attach_s,
+                )
+            )
+    finally:
+        if directory is None:
+            shutil.rmtree(workdir, ignore_errors=True)
+    return rows
+
+
+def format_table(rows: List[RemoteShipRow]) -> str:
+    lines = ["Remote checkpoint shipping: write overhead, upload, attach"]
+    lines.append(
+        f"{'config':<14} {'ops':>8} {'time(s)':>8} {'kops/s':>8} "
+        f"{'overhead':>9} {'MB up':>7} {'attach(s)':>9}"
+    )
+    for r in rows:
+        overhead = f"{r.overhead_x:>8.2f}x" if r.overhead_x else f"{'-':>9}"
+        attach = f"{r.attach_s:>9.3f}" if r.attach_s else f"{'-':>9}"
+        lines.append(
+            f"{r.label:<14} {r.n_ops:>8} {r.seconds:>8.3f} "
+            f"{r.kops_per_s:>8.1f} {overhead} {r.shipped_mb:>7.2f} {attach}"
+        )
+    return "\n".join(lines)

@@ -97,6 +97,18 @@ def snapshot_to_prometheus(snapshot: Dict, prefix: str = "dytis") -> str:
         lines.append(f"# TYPE {wname} {kind}")
         lines.append(f"{wname} {value}")
 
+    # Remote shipping counters (snapshot["remote"] is a RemoteMetrics
+    # dict; see repro.remote.metrics).  Same convention as the wal
+    # block: *_total keys are counters, the rest gauges.
+    for key, value in snapshot.get("remote", {}).items():
+        rname = f"{prefix}_remote_{key}"
+        kind = "counter" if key.endswith("_total") else "gauge"
+        lines.append(
+            f"# HELP {rname} Remote shipping: {key.replace('_', ' ')}."
+        )
+        lines.append(f"# TYPE {rname} {kind}")
+        lines.append(f"{rname} {value}")
+
     # OperationStats reconciliation block.
     sname = f"{prefix}_op_stats"
     if "op_stats" in snapshot:

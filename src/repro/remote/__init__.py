@@ -1,0 +1,90 @@
+"""Remote checkpoint shipping and replica attach.
+
+The durability layer (:mod:`repro.wal`) makes a store survive crashes
+of its *process*; this package makes it survive loss of its *disk*.
+The unit of protection is deliberately not the in-memory index -- a
+learned index is rebuilt from its data -- but the checkpoint plus the
+WAL tail, shipped off-box through a small S3-shaped interface:
+
+- :class:`RemoteStorage` -- ``put/get/list/delete/head`` over named
+  byte objects, with ``put`` following the atomic-rename upload
+  discipline (a key is either absent or holds a complete object).
+  :class:`LocalFsStorage` backs it with a directory (real disk or the
+  fault-injection :class:`~repro.wal.faultfs.SimFS`);
+  :class:`MemStorage` is the in-memory stand-in.
+- :class:`FlakyStorage` -- a wrapper that injects deterministic error
+  rates, latency, timeouts, and torn/partial uploads, so every caller
+  is tested against a hostile network.
+- :class:`RetryPolicy` -- bounded attempts with exponential backoff and
+  jitter; every remote call in this package runs through one.
+- :mod:`~repro.remote.manifest` -- the generation-numbered, checksummed
+  ``manifest-<gen>.json`` that makes remote state *interpretable*: it
+  is always published last, so the newest verifiable manifest names a
+  consistent prefix of the store's history.
+- :class:`Uploader` -- ships checkpoints and sealed WAL segments and
+  owns the retention pin (the WAL may not truncate history the remote
+  has not acknowledged).
+- :func:`restore` -- the payoff path: rebuild a wiped local directory
+  from the newest restorable manifest, after which ordinary crash
+  recovery (checkpoint load + WAL replay) brings the replica up.
+"""
+
+from repro.remote.manifest import (
+    MANIFEST_VERSION,
+    ManifestCorruptError,
+    ManifestError,
+    ManifestVersionError,
+    decode_manifest,
+    encode_manifest,
+    manifest_generation,
+    manifest_key,
+)
+from repro.remote.metrics import RemoteMetrics
+from repro.remote.retry import RetryPolicy
+from repro.remote.storage import (
+    FlakyStorage,
+    LocalFsStorage,
+    MemStorage,
+    PrefixedStorage,
+    RemoteNotFound,
+    RemoteStorage,
+    RemoteStorageError,
+    RemoteTimeout,
+    RemoteTransientError,
+    RemoteUnavailable,
+)
+from repro.remote.uploader import (
+    AttachError,
+    Uploader,
+    newest_manifest,
+    restore,
+    scan_sealed_segments,
+)
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "AttachError",
+    "FlakyStorage",
+    "LocalFsStorage",
+    "ManifestCorruptError",
+    "ManifestError",
+    "ManifestVersionError",
+    "MemStorage",
+    "PrefixedStorage",
+    "RemoteMetrics",
+    "RemoteNotFound",
+    "RemoteStorage",
+    "RemoteStorageError",
+    "RemoteTimeout",
+    "RemoteTransientError",
+    "RemoteUnavailable",
+    "RetryPolicy",
+    "Uploader",
+    "decode_manifest",
+    "encode_manifest",
+    "manifest_generation",
+    "manifest_key",
+    "newest_manifest",
+    "restore",
+    "scan_sealed_segments",
+]

@@ -1,0 +1,152 @@
+"""The remote manifest: what makes a pile of objects a restorable store.
+
+Remote state is only useful if a reader can tell which objects form a
+consistent cut.  The uploader therefore publishes, *after* every batch
+of object uploads, a ``manifest-<generation>.json`` naming exactly the
+objects that constitute one recoverable state:
+
+- ``version`` -- format version; a reader refuses anything newer than
+  it understands (same discipline as the snapshot layer's v2 header:
+  failing loudly beats deserializing garbage).
+- ``generation`` -- monotonically increasing publish counter; the
+  newest *verifiable* manifest wins, so a torn manifest upload
+  degrades to the previous generation, never to a wrong answer.
+- ``shipped_lsn`` -- every operation at or below this LSN is
+  reconstructible from the named objects.
+- ``checkpoint`` -- one entry (``path``/``lsn``/``size``/``crc32``) or
+  ``None`` before the first checkpoint ships.
+- ``segments`` -- sealed WAL segments past the checkpoint, each with
+  its LSN range and checksum, in base-LSN order with no gaps.
+
+The file itself is canonical JSON (sorted keys, no whitespace) carrying
+a ``crc32`` over the canonical encoding of every *other* field, so any
+byte flip is detected: it either breaks the JSON, changes a field (CRC
+mismatch on re-encode), or changes the CRC itself.  Corruption raises
+:class:`ManifestCorruptError` (skippable -- try the previous
+generation); a future version raises :class:`ManifestVersionError`
+(not skippable -- the remote is newer than this reader, and silently
+restoring an older generation would resurrect deleted history).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import zlib
+from typing import Any, Dict, List, Optional
+
+MANIFEST_VERSION = 1
+
+_MANIFEST_RE = re.compile(r"^manifest-(\d{20})\.json$")
+
+
+
+class ManifestError(Exception):
+    """Family root for manifest decode failures."""
+
+
+class ManifestCorruptError(ManifestError):
+    """Damaged bytes: bad JSON, failed CRC, missing/mistyped fields."""
+
+
+class ManifestVersionError(ManifestError):
+    """Written by a newer format version than this reader supports."""
+
+
+def manifest_key(generation: int) -> str:
+    return f"manifest-{generation:020d}.json"
+
+
+def manifest_generation(key: str) -> Optional[int]:
+    """The generation encoded in a manifest object key, or None."""
+    m = _MANIFEST_RE.match(key)
+    return int(m.group(1)) if m else None
+
+
+def _canonical(obj: Dict[str, Any]) -> bytes:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
+
+
+def build_manifest(
+    generation: int,
+    shipped_lsn: int,
+    checkpoint: Optional[Dict[str, Any]],
+    segments: List[Dict[str, Any]],
+) -> Dict[str, Any]:
+    return {
+        "version": MANIFEST_VERSION,
+        "generation": generation,
+        "shipped_lsn": shipped_lsn,
+        "checkpoint": checkpoint,
+        "segments": list(segments),
+    }
+
+
+def encode_manifest(manifest: Dict[str, Any]) -> bytes:
+    """Serialize with an embedded CRC over the canonical body."""
+    body = {k: v for k, v in manifest.items() if k != "crc32"}
+    crc = zlib.crc32(_canonical(body)) & 0xFFFFFFFF
+    body["crc32"] = crc
+    return _canonical(body)
+
+
+def _entry_ok(entry: Any, lsn_fields: tuple) -> bool:
+    if not isinstance(entry, dict):
+        return False
+    if not isinstance(entry.get("path"), str) or not entry["path"]:
+        return False
+    return all(
+        isinstance(entry.get(name), int)
+        for name in ("size", "crc32") + lsn_fields
+    )
+
+
+def decode_manifest(data: bytes, source: str = "manifest") -> Dict[str, Any]:
+    """Parse + verify; the returned dict excludes the ``crc32`` field.
+
+    Check order matters: CRC before version, so a flipped version digit
+    reads as corruption (skippable) rather than as a future format.
+    """
+    try:
+        obj = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ManifestCorruptError(f"{source}: unparseable: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ManifestCorruptError(f"{source}: not a JSON object")
+    crc = obj.pop("crc32", None)
+    if not isinstance(crc, int):
+        raise ManifestCorruptError(f"{source}: missing crc32")
+    if zlib.crc32(_canonical(obj)) & 0xFFFFFFFF != crc:
+        raise ManifestCorruptError(f"{source}: checksum mismatch")
+    version = obj.get("version")
+    if version != MANIFEST_VERSION:
+        raise ManifestVersionError(
+            f"{source}: format version {version!r} is not supported "
+            f"(this reader understands <= {MANIFEST_VERSION}); refusing "
+            "to guess at a newer layout"
+        )
+    if not isinstance(obj.get("generation"), int) or obj["generation"] < 1:
+        raise ManifestCorruptError(f"{source}: bad generation")
+    if not isinstance(obj.get("shipped_lsn"), int):
+        raise ManifestCorruptError(f"{source}: bad shipped_lsn")
+    ckpt = obj.get("checkpoint")
+    if ckpt is not None and not (
+        _entry_ok(ckpt, ()) and isinstance(ckpt.get("lsn"), int)
+    ):
+        raise ManifestCorruptError(f"{source}: bad checkpoint entry")
+    segments = obj.get("segments")
+    if not isinstance(segments, list) or not all(
+        _entry_ok(s, ("base_lsn", "last_lsn")) for s in segments
+    ):
+        raise ManifestCorruptError(f"{source}: bad segment list")
+    prev = None
+    for seg in segments:
+        if prev is not None and seg["base_lsn"] != prev + 1:
+            raise ManifestCorruptError(
+                f"{source}: segment LSN chain has a gap at "
+                f"{seg['path']} (base {seg['base_lsn']} after {prev})"
+            )
+        prev = seg["last_lsn"]
+    return obj

@@ -1,0 +1,112 @@
+"""Retry with exponential backoff: how every remote call is made.
+
+A remote backend fails in ways a local disk does not -- transiently,
+partially, and on somebody else's schedule -- so no caller in this
+package invokes a :class:`~repro.remote.storage.RemoteStorage` method
+directly.  Everything goes through :meth:`RetryPolicy.call`, which
+retries :class:`~repro.remote.storage.RemoteTransientError` (timeouts,
+throttles, injected chaos) up to ``max_attempts`` times with
+exponential backoff and seeded jitter, gives each attempt a soft
+``timeout`` budget (an attempt that overruns is *counted* as a timeout
+even when the backend eventually answered -- the signal operators
+alert on), and feeds every retry, timeout, and backoff nanosecond into
+:class:`~repro.remote.metrics.RemoteMetrics`.
+
+Terminal failures -- :class:`RemoteNotFound`, attempts exhausted --
+surface as exceptions; exhaustion raises the *last* transient error
+with the attempt count attached, so the root cause is never hidden
+behind a generic wrapper.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any, Callable, Optional
+
+from repro.remote.metrics import RemoteMetrics
+from repro.remote.storage import RemoteTimeout, RemoteTransientError
+
+
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter.
+
+    ``base_delay * multiplier**attempt`` capped at ``max_delay``, each
+    delay stretched by up to ``jitter`` (a fraction) from a seeded RNG
+    so replaying a failing test replays its exact backoff schedule.
+    ``sleep`` is injectable (tests pass a no-op and assert on the
+    metrics instead of the wall clock); ``None`` means ``time.sleep``,
+    resolved at call time so a policy instance still pickles into
+    shard-worker specs.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 5,
+        base_delay: float = 0.01,
+        max_delay: float = 1.0,
+        multiplier: float = 2.0,
+        jitter: float = 0.5,
+        timeout: Optional[float] = None,
+        seed: int = 0,
+        sleep: Optional[Callable[[float], None]] = None,
+    ):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.multiplier = multiplier
+        self.jitter = jitter
+        self.timeout = timeout
+        self.sleep = sleep
+        self._rng = random.Random(seed)
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before retry number ``attempt`` (0-based), jittered."""
+        delay = min(self.max_delay, self.base_delay * self.multiplier**attempt)
+        return delay * (1.0 + self.jitter * self._rng.random())
+
+    def call(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        op: str = "remote op",
+        metrics: Optional[RemoteMetrics] = None,
+    ) -> Any:
+        """Run ``fn(*args)`` under this policy; returns its result.
+
+        Raises the last :class:`RemoteTransientError` once attempts are
+        exhausted; non-transient exceptions pass through on the first
+        occurrence (a missing key will not appear by retrying).
+        """
+        for attempt in range(self.max_attempts):
+            t0 = time.perf_counter()
+            try:
+                result = fn(*args)
+            except RemoteTransientError as exc:
+                if metrics is not None:
+                    metrics.retries_total += 1
+                    if isinstance(exc, RemoteTimeout):
+                        metrics.timeouts_total += 1
+                if attempt + 1 >= self.max_attempts:
+                    exc.args = (
+                        f"{op}: giving up after {self.max_attempts} "
+                        f"attempts ({exc})",
+                    )
+                    raise
+                delay = self.backoff(attempt)
+                if metrics is not None:
+                    metrics.backoff_ns_total += int(delay * 1e9)
+                (self.sleep or time.sleep)(delay)
+                continue
+            if (
+                self.timeout is not None
+                and time.perf_counter() - t0 > self.timeout
+                and metrics is not None
+            ):
+                # The attempt succeeded but blew its budget; surface it
+                # as a timeout in the metrics without failing the call.
+                metrics.timeouts_total += 1
+            return result
+        raise AssertionError("unreachable")  # pragma: no cover

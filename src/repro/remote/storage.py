@@ -1,0 +1,322 @@
+"""Remote-storage backends: one small S3-shaped interface, three impls.
+
+:class:`RemoteStorage` is the contract every uploader/attach code path
+is written against -- flat string keys (``/`` is a naming convention,
+not a directory), whole-object ``put``/``get``, sorted prefix ``list``,
+idempotent ``delete``, and ``head`` for cheap existence/size probes.
+The one semantic that matters is **put atomicity**: a key either holds
+a complete object or does not exist.  :class:`LocalFsStorage` buys it
+with the upload-temp -> fsync -> rename discipline (via the filesystem
+abstraction's ``write_atomic``, so it runs over the real disk *and*
+over :class:`~repro.wal.faultfs.SimFS` in crash-point sweeps);
+:class:`MemStorage` gets it for free from a dict assignment.
+
+:class:`FlakyStorage` wraps any backend and breaks it on purpose --
+seeded error rates, injected latency, timeouts, and torn uploads that
+leave a *partial* object behind while still reporting failure (the one
+way real object stores violate put atomicity: an eventually-consistent
+frontend showing a half-replicated write).  Because every fault is
+drawn from a seeded RNG, a failing test case replays exactly.
+
+Error taxonomy: :class:`RemoteTransientError` (and its subclasses
+:class:`RemoteTimeout`, :class:`RemoteUnavailable`) mean *retry me*;
+:class:`RemoteNotFound` means the key is absent (not retryable);
+:class:`RemoteStorageError` is the family root callers catch when they
+only care that the remote side failed.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Dict, List, Optional
+
+from repro.wal.faultfs import OsFS, join
+
+
+class RemoteStorageError(Exception):
+    """Family root for every remote-storage failure."""
+
+
+class RemoteNotFound(RemoteStorageError):
+    """The requested key does not exist (terminal, not retryable)."""
+
+
+class RemoteTransientError(RemoteStorageError):
+    """A failure worth retrying (network blip, 5xx, throttle)."""
+
+
+class RemoteTimeout(RemoteTransientError):
+    """The operation exceeded its time budget (retryable)."""
+
+
+class RemoteUnavailable(RemoteTransientError):
+    """The backend refused service (retryable)."""
+
+
+class RemoteStorage:
+    """Interface contract (duck-typed; subclassing is optional).
+
+    Implementations must provide:
+
+    - ``put(key, data)``: store ``data`` under ``key`` atomically --
+      after any failure the key holds either the old object or the new
+      one, never a prefix.  (:class:`FlakyStorage` deliberately breaks
+      this to model hostile backends; everything downstream must
+      survive it via checksums.)
+    - ``get(key) -> bytes``: the full object, or :class:`RemoteNotFound`.
+    - ``list(prefix="") -> List[str]``: all keys with the prefix, sorted.
+    - ``delete(key)``: remove; absent keys are a silent no-op (S3
+      semantics -- GC must be idempotent).
+    - ``head(key) -> Optional[int]``: object size, or ``None`` if absent.
+    """
+
+    def put(self, key: str, data: bytes) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def get(self, key: str) -> bytes:  # pragma: no cover
+        raise NotImplementedError
+
+    def list(self, prefix: str = "") -> List[str]:  # pragma: no cover
+        raise NotImplementedError
+
+    def delete(self, key: str) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def head(self, key: str) -> Optional[int]:  # pragma: no cover
+        raise NotImplementedError
+
+
+class MemStorage(RemoteStorage):
+    """In-memory object store: the reference implementation.
+
+    A plain dict with the interface's semantics -- puts are atomic by
+    construction, ``list`` sorts, ``delete`` is idempotent.  ``ops``
+    counts every call so tests can assert traffic shapes.
+    """
+
+    def __init__(self) -> None:
+        self._objects: Dict[str, bytes] = {}
+        self.ops = 0
+
+    def put(self, key: str, data: bytes) -> None:
+        self.ops += 1
+        self._objects[key] = bytes(data)
+
+    def get(self, key: str) -> bytes:
+        self.ops += 1
+        try:
+            return self._objects[key]
+        except KeyError:
+            raise RemoteNotFound(key) from None
+
+    def list(self, prefix: str = "") -> List[str]:
+        self.ops += 1
+        return sorted(k for k in self._objects if k.startswith(prefix))
+
+    def delete(self, key: str) -> None:
+        self.ops += 1
+        self._objects.pop(key, None)
+
+    def head(self, key: str) -> Optional[int]:
+        self.ops += 1
+        data = self._objects.get(key)
+        return None if data is None else len(data)
+
+
+class LocalFsStorage(RemoteStorage):
+    """A directory as an object store (NFS mount, second disk, tmpfs).
+
+    ``put`` uses the filesystem abstraction's ``write_atomic`` (write
+    temp, fsync, rename), so an interrupted upload never leaves a
+    partial object under the final name -- the discipline the manifest
+    protocol depends on.  Keys containing ``/`` become nested
+    directories, which keeps the remote tree human-readable (and lets
+    the recovery recipe in the README point ``--remote`` at it).
+
+    Runs over any :mod:`repro.wal.faultfs` filesystem: :class:`OsFS`
+    in production, :class:`~repro.wal.faultfs.SimFS` in crash-point
+    sweeps where remote puts must count as numbered syscalls.
+    """
+
+    def __init__(self, root: str, fs=None):
+        self.root = str(root)
+        self.fs = fs if fs is not None else OsFS()
+        self.fs.makedirs(self.root)
+
+    def _path(self, key: str) -> str:
+        if not key or key.startswith("/") or ".." in key.split("/"):
+            raise RemoteStorageError(f"illegal object key {key!r}")
+        return join(self.root, key)
+
+    def put(self, key: str, data: bytes) -> None:
+        path = self._path(key)
+        parent = path.rsplit("/", 1)[0]
+        if parent != self.root:
+            self.fs.makedirs(parent)
+        self.fs.write_atomic(path, bytes(data))
+
+    def get(self, key: str) -> bytes:
+        try:
+            return self.fs.read_bytes(self._path(key))
+        except FileNotFoundError:
+            raise RemoteNotFound(key) from None
+
+    def list(self, prefix: str = "") -> List[str]:
+        out: List[str] = []
+        self._walk("", out)
+        return sorted(k for k in out if k.startswith(prefix))
+
+    def _walk(self, rel: str, out: List[str]) -> None:
+        directory = join(self.root, rel) if rel else self.root
+        if not self.fs.exists(directory):
+            return
+        for name in self.fs.listdir(directory):
+            child = f"{rel}/{name}" if rel else name
+            if self.fs.isfile(join(self.root, child)):
+                out.append(child)
+            else:
+                self._walk(child, out)
+
+    def delete(self, key: str) -> None:
+        try:
+            self.fs.remove(self._path(key))
+        except FileNotFoundError:
+            pass
+
+    def head(self, key: str) -> Optional[int]:
+        path = self._path(key)
+        if not self.fs.isfile(path):
+            return None
+        return self.fs.file_size(path)
+
+
+class PrefixedStorage(RemoteStorage):
+    """A key-namespace view of another backend (``<prefix>/<key>``).
+
+    How a fleet shares one remote: each shard ships to its own prefix
+    and neither the uploader nor attach ever sees the other shards'
+    objects.  Pickles iff the inner backend does (it rides inside
+    :class:`~repro.shard.worker.ShardSpec` to worker processes).
+    """
+
+    def __init__(self, inner: RemoteStorage, prefix: str):
+        self.inner = inner
+        self.prefix = prefix.strip("/")
+        if not self.prefix:
+            raise ValueError("prefix must be non-empty")
+
+    def _key(self, key: str) -> str:
+        return f"{self.prefix}/{key}"
+
+    def put(self, key: str, data: bytes) -> None:
+        self.inner.put(self._key(key), data)
+
+    def get(self, key: str) -> bytes:
+        return self.inner.get(self._key(key))
+
+    def list(self, prefix: str = "") -> List[str]:
+        skip = len(self.prefix) + 1
+        return [k[skip:] for k in self.inner.list(self._key(prefix))]
+
+    def delete(self, key: str) -> None:
+        self.inner.delete(self._key(key))
+
+    def head(self, key: str) -> Optional[int]:
+        return self.inner.head(self._key(key))
+
+
+#: Operations FlakyStorage can fault (reads fail on attach paths too).
+_FAULTABLE = ("put", "get", "list", "delete", "head")
+
+
+class FlakyStorage(RemoteStorage):
+    """Deterministic chaos for any backend.
+
+    Per operation, in order: optional injected ``latency`` (through the
+    injectable ``sleep`` so tests stay fast), then one seeded RNG draw
+    decides the fault -- :class:`RemoteTimeout` with probability
+    ``timeout_rate``, :class:`RemoteUnavailable` with ``error_rate``.
+    A faulted ``put`` additionally applies ``torn_rate``: with that
+    probability a random *prefix* of the data lands in the backend
+    before the error is reported, modeling the partial uploads the
+    manifest checksums must catch.
+
+    ``fail_at`` (a set of 1-based operation indexes, counted in
+    ``ops``) arms exact faults for point tests; ``heal()`` zeroes every
+    rate so a converged-recovery test can flip from hostile to clean.
+    """
+
+    def __init__(
+        self,
+        inner: RemoteStorage,
+        *,
+        error_rate: float = 0.0,
+        timeout_rate: float = 0.0,
+        torn_rate: float = 0.0,
+        latency: float = 0.0,
+        seed: int = 0,
+        fail_at=(),
+        sleep=None,
+    ):
+        self.inner = inner
+        self.error_rate = error_rate
+        self.timeout_rate = timeout_rate
+        self.torn_rate = torn_rate
+        self.latency = latency
+        self.fail_at = set(fail_at)
+        self.sleep = sleep
+        self._rng = random.Random(seed)
+        self.ops = 0
+        self.faults_injected = 0
+
+    def heal(self) -> None:
+        """Stop injecting faults (rates to zero, schedule cleared)."""
+        self.error_rate = self.timeout_rate = self.torn_rate = 0.0
+        self.latency = 0.0
+        self.fail_at.clear()
+
+    def _maybe_fail(self, op: str, key: str) -> None:
+        self.ops += 1
+        if self.latency > 0.0:
+            (self.sleep or time.sleep)(self.latency)
+        forced = self.ops in self.fail_at
+        draw = self._rng.random()
+        if forced or draw < self.timeout_rate:
+            self.faults_injected += 1
+            raise RemoteTimeout(f"injected timeout: {op} {key!r} (op {self.ops})")
+        if draw < self.timeout_rate + self.error_rate:
+            self.faults_injected += 1
+            raise RemoteUnavailable(
+                f"injected error: {op} {key!r} (op {self.ops})"
+            )
+
+    def put(self, key: str, data: bytes) -> None:
+        try:
+            self._maybe_fail("put", key)
+        except RemoteTransientError:
+            # A torn upload: part of the object lands even though the
+            # call reports failure.  The retry overwrites it; a crash
+            # before the retry leaves the partial object for checksums
+            # to reject.
+            if self.torn_rate > 0.0 and self._rng.random() < self.torn_rate:
+                cut = self._rng.randrange(len(data) + 1)
+                self.inner.put(key, data[:cut])
+            raise
+        self.inner.put(key, data)
+
+    def get(self, key: str) -> bytes:
+        self._maybe_fail("get", key)
+        return self.inner.get(key)
+
+    def list(self, prefix: str = "") -> List[str]:
+        self._maybe_fail("list", prefix)
+        return self.inner.list(prefix)
+
+    def delete(self, key: str) -> None:
+        self._maybe_fail("delete", key)
+        self.inner.delete(key)
+
+    def head(self, key: str) -> Optional[int]:
+        self._maybe_fail("head", key)
+        return self.inner.head(key)

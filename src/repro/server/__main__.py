@@ -38,6 +38,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="WAL fsync policy when --dir is set",
     )
     parser.add_argument(
+        "--remote", default=None, metavar="DIR",
+        help="ship checkpoints + sealed WAL segments to this directory "
+        "(filesystem-backed remote storage; needs --dir). An empty "
+        "--dir with a populated remote attaches as a replica first.",
+    )
+    parser.add_argument(
+        "--remote-flaky", type=float, default=0.0, metavar="RATE",
+        help="inject transient faults into the remote at this rate "
+        "(0..1; exercises the retry/backoff path end to end)",
+    )
+    parser.add_argument(
         "--storage", default="lists", choices=("lists", "columnar"),
         help="DyTIS storage engine for the backing index",
     )
@@ -65,6 +76,21 @@ def _build_parser() -> argparse.ArgumentParser:
 
 async def _serve(args) -> int:
     dytis_config = DyTISConfig(storage=args.storage)
+    remote = None
+    if args.remote:
+        if not args.dir:
+            print("--remote needs --dir (nothing durable to ship)",
+                  file=sys.stderr)
+            return 2
+        from repro.remote import FlakyStorage, LocalFsStorage
+
+        remote = LocalFsStorage(args.remote)
+        if args.remote_flaky > 0:
+            remote = FlakyStorage(
+                remote,
+                error_rate=args.remote_flaky,
+                timeout_rate=args.remote_flaky / 2,
+            )
     if args.shards:
         from repro.kvstore.store import _NAMESPACE_BITS
         from repro.shard import ShardedIndex
@@ -80,12 +106,15 @@ async def _serve(args) -> int:
             skip_bits=_NAMESPACE_BITS if args.shard_mode == "msb" else 0,
             durable_dir=args.dir,
             fsync=args.fsync,
+            remote=remote,
         )
         store = KVStore(index=index)
     elif args.dir:
         from repro.wal import DurableKVStore
 
-        store = DurableKVStore(args.dir, config=dytis_config, fsync=args.fsync)
+        store = DurableKVStore(
+            args.dir, config=dytis_config, fsync=args.fsync, remote=remote
+        )
     else:
         store = KVStore(config=dytis_config)
     config = ServerConfig(
@@ -107,6 +136,8 @@ async def _serve(args) -> int:
     mode = "coalescing" if config.coalesce else "naive"
     if args.shards:
         mode += f", {args.shards} shard processes"
+    if remote is not None:
+        mode += f", shipping to {args.remote}"
     print(
         f"repro.server listening on {args.host}:{server.port} "
         f"({mode}, admin={server.admin_port})",

@@ -570,10 +570,32 @@ class IndexServer:
                 )
                 if index_page is not None:
                     text += index_page()
+                # Stores with their own exposition (the durable store's
+                # wal_* and remote_* shipping series) share it too.
+                store_page = getattr(
+                    self.store, "metrics_to_prometheus", None
+                )
+                if store_page is not None:
+                    text += store_page()
                 body = text.encode("utf-8")
             elif path.startswith("/healthz"):
                 status, ctype = "200 OK", "text/plain"
                 body = b"ok\n"
+            elif path.startswith("/checkpoint"):
+                # Force a checkpoint (and, with a remote attached, a
+                # ship) right now -- the hook the backup/restore smoke
+                # uses to pin down what must survive a SIGKILL.
+                checkpoint = getattr(self.store, "checkpoint", None)
+                if checkpoint is None:
+                    checkpoint = getattr(
+                        getattr(self.store, "index", None), "checkpoint", None
+                    )
+                if checkpoint is not None:
+                    status, ctype = "200 OK", "text/plain"
+                    body = f"checkpointed {checkpoint()}\n".encode()
+                else:
+                    status, ctype = "409 Conflict", "text/plain"
+                    body = b"store has no checkpoint support\n"
             else:
                 status, ctype = "404 Not Found", "text/plain"
                 body = b"not found\n"

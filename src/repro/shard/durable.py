@@ -68,16 +68,68 @@ class DurableShardIndex:
         obs=None,
         fsync: str = "always",
         fs=None,
+        remote=None,
+        remote_policy=None,
     ):
         self.directory = str(directory)
         self.fs = fs if fs is not None else OsFS()
         self.fs.makedirs(self.directory)
         self.index = DyTIS(config, obs=obs)
         self.config = self.index.config
+        self._uploader = None
+        self._in_checkpoint = False
+        wal_dir = join(self.directory, "wal")
+        if remote is not None:
+            # Attach-on-empty: a wiped shard directory with a populated
+            # remote prefix restores the newest shipped state, then the
+            # ordinary recovery path below replays it.  This is exactly
+            # what ``restart_shard`` leans on when a worker's local
+            # directory is gone.
+            from repro.remote.metrics import RemoteMetrics
+            from repro.remote.uploader import (
+                Uploader,
+                restore,
+                scan_sealed_segments,
+            )
+            from repro.wal.faultfs import segment_files
+
+            rmetrics = RemoteMetrics()
+            if not _checkpoint_lsns(self.fs, self.directory) and not (
+                segment_files(self.fs, wal_dir)
+            ):
+                restore(
+                    remote,
+                    self.directory,
+                    fs=self.fs,
+                    policy=remote_policy,
+                    metrics=rmetrics,
+                )
+            self._uploader = Uploader(
+                remote,
+                self.directory,
+                fs=self.fs,
+                policy=remote_policy,
+                metrics=rmetrics,
+            )
         self._restore()
         self.wal = WriteAheadLog(
-            join(self.directory, "wal"), fs=self.fs, policy=fsync
+            wal_dir,
+            fs=self.fs,
+            policy=fsync,
+            on_seal=self._on_seal if self._uploader is not None else None,
+            retention_pin=(
+                self._uploader.safe_truncate_lsn
+                if self._uploader is not None
+                else None
+            ),
         )
+        if self._uploader is not None:
+            for seg in scan_sealed_segments(
+                self.fs, wal_dir, rel_prefix="wal/"
+            ):
+                self._uploader.note_sealed(
+                    seg["path"], seg["seqno"], seg["base_lsn"], seg["last_lsn"]
+                )
         self._replay()
 
     # -- recovery -------------------------------------------------------
@@ -127,6 +179,31 @@ class DurableShardIndex:
                 raise rec.WalFormatError(
                     f"unexpected op {r.op} in shard WAL at lsn {r.lsn}"
                 )
+
+    # -- remote shipping ------------------------------------------------
+
+    def _on_seal(
+        self, name: str, seqno: int, base_lsn: int, last_lsn: int
+    ) -> None:
+        # The WAL lives under wal/, so remote keys carry that prefix
+        # and the remote tree mirrors the local shard layout.
+        self._uploader.note_sealed(f"wal/{name}", seqno, base_lsn, last_lsn)
+        if not self._in_checkpoint:
+            self._uploader.ship_segments()
+
+    @property
+    def uploader(self):
+        return self._uploader
+
+    @property
+    def remote_metrics(self):
+        return self._uploader.metrics if self._uploader is not None else None
+
+    def ship(self) -> bool:
+        """Ship pending sealed segments now; True when fully drained."""
+        if self._uploader is None:
+            return True
+        return self._uploader.ship_segments()
 
     # -- mutations (log first, then apply) ------------------------------
 
@@ -218,7 +295,14 @@ class DurableShardIndex:
         for old in _checkpoint_lsns(self.fs, self.directory):
             if old < lsn:
                 self.fs.remove(join(self.directory, _checkpoint_name(old)))
-        self.wal.rotate()
+        self._in_checkpoint = True
+        try:
+            self.wal.rotate()
+        finally:
+            self._in_checkpoint = False
+        if self._uploader is not None:
+            if self._uploader.ship_checkpoint(_checkpoint_name(lsn), lsn):
+                self._uploader.ship_segments()
         self.wal.truncate_upto(lsn)
         self.checkpoint_lsn = lsn
         return lsn

@@ -101,7 +101,15 @@ class ShardedIndex:
         obs: bool = True,
         serve_columns: bool = True,
         mp_context: Optional[str] = None,
+        remote=None,
+        remote_policy=None,
+        rpc_timeout: Optional[float] = None,
     ):
+        if remote is not None and durable_dir is None:
+            raise ValueError(
+                "remote shipping needs durable_dir: only WAL-backed "
+                "shards have checkpoints and segments to ship"
+            )
         self.config = config or DyTISConfig()
         self.router = ShardRouter(
             n_shards,
@@ -112,7 +120,10 @@ class ShardedIndex:
         self.n_shards = n_shards
         self._durable_dir = durable_dir
         self._serve_columns = serve_columns
+        self._rpc_timeout = rpc_timeout
         self._ctx = mp.get_context(mp_context) if mp_context else mp.get_context()
+        if remote is not None:
+            from repro.remote.storage import PrefixedStorage
         self._specs: List[ShardSpec] = [
             ShardSpec(
                 shard_id=i,
@@ -122,6 +133,14 @@ class ShardedIndex:
                 ),
                 fsync=fsync,
                 obs=obs,
+                # Each shard ships to its own remote prefix, so one
+                # shard's failover never reads a sibling's objects.
+                remote=(
+                    PrefixedStorage(remote, f"shard-{i:03d}")
+                    if remote is not None
+                    else None
+                ),
+                remote_policy=remote_policy,
             )
             for i in range(n_shards)
         ]
@@ -193,12 +212,14 @@ class ShardedIndex:
                 pipe.send(("close", ()))
             except (BrokenPipeError, OSError):
                 pass
-        for pipe in self._pipes:
+        for shard, pipe in enumerate(self._pipes):
             if pipe is None:
                 continue
             try:
-                pipe.recv()
-            except (EOFError, OSError):
+                # Bounded like any RPC: a wedged worker must not hang
+                # shutdown -- terminate() below reaps it regardless.
+                self._recv(shard, "close")
+            except (ShardError, EOFError, OSError):
                 pass
             pipe.close()
         for proc in self._procs:
@@ -219,13 +240,29 @@ class ShardedIndex:
 
     # -- RPC ------------------------------------------------------------
 
+    def _recv(self, shard: int, op: str) -> Any:
+        """One reply off a shard's pipe, bounded by ``rpc_timeout``.
+
+        A worker that is alive but wedged (stuck syscall, livelock)
+        would otherwise hang the router forever on a bare ``recv``;
+        with a timeout it surfaces as a :class:`ShardError` naming the
+        shard, and the caller can ``restart_shard`` it.
+        """
+        pipe = self._pipes[shard]
+        if self._rpc_timeout is not None and not pipe.poll(self._rpc_timeout):
+            raise ShardError(
+                f"shard {shard} timed out after {self._rpc_timeout}s "
+                f"serving {op!r}"
+            )
+        return pipe.recv()
+
     def _call(self, shard: int, op: str, *args) -> Any:
         pipe = self._pipes[shard]
         if pipe is None:
             raise ShardError(f"shard {shard} is not running")
         try:
             pipe.send((op, args))
-            ok, result = pipe.recv()
+            ok, result = self._recv(shard, op)
         except (EOFError, BrokenPipeError, OSError) as exc:
             raise ShardError(f"shard {shard} died serving {op!r}") from exc
         if not ok:
@@ -255,7 +292,7 @@ class ShardedIndex:
         failed = None
         for shard, op, _ in requests:
             try:
-                ok, result = self._pipes[shard].recv()
+                ok, result = self._recv(shard, op)
             except (EOFError, OSError) as exc:
                 raise ShardError(f"shard {shard} died serving {op!r}") from exc
             if not ok and failed is None:

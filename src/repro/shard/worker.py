@@ -36,6 +36,10 @@ class ShardSpec:
     durable_dir: Optional[str] = None
     fsync: str = "always"
     obs: bool = True
+    #: Remote storage for checkpoint shipping, already prefixed with
+    #: this shard's namespace (must pickle; see PrefixedStorage).
+    remote: Optional[Any] = None
+    remote_policy: Optional[Any] = None
 
 
 def _build_index(spec: ShardSpec):
@@ -44,7 +48,12 @@ def _build_index(spec: ShardSpec):
         from repro.shard.durable import DurableShardIndex
 
         return DurableShardIndex(
-            spec.durable_dir, config=spec.config, obs=obs, fsync=spec.fsync
+            spec.durable_dir,
+            config=spec.config,
+            obs=obs,
+            fsync=spec.fsync,
+            remote=spec.remote,
+            remote_policy=spec.remote_policy,
         )
     return DyTIS(spec.config, obs=obs)
 
@@ -86,6 +95,10 @@ def worker_main(conn, spec: ShardSpec) -> None:
         wal = getattr(index, "wal", None)
         if wal is not None:
             counters["wal_last_lsn"] = wal.last_lsn
+        remote = getattr(index, "remote_metrics", None)
+        if remote is not None:
+            for key, value in remote.to_dict().items():
+                counters[f"remote_{key}"] = value
         if obs is None:
             obs = Observability()
         return shard_metrics.dump_worker_metrics(obs, counters)

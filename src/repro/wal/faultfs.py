@@ -77,6 +77,9 @@ class OsFS:
     def exists(self, path: str) -> bool:
         return os.path.exists(path)
 
+    def isfile(self, path: str) -> bool:
+        return os.path.isfile(path)
+
     def makedirs(self, path: str) -> None:
         os.makedirs(path, exist_ok=True)
 
@@ -255,6 +258,9 @@ class SimFS:
 
     def exists(self, path: str) -> bool:
         return path in self._files or path in self._dirs
+
+    def isfile(self, path: str) -> bool:
+        return path in self._files
 
     def makedirs(self, path: str) -> None:
         self._dirs.add(path)

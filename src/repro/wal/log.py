@@ -60,6 +60,8 @@ class WriteAheadLog:
         policy="always",
         segment_size: int = DEFAULT_SEGMENT_SIZE,
         metrics: Optional[WalMetrics] = None,
+        on_seal=None,
+        retention_pin=None,
     ):
         if segment_size < rec.SEGMENT_HEADER_SIZE + rec.RECORD_HEADER_SIZE:
             raise ValueError("segment_size too small for even one record")
@@ -69,6 +71,14 @@ class WriteAheadLog:
         self._policy_timed = getattr(self.policy, "max_interval", None) is not None
         self.segment_size = segment_size
         self.metrics = metrics if metrics is not None else WalMetrics()
+        #: Called as ``on_seal(name, seqno, base_lsn, last_lsn)`` when a
+        #: segment is sealed by rotation -- the hook remote shipping
+        #: hangs off (a sealed segment is immutable, hence shippable).
+        self.on_seal = on_seal
+        #: Zero-arg callable returning the highest LSN that is safe to
+        #: truncate past (e.g. the remote-acknowledged LSN).  Records
+        #: above it exist only locally, so their segments stay.
+        self.retention_pin = retention_pin
 
         self.fs.makedirs(self.directory)
         self._handle = None
@@ -127,6 +137,7 @@ class WriteAheadLog:
         self._handle.flush()
         self._segment_bytes = len(header)
         self._seqno = seqno
+        self._base_lsn = base_lsn
         self._live_segments += 1
         self.metrics.bytes_written_total += len(header)
 
@@ -187,7 +198,15 @@ class WriteAheadLog:
         self.sync()
         self._handle.close()
         self.metrics.rotations_total += 1
+        sealed = (
+            segment_name(self._seqno),
+            self._seqno,
+            self._base_lsn,
+            next_base_lsn - 1,
+        )
         self._open_segment(self._seqno + 1, base_lsn=next_base_lsn)
+        if self.on_seal is not None:
+            self.on_seal(*sealed)
 
     def close(self) -> None:
         if self._closed:
@@ -268,8 +287,13 @@ class WriteAheadLog:
 
         A segment is dead when the *next* segment's base LSN is at most
         ``lsn + 1`` (so nothing after ``lsn`` lives in it).  The active
-        segment is never removed.  Returns the number removed.
+        segment is never removed, and a ``retention_pin`` bounds the
+        effective LSN: records not yet acknowledged remotely must stay
+        replayable locally even after a checkpoint covers them.
+        Returns the number removed.
         """
+        if self.retention_pin is not None:
+            lsn = min(lsn, self.retention_pin())
         names = segment_files(self.fs, self.directory)
         bases = []
         for name in names:

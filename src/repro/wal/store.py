@@ -35,7 +35,7 @@ from repro.kvstore.codec import KeyCodec
 from repro.kvstore.snapshot import read_snapshot_header
 from repro.wal import checkpoint as ckpt
 from repro.wal import record as rec
-from repro.wal.faultfs import OsFS
+from repro.wal.faultfs import OsFS, segment_files
 from repro.wal.log import RecoveryError, WriteAheadLog
 from repro.wal.metrics import WalMetrics
 
@@ -62,6 +62,8 @@ class DurableKVStore:
         segment_size: int = 1 << 20,
         fs=None,
         metrics: Optional[WalMetrics] = None,
+        remote=None,
+        remote_policy=None,
     ):
         self.directory = str(directory)
         self.fs = fs if fs is not None else OsFS()
@@ -75,6 +77,37 @@ class DurableKVStore:
         self._closed = False
 
         self.fs.makedirs(self.directory)
+        self._uploader = None
+        if remote is not None:
+            # Attach-on-empty: a wiped directory plus a populated remote
+            # means this store is a replica coming up from shipped
+            # state.  Restore first, then run ordinary crash recovery
+            # on the restored files -- attach *is* recovery.
+            from repro.remote.metrics import RemoteMetrics
+            from repro.remote.uploader import (
+                Uploader,
+                restore,
+                scan_sealed_segments,
+            )
+
+            rmetrics = RemoteMetrics()
+            if not ckpt.checkpoint_lsns(self.fs, self.directory) and not (
+                segment_files(self.fs, self.directory)
+            ):
+                restore(
+                    remote,
+                    self.directory,
+                    fs=self.fs,
+                    policy=remote_policy,
+                    metrics=rmetrics,
+                )
+            self._uploader = Uploader(
+                remote,
+                self.directory,
+                fs=self.fs,
+                policy=remote_policy,
+                metrics=rmetrics,
+            )
         recovered_lsn = self._load_newest_checkpoint()
         self.wal = WriteAheadLog(
             self.directory,
@@ -82,7 +115,21 @@ class DurableKVStore:
             policy=fsync,
             segment_size=segment_size,
             metrics=self.metrics,
+            on_seal=self._on_seal if self._uploader is not None else None,
+            retention_pin=(
+                self._uploader.safe_truncate_lsn
+                if self._uploader is not None
+                else None
+            ),
         )
+        if self._uploader is not None:
+            # Sealed segments left behind by a previous incarnation
+            # (e.g. a crash between rotate and ship) re-enter the
+            # pending set so no durable history is stranded locally.
+            for seg in scan_sealed_segments(self.fs, self.directory):
+                self._uploader.note_sealed(
+                    seg["path"], seg["seqno"], seg["base_lsn"], seg["last_lsn"]
+                )
         self._replay(recovered_lsn)
 
     # -- recovery -------------------------------------------------------
@@ -165,6 +212,46 @@ class DurableKVStore:
         m.records_replayed_total += n
         m.replay_ns_total += int((time.perf_counter() - t0) * 1e9)
 
+    # -- remote shipping ------------------------------------------------
+
+    def _on_seal(
+        self, name: str, seqno: int, base_lsn: int, last_lsn: int
+    ) -> None:
+        """WAL rotation hook: queue the sealed segment and try to ship.
+
+        A failed ship is not an error here -- the segment stays
+        pending, the retention pin keeps its file alive, and the next
+        seal or checkpoint retries.  During a checkpoint the ship is
+        skipped: the checkpoint publish supersedes it.
+        """
+        self._uploader.note_sealed(name, seqno, base_lsn, last_lsn)
+        if not getattr(self, "_in_checkpoint", False):
+            self._uploader.ship_segments()
+
+    @property
+    def uploader(self):
+        return self._uploader
+
+    @property
+    def remote_metrics(self):
+        return self._uploader.metrics if self._uploader is not None else None
+
+    def ship(self) -> bool:
+        """Ship any pending sealed segments now; True when drained."""
+        if self._uploader is None:
+            return True
+        with self._lock:
+            return self._uploader.ship_segments()
+
+    def metrics_to_prometheus(self, prefix: str = "dytis") -> str:
+        """WAL (and, when shipping, remote) counters as Prometheus text."""
+        from repro.obs.exposition import snapshot_to_prometheus
+
+        snapshot = {"wal": self.metrics.to_dict()}
+        if self._uploader is not None:
+            snapshot["remote"] = self._uploader.metrics.to_dict()
+        return snapshot_to_prometheus(snapshot, prefix=prefix)
+
     # -- store surface --------------------------------------------------
 
     @property
@@ -237,8 +324,21 @@ class DurableKVStore:
             lsn = self.wal.last_lsn
             ckpt.write_checkpoint(self._kv, lsn, self.fs, self.directory)
             # Rotate so the active segment starts past the checkpoint;
-            # every earlier segment is then provably dead.
-            self.wal.rotate()
+            # every earlier segment is then provably dead.  With a
+            # remote attached, the rotation's seal skips its own ship
+            # (the checkpoint publish below supersedes it), the
+            # checkpoint ships before truncation, and the retention pin
+            # keeps any un-acknowledged segment on disk regardless.
+            self._in_checkpoint = True
+            try:
+                self.wal.rotate()
+            finally:
+                self._in_checkpoint = False
+            if self._uploader is not None:
+                if self._uploader.ship_checkpoint(
+                    ckpt.checkpoint_name(lsn), lsn
+                ):
+                    self._uploader.ship_segments()
             self.wal.truncate_upto(lsn)
             m = self.metrics
             m.checkpoints_total += 1

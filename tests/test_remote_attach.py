@@ -1,0 +1,353 @@
+"""The tentpole payoff: write -> kill -> wipe -> attach -> verify.
+
+Three hostility tiers, per the acceptance criteria:
+
+- **Clean storage**: ship a workload, destroy the primary's local
+  directory entirely, attach a second store from remote, and verify
+  against a shadow dict.
+- **FlakyStorage at >= 10% injected fault rate**: every remote call can
+  fail (and torn puts leave partial objects), yet retry/backoff plus
+  publish-manifest-last must converge to the same attach result.
+- **SimFS crash-point sweep**: local store and remote share one SimFS,
+  so every upload syscall (temp write + rename of every object and
+  manifest) is a numbered crash point.  At each one: crash, reboot,
+  wipe the local directory, attach -- the recovered state must be a
+  consistent prefix of the acknowledged history, never garbage, never
+  a gap.
+
+Plus the retention-pin satellite: local WAL truncation must not drop
+segments the uploader has not shipped (remote ack gates local GC).
+"""
+
+import pytest
+
+from repro.remote import (
+    FlakyStorage,
+    LocalFsStorage,
+    MemStorage,
+    RetryPolicy,
+)
+from repro.wal import DurableKVStore, FaultSpec, SimFS, SimulatedCrash
+from repro.wal.faultfs import segment_files
+
+SEGMENT_SIZE = 384
+
+#: One mixed workload; every entry is an acknowledged operation.
+OPS = (
+    [("insert", "alpha", i, i * 10) for i in range(6)]
+    + [
+        ("insert_many", "beta", [(j, j + 100) for j in range(4)]),
+        ("delete", "alpha", 2),
+        ("checkpoint",),
+    ]
+    + [("insert", "alpha", i, i * 10) for i in range(6, 10)]
+    + [
+        ("delete_range", "alpha", 3, 8),
+        ("insert", "beta", 50, 5),
+        ("checkpoint",),
+        ("insert", "alpha", 11, 110),
+        ("insert", "beta", 51, 6),
+    ]
+)
+
+
+def _policy():
+    return RetryPolicy(max_attempts=6, base_delay=0.001, sleep=lambda d: None)
+
+
+def _apply(store, shadow, op):
+    kind = op[0]
+    if kind == "checkpoint":
+        store.checkpoint()
+        return
+    ns = store.namespace(op[1])
+    if kind == "insert":
+        ns.insert(op[2], op[3])
+        shadow[(op[1], op[2])] = op[3]
+    elif kind == "insert_many":
+        ns.insert_many(op[2])
+        for key, value in op[2]:
+            shadow[(op[1], key)] = value
+    elif kind == "delete":
+        ns.delete(op[2])
+        shadow.pop((op[1], op[2]), None)
+    elif kind == "delete_range":
+        ns.delete_range(op[2], op[3])
+        for key in [k for n, k in list(shadow) if n == op[1]
+                    and op[2] <= k < op[3]]:
+            del shadow[(op[1], key)]
+
+
+def _read_state(store):
+    out = {}
+    for name in store.namespaces():
+        for key, value in store.namespace(name).items():
+            out[(name, key)] = value
+    return out
+
+
+def test_write_kill_wipe_attach_clean():
+    remote = MemStorage()
+    fs = SimFS()
+    shadow = {}
+    store = DurableKVStore(
+        "db", fs=fs, remote=remote, remote_policy=_policy(),
+        segment_size=SEGMENT_SIZE,
+    )
+    for op in OPS:
+        _apply(store, shadow, op)
+    # Seal + ship the tail so remote covers the full history.
+    store.wal.rotate()
+    assert store.ship()
+    # Kill the primary and wipe its disk: a brand-new SimFS is a
+    # machine with nothing local.  The replica attaches from remote.
+    replica = DurableKVStore(
+        "db", fs=SimFS(), remote=remote, remote_policy=_policy(),
+        segment_size=SEGMENT_SIZE,
+    )
+    assert _read_state(replica) == shadow
+    assert replica.remote_metrics.attaches_total == 1
+    assert replica.remote_metrics.attach_objects_total > 0
+    # The replica is a fully writable store, not a read-only copy.
+    replica.namespace("alpha").insert(999, 1)
+    assert replica.namespace("alpha").get(999) == 1
+    store.close()
+    replica.close()
+
+
+def test_attach_without_final_ship_recovers_checkpoint_prefix():
+    """Killing before the tail ships loses only the unshipped suffix."""
+    remote = MemStorage()
+    fs = SimFS()
+    shadow = {}
+    states = [dict(shadow)]
+    store = DurableKVStore(
+        "db", fs=fs, remote=remote, remote_policy=_policy(),
+        segment_size=SEGMENT_SIZE,
+    )
+    for op in OPS:
+        _apply(store, shadow, op)
+        states.append(dict(shadow))
+    # No rotate, no ship: the active segment tail stays local-only.
+    replica = DurableKVStore(
+        "db", fs=SimFS(), remote=remote, remote_policy=_policy(),
+        segment_size=SEGMENT_SIZE,
+    )
+    got = _read_state(replica)
+    assert got in states  # a consistent prefix...
+    last_ckpt = max(i for i, op in enumerate(OPS) if op[0] == "checkpoint")
+    assert got.items() >= states[last_ckpt + 1].items() or got in states[last_ckpt + 1:]
+    store.close()
+    replica.close()
+
+
+def test_virgin_remote_starts_empty_store():
+    store = DurableKVStore(
+        "db", fs=SimFS(), remote=MemStorage(), remote_policy=_policy()
+    )
+    assert store.namespaces() == []
+    store.namespace("alpha").insert(1, 2)
+    assert store.namespace("alpha").get(1) == 2
+    store.close()
+
+
+# -- retention pin (satellite: truncation waits for remote ack) -------------
+
+
+def test_truncation_waits_for_remote_ack():
+    flaky = FlakyStorage(MemStorage(), sleep=lambda d: None)
+    fs = SimFS()
+    store = DurableKVStore(
+        "db", fs=fs, remote=flaky, remote_policy=_policy(),
+        segment_size=SEGMENT_SIZE,
+    )
+    # Remote goes dark before anything ships: every seal and the
+    # checkpoint ship fail, so nothing is remote-acknowledged and
+    # truncation must keep every segment.
+    flaky.error_rate = 1.0
+    ns = store.namespace("alpha")
+    for i in range(40):
+        ns.insert(i, i)
+    before = segment_files(fs, "db")
+    store.checkpoint()
+    after_failed = segment_files(fs, "db")
+    assert set(before) <= set(after_failed), (
+        "local truncation dropped segments the remote never acknowledged"
+    )
+    assert store.remote_metrics.upload_failures_total > 0
+    assert store.uploader.safe_truncate_lsn() == 0
+    # Remote heals: the next checkpoint ships and truncation proceeds.
+    flaky.heal()
+    lsn = store.checkpoint()
+    assert store.uploader.safe_truncate_lsn() >= lsn
+    assert len(segment_files(fs, "db")) < len(after_failed)
+    # And the shipped state is attachable.
+    replica = DurableKVStore(
+        "db", fs=SimFS(), remote=flaky, remote_policy=_policy(),
+        segment_size=SEGMENT_SIZE,
+    )
+    assert _read_state(replica) == {("alpha", i): i for i in range(40)}
+    store.close()
+    replica.close()
+
+
+def test_segment_backlog_ships_in_order_after_outage():
+    flaky = FlakyStorage(MemStorage(), sleep=lambda d: None)
+    fs = SimFS()
+    shadow = {}
+    store = DurableKVStore(
+        "db", fs=fs, remote=flaky, remote_policy=_policy(),
+        segment_size=SEGMENT_SIZE,
+    )
+    store.checkpoint()  # publish a baseline manifest while healthy
+    flaky.error_rate = 1.0
+    ns = store.namespace("alpha")
+    for i in range(60):  # spans several rotations, all ships failing
+        ns.insert(i, i * 7)
+        shadow[("alpha", i)] = i * 7
+    assert store.remote_metrics.pending_segments > 0
+    flaky.heal()
+    store.wal.rotate()
+    assert store.ship()  # backlog drains in LSN order, one manifest
+    assert store.remote_metrics.pending_segments == 0
+    replica = DurableKVStore(
+        "db", fs=SimFS(), remote=flaky, remote_policy=_policy(),
+        segment_size=SEGMENT_SIZE,
+    )
+    assert _read_state(replica) == shadow
+    store.close()
+    replica.close()
+
+
+# -- flaky convergence (acceptance tier b) ----------------------------------
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_flaky_storage_converges_at_10pct_faults(seed):
+    flaky = FlakyStorage(
+        MemStorage(),
+        error_rate=0.06,
+        timeout_rate=0.06,
+        torn_rate=0.5,
+        seed=seed,
+        sleep=lambda d: None,
+    )
+    shadow = {}
+    store = DurableKVStore(
+        "db", fs=SimFS(), remote=flaky, remote_policy=_policy(),
+        segment_size=SEGMENT_SIZE,
+    )
+    for op in OPS:
+        _apply(store, shadow, op)
+    store.wal.rotate()
+    for _ in range(50):  # bounded convergence loop, not forever
+        if store.ship():
+            break
+    else:
+        pytest.fail("shipping never converged under 12% injected faults")
+    assert flaky.faults_injected > 0, "fault schedule never fired"
+    replica = DurableKVStore(
+        "db", fs=SimFS(), remote=flaky, remote_policy=_policy(),
+        segment_size=SEGMENT_SIZE,
+    )
+    assert _read_state(replica) == shadow
+    assert replica.remote_metrics.retries_total >= 0
+    store.close()
+    replica.close()
+
+
+# -- crash-point sweep (acceptance tier c) ----------------------------------
+
+
+def _run_until_crash(fs):
+    """OPS against a store whose remote lives on the *same* SimFS.
+
+    Returns (prefix shadow states, acked count).  Every remote upload
+    is a numbered syscall on ``fs``, so sweeping crash points covers
+    every upload syscall as well as every local WAL/checkpoint one.
+    """
+    shadow = {}
+    states = [dict(shadow)]
+    acked = 0
+    try:
+        remote = LocalFsStorage("remote", fs=fs)
+        store = DurableKVStore(
+            "db", fs=fs, remote=remote, remote_policy=_policy(),
+            segment_size=SEGMENT_SIZE,
+        )
+        for op in OPS:
+            _apply(store, shadow, op)
+            states.append(dict(shadow))
+            acked += 1
+        store.wal.rotate()
+        store.ship()
+        store.close()
+    except SimulatedCrash:
+        pass
+    return states, acked
+
+
+def _wipe_local(fs, directory):
+    prefix = directory.rstrip("/") + "/"
+    for path in [p for p in list(fs._files) if p.startswith(prefix)]:
+        del fs._files[path]
+
+
+def test_crash_sweep_every_upload_syscall():
+    baseline = SimFS()
+    states_full, acked_full = _run_until_crash(baseline)
+    assert acked_full == len(OPS), "fault-free run must complete"
+    total = baseline.syscalls
+    assert total > 40  # remote puts materially widen the sweep
+    for crash_at in range(1, total + 1):
+        fs = SimFS(FaultSpec(crash_at, tail_mode="torn", seed=crash_at))
+        states, acked = _run_until_crash(fs)
+        fs.reboot()
+        # The primary's machine is gone: wipe its local directory and
+        # attach a replica from whatever the remote durably holds.
+        _wipe_local(fs, "db")
+        replica = DurableKVStore(
+            "db", fs=fs,
+            remote=LocalFsStorage("remote", fs=fs),
+            remote_policy=_policy(),
+            segment_size=SEGMENT_SIZE,
+        )
+        got = _read_state(replica)
+        allowed = states[: acked + 1]
+        assert got in allowed, (
+            f"crash@{crash_at}: attached state is not a consistent "
+            f"prefix of acknowledged history ({got})"
+        )
+        # The attached replica serves writes immediately.
+        replica.namespace("alpha").insert(999, 1)
+        assert replica.namespace("alpha").get(999) == 1
+        replica.close()
+
+
+# -- metrics surface --------------------------------------------------------
+
+
+def test_store_metrics_page_includes_remote_series():
+    store = DurableKVStore(
+        "db", fs=SimFS(), remote=MemStorage(), remote_policy=_policy()
+    )
+    store.namespace("alpha").insert(1, 1)
+    store.checkpoint()
+    page = store.metrics_to_prometheus()
+    assert "dytis_remote_manifests_published_total 1" in page
+    assert "dytis_remote_generation 1" in page
+    assert "dytis_wal_checkpoints_total 1" in page
+    from repro.obs.exposition import parse_prometheus
+
+    samples = parse_prometheus(page)
+    assert samples[("dytis_remote_uploads_total", ())] >= 2
+    store.close()
+
+
+def test_no_remote_means_no_uploader_and_no_remote_series():
+    store = DurableKVStore("db", fs=SimFS())
+    store.namespace("alpha").insert(1, 1)
+    assert store.uploader is None
+    assert store.remote_metrics is None
+    assert "remote_" not in store.metrics_to_prometheus()
+    store.close()

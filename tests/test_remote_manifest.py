@@ -1,0 +1,156 @@
+"""Manifest integrity: any byte flip is detected, future versions refuse.
+
+The hypothesis property mirrors the snapshot layer's v2 discipline
+(``test_snapshot.py``): encode a manifest, flip any single byte
+anywhere, and loading must *always* raise -- never return a manifest
+that differs silently.  A future format version must refuse loudly
+(:class:`ManifestVersionError`), because silently restoring an older
+generation would resurrect deleted history; and since the CRC is
+checked *before* the version, a flipped version digit reads as
+corruption (skippable) rather than as a future format (fatal).
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.remote import (
+    MANIFEST_VERSION,
+    ManifestCorruptError,
+    ManifestError,
+    ManifestVersionError,
+    MemStorage,
+    RetryPolicy,
+    decode_manifest,
+    encode_manifest,
+    manifest_generation,
+    manifest_key,
+    newest_manifest,
+)
+from repro.remote.manifest import build_manifest
+
+_POLICY = RetryPolicy(sleep=lambda d: None)
+
+
+def _sample_manifest(generation=3):
+    return build_manifest(
+        generation,
+        shipped_lsn=41,
+        checkpoint={
+            "path": "ckpt-00000000000000000020.snap",
+            "lsn": 20,
+            "size": 512,
+            "crc32": 0xDEADBEEF,
+        },
+        segments=[
+            {"path": "wal-00000003.log", "size": 100, "crc32": 1,
+             "base_lsn": 21, "last_lsn": 30},
+            {"path": "wal-00000004.log", "size": 90, "crc32": 2,
+             "base_lsn": 31, "last_lsn": 41},
+        ],
+    )
+
+
+def test_manifest_round_trips():
+    data = encode_manifest(_sample_manifest())
+    got = decode_manifest(data)
+    assert got["generation"] == 3
+    assert got["shipped_lsn"] == 41
+    assert got["checkpoint"]["lsn"] == 20
+    assert [s["path"] for s in got["segments"]] == [
+        "wal-00000003.log", "wal-00000004.log",
+    ]
+    assert "crc32" not in got  # envelope field, not payload
+
+
+def test_manifest_key_codec():
+    key = manifest_key(7)
+    assert key == f"manifest-{7:020d}.json"
+    assert manifest_generation(key) == 7
+    assert manifest_generation("manifest-junk.json") is None
+    assert manifest_generation("ckpt-00000000000000000001.snap") is None
+    # Zero-padded keys sort by generation lexically (newest-last).
+    assert manifest_key(9) < manifest_key(10)
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.data())
+def test_any_single_byte_flip_is_detected(data):
+    encoded = bytearray(encode_manifest(_sample_manifest()))
+    pos = data.draw(st.integers(0, len(encoded) - 1))
+    bit = data.draw(st.integers(0, 7))
+    encoded[pos] ^= 1 << bit
+    if bytes(encoded) == encode_manifest(_sample_manifest()):
+        return  # flip of a flip -- not reachable with one draw, guard anyway
+    with pytest.raises(ManifestError):
+        decode_manifest(bytes(encoded))
+
+
+def test_future_version_refused_loudly():
+    future = _sample_manifest()
+    future["version"] = MANIFEST_VERSION + 1
+    with pytest.raises(ManifestVersionError, match="refusing"):
+        decode_manifest(encode_manifest(future))
+
+
+def test_crc_checked_before_version():
+    # Corrupt the version *without* fixing the CRC: the reader must
+    # call it corruption (skippable), not a future format (fatal).
+    data = encode_manifest(_sample_manifest())
+    obj = json.loads(data)
+    obj["version"] = MANIFEST_VERSION + 1
+    tampered = json.dumps(obj, sort_keys=True, separators=(",", ":")).encode()
+    with pytest.raises(ManifestCorruptError):
+        decode_manifest(tampered)
+
+
+def test_segment_chain_gap_is_corruption():
+    man = _sample_manifest()
+    man["segments"][1]["base_lsn"] = 33  # 31 expected after last_lsn 30
+    with pytest.raises(ManifestCorruptError, match="gap"):
+        decode_manifest(encode_manifest(man))
+
+
+def test_malformed_entries_are_corruption():
+    for mutate in (
+        lambda m: m.__setitem__("generation", 0),
+        lambda m: m.__setitem__("shipped_lsn", "41"),
+        lambda m: m["checkpoint"].__setitem__("path", ""),
+        lambda m: m["checkpoint"].pop("lsn"),
+        lambda m: m["segments"][0].pop("crc32"),
+        lambda m: m.__setitem__("segments", {"not": "a list"}),
+    ):
+        man = _sample_manifest()
+        mutate(man)
+        with pytest.raises(ManifestCorruptError):
+            decode_manifest(encode_manifest(man))
+
+
+# -- newest-manifest selection ----------------------------------------------
+
+
+def test_newest_manifest_skips_corrupt_generations():
+    st_ = MemStorage()
+    st_.put(manifest_key(1), encode_manifest(_sample_manifest(1)))
+    st_.put(manifest_key(2), encode_manifest(_sample_manifest(2)))
+    st_.put(manifest_key(3), b"{torn garbage")
+    gen, man = newest_manifest(st_, _POLICY)
+    assert gen == 2 and man["generation"] == 2
+
+
+def test_newest_manifest_virgin_remote():
+    assert newest_manifest(MemStorage(), _POLICY) == (0, None)
+
+
+def test_newest_manifest_propagates_future_version():
+    st_ = MemStorage()
+    future = _sample_manifest(5)
+    future["version"] = MANIFEST_VERSION + 1
+    st_.put(manifest_key(5), encode_manifest(future))
+    st_.put(manifest_key(4), encode_manifest(_sample_manifest(4)))
+    # A newer writer owns this remote: falling back to generation 4
+    # would resurrect history it may have deleted.  Refuse instead.
+    with pytest.raises(ManifestVersionError):
+        newest_manifest(st_, _POLICY)

@@ -1,0 +1,200 @@
+"""The remote-storage contract, chaos wrapper, and retry policy.
+
+Backends are exercised through one shared contract suite (the point of
+a duck-typed interface is that the uploader cannot tell them apart),
+including ``LocalFsStorage`` over :class:`SimFS` -- the configuration
+the crash-point sweeps rely on.  ``FlakyStorage`` tests pin down the
+properties the uploader depends on: determinism per seed, exact fault
+placement via ``fail_at``, and torn puts that leave a partial object
+*and* report failure.  ``RetryPolicy`` tests assert the retry/backoff
+machinery without ever sleeping for real.
+"""
+
+import pytest
+
+from repro.remote import (
+    FlakyStorage,
+    LocalFsStorage,
+    MemStorage,
+    PrefixedStorage,
+    RemoteNotFound,
+    RemoteStorageError,
+    RemoteTimeout,
+    RemoteTransientError,
+    RemoteUnavailable,
+    RetryPolicy,
+)
+from repro.remote.metrics import RemoteMetrics
+from repro.wal import SimFS
+
+
+def _backends(tmp_path):
+    return [
+        MemStorage(),
+        LocalFsStorage(str(tmp_path / "remote")),
+        LocalFsStorage("remote", fs=SimFS()),
+        PrefixedStorage(MemStorage(), "shard-000"),
+    ]
+
+
+def test_backend_contract(tmp_path):
+    for st in _backends(tmp_path):
+        assert st.list() == []
+        assert st.head("a") is None
+        with pytest.raises(RemoteNotFound):
+            st.get("a")
+        st.put("a", b"alpha")
+        st.put("dir/b", b"beta")
+        st.put("dir/sub/c", b"gamma")
+        assert st.get("a") == b"alpha"
+        assert st.get("dir/sub/c") == b"gamma"
+        assert st.head("dir/b") == 4
+        assert st.list() == ["a", "dir/b", "dir/sub/c"]
+        assert st.list("dir/") == ["dir/b", "dir/sub/c"]
+        # Overwrite replaces wholesale.
+        st.put("a", b"ALPHA2")
+        assert st.get("a") == b"ALPHA2"
+        # Idempotent delete: absent keys are a no-op.
+        st.delete("a")
+        st.delete("a")
+        assert st.head("a") is None
+        assert st.list() == ["dir/b", "dir/sub/c"]
+
+
+def test_localfs_rejects_escaping_keys(tmp_path):
+    st = LocalFsStorage(str(tmp_path / "remote"))
+    for bad in ("", "/abs", "a/../b"):
+        with pytest.raises(RemoteStorageError):
+            st.put(bad, b"x")
+
+
+def test_prefixed_storage_isolates_namespaces():
+    inner = MemStorage()
+    a = PrefixedStorage(inner, "shard-000")
+    b = PrefixedStorage(inner, "shard-001")
+    a.put("m.json", b"A")
+    b.put("m.json", b"B")
+    assert a.get("m.json") == b"A"
+    assert a.list() == ["m.json"]
+    assert sorted(inner.list()) == ["shard-000/m.json", "shard-001/m.json"]
+    a.delete("m.json")
+    assert b.get("m.json") == b"B"
+
+
+def test_flaky_storage_is_deterministic_per_seed():
+    def run(seed):
+        st = FlakyStorage(MemStorage(), error_rate=0.3, seed=seed)
+        outcomes = []
+        for i in range(50):
+            try:
+                st.put(f"k{i}", b"v")
+                outcomes.append("ok")
+            except RemoteTransientError:
+                outcomes.append("fail")
+        return outcomes
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)
+    assert "fail" in run(7) and "ok" in run(7)
+
+
+def test_flaky_fail_at_forces_exact_faults():
+    st = FlakyStorage(MemStorage(), fail_at=(2,))
+    st.put("a", b"1")
+    with pytest.raises(RemoteTimeout):
+        st.put("b", b"2")
+    st.put("b", b"2")  # op 3: clean again
+    assert st.get("b") == b"2"
+    assert st.faults_injected == 1
+
+
+def test_flaky_torn_put_leaves_partial_object_and_raises():
+    inner = MemStorage()
+    st = FlakyStorage(inner, fail_at=(1,), torn_rate=1.0, seed=3)
+    with pytest.raises(RemoteTransientError):
+        st.put("obj", b"x" * 100)
+    # Failure was reported, but a prefix landed: the exact violation of
+    # put atomicity the manifest checksums exist to catch.
+    partial = inner._objects.get("obj")
+    assert partial is not None and len(partial) < 100
+    assert partial == b"x" * len(partial)
+    # The retry overwrites the partial object completely.
+    st.put("obj", b"x" * 100)
+    assert inner.get("obj") == b"x" * 100
+
+
+def test_flaky_heal_stops_faulting():
+    st = FlakyStorage(MemStorage(), error_rate=1.0)
+    with pytest.raises(RemoteUnavailable):
+        st.put("a", b"1")
+    st.heal()
+    st.put("a", b"1")
+    assert st.get("a") == b"1"
+
+
+def test_flaky_latency_uses_injected_sleep():
+    slept = []
+    st = FlakyStorage(MemStorage(), latency=0.25, sleep=slept.append)
+    st.put("a", b"1")
+    st.get("a")
+    assert slept == [0.25, 0.25]
+
+
+# -- retry policy -----------------------------------------------------------
+
+
+def test_retry_succeeds_after_transient_failures():
+    st = FlakyStorage(MemStorage(), fail_at=(1, 2))
+    m = RemoteMetrics()
+    policy = RetryPolicy(max_attempts=5, sleep=lambda d: None)
+    policy.call(st.put, "k", b"v", op="put k", metrics=m)
+    assert st.get("k") == b"v"
+    assert m.retries_total == 2
+    assert m.timeouts_total == 2  # fail_at injects RemoteTimeout
+    assert m.backoff_ns_total > 0
+
+
+def test_retry_exhaustion_raises_last_error_with_op():
+    st = FlakyStorage(MemStorage(), error_rate=1.0)
+    policy = RetryPolicy(max_attempts=3, sleep=lambda d: None)
+    m = RemoteMetrics()
+    with pytest.raises(RemoteUnavailable, match=r"put k: giving up after 3"):
+        policy.call(st.put, "k", b"v", op="put k", metrics=m)
+    assert m.retries_total == 3
+
+
+def test_retry_does_not_retry_not_found():
+    st = MemStorage()
+    calls = []
+
+    def get(key):
+        calls.append(key)
+        return st.get(key)
+
+    policy = RetryPolicy(max_attempts=5, sleep=lambda d: None)
+    with pytest.raises(RemoteNotFound):
+        policy.call(get, "absent", op="get absent")
+    assert len(calls) == 1  # a missing key will not appear by retrying
+
+
+def test_backoff_grows_exponentially_and_caps():
+    policy = RetryPolicy(
+        base_delay=0.01, multiplier=2.0, max_delay=0.05, jitter=0.0
+    )
+    delays = [policy.backoff(a) for a in range(6)]
+    assert delays[:3] == [0.01, 0.02, 0.04]
+    assert all(d == 0.05 for d in delays[3:])
+    # Jitter stretches but never shrinks, and is deterministic per seed.
+    j1 = [RetryPolicy(jitter=0.5, seed=1).backoff(a) for a in range(4)]
+    j2 = [RetryPolicy(jitter=0.5, seed=1).backoff(a) for a in range(4)]
+    assert j1 == j2
+    assert all(j >= d for j, d in zip(j1, delays))
+
+
+def test_retry_sleeps_the_backoff_schedule():
+    st = FlakyStorage(MemStorage(), fail_at=(1, 2, 3))
+    slept = []
+    policy = RetryPolicy(max_attempts=5, jitter=0.0, sleep=slept.append)
+    policy.call(st.put, "k", b"v", op="put")
+    assert slept == [policy.base_delay, policy.base_delay * 2,
+                     policy.base_delay * 4]

@@ -25,6 +25,14 @@ the first one whose *every* object downloads and verifies (size +
 CRC32), and materialize those objects into a local directory.  The
 caller then runs ordinary crash recovery on that directory; a replica
 attach is just recovery from a disk somebody else wrote.
+
+An attach that crashes partway must not masquerade as ordinary local
+state (a checkpoint without its WAL tail would *recover* fine and
+silently serve a hole in history), so :func:`restore` brackets its
+writes with an ``attach-pending`` marker: marker first, objects next,
+marker removed last.  :func:`attach_incomplete` is how store startup
+detects the torn case -- wipe the directory and attach again, making
+the whole operation all-or-nothing.
 """
 
 from __future__ import annotations
@@ -40,12 +48,17 @@ from repro.remote.storage import (
     RemoteNotFound,
     RemoteStorage,
     RemoteStorageError,
+    RemoteTransientError,
 )
 from repro.wal import record as rec
 from repro.wal.faultfs import OsFS, join, segment_files, segment_seqno
 
 #: Published manifest generations kept remotely (current + fallbacks).
 _MANIFEST_KEEP = 2
+
+#: Marker file bracketing :func:`restore`'s writes: present means the
+#: directory holds a *partial* attach and must not be recovered as-is.
+ATTACH_MARKER = "attach-pending"
 
 
 class AttachError(RemoteStorageError):
@@ -54,6 +67,35 @@ class AttachError(RemoteStorageError):
 
 def _crc(data: bytes) -> int:
     return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def attach_incomplete(fs, directory: str) -> bool:
+    """True when a previous :func:`restore` tore partway through.
+
+    The directory then mixes restored objects with missing ones in an
+    order only the dead attach knew; ordinary crash recovery on it
+    would come up from a truncated history and, worse, restart the WAL
+    below LSNs the remote has already acknowledged.  The caller must
+    wipe and re-attach.
+    """
+    return fs.isfile(join(directory, ATTACH_MARKER))
+
+
+def wipe_directory(fs, directory: str) -> None:
+    """Remove every file under ``directory``, recursively.
+
+    Resets a torn attach to the empty-directory state so the next
+    :func:`restore` starts from nothing (empty subdirectories may
+    remain; nothing in recovery minds them).
+    """
+    if not fs.exists(directory):
+        return
+    for name in fs.listdir(directory):
+        path = join(directory, name)
+        if fs.isfile(path):
+            fs.remove(path)
+        else:
+            wipe_directory(fs, path)
 
 
 def newest_manifest(
@@ -145,19 +187,53 @@ class Uploader:
         self.policy = policy or RetryPolicy()
         self.metrics = metrics if metrics is not None else RemoteMetrics()
         self._pending: List[Dict[str, Any]] = []
-        gen, existing = newest_manifest(storage, self.policy, self.metrics)
+        #: Objects dropped from the manifest at a given generation but
+        #: still referenced by retained older generations; deleted only
+        #: once every manifest naming them has itself been GC'd.
+        self._gc_deferred: Dict[int, List[str]] = {}
+        self._synced = False
+        self.generation = 0
+        self.shipped_lsn = 0
+        self.checkpoint_entry = None
+        self.segment_entries: List[Dict[str, Any]] = []
+        try:
+            self._sync_remote_state()
+        except RemoteTransientError:
+            # The remote is unreachable.  That must not stop a node
+            # from opening a store whose data is all local: stay on
+            # the conservative defaults above (shipped_lsn=0 pins
+            # every local segment, generation unknown) and rediscover
+            # the real remote state lazily on the first ship attempt.
+            self.metrics.upload_failures_total += 1
+        self._gauges()
+
+    # -- state plumbing --------------------------------------------------
+
+    def _sync_remote_state(self) -> None:
+        """Adopt the newest remote manifest as our published state."""
+        gen, existing = newest_manifest(
+            self.storage, self.policy, self.metrics
+        )
         self.generation = gen
         if existing is not None:
             self.shipped_lsn = existing["shipped_lsn"]
             self.checkpoint_entry = existing["checkpoint"]
             self.segment_entries = list(existing["segments"])
-        else:
-            self.shipped_lsn = 0
-            self.checkpoint_entry = None
-            self.segment_entries = []
+        self._synced = True
         self._gauges()
 
-    # -- state plumbing --------------------------------------------------
+    def _ensure_synced(self) -> bool:
+        """Publishing needs the real remote generation; sync if the
+        constructor could not.  False (not an exception) on failure:
+        shipping just stays deferred, exactly like a failed upload."""
+        if self._synced:
+            return True
+        try:
+            self._sync_remote_state()
+        except RemoteTransientError:
+            self.metrics.upload_failures_total += 1
+            return False
+        return True
 
     def _gauges(self) -> None:
         m = self.metrics
@@ -234,12 +310,18 @@ class Uploader:
         publish are orphans under stable keys -- the retry overwrites
         them, and no manifest ever points at them.
         """
+        if not self._ensure_synced():
+            return False
         staged: List[Dict[str, Any]] = []
         failed = False
         for entry in list(self._pending):
             tip = staged[-1]["last_lsn"] if staged else self.shipped_lsn
             if entry["last_lsn"] <= tip:
-                continue  # covered since it was noted
+                # Covered since it was noted (a checkpoint or a late
+                # remote-state sync advanced the frontier past it):
+                # drop it for good, or the pending set never drains.
+                self._pending.remove(entry)
+                continue
             if entry["base_lsn"] > tip + 1:
                 break  # a gap: unshippable until a checkpoint resets
             data = self.fs.read_bytes(join(self.directory, entry["path"]))
@@ -268,9 +350,9 @@ class Uploader:
                 self._pending = [
                     e for e in self._pending if e["path"] not in shipped
                 ]
-                self._gauges()
             else:
                 failed = True
+        self._gauges()
         return not self._pending and not failed
 
     def ship_checkpoint(self, path: str, lsn: int) -> bool:
@@ -278,11 +360,18 @@ class Uploader:
 
         On success the manifest's chain restarts at the checkpoint:
         segments wholly covered (``last_lsn <= lsn``) leave the
-        manifest, their remote objects and the pre-previous manifests
-        are deleted (best-effort -- orphans are unreferenced and
-        harmless), and pending segments the checkpoint covers are
-        dropped without ever shipping.
+        manifest and pending segments the checkpoint covers are
+        dropped without ever shipping.  GC is *deferred by reference*:
+        an object leaving the manifest at generation G is still named
+        by the retained fallback generations below G, so it is queued
+        and deleted (best-effort -- orphans are unreferenced and
+        harmless) only at a later checkpoint, once every manifest
+        referencing it has itself left the retained window.  That
+        keeps each retained fallback fully restorable, which is its
+        entire purpose.
         """
+        if not self._ensure_synced():
+            return False
         data = self.fs.read_bytes(join(self.directory, path))
         entry = {
             "path": path,
@@ -304,13 +393,19 @@ class Uploader:
             return False
         self._pending = [e for e in self._pending if e["last_lsn"] > lsn]
         self._gauges()
-        garbage = [s["path"] for s in dropped]
+        dropped_paths = [s["path"] for s in dropped]
         if old_checkpoint is not None and old_checkpoint["path"] != path:
-            garbage.append(old_checkpoint["path"])
-        garbage.extend(
-            man.manifest_key(g)
-            for g in range(1, self.generation - _MANIFEST_KEEP + 1)
-        )
+            dropped_paths.append(old_checkpoint["path"])
+        if dropped_paths:
+            # Last referenced by manifest generation-1: deletable once
+            # that generation falls out of the retained window.
+            self._gc_deferred[self.generation] = dropped_paths
+        # Manifests below the retained window go first; then every
+        # deferred object whose last referencing manifest is now gone.
+        horizon = self.generation - _MANIFEST_KEEP + 1
+        garbage = [man.manifest_key(g) for g in range(1, horizon)]
+        for gen in [g for g in self._gc_deferred if g <= horizon]:
+            garbage.extend(self._gc_deferred.pop(gen))
         for key in garbage:
             try:
                 self.storage.delete(key)
@@ -339,6 +434,12 @@ def restore(
     :class:`AttachError` when manifests exist but none is restorable,
     and :class:`~repro.remote.manifest.ManifestVersionError` for a
     remote written by a newer format.
+
+    The local writes are bracketed by the :data:`ATTACH_MARKER` file
+    (written before the first object, removed after the last), so a
+    crash mid-attach leaves a directory that *announces* it is torn --
+    :func:`attach_incomplete` -- instead of one that recovers silently
+    from whichever prefix of objects happened to land.
     """
     fs = fs if fs is not None else OsFS()
     policy = policy or RetryPolicy()
@@ -376,6 +477,9 @@ def restore(
             failures.append(bad)
             continue
         fs.makedirs(directory)
+        fs.write_atomic(
+            join(directory, ATTACH_MARKER), key.encode("utf-8")
+        )
         for path, data in blobs:
             parent = join(directory, path).rsplit("/", 1)[0]
             if parent:
@@ -383,6 +487,7 @@ def restore(
             fs.write_atomic(join(directory, path), data)
             metrics.attach_objects_total += 1
             metrics.attach_bytes_total += len(data)
+        fs.remove(join(directory, ATTACH_MARKER))
         metrics.attaches_total += 1
         metrics.attach_ns_total += int((time.perf_counter() - t0) * 1e9)
         return manifest

@@ -584,15 +584,34 @@ class IndexServer:
             elif path.startswith("/checkpoint"):
                 # Force a checkpoint (and, with a remote attached, a
                 # ship) right now -- the hook the backup/restore smoke
-                # uses to pin down what must survive a SIGKILL.
-                checkpoint = getattr(self.store, "checkpoint", None)
-                if checkpoint is None:
-                    checkpoint = getattr(
-                        getattr(self.store, "index", None), "checkpoint", None
+                # uses to pin down what must survive a SIGKILL.  Like
+                # everything on the admin port it is unauthenticated:
+                # bind admin_port to an operator-only interface.
+                store_ckpt = getattr(self.store, "checkpoint", None)
+                index_ckpt = getattr(
+                    getattr(self.store, "index", None), "checkpoint", None
+                )
+                if store_ckpt is not None:
+                    # The durable store's checkpoint holds its write
+                    # lock for the duration, so it is safe on a worker
+                    # thread -- and it must run there: with a remote
+                    # attached it does retry backoff sleeps and real
+                    # uploads, which on the loop thread would stall
+                    # the entire data plane.  Reads (and this loop)
+                    # keep serving; only writes queue on the lock.
+                    lsn = await asyncio.get_running_loop().run_in_executor(
+                        None, store_ckpt
                     )
-                if checkpoint is not None:
                     status, ctype = "200 OK", "text/plain"
-                    body = f"checkpointed {checkpoint()}\n".encode()
+                    body = f"checkpointed {lsn}\n".encode()
+                elif index_ckpt is not None:
+                    # An index-level checkpoint (the sharded fleet)
+                    # speaks over worker pipes that are not thread-
+                    # safe, so it stays on the loop thread and is
+                    # stop-the-world for its duration: a test-drill
+                    # hook, not a production fast path.
+                    status, ctype = "200 OK", "text/plain"
+                    body = f"checkpointed {index_ckpt()}\n".encode()
                 else:
                     status, ctype = "409 Conflict", "text/plain"
                     body = b"store has no checkpoint support\n"

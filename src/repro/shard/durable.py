@@ -88,14 +88,24 @@ class DurableShardIndex:
             from repro.remote.metrics import RemoteMetrics
             from repro.remote.uploader import (
                 Uploader,
+                attach_incomplete,
                 restore,
                 scan_sealed_segments,
+                wipe_directory,
             )
             from repro.wal.faultfs import segment_files
 
             rmetrics = RemoteMetrics()
-            if not _checkpoint_lsns(self.fs, self.directory) and not (
-                segment_files(self.fs, wal_dir)
+            torn = attach_incomplete(self.fs, self.directory)
+            if torn:
+                # A crashed attach left a partial restore (checkpoint
+                # without its WAL tail, or vice versa).  Recovering it
+                # silently would serve truncated history: wipe and
+                # attach from scratch instead.
+                wipe_directory(self.fs, self.directory)
+            if torn or (
+                not _checkpoint_lsns(self.fs, self.directory)
+                and not segment_files(self.fs, wal_dir)
             ):
                 restore(
                     remote,

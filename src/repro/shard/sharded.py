@@ -221,7 +221,8 @@ class ShardedIndex:
                 self._recv(shard, "close")
             except (ShardError, EOFError, OSError):
                 pass
-            pipe.close()
+            if self._pipes[shard] is not None:  # not poisoned by _recv
+                pipe.close()
         for proc in self._procs:
             if proc is None:
                 continue
@@ -240,16 +241,36 @@ class ShardedIndex:
 
     # -- RPC ------------------------------------------------------------
 
+    def _poison(self, shard: int) -> None:
+        """Drop a shard's pipe so it can never serve a stale reply.
+
+        Called when the pipe's request/reply pairing is broken -- a
+        timeout abandoned a reply in flight, or the transport died.
+        The shard reads as "not running" until ``restart_shard``; the
+        alternative (leaving the pipe in place) lets the worker's late
+        reply answer the *next* call, which is silent corruption.
+        """
+        pipe = self._pipes[shard]
+        self._pipes[shard] = None
+        if pipe is not None:
+            try:
+                pipe.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+
     def _recv(self, shard: int, op: str) -> Any:
         """One reply off a shard's pipe, bounded by ``rpc_timeout``.
 
         A worker that is alive but wedged (stuck syscall, livelock)
         would otherwise hang the router forever on a bare ``recv``;
         with a timeout it surfaces as a :class:`ShardError` naming the
-        shard, and the caller can ``restart_shard`` it.
+        shard.  The timed-out pipe is poisoned -- its reply is still
+        owed, so it is desynchronized by construction -- and the shard
+        stays down until ``restart_shard`` replaces it.
         """
         pipe = self._pipes[shard]
         if self._rpc_timeout is not None and not pipe.poll(self._rpc_timeout):
+            self._poison(shard)
             raise ShardError(
                 f"shard {shard} timed out after {self._rpc_timeout}s "
                 f"serving {op!r}"
@@ -264,6 +285,7 @@ class ShardedIndex:
             pipe.send((op, args))
             ok, result = self._recv(shard, op)
         except (EOFError, BrokenPipeError, OSError) as exc:
+            self._poison(shard)
             raise ShardError(f"shard {shard} died serving {op!r}") from exc
         if not ok:
             _raise_remote(shard, op, result)
@@ -277,27 +299,49 @@ class ShardedIndex:
         Workers always drain a request before replying, so sending the
         whole batch before collecting any reply cannot deadlock -- and
         it is what lets N workers compute their slices in parallel.
+
+        Failure isolation: every shard that was sent a request gets
+        its reply drained (or its pipe poisoned) before anything is
+        raised, so one bad shard can never leave a *healthy* sibling's
+        reply queued for the next, unrelated call to consume.
         """
+        error: Optional[ShardError] = None
+        sent: List[Tuple[int, str]] = []
         for shard, op, args in requests:
             pipe = self._pipes[shard]
             if pipe is None:
-                raise ShardError(f"shard {shard} is not running")
+                if error is None:
+                    error = ShardError(f"shard {shard} is not running")
+                continue
             try:
                 pipe.send((op, args))
             except (BrokenPipeError, OSError) as exc:
-                raise ShardError(
-                    f"shard {shard} died serving {op!r}"
-                ) from exc
+                self._poison(shard)
+                if error is None:
+                    error = ShardError(f"shard {shard} died serving {op!r}")
+                    error.__cause__ = exc
+                continue
+            sent.append((shard, op))
         out = []
         failed = None
-        for shard, op, _ in requests:
+        for shard, op in sent:
             try:
                 ok, result = self._recv(shard, op)
+            except ShardError as exc:  # timeout; _recv already poisoned
+                if error is None:
+                    error = exc
+                continue
             except (EOFError, OSError) as exc:
-                raise ShardError(f"shard {shard} died serving {op!r}") from exc
+                self._poison(shard)
+                if error is None:
+                    error = ShardError(f"shard {shard} died serving {op!r}")
+                    error.__cause__ = exc
+                continue
             if not ok and failed is None:
                 failed = (shard, op, result)
             out.append(result)
+        if error is not None:
+            raise error
         if failed is not None:
             # Every reply was drained first -- the pipes stay in sync
             # and the fleet remains usable after the raise.

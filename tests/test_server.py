@@ -320,6 +320,57 @@ class TestAdminEndpoint:
         with pytest.raises(urllib.error.HTTPError):
             urllib.request.urlopen(f"{url}/nope")
 
+    def test_checkpoint_endpoint_runs_off_the_event_loop(self, tmp_path):
+        """A store-level /checkpoint must not stall the data plane.
+
+        With a remote attached a checkpoint can spend seconds in
+        upload latency and retry backoff sleeps; it therefore runs on
+        a worker thread.  Here the checkpoint is parked on an event
+        and both planes are probed while it is provably in flight.
+        """
+        import threading
+
+        store = DurableKVStore(tmp_path / "srv", fsync="never")
+        entered = threading.Event()
+        release = threading.Event()
+        inner = store.checkpoint
+
+        def slow_checkpoint():
+            entered.set()
+            release.wait(timeout=30.0)
+            return inner()
+
+        store.checkpoint = slow_checkpoint
+        st = ServerThread(
+            store, config=ServerConfig(coalesce=True, admin_port=0)
+        ).start()
+        try:
+            with RemoteIndex(st.host, st.port, "t") as idx:
+                idx.insert(1, "one")
+                url = f"http://{st.host}:{st.admin_port}"
+                resp = {}
+                req = threading.Thread(
+                    target=lambda: resp.setdefault(
+                        "body",
+                        urllib.request.urlopen(f"{url}/checkpoint").read(),
+                    )
+                )
+                req.start()
+                assert entered.wait(timeout=10.0)
+                # The checkpoint is parked on its worker thread; the
+                # loop must keep serving reads and admin probes.
+                assert idx.get(1) == "one"
+                assert (
+                    urllib.request.urlopen(f"{url}/healthz").read() == b"ok\n"
+                )
+                release.set()
+                req.join(timeout=10.0)
+                assert resp["body"].startswith(b"checkpointed ")
+        finally:
+            release.set()
+            st.stop()
+        assert store.metrics.checkpoints_total >= 1
+
 
 def test_server_wraps_bare_index():
     """index= takes any IndexProtocol implementation directly."""

@@ -115,8 +115,51 @@ def test_stalled_worker_times_out_with_shard_name(tmp_path):
                 idx.get(5)
         finally:
             os.kill(pid, signal.SIGCONT)
-        # The wedged worker is replaced and the fleet serves again
-        # (the pipe may hold the stale late reply; respawn resets it).
+        # The timeout poisoned the pipe: the worker's late reply is
+        # owed to the call that gave up, so consuming it later would
+        # answer the wrong request.  The shard therefore reads as down
+        # -- enforced, not just documented -- until restart_shard.
+        with pytest.raises(
+            ShardError, match=rf"shard {victim} is not running"
+        ):
+            idx.get(5)
+        # The wedged worker is replaced and the fleet serves again.
+        idx.restart_shard(victim)
+        idx.flush()
+        assert all(idx.get(k) == k for k in range(100))
+
+
+def test_scatter_timeout_poisons_victim_and_drains_siblings(tmp_path):
+    with ShardedIndex(
+        2, config=CFG, mode="hash",
+        durable_dir=str(tmp_path / "data"),
+        rpc_timeout=0.3,
+        serve_columns=False,
+    ) as idx:
+        idx.insert_many(list(range(100)), list(range(100)))
+        victim = idx.router.shard_of(5)
+        sibling = 1 - victim
+        pid = idx._procs[victim].pid
+        os.kill(pid, signal.SIGSTOP)
+        try:
+            with pytest.raises(
+                ShardError, match=rf"shard {victim} timed out"
+            ):
+                len(idx)  # scatters to every shard
+        finally:
+            os.kill(pid, signal.SIGCONT)
+        # The sibling's reply was drained inside the failed scatter,
+        # so its pipe stays in sync: the next call must get its own
+        # fresh answer, not the abandoned len reply.
+        sib_key = next(
+            k for k in range(100) if idx.router.shard_of(k) == sibling
+        )
+        assert idx.get(sib_key) == sib_key
+        # The victim stays down until explicitly restarted.
+        with pytest.raises(
+            ShardError, match=rf"shard {victim} is not running"
+        ):
+            idx.get(5)
         idx.restart_shard(victim)
         idx.flush()
         assert all(idx.get(k) == k for k in range(100))

@@ -1,0 +1,58 @@
+"""Adversarial workload gauntlet (RoBin-style robustness check).
+
+Two claims are pinned here:
+
+- **Bulk-fraction sweep**: the index survives adversarial insert
+  orders at every bulk-load fraction (0/50/100% preloaded) -- in
+  particular ``interleaved_runs``, whose dense runs used to drive the
+  bottom-up planner's grow loop out of memory before
+  ``build_segment_tree`` learned to split unfittable groups deeper.
+  Full-bulk interleaved runs build a multi-million-bucket structure
+  (correct but slow), so that cell only runs under ``REPRO_BENCH_FULL``.
+
+- **Drift repair**: on a decaying shifting hotspot, the maintenance
+  controller fires, lowers hot-path probe depth, and wins back at
+  least 30% of the throughput the drifted index lost versus a fresh
+  bulk load of identical contents.  Structure and depth are
+  deterministic for the pinned seed; only the throughput ratio
+  carries machine noise (hence interleaved median rounds in the
+  driver and the one-sided 0.3 bound here).
+"""
+
+from conftest import full_matrix
+
+from repro.bench.experiments import gauntlet
+
+
+def test_gauntlet_bulk_fraction(benchmark, bench_scale, record_table):
+    orders = ["reverse_sorted", "shifting_hotspot"]
+    fractions = (0.0, 0.5, 1.0)
+    rows = benchmark.pedantic(
+        gauntlet.run_bulk_fraction,
+        kwargs=dict(scale=bench_scale, orders=orders, fractions=fractions),
+        rounds=1,
+        iterations=1,
+    )
+    # Dense interleaved runs: incremental-only by default (the 100%
+    # bulk build is minutes-slow at its forced bucket count).
+    runs_fractions = fractions if full_matrix() else (0.0,)
+    rows += gauntlet.run_bulk_fraction(
+        scale=bench_scale, orders=["interleaved_runs"], fractions=runs_fractions
+    )
+    record_table("gauntlet_sweep", gauntlet.format_sweep_table(rows))
+    assert len(rows) == len(orders) * len(fractions) + len(runs_fractions)
+    # Every adversarial cell completes and serves reads.
+    assert all(r.mixed_kops > 0 for r in rows)
+    assert all(r.mean_probe_depth > 0 for r in rows)
+
+
+def test_gauntlet_drift_repair(benchmark, record_table):
+    res = benchmark.pedantic(gauntlet.run_drift, rounds=1, iterations=1)
+    record_table("gauntlet_drift", gauntlet.format_drift_table(res))
+    # Maintenance fired, and on the repaired index the hot read path
+    # probes strictly no deeper than on the drifted one.
+    assert res.events >= 1
+    assert res.depth_on <= res.depth_off
+    # Drift cost real throughput, and maintenance recovered >=30% of it.
+    assert res.lost > 0
+    assert res.recovered_fraction >= 0.30

@@ -31,6 +31,7 @@ from repro.bench.experiments import (
     fig10_bulkload,
     fig11_dynamic,
     fig12_concurrency,
+    gauntlet,
     group23,
     latency_profile,
     load_timeline,
@@ -59,6 +60,7 @@ EXPERIMENTS = {
     "fig12": fig12_concurrency,
     "table2": table2_latency,
     "breakdown": breakdown,
+    "gauntlet": gauntlet,
     "memory": memory_usage,
     "params": params_ablation,
     "group23": group23,

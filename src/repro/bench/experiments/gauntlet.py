@@ -1,0 +1,336 @@
+"""Adversarial workload gauntlet: bulk-fraction sweeps + drift repair.
+
+RoBin's robustness benchmarks showed that updatable learned indexes
+look great on friendly insert orders and fall over on adversarial
+ones; this driver is the DyTIS equivalent, with two experiments:
+
+1. **Bulk-fraction sweep** (:func:`run_bulk_fraction`): for each
+   adversarial key order (:mod:`repro.datasets.adversarial`), preload
+   0/50/100% of the dataset with :meth:`DyTIS.bulk_load` and insert
+   the rest incrementally, then drive a mixed get/scan workload.
+   Exposes how the bottom-up planner and the incremental path cope
+   with orders chosen to break the remapping model.  Scans are
+   rank-windowed (from one present key to a nearby one) so their cost
+   tracks the structure around live keys, not empty space.
+
+2. **Drift repair** (:func:`run_drift`): a shifting hotspot whose
+   abandoned windows decay (most keys deleted), run three ways --
+   drifted with maintenance **off**, drifted with a
+   :class:`~repro.core.maintenance.MaintenanceController` step after
+   every phase (**on**), and a fresh bulk load of the same final
+   contents (**healthy**, the no-debt upper bound).  The measured mix
+   sends point gets to the live hotspot and range scans over the
+   decayed windows, i.e. reads pay exactly where drift left structural
+   debt.  Throughput is the median of interleaved rounds so the
+   off/on/healthy comparison shares machine noise.
+
+Scale note: the drift experiment pins its own dataset size
+(``DRIFT_N``).  Below ~10k keys the hotspot windows are too thinly
+populated to accumulate measurable debt and the off/on comparison
+drowns in noise; structure and probe-depth results are deterministic
+at any scale, so only the pinned size keeps the throughput claim
+honest.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import DyTIS, MaintenanceController
+from repro.bench.experiments.scale import ExperimentScale, default_scale
+from repro.datasets import adversarial
+from repro.obs import Observability
+
+#: Drift-scenario shape (see module docstring for why n is pinned).
+DRIFT_N = 12000
+DRIFT_PHASES = 8
+#: Fraction of an abandoned window deleted two phases later.
+DRIFT_DECAY = 0.93
+#: Scenario override for maint_depth_ratio: flag hot segments whose
+#: mean probe depth exceeds 0.65 x bucket capacity (the default 0.85
+#: only catches near-full buckets; drifted fills hover around 0.7).
+DRIFT_DEPTH_RATIO = 0.65
+#: Interleaved measurement rounds (median taken per index).
+MEASURE_ROUNDS = 7
+MEASURE_OPS = 2000
+GET_FRACTION = 0.6
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    order: str
+    bulk_fraction: float
+    build_s: float
+    mixed_kops: float
+    mean_probe_depth: float
+    segments: int
+    buckets: int
+
+
+@dataclass(frozen=True)
+class DriftResult:
+    kops_off: float
+    kops_on: float
+    kops_healthy: float
+    depth_off: float
+    depth_on: float
+    events: int
+    segments_off: int
+    segments_on: int
+    buckets_off: int
+    buckets_on: int
+
+    @property
+    def lost(self) -> float:
+        """Throughput the drifted index lost versus the healthy build."""
+        return self.kops_healthy - self.kops_off
+
+    @property
+    def recovered_fraction(self) -> float:
+        """Share of the lost throughput maintenance won back."""
+        if self.lost <= 0:
+            return float("inf")
+        return (self.kops_on - self.kops_off) / self.lost
+
+
+def _structure(d: DyTIS) -> Tuple[int, int]:
+    segs = buckets = 0
+    for table in d._tables:
+        if table is None:
+            continue
+        for seg in table.unique_segments():
+            segs += 1
+            buckets += seg.n_buckets
+    return segs, buckets
+
+
+# -- bulk-fraction sweep ------------------------------------------------
+
+
+def _mixed_round(
+    d: DyTIS, present: np.ndarray, seed: int, n_ops: int
+) -> float:
+    """One mixed round: 60% point gets, 40% rank-window scans."""
+    rng = np.random.default_rng(seed)
+    ops = rng.random(n_ops)
+    gets = present[rng.integers(0, present.size, size=n_ops)]
+    starts = rng.integers(0, max(1, present.size - 51), size=n_ops)
+    t0 = time.perf_counter()
+    for i in range(n_ops):
+        if ops[i] < GET_FRACTION:
+            d.get(int(gets[i]))
+        else:
+            a = int(starts[i])
+            d.scan_range(int(present[a]), int(present[a + 50]))
+    return n_ops / (time.perf_counter() - t0)
+
+
+def run_bulk_fraction(
+    scale: ExperimentScale = None,
+    orders: Sequence[str] = ("reverse_sorted", "shifting_hotspot"),
+    fractions: Sequence[float] = (0.0, 0.5, 1.0),
+) -> List[SweepRow]:
+    scale = scale or default_scale()
+    n = scale.n_keys
+    rows: List[SweepRow] = []
+    for order in orders:
+        keys = adversarial(order, n, seed=scale.seed)
+        present = np.sort(keys)
+        for fraction in fractions:
+            obs = Observability()
+            d = DyTIS(scale.dytis_config(), obs=obs)
+            n_bulk = int(n * fraction)
+            t0 = time.perf_counter()
+            if n_bulk:
+                pre = np.sort(keys[:n_bulk])
+                d.bulk_load(pre, pre.tolist())
+            for k in keys[n_bulk:].tolist():
+                d.insert(k, k)
+            build_s = time.perf_counter() - t0
+            assert len(d) == n
+            tput = min(
+                _mixed_round(d, present, seed=7 + r, n_ops=MEASURE_OPS)
+                for r in range(3)
+            )
+            totals = obs.probe_totals()
+            depth = totals.probe_depth_sum / max(1, totals.gets)
+            segs, buckets = _structure(d)
+            rows.append(
+                SweepRow(
+                    order, fraction, build_s, tput / 1e3, depth, segs, buckets
+                )
+            )
+    return rows
+
+
+def format_sweep_table(rows: List[SweepRow]) -> str:
+    lines = [
+        "Adversarial bulk-fraction sweep: mixed get/scan throughput "
+        "after 0/50/100% preload",
+        f"{'order':<18} {'bulk%':>6} {'build s':>8} {'k ops/s':>9} "
+        f"{'depth':>7} {'segs':>6} {'buckets':>9}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.order:<18} {r.bulk_fraction * 100:>5.0f}% {r.build_s:>8.2f} "
+            f"{r.mixed_kops:>9.1f} {r.mean_probe_depth:>7.1f} "
+            f"{r.segments:>6d} {r.buckets:>9,d}"
+        )
+    return "\n".join(lines)
+
+
+# -- drift repair -------------------------------------------------------
+
+
+def _build_drifted(
+    maintenance: bool, seed: int, n: int
+) -> Tuple[DyTIS, Observability, List[np.ndarray], List[Tuple[int, int]], int]:
+    """Grow an index under a decaying shifting hotspot.
+
+    Per phase: insert the phase's window, delete ``DRIFT_DECAY`` of the
+    window from two phases back, send hot gets to the recent windows
+    (the traffic the maintenance policy scores), and -- when enabled --
+    run one maintenance step.
+    """
+    scale = ExperimentScale(n_keys=n)
+    cfg = scale.dytis_config(maint_depth_ratio=DRIFT_DEPTH_RATIO)
+    obs = Observability()
+    d = DyTIS(cfg, obs=obs)
+    ctrl = MaintenanceController(d) if maintenance else None
+    keys = adversarial("shifting_hotspot", n, seed=seed, n_phases=DRIFT_PHASES)
+    per = n // DRIFT_PHASES
+    rng = np.random.default_rng(seed + 100)
+    live: List[np.ndarray] = []
+    windows: List[Tuple[int, int]] = []
+    events = 0
+    for p in range(DRIFT_PHASES):
+        part = keys[p * per : (p + 1) * per]
+        for k in part.tolist():
+            d.insert(k, k)
+        windows.append((int(part.min()), int(part.max())))
+        live.append(part)
+        if p >= 2:
+            old = live[p - 2]
+            kill = old[rng.random(old.size) < DRIFT_DECAY]
+            for k in kill.tolist():
+                d.delete(k)
+            live[p - 2] = np.setdiff1d(old, kill)
+        hot = np.concatenate(live[max(0, p - 1) : p + 1])
+        for k in hot[rng.integers(0, hot.size, size=600)].tolist():
+            d.get(k)
+        if ctrl is not None:
+            events += len(ctrl.step())
+    return d, obs, live, windows, events
+
+
+def _drift_round(
+    d: DyTIS,
+    live: List[np.ndarray],
+    windows: List[Tuple[int, int]],
+    seed: int,
+) -> Tuple[float, int]:
+    """One mixed round: hot gets on the recent windows, full-width
+    scans over the decayed ones.  Returns (ops/s, rows scanned)."""
+    rng = np.random.default_rng(seed)
+    hot = np.concatenate(live[-2:])
+    n_decayed = len(windows) - 2
+    ops = rng.random(MEASURE_OPS)
+    gets = hot[rng.integers(0, hot.size, size=MEASURE_OPS)]
+    wsel = rng.integers(0, n_decayed, size=MEASURE_OPS)
+    t0 = time.perf_counter()
+    rows = 0
+    for i in range(MEASURE_OPS):
+        if ops[i] < GET_FRACTION:
+            d.get(int(gets[i]))
+        else:
+            lo, hi = windows[wsel[i]]
+            rows += len(d.scan_range(lo, hi))
+    return MEASURE_OPS / (time.perf_counter() - t0), rows
+
+
+def _hot_depth(d: DyTIS, obs: Observability, live: List[np.ndarray]) -> float:
+    """Mean probe depth over a fixed hot-get pass (deterministic)."""
+    totals = obs.probe_totals()
+    g0, s0 = totals.gets, totals.probe_depth_sum
+    hot = np.concatenate(live[-2:])
+    rng = np.random.default_rng(99)
+    for k in hot[rng.integers(0, hot.size, size=2000)].tolist():
+        d.get(k)
+    totals = obs.probe_totals()
+    return (totals.probe_depth_sum - s0) / max(1, totals.gets - g0)
+
+
+def run_drift(seed: int = 5, n: int = DRIFT_N) -> DriftResult:
+    d_off, obs_off, live, windows, _ = _build_drifted(False, seed, n)
+    d_on, obs_on, live_on, windows_on, events = _build_drifted(True, seed, n)
+    # Healthy bound: the same final contents, bulk-loaded fresh.
+    scale = ExperimentScale(n_keys=n)
+    d_h = DyTIS(scale.dytis_config(), obs=Observability())
+    final = np.sort(np.concatenate(live))
+    d_h.bulk_load(final, final.tolist())
+    t_off: List[float] = []
+    t_on: List[float] = []
+    t_h: List[float] = []
+    for r in range(MEASURE_ROUNDS):
+        a, rows_a = _drift_round(d_off, live, windows, 50 + r)
+        b, rows_b = _drift_round(d_on, live_on, windows_on, 50 + r)
+        c, rows_c = _drift_round(d_h, live, windows, 50 + r)
+        # All three indexes hold identical logical contents.
+        assert rows_a == rows_b == rows_c
+        t_off.append(a)
+        t_on.append(b)
+        t_h.append(c)
+    segs_off, buckets_off = _structure(d_off)
+    segs_on, buckets_on = _structure(d_on)
+    return DriftResult(
+        kops_off=float(np.median(t_off)) / 1e3,
+        kops_on=float(np.median(t_on)) / 1e3,
+        kops_healthy=float(np.median(t_h)) / 1e3,
+        depth_off=_hot_depth(d_off, obs_off, live),
+        depth_on=_hot_depth(d_on, obs_on, live_on),
+        events=events,
+        segments_off=segs_off,
+        segments_on=segs_on,
+        buckets_off=buckets_off,
+        buckets_on=buckets_on,
+    )
+
+
+def run(scale: ExperimentScale = None):
+    """CLI entry: fast sweep orders plus the drift-repair experiment.
+
+    ``interleaved_runs`` is left to ``benchmarks/bench_gauntlet.py``
+    -- its density-forced structure takes minutes to build, and the
+    point it makes (survival, not speed) doesn't need re-measuring in
+    every CLI report.
+    """
+    return run_bulk_fraction(scale), run_drift()
+
+
+def format_table(result) -> str:
+    rows, drift = result
+    return format_sweep_table(rows) + "\n\n" + format_drift_table(drift)
+
+
+def format_drift_table(res: DriftResult) -> str:
+    rec = res.recovered_fraction
+    rec_s = "n/a (no loss)" if rec == float("inf") else f"{rec * 100:.0f}%"
+    return "\n".join(
+        [
+            "Drift repair: decaying shifting hotspot, maintenance off vs on",
+            f"{'variant':<10} {'k ops/s':>9} {'hot depth':>10} "
+            f"{'segments':>9} {'buckets':>9}",
+            f"{'off':<10} {res.kops_off:>9.1f} {res.depth_off:>10.1f} "
+            f"{res.segments_off:>9d} {res.buckets_off:>9d}",
+            f"{'on':<10} {res.kops_on:>9.1f} {res.depth_on:>10.1f} "
+            f"{res.segments_on:>9d} {res.buckets_on:>9d}",
+            f"{'healthy':<10} {res.kops_healthy:>9.1f} {'-':>10} "
+            f"{'-':>9} {'-':>9}",
+            f"maintenance events: {res.events}; "
+            f"lost throughput recovered: {rec_s}",
+        ]
+    )

@@ -25,11 +25,19 @@ from repro.core.segment import Segment
 from repro.core.storage import ColumnarStorage, ListStorage, make_storage
 from repro.core.dytis import DyTIS
 from repro.core.concurrent import ConcurrentDyTIS
+from repro.core.maintenance import (
+    MaintenanceController,
+    MaintMetrics,
+    SegmentReport,
+)
 from repro.core.stats import OperationStats
 
 __all__ = [
     "DyTIS",
     "ConcurrentDyTIS",
+    "MaintenanceController",
+    "MaintMetrics",
+    "SegmentReport",
     "DyTISConfig",
     "Bucket",
     "PiecewiseRemap",

@@ -33,7 +33,7 @@ into directories.
 
 from __future__ import annotations
 
-from typing import Any, List, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -133,7 +133,8 @@ def build_segment(
     m: int,
     config: DyTISConfig,
     boosted: bool,
-) -> Segment:
+    max_total_buckets: Optional[int] = None,
+) -> Optional[Segment]:
     """Build one segment bottom-up from its sorted key group.
 
     ``local`` holds the group's ``m``-bit local keys (high bits are the
@@ -144,6 +145,12 @@ def build_segment(
     get a PLR-planned remap and are filled by slice, falling back to
     :func:`build_fitting`'s refine-and-grow loop only when the planned
     layout overflows a bucket.
+
+    ``max_total_buckets`` bounds the fallback's grow loop; past it the
+    build returns ``None`` (no layout at this depth within budget) so
+    the caller can split the group deeper instead.  Unbounded builds
+    diverge on dense runs in a wide domain -- see
+    :func:`~repro.core.segment.build_fitting`.
     """
     domain_bits = m - local_depth
     capacity = config.bucket_capacity
@@ -176,13 +183,70 @@ def build_segment(
         # incremental-path rebuild loop (refine sub-ranges, grow).
         return build_fitting(
             local_depth, remap, capacity, keys, values,
-            cap, config.max_piece_bits, storage=storage,
+            cap, config.max_piece_bits,
+            max_total_buckets=max_total_buckets, storage=storage,
         )
     seg = Segment(local_depth, remap, capacity, storage)
     seg.store.fill_sorted(per_bucket_counts, keys, values)
     seg.piece_counts = counts.tolist()
     seg.total_keys = n
     return seg
+
+
+#: Bucket-growth headroom, in multiples of the per-depth segment cap,
+#: a planned group may consume before it is declared unfittable at its
+#: depth and split deeper instead (:func:`build_segment_tree`).
+UNFITTABLE_GROWTH = 8
+
+
+def build_segment_tree(
+    local_depth: int,
+    local: np.ndarray,
+    keys: Sequence[int],
+    values: Sequence[Any],
+    m: int,
+    config: DyTISConfig,
+    boosted: bool,
+    out: List[Segment],
+) -> None:
+    """Build a group's segments, splitting deeper when it won't fit.
+
+    :func:`plan_depths` sizes groups by key *count*, but a group can be
+    unfittable at its planned depth regardless of count: a dense
+    sequential run in a wide local domain falls inside one sub-range of
+    even the finest remapping, so no bucket allocation spreads it and
+    :func:`build_fitting`'s grow loop diverges (the incremental path
+    escapes by splitting -- each extra level of local depth halves the
+    domain).  This mirrors that escape at plan time: try the group at
+    its depth with bounded growth, and on failure halve it at the
+    prefix midpoint and recurse.  Termination: once the domain is no
+    wider than a bucket the group fits trivially (keys are unique).
+
+    Appends the built segments to ``out`` in key order; their spans
+    tile the group's prefix span.
+    """
+    bound = UNFITTABLE_GROWTH * config.segment_cap(local_depth, boosted)
+    seg = build_segment(
+        local_depth, local, keys, values, m, config, boosted,
+        max_total_buckets=bound,
+    )
+    if seg is not None:
+        out.append(seg)
+        return
+    # Only non-empty over-capacity groups can fail, so local[0] exists
+    # and local_depth < m (a one-value domain holds at most one key).
+    span_bits = m - local_depth - 1
+    prefix = int(local[0]) >> (span_bits + 1)
+    mid_key = np.uint64(((prefix << 1) | 1) << span_bits)
+    mid = int(np.searchsorted(local, mid_key))
+    build_segment_tree(
+        local_depth + 1, local[:mid], keys[:mid], values[:mid],
+        m, config, boosted, out,
+    )
+    build_segment_tree(
+        local_depth + 1, local[mid:], keys[mid:], values[mid:],
+        m, config, boosted, out,
+    )
 
 
 def build_table_segments(
@@ -204,9 +268,9 @@ def build_table_segments(
     """
     local = sorted_keys[lo:hi] & np.uint64((1 << m) - 1)
     plan = plan_depths(local, m, config, boosted)
-    gd = max(ld for ld, _, _ in plan)
-    segments = [
-        build_segment(
+    segments: List[Segment] = []
+    for ld, a, b in plan:
+        build_segment_tree(
             ld,
             local[a:b],
             key_list[lo + a : lo + b],
@@ -214,7 +278,7 @@ def build_table_segments(
             m,
             config,
             boosted,
+            segments,
         )
-        for ld, a, b in plan
-    ]
+    gd = max(seg.local_depth for seg in segments)
     return segments, gd

@@ -62,6 +62,44 @@ class DyTISConfig:
     #: Defaults from the DYTIS_STORAGE environment variable.
     storage: str = field(default_factory=_default_storage)
 
+    # -- online-maintenance degradation policy ------------------------
+    # Thresholds the MaintenanceController (repro.core.maintenance)
+    # scores segments against.  They only matter when a controller is
+    # attached; a bare index never reads them on the hot path.
+
+    #: Minimum observed gets attributed to a segment's span before its
+    #: probe statistics are trusted for a degradation verdict.
+    maint_min_segment_gets: int = 64
+    #: Deep-probe threshold: a segment whose traffic-weighted mean
+    #: probe depth (live keys in the probed bucket) exceeds this
+    #: fraction of ``bucket_capacity`` is running out of insert
+    #: headroom where its traffic lands.
+    maint_depth_ratio: float = 0.85
+    #: PLR-miss threshold: fraction of a segment's gets that probed a
+    #: bucket not holding the key.  Misses alone never trigger a
+    #: rebuild (absent-key lookups are legitimate misses); the ratio
+    #: corroborates a structural signal.
+    maint_miss_ratio: float = 0.5
+    #: Occupancy-skew threshold: standard deviation of per-bucket fill
+    #: levels, normalized by ``bucket_capacity``.  A freshly planned
+    #: segment sits well under this; split-churned segments whose
+    #: remapping concentrates keys into a few near-full buckets
+    #: (empty ones beside them) sit above it.
+    maint_skew: float = 0.35
+    #: Fragmentation floor: a multi-bucket segment whose utilization
+    #: fell below this (drifted-away hotspot, delete churn) is degraded
+    #: regardless of traffic -- scans crossing it pay per-segment hops
+    #: for almost no keys.
+    maint_util_floor: float = 0.25
+    #: Rebuild a whole EH table bottom-up (instead of per-segment
+    #: re-learning) when degraded segments hold at least this fraction
+    #: of the table's keys or of its segment population.
+    maint_table_fraction: float = 0.25
+    #: Budget per maintenance step: at most this many rebuild
+    #: operations (segment or table) are applied per call, keeping a
+    #: background step's stop-the-world slice bounded.
+    maint_max_rebuilds: int = 8
+
     def __post_init__(self):
         if not 1 <= self.key_bits <= 64:
             raise ValueError("key_bits must be in [1, 64]")
@@ -81,6 +119,19 @@ class DyTISConfig:
             raise ValueError(
                 f"storage must be one of {STORAGE_KINDS}, got {self.storage!r}"
             )
+        if self.maint_min_segment_gets < 1:
+            raise ValueError("maint_min_segment_gets must be >= 1")
+        for name in ("maint_depth_ratio", "maint_miss_ratio"):
+            if not 0.0 < getattr(self, name) <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1]")
+        if self.maint_skew <= 0.0:
+            raise ValueError("maint_skew must be > 0")
+        if not 0.0 <= self.maint_util_floor < 1.0:
+            raise ValueError("maint_util_floor must be in [0, 1)")
+        if not 0.0 < self.maint_table_fraction <= 1.0:
+            raise ValueError("maint_table_fraction must be in (0, 1]")
+        if self.maint_max_rebuilds < 1:
+            raise ValueError("maint_max_rebuilds must be >= 1")
 
     @property
     def eh_key_bits(self) -> int:

@@ -228,18 +228,25 @@ class DyTIS:
         t0 = _now()
         self._check_key(key)
         probes = obs.probes
-        probes.gets += 1
+        m = self._m
         table = self._table(key, create=False)
         if table is None:
+            # No segment exists for this key span; attribute the miss to
+            # the whole table's span so absent-table traffic still shows.
+            probes.note_get((key >> m) << m, 0, False)
             self._rec_get(_now() - t0)
             return None
-        seg = table.segment_for(key & self._local_mask, self._m)
-        probes.buckets_probed += 1
+        seg = table.segment_for(key & self._local_mask, m)
+        # Span-start key of the probed segment: the lowest key the
+        # segment can hold.  Stable across rebuilds of the same region,
+        # so shard scrapes merge by summation.
+        shift = m - seg.local_depth
+        span = ((key >> shift) << shift)
+        # Probe depth = live keys in the routed bucket (the bisect
+        # search space the get paid for).
+        depth = seg.store.bucket_len(seg.bucket_index_for(key))
         found, value = seg.probe(key)
-        if found:
-            probes.plr_hits += 1
-        else:
-            probes.plr_misses += 1
+        probes.note_get(span, depth, found)
         self._rec_get(_now() - t0)
         return value
 

@@ -27,9 +27,23 @@ from repro.datasets.generators import (
     GROUP1,
     GROUP3,
 )
+from repro.datasets.adversarial import (
+    ADVERSARIAL_NAMES,
+    adversarial,
+    interleaved_runs,
+    reverse_sorted,
+    shifting_hotspot,
+)
 from repro.datasets.stats import dataset_stats, DatasetStats, table1
+from repro.datasets import strkeys
 
 __all__ = [
+    "ADVERSARIAL_NAMES",
+    "adversarial",
+    "reverse_sorted",
+    "interleaved_runs",
+    "shifting_hotspot",
+    "strkeys",
     "uniform",
     "lognormal",
     "longlat",

@@ -1,0 +1,141 @@
+"""Adversarial insert orders for the drift gauntlet (RoBin-style).
+
+Benchmarks on friendly key streams (the Figure-1 generators) measure
+the index at its best; these generators target its structural weak
+spots the way RoBin's robustness benchmarks do for updatable learned
+indexes -- orders chosen to maximise split churn, remapping misfits,
+and abandoned fragmentation:
+
+- :func:`reverse_sorted` -- strictly descending keys.  Every insert
+  lands *before* everything already present, so each segment's CDF
+  model is always learned from the wrong (right-hand) side of its
+  final key population.
+- :func:`interleaved_runs` -- several dense sequential runs advanced
+  round-robin.  Each chunk extends a different far-apart region, so no
+  single region's remapping function stays fitted for long and split
+  pressure alternates across EH tables.
+- :func:`shifting_hotspot` -- inserts concentrated in a narrow window
+  that jumps to a new region every phase.  Abandoned windows keep
+  their split-up, half-empty segments: the fragmentation the
+  maintenance controller's ``sparse`` rule exists to repair.
+
+Same contract as :mod:`repro.datasets.generators`: a 1-D ``uint64``
+array of unique keys in *insertion order*.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.datasets.generators import _KEY_MAX
+
+
+def reverse_sorted(n: int, seed: int = 0) -> np.ndarray:
+    """``n`` unique keys in strictly descending order."""
+    rng = np.random.default_rng(seed)
+    raw = rng.integers(0, int(_KEY_MAX), size=int(n * 1.01) + 16, dtype=np.uint64)
+    uniq = np.unique(raw)
+    while uniq.size < n:
+        extra = rng.integers(0, int(_KEY_MAX), size=n, dtype=np.uint64)
+        uniq = np.unique(np.concatenate([uniq, extra]))
+    return uniq[-n:][::-1].copy()
+
+
+def interleaved_runs(
+    n: int, seed: int = 0, n_runs: int = 8, chunk: int = 64
+) -> np.ndarray:
+    """Dense sequential runs at far-apart bases, advanced round-robin.
+
+    Run ``r`` emits consecutive keys from its own base; the stream
+    takes ``chunk`` keys from each run in turn.  Every region therefore
+    keeps growing past whatever remapping was last learned for it.
+    """
+    if n_runs < 1:
+        raise ValueError("n_runs must be >= 1")
+    rng = np.random.default_rng(seed)
+    # Bases spread over the key space, far enough apart that runs
+    # cannot collide (each run needs at most n keys of room).
+    stride = int(_KEY_MAX) // (n_runs + 1)
+    jitter = rng.integers(0, stride // 4, size=n_runs, dtype=np.uint64)
+    bases = (np.arange(1, n_runs + 1, dtype=np.uint64) * np.uint64(stride)) + jitter
+    out = np.empty(n, dtype=np.uint64)
+    offsets = np.zeros(n_runs, dtype=np.uint64)
+    pos, run = 0, 0
+    while pos < n:
+        take = min(chunk, n - pos)
+        start = bases[run] + offsets[run]
+        out[pos : pos + take] = start + np.arange(take, dtype=np.uint64)
+        offsets[run] += np.uint64(take)
+        pos += take
+        run = (run + 1) % n_runs
+    return out
+
+
+def shifting_hotspot(
+    n: int,
+    seed: int = 0,
+    n_phases: int = 8,
+    window_fraction: float = 0.004,
+) -> np.ndarray:
+    """Inserts drawn from a narrow window that relocates every phase.
+
+    Each phase draws ``n / n_phases`` keys from a window spanning
+    ``window_fraction`` of the key space, then jumps elsewhere.  The
+    abandoned windows are left split-up and drained of insert traffic
+    -- the canonical drift workload.
+    """
+    if n_phases < 1:
+        raise ValueError("n_phases must be >= 1")
+    if not 0.0 < window_fraction <= 1.0:
+        raise ValueError("window_fraction must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    span = int(_KEY_MAX)
+    width = max(int(span * window_fraction), 4 * n)
+    per = -(-n // n_phases)
+    parts: List[np.ndarray] = []
+    seen = np.empty(0, dtype=np.uint64)
+    total = 0
+    for _ in range(n_phases):
+        take = min(per, n - total)
+        if take <= 0:
+            break
+        lo = int(rng.integers(0, max(span - width, 1)))
+        # Exactly ``take`` fresh keys per phase, so output position
+        # p * per .. (p+1) * per is phase p's window -- the property
+        # the gauntlet's phase-aligned measurements rely on.
+        part = np.empty(0, dtype=np.uint64)
+        while part.size < take:
+            draw = rng.integers(
+                lo, lo + width, size=int(take * 1.2) + 16, dtype=np.uint64
+            )
+            cand = np.concatenate([part, draw])
+            _, idx = np.unique(cand, return_index=True)
+            cand = cand[np.sort(idx)]  # first occurrences, draw order
+            part = cand[~np.isin(cand, seen)][:take]
+        parts.append(part)
+        seen = np.concatenate([seen, part])
+        total += take
+    return np.concatenate(parts)
+
+
+#: name -> generator, for CLI/benchmark dispatch.
+ADVERSARIAL: Dict[str, Callable[..., np.ndarray]] = {
+    "reverse_sorted": reverse_sorted,
+    "interleaved_runs": interleaved_runs,
+    "shifting_hotspot": shifting_hotspot,
+}
+
+ADVERSARIAL_NAMES = tuple(ADVERSARIAL)
+
+
+def adversarial(name: str, n: int, seed: int = 0, **kwargs) -> np.ndarray:
+    """Generate ``n`` keys from the named adversarial order."""
+    try:
+        gen = ADVERSARIAL[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown adversarial order {name!r}; choose from {ADVERSARIAL_NAMES}"
+        )
+    return gen(n, seed=seed, **kwargs)

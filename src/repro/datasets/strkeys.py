@@ -1,0 +1,82 @@
+"""Order-preserving fixed-width prefix encoding of string keys.
+
+DyTIS indexes fixed-width integers; real key populations (URLs, user
+IDs, review tokens) are strings.  The standard bridge -- used by the
+SOSD/GRE benchmark suites for their string datasets -- is a fixed-width
+prefix code: take the first ``width`` bytes of the UTF-8 encoding,
+right-pad with zero bytes, and read them big-endian.  Because the pad
+byte (0) sorts below every content byte and comparison is
+byte-lexicographic, the mapping is *monotone*:
+
+    a <= b  (bytewise)  implies  encode(a) <= encode(b)
+
+so range scans over encoded keys visit strings in lexicographic order.
+The code is lossy past the prefix: strings sharing their first
+``width`` bytes collide, which callers must treat like any duplicate
+key (DyTIS insert-or-update semantics make the later value win).
+:func:`decode` returns exactly the retained prefix, giving the
+round-trip law ``decode(encode(s)) == s`` for strings that fit.
+
+Strings must not contain NUL: a content NUL is indistinguishable from
+padding, which would break the round-trip (``"a\\x00"`` and ``"a"``
+encode identically); :func:`encode` rejects it loudly instead.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+
+def prefix_width(key_bits: int = 64) -> int:
+    """Prefix bytes that fit in a ``key_bits``-wide integer key."""
+    if not 8 <= key_bits <= 64:
+        raise ValueError("key_bits must be in [8, 64]")
+    return key_bits // 8
+
+
+def encode(s: str, width: int = 8) -> int:
+    """Big-endian integer of the first ``width`` bytes of ``s`` (UTF-8),
+    zero-padded; monotone in bytewise string order."""
+    if not 1 <= width <= 8:
+        raise ValueError("width must be in [1, 8]")
+    raw = s.encode("utf-8")
+    if b"\x00" in raw:
+        raise ValueError("string keys must not contain NUL")
+    prefix = raw[:width]
+    return int.from_bytes(prefix.ljust(width, b"\x00"), "big")
+
+
+def decode(key: int, width: int = 8) -> str:
+    """The string prefix :func:`encode` retained for ``key``."""
+    if not 1 <= width <= 8:
+        raise ValueError("width must be in [1, 8]")
+    if not 0 <= key < 1 << (8 * width):
+        raise ValueError(f"key {key} out of range for width {width}")
+    raw = key.to_bytes(width, "big").rstrip(b"\x00")
+    return raw.decode("utf-8", errors="surrogateescape")
+
+
+def encode_keys(strings: Iterable[str], width: int = 8) -> np.ndarray:
+    """Encode a string batch to a ``uint64`` key array (same order).
+
+    Collisions (shared prefixes) are preserved as duplicate keys; pair
+    with DyTIS insert-or-update semantics or deduplicate first.
+    """
+    return np.fromiter(
+        (encode(s, width) for s in strings), dtype=np.uint64
+    )
+
+
+def sort_check(strings: Sequence[str], width: int = 8) -> bool:
+    """True when encoding preserved the order of ``strings``'s bytes.
+
+    Handy in tests and data-prep scripts: for inputs that differ only
+    past the prefix the encoded order is a weak ordering of the
+    bytewise one, and this confirms no inversion was introduced.
+    """
+    enc: List[int] = [encode(s, width) for s in strings]
+    by_bytes = sorted(range(len(strings)), key=lambda i: strings[i].encode("utf-8"))
+    by_code = [enc[i] for i in by_bytes]
+    return all(a <= b for a, b in zip(by_code, by_code[1:]))

@@ -25,6 +25,7 @@ from repro.obs.events import (
     DoublingEvent,
     EventBus,
     ExpandEvent,
+    MaintenanceEvent,
     MergeEvent,
     RemapEvent,
     RingBufferRecorder,
@@ -55,6 +56,7 @@ __all__ = [
     "RemapEvent",
     "DoublingEvent",
     "DirectoryResizeEvent",
+    "MaintenanceEvent",
     "MergeEvent",
     "Observability",
     "ObsShard",

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import struct
 import threading
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional
 
 from repro.obs.events import EVENT_KINDS, EventBus, RingBufferRecorder
@@ -25,6 +25,14 @@ from repro.obs.histogram import LatencyHistogram
 
 #: Operation kinds with a dedicated latency histogram.
 OP_KINDS = ("get", "insert", "delete", "scan", "bulk_load")
+
+
+#: Soft cap on distinct key spans tracked per counter instance.  Span
+#: starts are segment span boundaries, so the population is bounded by
+#: the segment count in practice; the cap only guards degenerate
+#: workloads from growing the dict without limit (established spans
+#: keep counting past it, new ones are dropped).
+SEGMENT_ATTR_CAP = 1 << 16
 
 
 @dataclass
@@ -35,6 +43,15 @@ class ProbeCounters:
     structure *changes*) with read-path depth: DyTIS's headline claim is
     O(1) probes per get, and these counters make that checkable on any
     workload.
+
+    Besides the global totals, gets are *attributed per segment key
+    span* in :attr:`segments`: the span-start key of the probed segment
+    maps to ``[gets, plr_misses, probe_depth_sum]``.  Span starts are
+    stable identifiers for key regions (a rebuilt segment covering the
+    same span accumulates into the same entry) and per-span merge is
+    element-wise addition, so scrapes from shard workers merge
+    commutatively exactly like the scalar counters.  The maintenance
+    controller consumes these deltas to find degraded segments.
     """
 
     #: Point lookups observed and the buckets they probed (DyTIS routes
@@ -50,46 +67,107 @@ class ProbeCounters:
     #: transitions) they needed beyond the start segment.
     scans: int = 0
     scan_segment_hops: int = 0
+    #: Live keys in the probed bucket, summed over gets: the binary
+    #: search space each probe faced.  ``probe_depth_sum / gets`` is the
+    #: mean probe depth -- the degradation signal maintenance watches.
+    probe_depth_sum: int = 0
+    #: Per-segment attribution: span-start key -> [gets, misses,
+    #: depth_sum].  Excluded from the scalar wire fields; see the frame
+    #: layout in :meth:`to_bytes`.
+    segments: Dict[int, List[int]] = field(default_factory=dict)
+
+    def note_get(self, span: int, depth: int, hit: bool) -> None:
+        """Record one routed get: global totals + span attribution."""
+        self.gets += 1
+        self.buckets_probed += 1
+        self.probe_depth_sum += depth
+        miss = 0 if hit else 1
+        if hit:
+            self.plr_hits += 1
+        else:
+            self.plr_misses += 1
+        ent = self.segments.get(span)
+        if ent is None:
+            if len(self.segments) >= SEGMENT_ATTR_CAP:
+                return
+            self.segments[span] = [1, miss, depth]
+        else:
+            ent[0] += 1
+            ent[1] += miss
+            ent[2] += depth
 
     def merge_from(self, other: "ProbeCounters") -> "ProbeCounters":
-        for f in fields(self):
-            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        for name in _SCALAR_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        mine = self.segments
+        for span, ent in other.segments.items():
+            cur = mine.get(span)
+            if cur is None:
+                mine[span] = list(ent)
+            else:
+                cur[0] += ent[0]
+                cur[1] += ent[1]
+                cur[2] += ent[2]
         return self
 
-    #: Wire magic: "DyTIS Probe Counters", format version 1.  The field
-    #: count travels in the frame so a frame from a build with a
-    #: different counter set fails loudly instead of misaligning.
+    #: Wire magic: "DyTIS Probe Counters".  Format v1 carried only the
+    #: scalar fields; the frame still leads with the scalar field count
+    #: so a build with a different counter set fails loudly, and now
+    #: appends the per-segment attribution section.
     _WIRE_MAGIC = b"DPC1"
 
     def to_bytes(self) -> bytes:
-        """Serialize as magic | u32 n_fields | n x u64 (field order)."""
-        vals = [getattr(self, f.name) for f in fields(self)]
-        return self._WIRE_MAGIC + struct.pack(
-            f"<I{len(vals)}Q", len(vals), *vals
-        )
+        """Serialize as ``magic | u32 n_scalars | n x u64 | u32 n_spans
+        | n_spans x (u64 span, u64 gets, u64 misses, u64 depth_sum)``.
+
+        Spans are emitted in ascending order so serialization is
+        canonical: equal counters produce identical frames.
+        """
+        vals = [getattr(self, name) for name in _SCALAR_FIELDS]
+        parts = [
+            self._WIRE_MAGIC,
+            struct.pack(f"<I{len(vals)}Q", len(vals), *vals),
+            struct.pack("<I", len(self.segments)),
+        ]
+        for span in sorted(self.segments):
+            g, m, d = self.segments[span]
+            parts.append(struct.pack("<4Q", span, g, m, d))
+        return b"".join(parts)
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "ProbeCounters":
         """Rebuild counters serialized by :meth:`to_bytes`."""
         if data[:4] != cls._WIRE_MAGIC:
             raise ValueError(f"bad probe-counter magic {data[:4]!r}")
-        names = [f.name for f in fields(cls)]
+        names = _SCALAR_FIELDS
         (n,) = struct.unpack_from("<I", data, 4)
         if n != len(names):
             raise ValueError(
                 f"probe-counter field count {n} != expected {len(names)}"
             )
-        expected = 4 + 4 + 8 * n
+        off = 8 + 8 * n
+        if len(data) < off + 4:
+            raise ValueError("probe-counter frame truncated")
+        vals = struct.unpack_from(f"<{n}Q", data, 8)
+        (n_spans,) = struct.unpack_from("<I", data, off)
+        off += 4
+        expected = off + 32 * n_spans
         if len(data) != expected:
             raise ValueError(
                 f"probe-counter frame length {len(data)} != {expected}"
             )
-        vals = struct.unpack_from(f"<{n}Q", data, 8)
-        return cls(**dict(zip(names, vals)))
+        segments: Dict[int, List[int]] = {}
+        for _ in range(n_spans):
+            span, g, m, d = struct.unpack_from("<4Q", data, off)
+            off += 32
+            segments[span] = [g, m, d]
+        out = cls(**dict(zip(names, vals)))
+        out.segments = segments
+        return out
 
     def to_dict(self) -> Dict[str, float]:
         out: Dict[str, float] = {
-            f.name: getattr(self, f.name) for f in fields(self)
+            name: getattr(self, name) for name in _SCALAR_FIELDS
         }
         out["buckets_per_get"] = (
             self.buckets_probed / self.gets if self.gets else 0.0
@@ -97,7 +175,37 @@ class ProbeCounters:
         out["hops_per_scan"] = (
             self.scan_segment_hops / self.scans if self.scans else 0.0
         )
+        out["mean_probe_depth"] = (
+            self.probe_depth_sum / self.gets if self.gets else 0.0
+        )
+        out["attributed_segments"] = len(self.segments)
         return out
+
+    def segment_deltas(
+        self, since: Optional[Dict[int, List[int]]] = None
+    ) -> Dict[int, List[int]]:
+        """Per-span attribution accumulated since ``since`` (a snapshot
+        of :attr:`segments` from an earlier read).  Entries whose counts
+        did not advance are omitted, so a maintenance scan only sees
+        spans with fresh traffic."""
+        out: Dict[int, List[int]] = {}
+        for span, ent in self.segments.items():
+            if since is not None:
+                prev = since.get(span)
+                if prev is not None:
+                    delta = [ent[0] - prev[0], ent[1] - prev[1], ent[2] - prev[2]]
+                    if delta[0] > 0:
+                        out[span] = delta
+                    continue
+            if ent[0] > 0:
+                out[span] = list(ent)
+        return out
+
+
+#: Scalar (wire) fields of ProbeCounters, in declaration order.
+_SCALAR_FIELDS = tuple(
+    f.name for f in fields(ProbeCounters) if f.name != "segments"
+)
 
 
 class ObsShard:

@@ -113,6 +113,27 @@ class FusedPatchEvent(StructuralEvent):
     segments: int = 0
 
 
+@dataclass(frozen=True)
+class MaintenanceEvent(StructuralEvent):
+    """The maintenance controller re-bulkloaded a degraded key span.
+
+    ``scope`` is ``"segment"`` (one segment re-learned its remapping in
+    place) or ``"table"`` (a whole EH table re-planned bottom-up);
+    ``span`` is the span-start key of the rebuilt region;
+    ``segments_before``/``segments_after`` count the segments covering
+    the span on each side of the swap; ``keys_moved`` carries the keys
+    re-bulkloaded (the operation's memory-copy cost, like every other
+    structural event).
+    """
+
+    kind: ClassVar[str] = "maintenance"
+
+    scope: str = "segment"
+    span: int = 0
+    segments_before: int = 0
+    segments_after: int = 0
+
+
 EVENT_KINDS = (
     "split",
     "expand",
@@ -122,6 +143,7 @@ EVENT_KINDS = (
     "merge",
     "fused_rebuild",
     "fused_patch",
+    "maintenance",
 )
 
 Subscriber = Callable[[StructuralEvent], None]

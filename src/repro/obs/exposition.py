@@ -109,6 +109,18 @@ def snapshot_to_prometheus(snapshot: Dict, prefix: str = "dytis") -> str:
         lines.append(f"# TYPE {rname} {kind}")
         lines.append(f"{rname} {value}")
 
+    # Maintenance-controller counters (snapshot["maint"] is a
+    # MaintMetrics dict; see repro.core.maintenance).  Same convention:
+    # *_total keys render as counters, the rest as gauges.
+    for key, value in snapshot.get("maint", {}).items():
+        mname = f"{prefix}_maint_{key}"
+        kind = "counter" if key.endswith("_total") else "gauge"
+        lines.append(
+            f"# HELP {mname} Online maintenance: {key.replace('_', ' ')}."
+        )
+        lines.append(f"# TYPE {mname} {kind}")
+        lines.append(f"{mname} {value}")
+
     # OperationStats reconciliation block.
     sname = f"{prefix}_op_stats"
     if "op_stats" in snapshot:

@@ -34,6 +34,7 @@ the baseline ``bench_server_throughput.py`` measures against.
 from __future__ import annotations
 
 import asyncio
+import json
 from collections import deque
 from dataclasses import dataclass
 from time import perf_counter_ns as _now
@@ -118,6 +119,9 @@ class IndexServer:
         self._admin_server: Optional[asyncio.AbstractServer] = None
         self._shutting_down = False
         self._closed = False
+        # Lazily built MaintenanceController for an in-process index
+        # (the sharded front-end runs its own inside each worker).
+        self._maintainer: Optional[Any] = None
 
     # -- lifecycle ------------------------------------------------------
 
@@ -537,6 +541,37 @@ class IndexServer:
 
     # -- admin endpoint -------------------------------------------------
 
+    def _run_maintenance(self) -> Optional[Dict[str, int]]:
+        """One maintenance step; None when the index supports none.
+
+        A :class:`~repro.shard.sharded.ShardedIndex` runs the step in
+        its workers (each the single writer of its slice); a local
+        index gets a lazily built, server-lifetime
+        :class:`~repro.core.maintenance.MaintenanceController` so the
+        traffic baseline spans steps.
+        """
+        index = getattr(self.store, "index", None)
+        fleet = getattr(index, "maintenance", None)
+        if callable(fleet):
+            return fleet()
+        core = getattr(index, "_d", index)  # unwrap ConcurrentDyTIS
+        if core is None or not hasattr(core, "_tables"):
+            return None
+        if self._maintainer is None:
+            from repro.core.maintenance import MaintenanceController
+
+            self._maintainer = MaintenanceController(core)
+        events = self._maintainer.step()
+        return {
+            "rebuilds": len(events),
+            "segment_rebuilds": sum(
+                1 for e in events if e.scope == "segment"
+            ),
+            "table_rebuilds": sum(1 for e in events if e.scope == "table"),
+            "keys_moved": sum(e.keys_moved for e in events),
+            "degraded": self._maintainer.metrics.last_degraded,
+        }
+
     async def _on_admin(self, reader, writer) -> None:
         """Minimal HTTP/1.0 responder for /metrics and /healthz.
 
@@ -577,6 +612,22 @@ class IndexServer:
                 )
                 if store_page is not None:
                     text += store_page()
+                # Maintenance counters, once /maintenance has run at
+                # least one step on an in-process index (the sharded
+                # fleet ships its own maint_* series per shard above).
+                if self._maintainer is not None:
+                    for key, value in (
+                        self._maintainer.metrics.to_dict().items()
+                    ):
+                        mname = f"dytis_maint_{key}"
+                        kind = (
+                            "counter" if key.endswith("_total") else "gauge"
+                        )
+                        text += (
+                            f"# HELP {mname} Online maintenance: "
+                            f"{key.replace('_', ' ')}.\n"
+                            f"# TYPE {mname} {kind}\n{mname} {value}\n"
+                        )
                 body = text.encode("utf-8")
             elif path.startswith("/healthz"):
                 status, ctype = "200 OK", "text/plain"
@@ -615,6 +666,20 @@ class IndexServer:
                 else:
                     status, ctype = "409 Conflict", "text/plain"
                     body = b"store has no checkpoint support\n"
+            elif path.startswith("/maintenance"):
+                # Trigger one online-maintenance step (probe-depth
+                # driven re-bulkload of degraded segments; see
+                # repro.core.maintenance).  Runs on the loop thread:
+                # the loop is the index's single writer, so the swap
+                # is atomic with respect to every data-plane request,
+                # and a step is budget-bounded (maint_max_rebuilds).
+                summary = self._run_maintenance()
+                if summary is None:
+                    status, ctype = "409 Conflict", "text/plain"
+                    body = b"index has no maintenance support\n"
+                else:
+                    status, ctype = "200 OK", "application/json"
+                    body = (json.dumps(summary) + "\n").encode()
             else:
                 status, ctype = "404 Not Found", "text/plain"
                 body = b"not found\n"

@@ -136,6 +136,30 @@ def shards_to_prometheus(
     for sid, wm in enumerate(per_shard):
         lines.append(f"{name}{_labels(shard=sid)} {wm.counters.get('size', 0)}")
 
+    # Maintenance counters (workers that ran a maintenance step attach
+    # them as ``maint_*`` named counters; see repro.core.maintenance).
+    maint_names = sorted(
+        {
+            cname
+            for wm in per_shard
+            for cname in wm.counters
+            if cname.startswith("maint_")
+        }
+    )
+    for cname in maint_names:
+        name = f"{prefix}_{cname}"
+        kind = "counter" if cname.endswith("_total") else "gauge"
+        lines.append(
+            f"# HELP {name} Online maintenance: "
+            f"{cname[len('maint_'):].replace('_', ' ')}, by shard."
+        )
+        lines.append(f"# TYPE {name} {kind}")
+        for sid, wm in enumerate(per_shard):
+            if cname in wm.counters:
+                lines.append(
+                    f"{name}{_labels(shard=sid)} {wm.counters[cname]}"
+                )
+
     merged = WorkerMetrics()
     for wm in per_shard:
         merged.merge_from(wm)

@@ -589,6 +589,29 @@ class ShardedIndex:
             [(s, "checkpoint", ()) for s in range(self.n_shards)]
         )
 
+    def maintenance(
+        self, max_rebuilds: Optional[int] = None
+    ) -> dict:
+        """Run one online-maintenance step on every shard.
+
+        Each worker scores its own segments against the ``maint_*``
+        policy and re-bulkloads degraded regions (see
+        :mod:`repro.core.maintenance`); rebuilds preserve logical
+        contents, so published read columns stay valid.  Returns the
+        summed per-shard summaries.
+        """
+        parts = self._scatter(
+            [
+                (s, "maintenance", (max_rebuilds,))
+                for s in range(self.n_shards)
+            ]
+        )
+        total: dict = {}
+        for part in parts:
+            for key, value in part.items():
+                total[key] = total.get(key, 0) + value
+        return total
+
     def shard_metrics(self) -> List[shard_metrics.WorkerMetrics]:
         """Scrape and decode every worker's metrics frame."""
         return [

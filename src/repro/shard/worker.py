@@ -67,6 +67,32 @@ def worker_main(conn, spec: ShardSpec) -> None:
     """
     index = _build_index(spec)
     published: Optional[Any] = None  # live SharedMemory block, if any
+    maintainer: Optional[Any] = None  # lazily built MaintenanceController
+
+    def _maintenance(max_rebuilds: Optional[int] = None) -> Dict[str, int]:
+        """One maintenance step on the worker's core index.
+
+        The controller is built lazily and kept for the worker's
+        lifetime so its traffic baseline spans steps.  Runs inline in
+        the request loop -- the worker is the index's single writer, so
+        the swap is atomic with respect to every other op by
+        construction.  Returns a picklable summary; the full counters
+        travel in the metrics frame as ``maint_*`` series.
+        """
+        nonlocal maintainer
+        if maintainer is None:
+            from repro.core.maintenance import MaintenanceController
+
+            core = getattr(index, "index", index)
+            maintainer = MaintenanceController(core)
+        events = maintainer.step(max_rebuilds)
+        return {
+            "rebuilds": len(events),
+            "segment_rebuilds": sum(1 for e in events if e.scope == "segment"),
+            "table_rebuilds": sum(1 for e in events if e.scope == "table"),
+            "keys_moved": sum(e.keys_moved for e in events),
+            "degraded": maintainer.metrics.last_degraded,
+        }
 
     def _publish() -> Tuple[str, int, int]:
         nonlocal published
@@ -99,6 +125,9 @@ def worker_main(conn, spec: ShardSpec) -> None:
         if remote is not None:
             for key, value in remote.to_dict().items():
                 counters[f"remote_{key}"] = value
+        if maintainer is not None:
+            for key, value in maintainer.metrics.to_dict().items():
+                counters[f"maint_{key}"] = value
         if obs is None:
             obs = Observability()
         return shard_metrics.dump_worker_metrics(obs, counters)
@@ -119,6 +148,7 @@ def worker_main(conn, spec: ShardSpec) -> None:
         "contains": lambda key: key in index,
         "publish_column": _publish,
         "metrics": _metrics,
+        "maintenance": _maintenance,
         "checkpoint": lambda: (
             index.checkpoint() if hasattr(index, "checkpoint") else 0
         ),

@@ -1,0 +1,145 @@
+"""Adversarial key-order generators and the string prefix encoder.
+
+The generators feed the drift gauntlet (benchmarks/bench_gauntlet.py)
+and the maintenance tests, so their contracts -- dtype, uniqueness,
+determinism, and the specific adversarial shape each name promises --
+are pinned here.  The string encoder's order-preservation and
+round-trip laws are checked property-style with hypothesis.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    ADVERSARIAL_NAMES,
+    adversarial,
+    interleaved_runs,
+    reverse_sorted,
+    shifting_hotspot,
+    strkeys,
+)
+
+
+@pytest.mark.parametrize("name", ADVERSARIAL_NAMES)
+def test_generator_contract(name):
+    a = adversarial(name, 4000, seed=11)
+    assert a.dtype == np.uint64
+    assert a.shape == (4000,)
+    assert len(np.unique(a)) == 4000
+    # Deterministic per seed, different across seeds.
+    assert np.array_equal(a, adversarial(name, 4000, seed=11))
+    assert not np.array_equal(a, adversarial(name, 4000, seed=12))
+
+
+def test_reverse_sorted_is_strictly_descending():
+    a = reverse_sorted(2000, seed=1)
+    assert np.all(a[:-1] > a[1:])
+
+
+def test_interleaved_runs_alternate_regions():
+    a = interleaved_runs(1024, seed=1, n_runs=4, chunk=32)
+    # Every chunk is a dense ascending run...
+    for i in range(0, 1024, 32):
+        chunk = a[i : i + 32]
+        assert np.all(np.diff(chunk) == 1)
+    # ...and consecutive chunks come from far-apart regions.
+    starts = a[::32]
+    assert np.all(np.abs(np.diff(starts.astype(np.int64))) > 1 << 40)
+
+
+def test_shifting_hotspot_phases_are_narrow_and_disjoint():
+    n, phases = 8000, 8
+    a = shifting_hotspot(n, seed=5, n_phases=phases)
+    per = n // phases
+    span = float(2**63 - 1)
+    widths = []
+    for p in range(phases):
+        part = a[p * per : (p + 1) * per]
+        widths.append((part.max() - part.min()) / span)
+    # Each phase stays inside a narrow window...
+    assert max(widths) < 0.02
+    # ...but the union of phases covers far more than one window.
+    assert (a.max() - a.min()) / span > 5 * max(widths)
+
+
+def test_adversarial_unknown_name():
+    with pytest.raises(ValueError, match="unknown adversarial order"):
+        adversarial("nope", 10)
+
+
+# -- string prefix encoder ---------------------------------------------
+
+text = st.text(
+    alphabet=st.characters(blacklist_characters="\x00", max_codepoint=0x2FF),
+    min_size=0,
+    max_size=24,
+)
+
+
+@given(text, text)
+@settings(max_examples=200, deadline=None)
+def test_encode_is_monotone_in_byte_order(a, b):
+    ea, eb = strkeys.encode(a), strkeys.encode(b)
+    ba, bb = a.encode("utf-8"), b.encode("utf-8")
+    if ba <= bb:
+        assert ea <= eb
+    else:
+        assert ea >= eb
+
+
+@given(text)
+@settings(max_examples=200, deadline=None)
+def test_round_trip_recovers_retained_prefix(s):
+    for width in (2, 4, 8):
+        key = strkeys.encode(s, width)
+        assert 0 <= key < 1 << (8 * width)
+        back = strkeys.decode(key, width)
+        assert back.encode("utf-8", errors="surrogateescape") == (
+            s.encode("utf-8")[:width].rstrip(b"\x00")
+        )
+        # Strings that fit entirely round-trip exactly.
+        if len(s.encode("utf-8")) <= width and not s.encode(
+            "utf-8"
+        ).endswith(b"\x00"):
+            assert back == s
+
+
+@given(st.lists(text, min_size=0, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_batch_encoding_never_inverts_order(strings):
+    assert strkeys.sort_check(strings)
+    enc = strkeys.encode_keys(strings)
+    assert enc.dtype == np.uint64
+    assert enc.shape == (len(strings),)
+
+
+def test_encoder_rejects_nul_and_bad_width():
+    with pytest.raises(ValueError, match="NUL"):
+        strkeys.encode("a\x00b")
+    with pytest.raises(ValueError):
+        strkeys.encode("abc", width=9)
+    with pytest.raises(ValueError):
+        strkeys.decode(1 << 16, width=2)
+    assert strkeys.prefix_width(32) == 4
+    with pytest.raises(ValueError):
+        strkeys.prefix_width(4)
+
+
+def test_encoded_keys_index_round_trip(small_config):
+    """Encoded string keys drive a real index: scans come back in
+    lexicographic (byte) order of the retained prefixes."""
+    from repro.core import DyTIS
+
+    width = strkeys.prefix_width(small_config.key_bits)
+    words = sorted(
+        {"ant", "bee", "cat", "dog", "eel", "fox", "gnu", "hen", "owl"}
+    )
+    d = DyTIS(small_config)
+    for w in words:
+        d.insert(strkeys.encode(w, width), w)
+    got = [v for _, v in d.items()]
+    assert got == sorted(words, key=lambda w: w.encode("utf-8"))
+    for w in words:
+        assert d.get(strkeys.encode(w, width)) == w

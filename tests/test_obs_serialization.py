@@ -89,6 +89,17 @@ def test_histogram_from_bytes_rejects_garbage():
         LatencyHistogram.from_bytes(good[:-1])
 
 
+#: Per-span attribution entries: span-start key -> [gets, misses,
+#: depth_sum].  Spans are uint64 keys; the three counts stay small so
+#: merged sums remain within u64 after repeated merging.
+segment_attr = st.dictionaries(
+    st.integers(0, 2**64 - 1),
+    st.tuples(
+        st.integers(0, 2**30), st.integers(0, 2**30), st.integers(0, 2**40)
+    ).map(list),
+    max_size=12,
+)
+
 counters = st.builds(
     ProbeCounters,
     gets=st.integers(0, 2**40),
@@ -97,6 +108,8 @@ counters = st.builds(
     plr_misses=st.integers(0, 2**40),
     scans=st.integers(0, 2**40),
     scan_segment_hops=st.integers(0, 2**40),
+    probe_depth_sum=st.integers(0, 2**44),
+    segments=segment_attr,
 )
 
 
@@ -105,6 +118,9 @@ counters = st.builds(
 def test_probe_counters_round_trip(pc):
     back = ProbeCounters.from_bytes(pc.to_bytes())
     assert back == pc
+    # Canonical: equal counters produce identical frames regardless of
+    # the dict's insertion order.
+    assert back.to_bytes() == pc.to_bytes()
 
 
 @given(counters, counters)
@@ -117,11 +133,40 @@ def test_probe_counters_merge_commutes_after_round_trip(a, b):
         ProbeCounters.from_bytes(a.to_bytes())
     )
     assert ab == ba
+    # Per-span attribution merges element-wise, same as the scalars.
+    direct = ProbeCounters()
+    direct.merge_from(a).merge_from(b)
+    assert ab.segments == direct.segments
+
+
+@given(counters, counters)
+@settings(max_examples=40, deadline=None)
+def test_probe_counters_merge_does_not_alias(a, b):
+    """Merging must deep-copy span entries, not share the lists."""
+    merged = ProbeCounters().merge_from(a)
+    merged.merge_from(b)
+    for span, ent in merged.segments.items():
+        assert ent is not a.segments.get(span)
+        assert ent is not b.segments.get(span)
+
+
+def test_probe_counters_note_get_attributes_spans():
+    pc = ProbeCounters()
+    pc.note_get(16, 3, True)
+    pc.note_get(16, 5, False)
+    pc.note_get(32, 1, True)
+    assert pc.gets == 3 and pc.plr_misses == 1
+    assert pc.probe_depth_sum == 9
+    assert pc.segments == {16: [2, 1, 8], 32: [1, 0, 1]}
+    deltas = pc.segment_deltas({16: [1, 0, 3]})
+    assert deltas == {16: [1, 1, 5], 32: [1, 0, 1]}
 
 
 def test_probe_counters_rejects_garbage():
-    good = ProbeCounters(gets=1).to_bytes()
+    good = ProbeCounters(gets=1, segments={7: [1, 0, 3]}).to_bytes()
     with pytest.raises(ValueError):
         ProbeCounters.from_bytes(b"XXXX" + good[4:])
     with pytest.raises(ValueError):
         ProbeCounters.from_bytes(good[:-1])
+    with pytest.raises(ValueError):
+        ProbeCounters.from_bytes(good + b"\x00" * 32)
